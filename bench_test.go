@@ -1,0 +1,431 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (Section VI). Each benchmark runs a reduced-fidelity
+// version of the corresponding experiment (fewer repetitions/steps than
+// the CLI, which produces the full-fidelity CSVs via `radloc figure`
+// and `radloc table`) and reports the figure's key quantities as
+// custom benchmark metrics alongside the usual timing:
+//
+//	err_final   mean localization error at the final step (length units)
+//	fp_final    mean false positives at the final step
+//	fn_final    mean false negatives at the final step
+//
+// Run all of them with:
+//
+//	go test -bench=. -benchmem
+package radloc_test
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"radloc"
+	"radloc/internal/rng"
+)
+
+// benchRun executes a scenario once per benchmark iteration and reports
+// the final-step quality metrics.
+func benchRun(b *testing.B, sc radloc.Scenario, reps int) radloc.Result {
+	b.Helper()
+	var res radloc.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = radloc.Run(sc, radloc.RunOptions{Seed: uint64(i + 1), Reps: reps, TrialWorkers: reps})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(res.MeanErr) - 1
+	if !math.IsNaN(res.MeanErr[last]) {
+		b.ReportMetric(res.MeanErr[last], "err_final")
+	}
+	b.ReportMetric(res.FalsePos[last], "fp_final")
+	b.ReportMetric(res.FalseNeg[last], "fn_final")
+	return res
+}
+
+// BenchmarkFig2NoFusionRange contrasts the filter with and without the
+// fusion range (Fig. 2): without it, a single particle population is
+// dragged between the two sources and the centroid's oscillation
+// amplitude stays large.
+func BenchmarkFig2NoFusionRange(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "fusion-range"
+		if disable {
+			name = "no-fusion-range"
+		}
+		b.Run(name, func(b *testing.B) {
+			var spread float64
+			for i := 0; i < b.N; i++ {
+				sc := radloc.ScenarioA(50, false)
+				cfg := radloc.LocalizerConfig(sc)
+				cfg.DisableFusionRange = disable
+				cfg.Seed = uint64(i + 1)
+				loc, err := radloc.NewLocalizer(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stream := rng.NewNamed(uint64(i+1), "bench/fig2")
+				// Track how far the centroid wanders over the last 10
+				// steps: small when each source holds its own particle
+				// cluster, large when the population sloshes.
+				var minX, maxX float64 = math.Inf(1), math.Inf(-1)
+				for step := 0; step < 20; step++ {
+					for _, sen := range sc.Sensors {
+						m := sen.Measure(stream, sc.Sources, nil, step)
+						loc.Ingest(sen, m.CPM)
+					}
+					if step >= 10 {
+						c := loc.Centroid()
+						minX = math.Min(minX, c.Pos.X)
+						maxX = math.Max(maxX, c.Pos.X)
+					}
+				}
+				spread = maxX - minX
+			}
+			b.ReportMetric(spread, "centroid_wander")
+		})
+	}
+}
+
+// BenchmarkFig3TwoSources regenerates Fig. 3: two sources of 4, 10, 50
+// and 100 µCi in Scenario A.
+func BenchmarkFig3TwoSources(b *testing.B) {
+	for _, strength := range []float64{4, 10, 50, 100} {
+		b.Run(fmt.Sprintf("%guCi", strength), func(b *testing.B) {
+			sc := radloc.ScenarioA(strength, false)
+			sc.Params.TimeSteps = 30
+			benchRun(b, sc, 2)
+		})
+	}
+}
+
+// BenchmarkFig5ThreeSources regenerates Fig. 5: three sources.
+func BenchmarkFig5ThreeSources(b *testing.B) {
+	for _, strength := range []float64{4, 10, 50, 100} {
+		b.Run(fmt.Sprintf("%guCi", strength), func(b *testing.B) {
+			sc := radloc.ScenarioAThree(strength)
+			sc.Params.TimeSteps = 30
+			benchRun(b, sc, 2)
+		})
+	}
+}
+
+// BenchmarkFig6Background regenerates Fig. 6: background sweep with two
+// 10 µCi sources.
+func BenchmarkFig6Background(b *testing.B) {
+	for _, bg := range []float64{0, 5, 10, 50} {
+		b.Run(fmt.Sprintf("%gcpm", bg), func(b *testing.B) {
+			sc := radloc.ScenarioA(10, false).WithBackground(bg)
+			sc.Params.TimeSteps = 30
+			benchRun(b, sc, 2)
+		})
+	}
+}
+
+// BenchmarkFig7ScenarioB regenerates Fig. 7(a–d): the 196-sensor,
+// 9-source Scenario B with and without obstacles.
+func BenchmarkFig7ScenarioB(b *testing.B) {
+	for _, obs := range []bool{false, true} {
+		b.Run(obsName(obs), func(b *testing.B) {
+			sc := radloc.ScenarioB(obs)
+			sc.Params.TimeSteps = 12
+			benchRun(b, sc, 1)
+		})
+	}
+}
+
+// BenchmarkFig7ScenarioC regenerates Fig. 7(e–h): Poisson sensor
+// placement and out-of-order delivery.
+func BenchmarkFig7ScenarioC(b *testing.B) {
+	for _, obs := range []bool{false, true} {
+		b.Run(obsName(obs), func(b *testing.B) {
+			sc := radloc.ScenarioC(obs, 1)
+			sc.Params.TimeSteps = 12
+			benchRun(b, sc, 1)
+		})
+	}
+}
+
+// BenchmarkFig9aObstacleA regenerates Fig. 9(a): normalized error of
+// Scenario A with the U-obstacle. The reported metric is the mean
+// normalized error over the second half of the run (> 1 means the
+// obstacle improved accuracy).
+func BenchmarkFig9aObstacleA(b *testing.B) {
+	var norm float64
+	for i := 0; i < b.N; i++ {
+		opts := radloc.RunOptions{Seed: uint64(i + 1), Reps: 3, TrialWorkers: 3}
+		scn := radloc.ScenarioA(10, false)
+		sco := radloc.ScenarioA(10, true)
+		scn.Params.TimeSteps = 20
+		sco.Params.TimeSteps = 20
+		rn, err := radloc.Run(scn, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ro, err := radloc.Run(sco, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		n := 0
+		for t := 10; t < 20; t++ {
+			if !math.IsNaN(rn.MeanErr[t]) && !math.IsNaN(ro.MeanErr[t]) && ro.MeanErr[t] > 0 {
+				sum += rn.MeanErr[t] / ro.MeanErr[t]
+				n++
+			}
+		}
+		if n > 0 {
+			norm = sum / float64(n)
+		}
+	}
+	b.ReportMetric(norm, "norm_err")
+}
+
+// BenchmarkFig9bcNormalized regenerates Fig. 9(b,c): per-source
+// obstacle benefit in Scenarios B and C. The metric is the fraction of
+// sources whose accuracy the obstacles improved.
+func BenchmarkFig9bcNormalized(b *testing.B) {
+	for _, which := range []string{"B", "C"} {
+		b.Run(which, func(b *testing.B) {
+			var helped float64
+			for i := 0; i < b.N; i++ {
+				var scn, sco radloc.Scenario
+				if which == "B" {
+					scn, sco = radloc.ScenarioB(false), radloc.ScenarioB(true)
+				} else {
+					scn, sco = radloc.ScenarioC(false, 1), radloc.ScenarioC(true, 1)
+				}
+				scn.Params.TimeSteps = 12
+				sco.Params.TimeSteps = 12
+				opts := radloc.RunOptions{Seed: uint64(i + 1), Reps: 1}
+				rn, err := radloc.Run(scn, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ro, err := radloc.Run(sco, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cnt := 0
+				for s := range rn.ErrBySource {
+					base := meanTail(rn.ErrBySource[s], 5)
+					with := meanTail(ro.ErrBySource[s], 5)
+					if !math.IsNaN(base) && !math.IsNaN(with) && base > with {
+						cnt++
+					}
+				}
+				helped = float64(cnt) / float64(len(rn.ErrBySource))
+			}
+			b.ReportMetric(helped, "frac_helped")
+		})
+	}
+}
+
+// BenchmarkTable1Runtime regenerates Table I: time per filter iteration
+// for particle counts {2000, 5000, 15000} × sensor grids {36, 196},
+// swept over mean-shift worker counts in place of the paper's two
+// machines. sec/op of the inner loop is the table cell.
+func BenchmarkTable1Runtime(b *testing.B) {
+	workerSweep := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		workerSweep = append(workerSweep, n)
+	}
+	for _, particles := range []int{2000, 5000, 15000} {
+		for _, sensors := range []int{36, 196} {
+			for _, workers := range workerSweep {
+				name := fmt.Sprintf("p%d-n%d-w%d", particles, sensors, workers)
+				b.Run(name, func(b *testing.B) {
+					sc := radloc.ScenarioA(50, false)
+					if sensors > 36 {
+						sc = radloc.ScenarioB(true)
+					}
+					sc.Params.NumParticles = particles
+					cfg := radloc.LocalizerConfig(sc)
+					cfg.Workers = workers
+					cfg.Seed = 1
+					loc, err := radloc.NewLocalizer(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					stream := rng.NewNamed(1, "bench/table1")
+					// Warm the filter so particles are concentrated as
+					// in the paper's steady-state timing.
+					for step := 0; step < 2; step++ {
+						for _, sen := range sc.Sensors {
+							m := sen.Measure(stream, sc.Sources, sc.Obstacles, step)
+							loc.Ingest(sen, m.CPM)
+						}
+					}
+					b.ResetTimer()
+					si := 0
+					for i := 0; i < b.N; i++ {
+						sen := sc.Sensors[si%len(sc.Sensors)]
+						si++
+						m := sen.Measure(stream, sc.Sources, sc.Obstacles, 2)
+						loc.Ingest(sen, m.CPM)
+						// One amortized estimation per sensor round, as
+						// in Table I where mean-shift dominates.
+						if si%len(sc.Sensors) == 0 {
+							_ = loc.Estimates()
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkAblationFusionRange sweeps the fusion range (DESIGN.md ABL1):
+// too small starves the filter, too large couples distant sources, and
+// disabled recovers the Fig. 2 failure.
+func BenchmarkAblationFusionRange(b *testing.B) {
+	for _, d := range []float64{14, 28, 56, math.Inf(1)} {
+		name := fmt.Sprintf("d%g", d)
+		if math.IsInf(d, 1) {
+			name = "disabled"
+		}
+		b.Run(name, func(b *testing.B) {
+			var errFinal, fp float64
+			for i := 0; i < b.N; i++ {
+				sc := radloc.ScenarioA(50, false)
+				cfg := radloc.LocalizerConfig(sc)
+				cfg.Seed = uint64(i + 1)
+				if math.IsInf(d, 1) {
+					cfg.DisableFusionRange = true
+				} else {
+					cfg.FusionRange = d
+				}
+				loc, err := radloc.NewLocalizer(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stream := rng.NewNamed(uint64(i+1), "bench/abl1")
+				for step := 0; step < 15; step++ {
+					for _, sen := range sc.Sensors {
+						m := sen.Measure(stream, sc.Sources, nil, step)
+						loc.Ingest(sen, m.CPM)
+					}
+				}
+				match := radloc.Match(loc.Estimates(), sc.Sources, 40)
+				if e := match.MeanError(); !math.IsNaN(e) {
+					errFinal = e
+				}
+				fp = float64(match.FalsePos)
+			}
+			b.ReportMetric(errFinal, "err_final")
+			b.ReportMetric(fp, "fp_final")
+		})
+	}
+}
+
+// BenchmarkAblationEstimator contrasts mean-shift mode extraction with
+// the traditional weighted-centroid estimate (DESIGN.md ABL2): the
+// centroid lands between the two sources.
+func BenchmarkAblationEstimator(b *testing.B) {
+	for _, mode := range []string{"meanshift", "centroid"} {
+		b.Run(mode, func(b *testing.B) {
+			var errFinal float64
+			for i := 0; i < b.N; i++ {
+				sc := radloc.ScenarioA(50, false)
+				cfg := radloc.LocalizerConfig(sc)
+				cfg.Seed = uint64(i + 1)
+				loc, err := radloc.NewLocalizer(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stream := rng.NewNamed(uint64(i+1), "bench/abl2")
+				for step := 0; step < 10; step++ {
+					for _, sen := range sc.Sensors {
+						m := sen.Measure(stream, sc.Sources, nil, step)
+						loc.Ingest(sen, m.CPM)
+					}
+				}
+				if mode == "meanshift" {
+					match := radloc.Match(loc.Estimates(), sc.Sources, 40)
+					if e := match.MeanError(); !math.IsNaN(e) {
+						errFinal = e
+					}
+				} else {
+					c := loc.Centroid()
+					errFinal = math.Min(c.Pos.Dist(sc.Sources[0].Pos), c.Pos.Dist(sc.Sources[1].Pos))
+				}
+			}
+			b.ReportMetric(errFinal, "err_final")
+		})
+	}
+}
+
+// BenchmarkScalabilityK sweeps the number of sources K in the Scenario
+// B layout (DESIGN.md: the paper's headline claim). Both the time per
+// iteration (sec/op) and the final error must stay roughly flat in K —
+// the constant-parameter-space property that separates this algorithm
+// from the joint-state approaches whose cost explodes with K.
+func BenchmarkScalabilityK(b *testing.B) {
+	full := radloc.ScenarioB(false)
+	for _, k := range []int{1, 3, 5, 7, 9} {
+		b.Run(fmt.Sprintf("K%d", k), func(b *testing.B) {
+			sc := full.WithSources(full.Sources[:k])
+			sc.Params.TimeSteps = 10
+			res := benchRun(b, sc, 1)
+			_ = res
+		})
+	}
+}
+
+// BenchmarkBaselineMLE times the joint-MLE + BIC comparator on the same
+// data volume the filter consumes in 3 time steps (DESIGN.md BASE1) —
+// the cost that "does not scale beyond four sources".
+func BenchmarkBaselineMLE(b *testing.B) {
+	sc := radloc.ScenarioA(50, false)
+	stream := rng.NewNamed(1, "bench/base1")
+	var readings []radloc.Reading
+	for step := 0; step < 3; step++ {
+		for _, sen := range sc.Sensors {
+			m := sen.Measure(stream, sc.Sources, nil, step)
+			readings = append(readings, radloc.Reading{Sensor: sen, CPM: m.CPM})
+		}
+	}
+	var errFinal float64
+	for i := 0; i < b.N; i++ {
+		res, err := radloc.BaselineMLE(readings, radloc.MLEConfig{
+			Bounds: sc.Bounds, KMax: 3, Starts: 8, Criterion: radloc.BIC,
+		}, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, src := range sc.Sources {
+			best := math.Inf(1)
+			for _, e := range res.Sources {
+				best = math.Min(best, e.Pos.Dist(src.Pos))
+			}
+			sum += best
+		}
+		errFinal = sum / float64(len(sc.Sources))
+	}
+	b.ReportMetric(errFinal, "err_final")
+}
+
+func obsName(obs bool) string {
+	if obs {
+		return "obstacles"
+	}
+	return "no-obstacles"
+}
+
+func meanTail(xs []float64, from int) float64 {
+	var sum float64
+	n := 0
+	for i := from; i < len(xs); i++ {
+		if !math.IsNaN(xs[i]) {
+			sum += xs[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}

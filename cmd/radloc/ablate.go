@@ -1,0 +1,178 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"radloc"
+	"radloc/internal/report"
+	"radloc/internal/rng"
+)
+
+// ablateCmd runs the design-choice ablations of DESIGN.md
+// (`radloc ablate <fusion-range|estimator|scale-k>`).
+func ablateCmd(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("ablate: want fusion-range, estimator or scale-k\n%s", usage)
+	}
+	which := args[0]
+	fs := flag.NewFlagSet("ablate "+which, flag.ContinueOnError)
+	var cf commonFlags
+	cf.register(fs)
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	w, closeFn, err := cf.open(stdout)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = closeFn() }()
+
+	switch which {
+	case "fusion-range":
+		return ablateFusionRange(w, cf)
+	case "estimator":
+		return ablateEstimator(w, cf)
+	case "scale-k":
+		return ablateScaleK(w, cf)
+	default:
+		return fmt.Errorf("ablate: unknown experiment %q", which)
+	}
+}
+
+// ablateFusionRange sweeps d over the two-source Scenario A: too small
+// fragments the population (false positives), too large couples the
+// sources, disabled reproduces the Fig. 2 failure.
+func ablateFusionRange(w io.Writer, cf commonFlags) error {
+	tb := report.NewTable(
+		"Ablation: fusion range d (two 50 µCi sources, Scenario A)",
+		"fusion_range", "mean_err", "false_pos", "false_neg")
+	for _, d := range []float64{10, 14, 20, 28, 40, 56, math.Inf(1)} {
+		var errSum, fpSum, fnSum float64
+		n := 0
+		for rep := 0; rep < cf.reps; rep++ {
+			e, fp, fn, err := runFusionTrial(d, cf.steps, cf.seed+uint64(rep))
+			if err != nil {
+				return err
+			}
+			if !math.IsNaN(e) {
+				errSum += e
+				n++
+			}
+			fpSum += fp
+			fnSum += fn
+		}
+		label := fmt.Sprintf("%g", d)
+		if math.IsInf(d, 1) {
+			label = "disabled"
+		}
+		meanErr := math.NaN()
+		if n > 0 {
+			meanErr = errSum / float64(n)
+		}
+		if err := tb.AddRow(label, meanErr, fpSum/float64(cf.reps), fnSum/float64(cf.reps)); err != nil {
+			return err
+		}
+	}
+	return tb.WriteCSV(w)
+}
+
+func runFusionTrial(d float64, steps int, seed uint64) (meanErr, fp, fn float64, err error) {
+	sc := radloc.ScenarioA(50, false)
+	cfg := radloc.LocalizerConfig(sc)
+	cfg.Seed = seed
+	if math.IsInf(d, 1) {
+		cfg.DisableFusionRange = true
+	} else {
+		cfg.FusionRange = d
+	}
+	loc, err := radloc.NewLocalizer(cfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	stream := rng.NewNamed(seed, "ablate/fusion")
+	for step := 0; step < steps; step++ {
+		for _, sen := range sc.Sensors {
+			m := sen.Measure(stream, sc.Sources, nil, step)
+			loc.Ingest(sen, m.CPM)
+		}
+	}
+	match := radloc.Match(loc.Estimates(), sc.Sources, 40)
+	return match.MeanError(), float64(match.FalsePos), float64(match.FalseNeg), nil
+}
+
+// ablateEstimator contrasts mean-shift mode extraction with the
+// traditional weighted-centroid estimate.
+func ablateEstimator(w io.Writer, cf commonFlags) error {
+	tb := report.NewTable(
+		"Ablation: estimator (two 50 µCi sources; centroid = traditional particle filter)",
+		"estimator", "mean_err")
+	for _, mode := range []string{"mean-shift", "centroid"} {
+		var errSum float64
+		n := 0
+		for rep := 0; rep < cf.reps; rep++ {
+			seed := cf.seed + uint64(rep)
+			sc := radloc.ScenarioA(50, false)
+			cfg := radloc.LocalizerConfig(sc)
+			cfg.Seed = seed
+			loc, err := radloc.NewLocalizer(cfg)
+			if err != nil {
+				return err
+			}
+			stream := rng.NewNamed(seed, "ablate/estimator")
+			for step := 0; step < cf.steps; step++ {
+				for _, sen := range sc.Sensors {
+					m := sen.Measure(stream, sc.Sources, nil, step)
+					loc.Ingest(sen, m.CPM)
+				}
+			}
+			var e float64
+			if mode == "mean-shift" {
+				e = radloc.Match(loc.Estimates(), sc.Sources, 40).MeanError()
+			} else {
+				c := loc.Centroid()
+				e = math.Min(c.Pos.Dist(sc.Sources[0].Pos), c.Pos.Dist(sc.Sources[1].Pos))
+			}
+			if !math.IsNaN(e) {
+				errSum += e
+				n++
+			}
+		}
+		meanErr := math.NaN()
+		if n > 0 {
+			meanErr = errSum / float64(n)
+		}
+		if err := tb.AddRow(mode, meanErr); err != nil {
+			return err
+		}
+	}
+	return tb.WriteCSV(w)
+}
+
+// ablateScaleK sweeps the source count K over the Scenario B layout:
+// per-iteration cost and accuracy must stay flat in K — the paper's
+// constant-parameter-space claim.
+func ablateScaleK(w io.Writer, cf commonFlags) error {
+	tb := report.NewTable(
+		"Ablation: source count K (Scenario B layout; flat time and error = the paper's scalability claim)",
+		"sources", "mean_err", "false_pos", "false_neg", "sec_per_trial")
+	full := radloc.ScenarioB(false)
+	for _, k := range []int{1, 2, 3, 5, 7, 9} {
+		sc := full.WithSources(full.Sources[:k])
+		sc.Params.TimeSteps = cf.steps
+		t0 := time.Now()
+		res, err := radloc.Run(sc, radloc.RunOptions{Seed: cf.seed, Reps: cf.reps, TrialWorkers: trialWorkers()})
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(t0).Seconds() / float64(cf.reps)
+		last := len(res.MeanErr) - 1
+		if err := tb.AddRow(k, res.MeanErr[last], res.FalsePos[last], res.FalseNeg[last], elapsed); err != nil {
+			return err
+		}
+	}
+	return tb.WriteCSV(w)
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblateErrors(t *testing.T) {
+	if _, err := execute(t, "ablate"); err == nil {
+		t.Error("missing experiment accepted")
+	}
+	if _, err := execute(t, "ablate", "bogus"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestAblateFusionRange(t *testing.T) {
+	out, err := execute(t, "ablate", "fusion-range", "-steps", "2", "-reps", "1", "-seed", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fusion_range,mean_err,false_pos,false_neg") {
+		t.Errorf("header wrong:\n%s", firstLine(out))
+	}
+	for _, row := range []string{"\n10,", "\n28,", "\ndisabled,"} {
+		if !strings.Contains(out, row) {
+			t.Errorf("missing sweep row %q", row)
+		}
+	}
+}
+
+func TestAblateEstimator(t *testing.T) {
+	out, err := execute(t, "ablate", "estimator", "-steps", "3", "-reps", "1", "-seed", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "\nmean-shift,") || !strings.Contains(out, "\ncentroid,") {
+		t.Errorf("estimator rows missing:\n%s", out)
+	}
+}
+
+func TestAblateScaleK(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario B sweep is slow")
+	}
+	out, err := execute(t, "ablate", "scale-k", "-steps", "2", "-reps", "1", "-seed", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range []string{"\n1,", "\n5,", "\n9,"} {
+		if !strings.Contains(out, row) {
+			t.Errorf("missing K row %q:\n%s", row, out)
+		}
+	}
+	if !strings.Contains(out, "sec_per_trial") {
+		t.Error("timing column missing")
+	}
+}
+
+func TestDiagnoseCommand(t *testing.T) {
+	out, err := execute(t, "diagnose", "-scenario", "A", "-obstacles", "-steps", "8", "-seed", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sensor,x,y,expected_cpm,observed_cpm,z") {
+		t.Errorf("header missing:\n%s", firstLine(out))
+	}
+	if !strings.Contains(out, "RMS standardized residual") {
+		t.Error("summary missing")
+	}
+	// With the hidden U-obstacle present, shadowed sensors must be found.
+	if !strings.Contains(out, "read LESS") {
+		t.Error("hidden obstacle not flagged")
+	}
+	if _, err := execute(t, "diagnose", "-scenario", "Z"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestDiagnoseCleanModel(t *testing.T) {
+	out, err := execute(t, "diagnose", "-scenario", "A", "-obstacles=false", "-steps", "8", "-seed", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no evidence of unmodeled obstacles") && strings.Count(out, "read LESS") > 0 {
+		// A clean model should usually report no shadows; tolerate rare
+		// statistical flags but require the happy-path text to exist in
+		// at least the obstacle-free run most of the time.
+		t.Logf("clean run flagged shadows (possible but rare):\n%s", out)
+	}
+}
+
+func TestRecordCommand(t *testing.T) {
+	out, err := execute(t, "record", "-scenario", "A", "-strength", "50", "-steps", "2", "-seed", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 72 {
+		t.Fatalf("lines = %d, want 72 (2 steps × 36 sensors)", len(lines))
+	}
+	if !strings.Contains(lines[0], `"sensorId":`) || !strings.Contains(lines[0], `"cpm":`) {
+		t.Errorf("record format wrong: %s", lines[0])
+	}
+	if _, err := execute(t, "record", "-scenario", "Z"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}

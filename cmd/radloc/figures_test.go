@@ -1,0 +1,158 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The figure commands are exercised end to end at minimum fidelity so
+// the full-size CLI paths stay correct.
+
+func TestFigure3Command(t *testing.T) {
+	out, err := execute(t, "figure", "3", "-steps", "2", "-reps", "1", "-seed", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "strength_uci,step,err_source1,err_source2,false_pos,false_neg") {
+		t.Errorf("header wrong: %s", firstLine(out))
+	}
+	for _, s := range []string{"\n4,0,", "\n10,0,", "\n50,0,", "\n100,0,"} {
+		if !strings.Contains(out, s) {
+			t.Errorf("missing strength sweep row %q", s)
+		}
+	}
+	if n := strings.Count(out, "\n"); n != 2+4*2 {
+		t.Errorf("row count = %d", n)
+	}
+}
+
+func TestFigure5Command(t *testing.T) {
+	out, err := execute(t, "figure", "5", "-steps", "2", "-reps", "1", "-seed", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "err_source3") {
+		t.Error("three-source header missing")
+	}
+	if !strings.Contains(out, "Fig. 5") {
+		t.Error("figure label missing")
+	}
+}
+
+func TestFigure6Command(t *testing.T) {
+	out, err := execute(t, "figure", "6", "-steps", "2", "-reps", "1", "-seed", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bg := range []string{"\n0,0,", "\n5,0,", "\n10,0,", "\n50,0,"} {
+		if !strings.Contains(out, bg) {
+			t.Errorf("missing background row %q", bg)
+		}
+	}
+}
+
+func TestFigure9aCommand(t *testing.T) {
+	out, err := execute(t, "figure", "9a", "-steps", "2", "-reps", "1", "-seed", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "step,source1_norm,source2_norm") {
+		t.Errorf("header wrong: %s", out)
+	}
+	if strings.Count(out, "\n") != 2+2 {
+		t.Errorf("row count wrong:\n%s", out)
+	}
+}
+
+func TestFigure7bCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario B is slow")
+	}
+	out, err := execute(t, "figure", "7b", "-steps", "2", "-reps", "1", "-seed", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "err_source9") {
+		t.Error("nine-source header missing")
+	}
+	if !strings.Contains(out, "\nfalse,0,") || !strings.Contains(out, "\ntrue,0,") {
+		t.Error("missing obstacle variants")
+	}
+}
+
+func TestFigure7cCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario C is slow")
+	}
+	out, err := execute(t, "figure", "7c", "-steps", "2", "-reps", "1", "-seed", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Scenario C") {
+		t.Error("scenario C label missing")
+	}
+}
+
+func TestFigure9bcCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenarios B and C are slow")
+	}
+	out, err := execute(t, "figure", "9bc", "-steps", "6", "-reps", "1", "-seed", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "\nB,S") != 9 || strings.Count(out, "\nC,S") != 9 {
+		t.Errorf("per-source rows wrong:\n%s", out)
+	}
+}
+
+func TestTable1Command(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep is slow")
+	}
+	out, err := execute(t, "table", "1", "-timesteps", "1", "-seed", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "particles,sensors,workers,sec_per_iteration") {
+		t.Errorf("header wrong: %s", firstLine(out))
+	}
+	for _, combo := range []string{"\n2000,36,", "\n2000,196,", "\n5000,36,", "\n15000,196,"} {
+		if !strings.Contains(out, combo) {
+			t.Errorf("missing combination %q", combo)
+		}
+	}
+	if _, err := execute(t, "table"); err == nil {
+		t.Error("table without id accepted")
+	}
+}
+
+func TestScenarioCDump(t *testing.T) {
+	out, err := execute(t, "scenario", "C", "-seed", "9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "195 sensors") {
+		t.Errorf("scenario C header: %s", firstLine(out))
+	}
+}
+
+func TestRunScenarioA3AndC(t *testing.T) {
+	out, err := execute(t, "run", "-scenario", "A3", "-strength", "50", "-steps", "2", "-reps", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "err_source3") {
+		t.Error("A3 should report three sources")
+	}
+	if testing.Short() {
+		return
+	}
+	out, err = execute(t, "run", "-scenario", "C", "-obstacles", "-steps", "2", "-reps", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "err_source9") {
+		t.Error("C should report nine sources")
+	}
+}

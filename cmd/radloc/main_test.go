@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// execute runs the CLI entry point into a buffer.
+func execute(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestUsageAndErrors(t *testing.T) {
+	if _, err := execute(t); err == nil {
+		t.Error("no args: want usage error")
+	}
+	if _, err := execute(t, "bogus"); err == nil {
+		t.Error("unknown command accepted")
+	}
+	out, err := execute(t, "help")
+	if err != nil || !strings.Contains(out, "radloc figure") {
+		t.Errorf("help output: %q, %v", out, err)
+	}
+	if _, err := execute(t, "figure"); err == nil {
+		t.Error("figure without id accepted")
+	}
+	if _, err := execute(t, "figure", "99"); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if _, err := execute(t, "table", "2"); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := execute(t, "scenario"); err == nil {
+		t.Error("scenario without name accepted")
+	}
+	if _, err := execute(t, "scenario", "Z"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if _, err := execute(t, "run", "-scenario", "Z"); err == nil {
+		t.Error("unknown run scenario accepted")
+	}
+	if _, err := execute(t, "config"); err == nil {
+		t.Error("config without subcommand accepted")
+	}
+}
+
+func TestScenarioDump(t *testing.T) {
+	out, err := execute(t, "scenario", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "36 sensors, 2 sources, 1 obstacles") {
+		t.Errorf("scenario A header wrong: %s", firstLine(out))
+	}
+	if strings.Count(out, "\nsensor,") != 36 {
+		t.Errorf("sensor rows = %d", strings.Count(out, "\nsensor,"))
+	}
+	if strings.Count(out, "\nsource,") != 2 {
+		t.Errorf("source rows = %d", strings.Count(out, "\nsource,"))
+	}
+	if !strings.Contains(out, "obstacle,1,") {
+		t.Error("obstacle rows missing")
+	}
+}
+
+func TestScenarioSVG(t *testing.T) {
+	out, err := execute(t, "scenario", "B", "-svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Errorf("not an SVG document: %s", firstLine(out))
+	}
+	if strings.Count(out, "<rect") != 197 { // 196 sensors + background
+		t.Errorf("rects = %d, want 197", strings.Count(out, "<rect"))
+	}
+}
+
+func TestRunSmall(t *testing.T) {
+	out, err := execute(t, "run", "-scenario", "A", "-strength", "50", "-steps", "4", "-reps", "1", "-seed", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "label,step,err_source1,err_source2,false_pos,false_neg") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "final estimates") {
+		t.Error("final estimates missing")
+	}
+	rows := strings.Count(out, "\nA/50µCi,")
+	if rows != 4 {
+		t.Errorf("step rows = %d, want 4", rows)
+	}
+}
+
+func TestRunWithBackgroundOverride(t *testing.T) {
+	out, err := execute(t, "run", "-scenario", "A", "-strength", "50", "-background", "0", "-steps", "3", "-reps", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "A/50µCi") {
+		t.Errorf("unexpected output: %s", firstLine(out))
+	}
+}
+
+func TestConfigEmitCheckRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sc.json")
+	if _, err := execute(t, "config", "emit", "A", "-strength", "25", "-out", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"strengthUCi": 25`) {
+		t.Error("emitted config missing strength")
+	}
+	out, err := execute(t, "config", "check", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ok: scenario") {
+		t.Errorf("check output: %s", out)
+	}
+}
+
+func TestRunFromConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sc.json")
+	if _, err := execute(t, "config", "emit", "A", "-strength", "50", "-out", path); err != nil {
+		t.Fatal(err)
+	}
+	out, err := execute(t, "run", "-config", path, "-steps", "3", "-reps", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "final estimates") {
+		t.Errorf("config-driven run output:\n%s", firstLine(out))
+	}
+}
+
+func TestConfigCheckRejectsBadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := execute(t, "config", "check", path); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := execute(t, "config", "check", filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestFigure2Command(t *testing.T) {
+	out, err := execute(t, "figure", "2", "-steps", "3", "-seed", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no-fusion-range") || !strings.Contains(out, "fusion-range") {
+		t.Error("both variants must appear")
+	}
+	if strings.Count(out, "\n") < 10 {
+		t.Errorf("too few rows:\n%s", out)
+	}
+}
+
+func TestFigure4Command(t *testing.T) {
+	out, err := execute(t, "figure", "4", "-steps", "8", "-seed", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "## after time step") != 4 {
+		t.Errorf("snapshot count wrong:\n%s", firstLine(out))
+	}
+	if !strings.Contains(out, "O") {
+		t.Error("sources not rendered")
+	}
+}
+
+func TestOutFileFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	stdout, err := execute(t, "scenario", "A", "-out", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout != "" {
+		t.Errorf("stdout not empty with -out: %q", firstLine(stdout))
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "sensor,0,") {
+		t.Error("output file content wrong")
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

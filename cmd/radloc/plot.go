@@ -1,0 +1,108 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"radloc/internal/report"
+)
+
+// plotCmd converts a CSV produced by the figure/run commands into a
+// gnuplot script or a Markdown table (`radloc plot <csv> -y col1,col2`).
+func plotCmd(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("plot: missing input CSV\n%s", usage)
+	}
+	path := args[0]
+	fs := flag.NewFlagSet("plot", flag.ContinueOnError)
+	var cf commonFlags
+	cf.register(fs)
+	var (
+		xCol    = fs.String("x", "step", "x-axis column")
+		yCols   = fs.String("y", "", "comma-separated y columns (default: all err_* columns)")
+		format  = fs.String("format", "gnuplot", "output format: gnuplot or markdown")
+		labelEq = fs.String("where", "", "keep only rows whose first column equals this value")
+	)
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	w, closeFn, err := cf.open(stdout)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = closeFn() }()
+
+	table, err := loadCSVTable(path, *labelEq)
+	if err != nil {
+		return err
+	}
+
+	switch *format {
+	case "markdown":
+		return table.WriteMarkdown(w)
+	case "gnuplot":
+		var series []report.GnuplotSeries
+		if *yCols != "" {
+			for _, c := range strings.Split(*yCols, ",") {
+				series = append(series, report.GnuplotSeries{XColumn: *xCol, YColumn: strings.TrimSpace(c)})
+			}
+		} else {
+			for _, c := range table.Columns {
+				if strings.HasPrefix(c, "err_") {
+					series = append(series, report.GnuplotSeries{XColumn: *xCol, YColumn: c})
+				}
+			}
+		}
+		if len(series) == 0 {
+			return fmt.Errorf("plot: no y columns (use -y)")
+		}
+		return table.WriteGnuplot(w, series...)
+	default:
+		return fmt.Errorf("plot: unknown format %q", *format)
+	}
+}
+
+// loadCSVTable reads one of our comment-prefixed CSVs into a report
+// table, optionally filtering rows by the first column's value.
+func loadCSVTable(path, labelEq string) (*report.Table, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var title string
+	var table *report.Table
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if title == "" {
+				title = strings.TrimSpace(strings.TrimPrefix(line, "#"))
+			}
+			continue
+		}
+		cells := strings.Split(line, ",")
+		if table == nil {
+			table = report.NewTable(title, cells...)
+			continue
+		}
+		if labelEq != "" && cells[0] != labelEq {
+			continue
+		}
+		vals := make([]any, len(cells))
+		for i, c := range cells {
+			vals[i] = c
+		}
+		if err := table.AddRow(vals...); err != nil {
+			return nil, fmt.Errorf("plot: %s: %w", path, err)
+		}
+	}
+	if table == nil {
+		return nil, fmt.Errorf("plot: %s holds no table", path)
+	}
+	return table, nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSampleCSV(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig.csv")
+	content := `# Sample figure
+label,step,err_source1,err_source2,false_pos
+10,0,5.0,6.0,2
+10,1,2.0,3.0,1
+50,0,4.0,4.5,3
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPlotGnuplotDefaults(t *testing.T) {
+	path := writeSampleCSV(t)
+	out, err := execute(t, "plot", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`set title "Sample figure"`,
+		"$data << EOD",
+		"err_source1",
+		"err_source2",
+		"with linespoints",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotWhereFilter(t *testing.T) {
+	path := writeSampleCSV(t)
+	out, err := execute(t, "plot", path, "-where", "10", "-format", "markdown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "| 50 |") {
+		t.Error("filter kept label-50 rows")
+	}
+	if !strings.Contains(out, "| 10 | 0 |") {
+		t.Errorf("filtered rows missing:\n%s", out)
+	}
+}
+
+func TestPlotExplicitColumns(t *testing.T) {
+	path := writeSampleCSV(t)
+	out, err := execute(t, "plot", path, "-y", "false_pos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `title "false_pos"`) {
+		t.Errorf("explicit column missing:\n%s", out)
+	}
+}
+
+func TestPlotErrors(t *testing.T) {
+	if _, err := execute(t, "plot"); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := execute(t, "plot", "/nonexistent.csv"); err == nil {
+		t.Error("unreadable file accepted")
+	}
+	path := writeSampleCSV(t)
+	if _, err := execute(t, "plot", path, "-format", "pdf"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := execute(t, "plot", path, "-y", "bogus"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	// A CSV with no data lines.
+	empty := filepath.Join(t.TempDir(), "empty.csv")
+	if err := os.WriteFile(empty, []byte("# only comments\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := execute(t, "plot", empty); err == nil {
+		t.Error("empty csv accepted")
+	}
+}

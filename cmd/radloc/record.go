@@ -1,0 +1,69 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"radloc"
+	"radloc/internal/replay"
+)
+
+// recordCmd writes a scenario's measurement stream as NDJSON — the
+// input format of the radlocd daemon, so
+//
+//	radloc config emit A -out deploy.json
+//	radloc record -scenario A -out stream.ndjson
+//	radlocd -config deploy.json < stream.ndjson
+//
+// exercises the full deployment pipeline offline.
+func recordCmd(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	var cf commonFlags
+	cf.register(fs)
+	var (
+		name      = fs.String("scenario", "A", "scenario: A, A3, B or C")
+		strength  = fs.Float64("strength", 10, "source strength for A/A3 (µCi)")
+		obstacles = fs.Bool("obstacles", false, "include obstacles")
+		cfgFile   = fs.String("config", "", "load the scenario from a JSON file instead of -scenario")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, closeFn, err := cf.open(stdout)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = closeFn() }()
+
+	var sc radloc.Scenario
+	if *cfgFile != "" {
+		sc, err = loadScenarioFile(*cfgFile)
+		if err != nil {
+			return err
+		}
+	} else {
+		switch *name {
+		case "A", "a":
+			sc = radloc.ScenarioA(*strength, *obstacles)
+		case "A3", "a3":
+			sc = radloc.ScenarioAThree(*strength)
+		case "B", "b":
+			sc = radloc.ScenarioB(*obstacles)
+		case "C", "c":
+			sc = radloc.ScenarioC(*obstacles, cf.seed)
+		default:
+			return fmt.Errorf("record: unknown scenario %q", *name)
+		}
+	}
+	sc.Params.TimeSteps = cf.steps
+
+	n, err := replay.Write(w, sc, cf.seed)
+	if err != nil {
+		return err
+	}
+	if cf.out != "" {
+		fmt.Fprintf(stdout, "recorded %d measurements to %s\n", n, cf.out)
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"radloc"
+)
+
+// scenarioCmd dumps a deployment layout (`radloc scenario <A|B|C>`).
+func scenarioCmd(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("scenario: missing name (A, B or C)\n%s", usage)
+	}
+	name := args[0]
+	fs := flag.NewFlagSet("scenario "+name, flag.ContinueOnError)
+	var cf commonFlags
+	cf.register(fs)
+	obstacles := fs.Bool("obstacles", true, "include obstacles")
+	svg := fs.Bool("svg", false, "emit an SVG layout drawing instead of CSV")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	w, closeFn, err := cf.open(stdout)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = closeFn() }()
+
+	var sc radloc.Scenario
+	switch name {
+	case "A", "a":
+		sc = radloc.ScenarioA(10, *obstacles)
+	case "B", "b":
+		sc = radloc.ScenarioB(*obstacles)
+	case "C", "c":
+		sc = radloc.ScenarioC(*obstacles, cf.seed)
+	default:
+		return fmt.Errorf("scenario: unknown name %q (want A, B or C)", name)
+	}
+	if *svg {
+		return writeSVG(w, sc)
+	}
+	return dumpScenario(w, sc)
+}
+
+func dumpScenario(w io.Writer, sc radloc.Scenario) error {
+	fmt.Fprintf(w, "# scenario %s: %.0f×%.0f area, %d sensors, %d sources, %d obstacles\n",
+		sc.Name, sc.Bounds.Width(), sc.Bounds.Height(),
+		len(sc.Sensors), len(sc.Sources), len(sc.Obstacles))
+	fmt.Fprintf(w, "# params: %d particles, fusion range %g, σ_N %g, %d steps\n",
+		sc.Params.NumParticles, sc.Params.FusionRange, sc.Params.ResampleNoise, sc.Params.TimeSteps)
+
+	fmt.Fprintln(w, "kind,id,x,y,value")
+	for _, s := range sc.Sensors {
+		fmt.Fprintf(w, "sensor,%d,%.2f,%.2f,%.4g\n", s.ID, s.Pos.X, s.Pos.Y, s.Background)
+	}
+	for i, s := range sc.Sources {
+		fmt.Fprintf(w, "source,%d,%.2f,%.2f,%.4g\n", i+1, s.Pos.X, s.Pos.Y, s.Strength)
+	}
+	for i, o := range sc.Obstacles {
+		for _, v := range o.Shape.Vertices() {
+			fmt.Fprintf(w, "obstacle,%d,%.2f,%.2f,%.4g\n", i+1, v.X, v.Y, o.Mu)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+// Command radlocd is the fusion-center daemon: it loads a sensor
+// deployment from a JSON scenario file, then consumes measurements and
+// serves source estimates, either over stdin/stdout pipes or over HTTP.
+//
+// Pipe mode (default):
+//
+//	radlocd -config deployment.json < measurements.ndjson
+//
+// reads newline-delimited JSON measurements {"sensorId":3,"cpm":17}
+// from stdin and writes a JSON snapshot line after every -report-every
+// measurements.
+//
+// HTTP mode:
+//
+//	radlocd -config deployment.json -listen 127.0.0.1:8080
+//
+// serves POST /measurements (a single measurement or an array),
+// GET /snapshot, and GET /healthz.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"radloc/internal/config"
+	"radloc/internal/fusion"
+	"radloc/internal/sim"
+	"radloc/internal/track"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "radlocd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("radlocd", flag.ContinueOnError)
+	var (
+		cfgPath     = fs.String("config", "", "JSON scenario file with the sensor deployment (required)")
+		listen      = fs.String("listen", "", "HTTP listen address; empty = stdin/stdout pipe mode")
+		reportEvery = fs.Int("report-every", 0, "pipe mode: snapshot after this many measurements (default: one sensor round)")
+		seed        = fs.Uint64("seed", 1, "localizer random seed")
+		withTracks  = fs.Bool("tracks", true, "maintain confirmed tracks over estimates")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cfgPath == "" {
+		return fmt.Errorf("missing -config (a JSON scenario file; generate one with `radloc config emit A`)")
+	}
+	data, err := os.ReadFile(*cfgPath)
+	if err != nil {
+		return err
+	}
+	sc, err := config.LoadScenario(data)
+	if err != nil {
+		return err
+	}
+
+	fcfg := fusion.Config{
+		Localizer: sim.LocalizerConfig(sc),
+		Sensors:   sc.Sensors,
+	}
+	fcfg.Localizer.Seed = *seed
+	if *withTracks {
+		fcfg.Tracking = &track.Config{}
+	}
+	engine, err := fusion.NewEngine(fcfg)
+	if err != nil {
+		return err
+	}
+
+	if *listen != "" {
+		return serveHTTP(*listen, engine, stdout)
+	}
+	every := *reportEvery
+	if every <= 0 {
+		every = len(sc.Sensors)
+	}
+	return servePipe(engine, stdin, stdout, every)
+}

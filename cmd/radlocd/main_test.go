@@ -1,0 +1,295 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"radloc/internal/config"
+	"radloc/internal/fusion"
+	"radloc/internal/rng"
+	"radloc/internal/scenario"
+	"radloc/internal/sim"
+	"radloc/internal/track"
+)
+
+// writeDeployment saves Scenario A (50 µCi) as a config file and
+// returns its path plus the scenario.
+func writeDeployment(t *testing.T) (string, scenario.Scenario) {
+	t.Helper()
+	sc := scenario.A(50, false)
+	data, err := config.SaveScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "deploy.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, sc
+}
+
+// measurementsNDJSON renders `steps` rounds of readings.
+func measurementsNDJSON(t *testing.T, sc scenario.Scenario, steps int) string {
+	t.Helper()
+	stream := rng.NewNamed(9, "radlocd-test/measure")
+	var b strings.Builder
+	for step := 0; step < steps; step++ {
+		for _, sen := range sc.Sensors {
+			m := sen.Measure(stream, sc.Sources, nil, step)
+			fmt.Fprintf(&b, `{"sensorId":%d,"cpm":%d}`+"\n", sen.ID, m.CPM)
+		}
+	}
+	return b.String()
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(""), &out); err == nil {
+		t.Error("missing -config accepted")
+	}
+	if err := run([]string{"-config", "/nope.json"}, strings.NewReader(""), &out); err == nil {
+		t.Error("unreadable config accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", bad}, strings.NewReader(""), &out); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestPipeModeEndToEnd(t *testing.T) {
+	path, sc := writeDeployment(t)
+	input := measurementsNDJSON(t, sc, 6)
+	var out bytes.Buffer
+	if err := run([]string{"-config", path, "-seed", "2"}, strings.NewReader(input), &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	// One snapshot per sensor round plus the final flush.
+	if len(lines) != 7 {
+		t.Fatalf("snapshot lines = %d, want 7", len(lines))
+	}
+	var last snapshotJSON
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Ingested != uint64(6*len(sc.Sensors)) {
+		t.Errorf("ingested = %d", last.Ingested)
+	}
+	if len(last.Estimates) == 0 {
+		t.Fatal("no estimates in final snapshot")
+	}
+	found := 0
+	for _, src := range sc.Sources {
+		for _, e := range last.Estimates {
+			dx, dy := e.X-src.Pos.X, e.Y-src.Pos.Y
+			if dx*dx+dy*dy < 100 {
+				found++
+				break
+			}
+		}
+	}
+	if found != 2 {
+		t.Errorf("daemon found %d/2 sources: %+v", found, last.Estimates)
+	}
+	if len(last.Tracks) < 2 {
+		t.Errorf("confirmed tracks = %d, want ≥ 2", len(last.Tracks))
+	}
+}
+
+func TestPipeModeBadLine(t *testing.T) {
+	path, _ := writeDeployment(t)
+	var out bytes.Buffer
+	err := run([]string{"-config", path}, strings.NewReader("not json\n"), &out)
+	if err == nil {
+		t.Error("malformed line accepted")
+	}
+}
+
+func TestPipeModeSkipsUnknownSensors(t *testing.T) {
+	path, sc := writeDeployment(t)
+	input := `{"sensorId":9999,"cpm":5}` + "\n" + measurementsNDJSON(t, sc, 1)
+	var out bytes.Buffer
+	if err := run([]string{"-config", path}, strings.NewReader(input), &out); err != nil {
+		t.Fatal(err)
+	}
+	var last snapshotJSON
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", last.Rejected)
+	}
+}
+
+func newTestServer(t *testing.T) (*httptest.Server, scenario.Scenario) {
+	t.Helper()
+	sc := scenario.A(50, false)
+	fcfg := fusion.Config{Localizer: sim.LocalizerConfig(sc), Sensors: sc.Sensors}
+	fcfg.Localizer.Seed = 3
+	fcfg.Tracking = &track.Config{}
+	engine, err := fusion.NewEngine(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newMux(engine))
+	t.Cleanup(srv.Close)
+	return srv, sc
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPMeasurementsAndSnapshot(t *testing.T) {
+	srv, sc := newTestServer(t)
+	stream := rng.NewNamed(4, "radlocd-http/measure")
+
+	for step := 0; step < 6; step++ {
+		var batch []measurementJSON
+		for _, sen := range sc.Sensors {
+			m := sen.Measure(stream, sc.Sources, nil, step)
+			batch = append(batch, measurementJSON{SensorID: sen.ID, CPM: m.CPM})
+		}
+		body, _ := json.Marshal(batch)
+		resp, err := http.Post(srv.URL+"/measurements", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ack map[string]int
+		if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if ack["accepted"] != len(batch) {
+			t.Fatalf("accepted = %d, want %d", ack["accepted"], len(batch))
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap snapshotJSON
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Estimates) == 0 {
+		t.Fatal("no estimates over HTTP")
+	}
+	found := 0
+	for _, src := range sc.Sources {
+		for _, e := range snap.Estimates {
+			dx, dy := e.X-src.Pos.X, e.Y-src.Pos.Y
+			if dx*dx+dy*dy < 100 {
+				found++
+				break
+			}
+		}
+	}
+	if found != 2 {
+		t.Errorf("HTTP pipeline found %d/2 sources", found)
+	}
+}
+
+func TestHTTPSingleMeasurementAndErrors(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	// A single object (not an array) is accepted.
+	resp, err := http.Post(srv.URL+"/measurements", "application/json",
+		strings.NewReader(`{"sensorId":0,"cpm":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack map[string]int
+	_ = json.NewDecoder(resp.Body).Decode(&ack)
+	resp.Body.Close()
+	if ack["accepted"] != 1 {
+		t.Errorf("single measurement ack: %v", ack)
+	}
+
+	// Garbage body → 400.
+	resp, err = http.Post(srv.URL+"/measurements", "application/json", strings.NewReader("zzz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage body status %d", resp.StatusCode)
+	}
+
+	// Wrong methods.
+	resp, err = http.Get(srv.URL + "/measurements")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /measurements status %d", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/snapshot", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /snapshot status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPStats(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Post(srv.URL+"/measurements", "application/json",
+		strings.NewReader(`{"sensorId":0,"cpm":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["ingested"].(float64) != 1 {
+		t.Errorf("ingested = %v", stats["ingested"])
+	}
+	if stats["sensors"].(float64) != 36 {
+		t.Errorf("sensors = %v", stats["sensors"])
+	}
+	if stats["uptimeSeconds"].(float64) < 0 {
+		t.Error("negative uptime")
+	}
+	// Wrong method.
+	resp2, err := http.Post(srv.URL+"/stats", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /stats status %d", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"radloc/internal/fusion"
+)
+
+// measurementJSON is the wire form of one reading.
+type measurementJSON struct {
+	SensorID int `json:"sensorId"`
+	CPM      int `json:"cpm"`
+}
+
+// snapshotJSON is the wire form of the engine state.
+type snapshotJSON struct {
+	Ingested  uint64         `json:"ingested"`
+	Rejected  uint64         `json:"rejected"`
+	Estimates []estimateJSON `json:"estimates"`
+	Tracks    []trackJSON    `json:"tracks,omitempty"`
+}
+
+type estimateJSON struct {
+	X           float64 `json:"x"`
+	Y           float64 `json:"y"`
+	StrengthUCi float64 `json:"strengthUCi"`
+	Mass        float64 `json:"mass"`
+}
+
+type trackJSON struct {
+	ID          int     `json:"id"`
+	X           float64 `json:"x"`
+	Y           float64 `json:"y"`
+	StrengthUCi float64 `json:"strengthUCi"`
+	Hits        int     `json:"hits"`
+}
+
+func snapshotToJSON(s fusion.Snapshot) snapshotJSON {
+	out := snapshotJSON{
+		Ingested:  s.Ingested,
+		Rejected:  s.Rejected,
+		Estimates: make([]estimateJSON, 0, len(s.Estimates)),
+	}
+	for _, e := range s.Estimates {
+		out.Estimates = append(out.Estimates, estimateJSON{
+			X: e.Pos.X, Y: e.Pos.Y, StrengthUCi: e.Strength, Mass: e.Mass,
+		})
+	}
+	for _, t := range s.Tracks {
+		out.Tracks = append(out.Tracks, trackJSON{
+			ID: t.ID, X: t.Pos.X, Y: t.Pos.Y, StrengthUCi: t.Strength, Hits: t.Hits,
+		})
+	}
+	return out
+}
+
+// servePipe consumes NDJSON measurements from r, emitting a snapshot
+// line every reportEvery measurements and a final one at EOF.
+func servePipe(engine *fusion.Engine, r io.Reader, w io.Writer, reportEvery int) error {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	enc := json.NewEncoder(w)
+	count := 0
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var m measurementJSON
+		if err := json.Unmarshal(line, &m); err != nil {
+			return fmt.Errorf("bad measurement line %q: %w", line, err)
+		}
+		// Unknown sensors and bad readings are counted but do not kill
+		// the stream — field data is messy.
+		_, _ = engine.Ingest(m.SensorID, m.CPM)
+		count++
+		if count%reportEvery == 0 {
+			if err := enc.Encode(snapshotToJSON(engine.Snapshot())); err != nil {
+				return err
+			}
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return err
+	}
+	engine.Refresh()
+	return enc.Encode(snapshotToJSON(engine.Snapshot()))
+}
+
+// newMux builds the HTTP API.
+func newMux(engine *fusion.Engine) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "ok: %d sensors registered\n", engine.Sensors())
+	})
+	started := time.Now()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		s := engine.Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"uptimeSeconds": time.Since(started).Seconds(),
+			"sensors":       engine.Sensors(),
+			"ingested":      s.Ingested,
+			"rejected":      s.Rejected,
+			"estimates":     len(s.Estimates),
+			"tracks":        len(s.Tracks),
+		})
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(snapshotToJSON(engine.Snapshot()))
+	})
+	mux.HandleFunc("/measurements", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<22))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var batch []measurementJSON
+		if err := json.Unmarshal(body, &batch); err != nil {
+			var one measurementJSON
+			if err := json.Unmarshal(body, &one); err != nil {
+				http.Error(w, "want a measurement object or array", http.StatusBadRequest)
+				return
+			}
+			batch = []measurementJSON{one}
+		}
+		accepted := 0
+		for _, m := range batch {
+			if _, err := engine.Ingest(m.SensorID, m.CPM); err == nil {
+				accepted++
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]int{
+			"accepted": accepted,
+			"rejected": len(batch) - accepted,
+		})
+	})
+	return mux
+}
+
+// serveHTTP blocks serving the API on addr.
+func serveHTTP(addr string, engine *fusion.Engine, logw io.Writer) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "radlocd: serving on http://%s (POST /measurements, GET /snapshot)\n", ln.Addr())
+	srv := &http.Server{
+		Handler:           newMux(engine),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.Serve(ln)
+}

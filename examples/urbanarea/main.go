@@ -1,0 +1,58 @@
+// Urban area: the paper's large Scenario B — 196 sensors watching a
+// 260×260 district with NINE dirty bombs of 10–100 µCi hidden among
+// three shielding walls the system knows nothing about. Demonstrates
+// that (i) the filter's cost does not grow with the source count and
+// (ii) unknown obstacles tend to HELP by isolating source signatures.
+//
+//	go run ./examples/urbanarea
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"radloc"
+)
+
+func main() {
+	withObs := radloc.ScenarioB(true)
+	noObs := radloc.ScenarioB(false)
+	// Trim the horizon so the example finishes in a few seconds.
+	withObs.Params.TimeSteps = 12
+	noObs.Params.TimeSteps = 12
+
+	opts := radloc.RunOptions{Seed: 7, Reps: 2, TrialWorkers: 2}
+	resObs, err := radloc.Run(withObs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resNo, err := radloc.Run(noObs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("per-source localization error at the final step (length units):")
+	fmt.Println("  source  strength   no-obstacles  with-obstacles  obstacle effect")
+	last := withObs.Params.TimeSteps - 1
+	for s, src := range withObs.Sources {
+		a := resNo.ErrBySource[s][last]
+		b := resObs.ErrBySource[s][last]
+		verdict := "≈ same"
+		switch {
+		case math.IsNaN(a) || math.IsNaN(b):
+			verdict = "missed in one run"
+		case a > 1.15*b:
+			verdict = "obstacles HELP"
+		case b > 1.15*a:
+			verdict = "obstacles hurt"
+		}
+		fmt.Printf("  S%-3d    %5.0f µCi     %8.2f      %8.2f      %s\n",
+			s+1, src.Strength, a, b, verdict)
+	}
+
+	fmt.Printf("\nfalse positives at final step: %.1f (no obs) vs %.1f (obs)\n",
+		resNo.FalsePos[last], resObs.FalsePos[last])
+	fmt.Printf("false negatives at final step: %.1f (no obs) vs %.1f (obs)\n",
+		resNo.FalseNeg[last], resObs.FalseNeg[last])
+}

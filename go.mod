@@ -1,0 +1,3 @@
+module radloc
+
+go 1.22

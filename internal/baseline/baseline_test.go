@@ -1,0 +1,221 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"radloc/internal/geometry"
+	"radloc/internal/radiation"
+	"radloc/internal/rng"
+	"radloc/internal/sensor"
+)
+
+func bounds100() geometry.Rect {
+	return geometry.NewRect(geometry.V(0, 0), geometry.V(100, 100))
+}
+
+// collect generates `steps` rounds of readings from a 6×6 grid.
+func collect(t *testing.T, sources []radiation.Source, steps int, seed uint64) []Reading {
+	t.Helper()
+	sensors := sensor.Grid(bounds100(), 6, 6, sensor.DefaultEfficiency, 5)
+	stream := rng.NewNamed(seed, "baseline-test/measure")
+	var out []Reading
+	for step := 0; step < steps; step++ {
+		for _, sen := range sensors {
+			m := sen.Measure(stream, sources, nil, step)
+			out = append(out, Reading{Sensor: sen, CPM: m.CPM})
+		}
+	}
+	return out
+}
+
+func TestMLESingleSource(t *testing.T) {
+	truth := []radiation.Source{{Pos: geometry.V(62, 38), Strength: 50}}
+	readings := collect(t, truth, 3, 1)
+	res, err := MLE(readings, MLEConfig{Bounds: bounds100(), KMax: 2, Starts: 8}, rng.New(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 1 {
+		t.Fatalf("selected K = %d, want 1 (perK %v)", res.K, res.PerK)
+	}
+	d := res.Sources[0].Pos.Dist(truth[0].Pos)
+	if d > 3 {
+		t.Errorf("MLE position error = %v", d)
+	}
+	if math.Abs(res.Sources[0].Strength-50) > 10 {
+		t.Errorf("MLE strength = %v, want ≈50", res.Sources[0].Strength)
+	}
+}
+
+func TestMLETwoSources(t *testing.T) {
+	truth := []radiation.Source{
+		{Pos: geometry.V(47, 71), Strength: 50},
+		{Pos: geometry.V(81, 42), Strength: 50},
+	}
+	readings := collect(t, truth, 3, 2)
+	res, err := MLE(readings, MLEConfig{Bounds: bounds100(), KMax: 3, Starts: 16}, rng.New(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 {
+		t.Fatalf("selected K = %d, want 2 (perK %v)", res.K, res.PerK)
+	}
+	for _, src := range truth {
+		best := math.Inf(1)
+		for _, e := range res.Sources {
+			best = math.Min(best, e.Pos.Dist(src.Pos))
+		}
+		if best > 5 {
+			t.Errorf("source %v recovered with error %v", src.Pos, best)
+		}
+	}
+}
+
+func TestMLENoSources(t *testing.T) {
+	readings := collect(t, nil, 3, 3)
+	res, err := MLE(readings, MLEConfig{Bounds: bounds100(), KMax: 2, Starts: 6}, rng.New(5, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 0 {
+		t.Errorf("background-only data selected K = %d (perK %v)", res.K, res.PerK)
+	}
+}
+
+func TestMLEErrors(t *testing.T) {
+	if _, err := MLE(nil, MLEConfig{Bounds: bounds100()}, rng.New(1, 1)); !errors.Is(err, ErrNoReadings) {
+		t.Errorf("no readings: %v", err)
+	}
+	readings := collect(t, nil, 1, 1)
+	if _, err := MLE(readings, MLEConfig{}, rng.New(1, 1)); err == nil {
+		t.Error("empty bounds accepted")
+	}
+}
+
+func TestGridDecomposeSingleSource(t *testing.T) {
+	truth := []radiation.Source{{Pos: geometry.V(62, 38), Strength: 50}}
+	readings := collect(t, truth, 5, 7)
+	res, err := GridDecompose(readings, GridConfig{Bounds: bounds100()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sources) == 0 {
+		t.Fatal("no sources extracted")
+	}
+	// Strongest peak near the truth; 10×10 cells are 10 units wide, so
+	// quantization alone allows several units of error.
+	d := res.Sources[0].Pos.Dist(truth[0].Pos)
+	if d > 10 {
+		t.Errorf("grid peak error = %v (peak %v)", d, res.Sources[0])
+	}
+	if res.Sources[0].Strength < 15 || res.Sources[0].Strength > 300 {
+		t.Errorf("grid strength = %v, want loosely ≈50", res.Sources[0].Strength)
+	}
+}
+
+func TestGridDecomposeTwoSources(t *testing.T) {
+	truth := []radiation.Source{
+		{Pos: geometry.V(47, 71), Strength: 50},
+		{Pos: geometry.V(81, 42), Strength: 50},
+	}
+	readings := collect(t, truth, 5, 8)
+	res, err := GridDecompose(readings, GridConfig{Bounds: bounds100()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sources) < 2 {
+		t.Fatalf("extracted %d sources, want ≥ 2", len(res.Sources))
+	}
+	for _, src := range truth {
+		best := math.Inf(1)
+		for _, e := range res.Sources {
+			best = math.Min(best, e.Pos.Dist(src.Pos))
+		}
+		if best > 10 {
+			t.Errorf("source %v recovered with error %v", src.Pos, best)
+		}
+	}
+}
+
+func TestGridDecomposeErrors(t *testing.T) {
+	if _, err := GridDecompose(nil, GridConfig{Bounds: bounds100()}); !errors.Is(err, ErrNoReadings) {
+		t.Errorf("no readings: %v", err)
+	}
+	readings := collect(t, nil, 1, 1)
+	if _, err := GridDecompose(readings, GridConfig{}); err == nil {
+		t.Error("empty bounds accepted")
+	}
+}
+
+func TestSingleMLE(t *testing.T) {
+	truth := []radiation.Source{{Pos: geometry.V(30, 60), Strength: 80}}
+	readings := collect(t, truth, 3, 9)
+	est, err := SingleMLE(readings, SingleConfig{Bounds: bounds100(), StrengthMax: 200}, rng.New(7, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := est.Pos.Dist(truth[0].Pos); d > 3 {
+		t.Errorf("SingleMLE error = %v", d)
+	}
+}
+
+func TestMoEAndITPSingleSource(t *testing.T) {
+	truth := []radiation.Source{{Pos: geometry.V(55, 45), Strength: 100}}
+	readings := collect(t, truth, 10, 10)
+	cfg := SingleConfig{Bounds: bounds100()}
+
+	moe, err := MoE(readings, cfg, rng.New(9, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := moe.Pos.Dist(truth[0].Pos); d > 10 {
+		t.Errorf("MoE error = %v", d)
+	}
+
+	itp, err := ITP(readings, cfg, rng.New(9, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dITP := itp.Pos.Dist(truth[0].Pos)
+	if dITP > 10 {
+		t.Errorf("ITP error = %v", dITP)
+	}
+}
+
+func TestSingleSourceMethodsFailGracefullyOnBackground(t *testing.T) {
+	readings := collect(t, nil, 2, 11)
+	cfg := SingleConfig{Bounds: bounds100()}
+	if _, err := MoE(readings, cfg, rng.New(1, 1)); !errors.Is(err, ErrTooFewSensors) {
+		t.Errorf("MoE on background: %v", err)
+	}
+	if _, err := ITP(readings, cfg, rng.New(1, 1)); !errors.Is(err, ErrTooFewSensors) {
+		t.Errorf("ITP on background: %v", err)
+	}
+	if _, err := SingleMLE(nil, cfg, rng.New(1, 1)); !errors.Is(err, ErrNoReadings) {
+		t.Errorf("SingleMLE no readings: %v", err)
+	}
+}
+
+// The motivating failure: single-source estimators pulled between two
+// sources land near neither (cf. Section I).
+func TestSingleSourceBreaksWithTwoSources(t *testing.T) {
+	truth := []radiation.Source{
+		{Pos: geometry.V(20, 80), Strength: 100},
+		{Pos: geometry.V(80, 20), Strength: 100},
+	}
+	readings := collect(t, truth, 10, 12)
+	est, err := MoE(readings, SingleConfig{Bounds: bounds100()}, rng.New(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := est.Pos.Dist(truth[0].Pos)
+	d1 := est.Pos.Dist(truth[1].Pos)
+	if d0 < 10 && d1 < 10 {
+		t.Errorf("impossible: estimate near both sources (%v, %v)", d0, d1)
+	}
+	if math.Min(d0, d1) < 5 {
+		t.Logf("note: MoE happened to lock onto one source (d=%v)", math.Min(d0, d1))
+	}
+}

@@ -1,0 +1,142 @@
+package config
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"radloc/internal/scenario"
+)
+
+func TestRoundTripScenarioA(t *testing.T) {
+	orig := scenario.A(10, true)
+	data, err := SaveScenario(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name {
+		t.Errorf("name: %q vs %q", back.Name, orig.Name)
+	}
+	if len(back.Sensors) != len(orig.Sensors) {
+		t.Fatalf("sensors: %d vs %d", len(back.Sensors), len(orig.Sensors))
+	}
+	for i := range back.Sensors {
+		if !back.Sensors[i].Pos.Eq(orig.Sensors[i].Pos) ||
+			back.Sensors[i].Efficiency != orig.Sensors[i].Efficiency ||
+			back.Sensors[i].Background != orig.Sensors[i].Background {
+			t.Fatalf("sensor %d differs: %+v vs %+v", i, back.Sensors[i], orig.Sensors[i])
+		}
+	}
+	if len(back.Sources) != 2 || back.Sources[0].Strength != 10 {
+		t.Fatalf("sources: %+v", back.Sources)
+	}
+	if len(back.Obstacles) != 1 {
+		t.Fatalf("obstacles: %d", len(back.Obstacles))
+	}
+	if back.Obstacles[0].Mu != orig.Obstacles[0].Mu {
+		t.Errorf("obstacle µ: %v vs %v", back.Obstacles[0].Mu, orig.Obstacles[0].Mu)
+	}
+	if got, want := back.Obstacles[0].Shape.Area(), orig.Obstacles[0].Shape.Area(); got != want {
+		t.Errorf("obstacle area: %v vs %v", got, want)
+	}
+	if back.Params != orig.Params {
+		t.Errorf("params: %+v vs %+v", back.Params, orig.Params)
+	}
+}
+
+func TestRoundTripScenarioC(t *testing.T) {
+	orig := scenario.C(true, 7)
+	data, err := SaveScenario(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.OutOfOrder || back.MeanLatency != orig.MeanLatency {
+		t.Errorf("delivery config lost: %v %v", back.OutOfOrder, back.MeanLatency)
+	}
+	if len(back.Sensors) != 195 {
+		t.Errorf("sensors = %d", len(back.Sensors))
+	}
+}
+
+func TestLoadRejectsBadVersion(t *testing.T) {
+	data, err := SaveScenario(scenario.A(10, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := strings.Replace(string(data), `"version": 1`, `"version": 99`, 1)
+	if _, err := LoadScenario([]byte(mangled)); !errors.Is(err, ErrVersion) {
+		t.Errorf("bad version: %v", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadScenario([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadScenario([]byte(`{"version":1}`)); err == nil {
+		t.Error("empty scenario accepted (no sensors)")
+	}
+}
+
+func TestMaterialNameResolution(t *testing.T) {
+	f := FromScenario(scenario.A(10, false))
+	f.Obstacles = []ObstacleJSON{{
+		Material: "concrete",
+		Ring:     [][]float64{{10, 10}, {20, 10}, {20, 20}, {10, 20}},
+	}}
+	sc, err := f.ToScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Obstacles[0].Mu <= 0.1 || sc.Obstacles[0].Mu >= 0.2 {
+		t.Errorf("concrete µ = %v", sc.Obstacles[0].Mu)
+	}
+
+	f.Obstacles[0].Material = "unobtainium"
+	if _, err := f.ToScenario(); err == nil {
+		t.Error("unknown material accepted")
+	}
+
+	f.Obstacles[0].Material = "lead"
+	f.Obstacles[0].Mu = 0.123 // conflicts with lead's table value
+	if _, err := f.ToScenario(); err == nil {
+		t.Error("conflicting material and µ accepted")
+	}
+}
+
+func TestObstacleRingValidation(t *testing.T) {
+	f := FromScenario(scenario.A(10, false))
+	f.Obstacles = []ObstacleJSON{{Mu: 0.1, Ring: [][]float64{{1, 2, 3}}}}
+	if _, err := f.ToScenario(); err == nil {
+		t.Error("3-coordinate ring point accepted")
+	}
+	f.Obstacles = []ObstacleJSON{{Mu: 0.1, Ring: [][]float64{{0, 0}, {1, 1}}}}
+	if _, err := f.ToScenario(); err == nil {
+		t.Error("degenerate ring accepted")
+	}
+	f.Obstacles = []ObstacleJSON{{Mu: -1, Ring: [][]float64{{0, 0}, {1, 0}, {0, 1}}}}
+	if _, err := f.ToScenario(); err == nil {
+		t.Error("negative µ accepted")
+	}
+}
+
+func TestJSONIsHumanOrdered(t *testing.T) {
+	data, err := SaveScenario(scenario.A(10, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, key := range []string{`"version"`, `"bounds"`, `"sensors"`, `"params"`, `"fusionRange"`} {
+		if !strings.Contains(s, key) {
+			t.Errorf("serialized config missing %s", key)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package config
+
+import (
+	"testing"
+
+	"radloc/internal/scenario"
+)
+
+// FuzzLoadScenario feeds arbitrary bytes to the JSON loader: it must
+// never panic, and whenever it accepts an input, the resulting scenario
+// must re-serialize and re-load to an equally valid scenario.
+func FuzzLoadScenario(f *testing.F) {
+	if seed, err := SaveScenario(scenario.A(10, true)); err == nil {
+		f.Add(seed)
+	}
+	if seed, err := SaveScenario(scenario.C(true, 1)); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"version":1,"sensors":[{"id":0,"x":1e308,"y":-1e308,"efficiency":1}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := LoadScenario(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted scenarios must survive a round trip.
+		out, err := SaveScenario(sc)
+		if err != nil {
+			t.Fatalf("accepted scenario failed to save: %v", err)
+		}
+		if _, err := LoadScenario(out); err != nil {
+			t.Fatalf("round-tripped scenario failed to load: %v", err)
+		}
+	})
+}

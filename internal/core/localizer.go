@@ -1,0 +1,434 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"radloc/internal/geometry"
+	"radloc/internal/meanshift"
+	"radloc/internal/radiation"
+	"radloc/internal/rng"
+	"radloc/internal/sensor"
+	"radloc/internal/spatial"
+	"radloc/internal/stat"
+)
+
+// Particle is one hypothesis about a single source's parameters.
+type Particle struct {
+	Pos      geometry.Vec
+	Strength float64
+	Weight   float64
+}
+
+// Estimate is one recovered source: a mode of the particle density.
+type Estimate struct {
+	Pos      geometry.Vec
+	Strength float64 // µCi
+	Mass     float64 // fraction of total particle mass attributed to this mode
+	Starts   int     // mean-shift starts that converged here (diagnostic)
+}
+
+// String implements fmt.Stringer.
+func (e Estimate) String() string {
+	return fmt.Sprintf("est %.4g µCi at %v (mass %.3f)", e.Strength, e.Pos, e.Mass)
+}
+
+// Localizer is the hybrid particle-filter + mean-shift estimator. It is
+// not safe for concurrent use; the mean-shift stage parallelizes
+// internally.
+type Localizer struct {
+	cfg Config
+
+	// Particle state, struct-of-arrays for cache-friendly weighting.
+	xs, ys, ss, ws []float64
+
+	grid      *spatial.Grid
+	gridDirty bool
+
+	stream *rng.Stream
+	iter   int
+
+	// Runtime statistics (see Stats).
+	lastSubset  int
+	subsetTotal int64
+	emptyIters  int
+
+	// sensorPos records the position of every sensor heard from, for
+	// the MaxSensorGap observability filter.
+	sensorPos map[int]geometry.Vec
+
+	// Scratch buffers reused across iterations.
+	idsBuf  []int
+	logBuf  []float64
+	cdfBuf  []float64
+	pickBuf []int32
+	posBuf  []geometry.Vec
+}
+
+// NewLocalizer creates a localizer with uniformly random particles
+// (Section V-A: no prior knowledge of source locations or strengths).
+func NewLocalizer(cfg Config) (*Localizer, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	l := &Localizer{
+		cfg:    cfg,
+		stream: rng.NewNamed(cfg.Seed, "core/localizer"),
+	}
+	n := cfg.NumParticles
+	l.xs = make([]float64, n)
+	l.ys = make([]float64, n)
+	l.ss = make([]float64, n)
+	l.ws = make([]float64, n)
+	for i := 0; i < n; i++ {
+		if cfg.Init != nil {
+			pos, s := cfg.Init(l.stream)
+			l.xs[i] = clampF(pos.X, cfg.Bounds.Min.X, cfg.Bounds.Max.X)
+			l.ys[i] = clampF(pos.Y, cfg.Bounds.Min.Y, cfg.Bounds.Max.Y)
+			l.ss[i] = clampF(s, cfg.StrengthMin, cfg.StrengthMax)
+		} else {
+			l.xs[i] = l.stream.Uniform(cfg.Bounds.Min.X, cfg.Bounds.Max.X)
+			l.ys[i] = l.stream.Uniform(cfg.Bounds.Min.Y, cfg.Bounds.Max.Y)
+			l.ss[i] = l.stream.Uniform(cfg.StrengthMin, cfg.StrengthMax)
+		}
+		l.ws[i] = 1 / float64(n)
+	}
+	l.grid = spatial.NewGrid(cfg.Bounds, cfg.FusionRange/2)
+	l.gridDirty = true
+	l.posBuf = make([]geometry.Vec, n)
+	if cfg.MaxSensorGap > 0 {
+		l.sensorPos = make(map[int]geometry.Vec)
+	}
+	return l, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (l *Localizer) Config() Config { return l.cfg }
+
+// Iterations returns the number of measurements ingested so far.
+func (l *Localizer) Iterations() int { return l.iter }
+
+// Particles returns a copy of the current particle population.
+func (l *Localizer) Particles() []Particle {
+	out := make([]Particle, len(l.xs))
+	for i := range out {
+		out[i] = Particle{
+			Pos:      geometry.V(l.xs[i], l.ys[i]),
+			Strength: l.ss[i],
+			Weight:   l.ws[i],
+		}
+	}
+	return out
+}
+
+// Ingest performs one filter iteration with a single measurement
+// (Section V-B,C,E): select the particles within the sensor's fusion
+// range, reweight them by the Poisson likelihood of the observed CPM,
+// resample them (with jitter on duplicates), and re-inject a small
+// fraction of random particles.
+func (l *Localizer) Ingest(sen sensor.Sensor, cpm int) {
+	l.iter++
+	if l.sensorPos != nil {
+		l.sensorPos[sen.ID] = sen.Pos
+	}
+	ids := l.selectParticles(sen)
+	l.lastSubset = len(ids)
+	l.subsetTotal += int64(len(ids))
+	if len(ids) == 0 {
+		l.emptyIters++
+		return
+	}
+
+	// Prediction (V-B): P'' = F_movement(P'); identity for static
+	// sources.
+	l.applyMovement(ids)
+
+	// Weighting (V-C): posterior ∝ prior × Poisson(cpm | λ(particle)).
+	// Log-space with max-shift keeps the arithmetic finite even when
+	// the counts are large.
+	l.logBuf = l.logBuf[:0]
+	maxLog := math.Inf(-1)
+	var priorMass float64
+	for _, id := range ids {
+		hyp := radiation.Source{Pos: geometry.V(l.xs[id], l.ys[id]), Strength: l.ss[id]}
+		lambda := radiation.ExpectedCPMSingle(sen.Pos, sen.Efficiency, sen.Background, hyp)
+		ll := stat.PoissonLogPMF(cpm, lambda)
+		if l.ws[id] > 0 {
+			ll += math.Log(l.ws[id])
+		} else {
+			ll = math.Inf(-1)
+		}
+		l.logBuf = append(l.logBuf, ll)
+		if ll > maxLog {
+			maxLog = ll
+		}
+		priorMass += l.ws[id]
+	}
+	if priorMass <= 0 {
+		// The whole neighbourhood is massless; revive it uniformly so
+		// resampling below is well defined.
+		priorMass = float64(len(ids)) / float64(len(l.ws))
+		for i := range l.logBuf {
+			l.logBuf[i] = 0
+		}
+		maxLog = 0
+	}
+
+	// Posterior selection probabilities within the subset.
+	l.cdfBuf = l.cdfBuf[:0]
+	var cum float64
+	if math.IsInf(maxLog, -1) {
+		// Nothing in the subset can explain the reading at all; fall
+		// back to uniform selection so diversity survives.
+		for range ids {
+			cum++
+			l.cdfBuf = append(l.cdfBuf, cum)
+		}
+	} else {
+		for _, ll := range l.logBuf {
+			w := math.Exp(ll - maxLog)
+			cum += w
+			l.cdfBuf = append(l.cdfBuf, cum)
+		}
+		if cum <= 0 {
+			l.cdfBuf = l.cdfBuf[:0]
+			cum = 0
+			for range ids {
+				cum++
+				l.cdfBuf = append(l.cdfBuf, cum)
+			}
+		}
+	}
+
+	l.resample(ids, cum, priorMass)
+	l.gridDirty = true
+}
+
+// selectParticles implements Eq. (5): P' = {p : ‖S_i − p‖ ≤ d_i}. With
+// the fusion range disabled every particle is selected (the classic
+// formulation of Fig. 2).
+func (l *Localizer) selectParticles(sen sensor.Sensor) []int {
+	if l.cfg.DisableFusionRange {
+		l.idsBuf = l.idsBuf[:0]
+		for i := range l.xs {
+			l.idsBuf = append(l.idsBuf, i)
+		}
+		return l.idsBuf
+	}
+	if l.gridDirty {
+		for i := range l.xs {
+			l.posBuf[i] = geometry.V(l.xs[i], l.ys[i])
+		}
+		l.grid.Rebuild(l.posBuf)
+		l.gridDirty = false
+	}
+	d := l.cfg.fusionRangeOf(sen.ID)
+	l.idsBuf = l.grid.WithinRadius(sen.Pos, d, l.idsBuf[:0])
+	return l.idsBuf
+}
+
+// resample draws len(ids) survivors from the subset via systematic
+// resampling over the cumulative posterior cdfBuf (total mass cum),
+// jitters duplicates (V-E), injects fresh random particles, and
+// restores the subset's prior mass share uniformly across survivors —
+// the "uniform weights" reset of Section V-E, which keeps the selective
+// update from starving untouched regions.
+func (l *Localizer) resample(ids []int, cum, priorMass float64) {
+	n := len(ids)
+	l.pickBuf = l.pickBuf[:0]
+	step := cum / float64(n)
+	u := l.stream.Float64() * step
+	j := 0
+	for k := 0; k < n; k++ {
+		target := u + float64(k)*step
+		for j < n-1 && l.cdfBuf[j] < target {
+			j++
+		}
+		l.pickBuf = append(l.pickBuf, int32(j))
+	}
+
+	// Materialize survivors. pickBuf is sorted, so a duplicate is any
+	// pick equal to its predecessor; the first copy keeps the exact
+	// parameters, later copies are jittered.
+	type survivor struct{ x, y, s float64 }
+	survivors := make([]survivor, n)
+	for k := 0; k < n; k++ {
+		src := ids[l.pickBuf[k]]
+		sv := survivor{x: l.xs[src], y: l.ys[src], s: l.ss[src]}
+		if k > 0 && l.pickBuf[k] == l.pickBuf[k-1] {
+			sv.x = l.clampX(sv.x + l.stream.Normal(0, l.cfg.ResampleNoise))
+			sv.y = l.clampY(sv.y + l.stream.Normal(0, l.cfg.ResampleNoise))
+			sv.s = l.clampS(sv.s + l.stream.Normal(0, l.cfg.StrengthNoise))
+		}
+		survivors[k] = sv
+	}
+
+	// Random injection (V-E): provision for sources appearing in areas
+	// the filter has written off.
+	inject := int(math.Ceil(l.cfg.InjectionFrac * float64(n)))
+	if l.cfg.InjectionFrac == 0 {
+		inject = 0
+	}
+	for k := 0; k < inject; k++ {
+		at := l.stream.IntN(n)
+		survivors[at] = survivor{
+			x: l.stream.Uniform(l.cfg.Bounds.Min.X, l.cfg.Bounds.Max.X),
+			y: l.stream.Uniform(l.cfg.Bounds.Min.Y, l.cfg.Bounds.Max.Y),
+			s: l.stream.Uniform(l.cfg.StrengthMin, l.cfg.StrengthMax),
+		}
+	}
+
+	w := priorMass / float64(n)
+	for k, sv := range survivors {
+		id := ids[k]
+		l.xs[id] = sv.x
+		l.ys[id] = sv.y
+		l.ss[id] = sv.s
+		l.ws[id] = w
+	}
+}
+
+func clampF(v, lo, hi float64) float64 {
+	return math.Max(lo, math.Min(hi, v))
+}
+
+func (l *Localizer) clampX(x float64) float64 {
+	return math.Max(l.cfg.Bounds.Min.X, math.Min(l.cfg.Bounds.Max.X, x))
+}
+
+func (l *Localizer) clampY(y float64) float64 {
+	return math.Max(l.cfg.Bounds.Min.Y, math.Min(l.cfg.Bounds.Max.Y, y))
+}
+
+func (l *Localizer) clampS(s float64) float64 {
+	return math.Max(l.cfg.StrengthMin, math.Min(l.cfg.StrengthMax, s))
+}
+
+// Estimates recovers the current source estimates (Section V-D): run
+// mean-shift from weighted-sampled starts over the particle density in
+// (x, y, strength) space, merge converged modes, and report the modes
+// that hold enough mass and plausible strength.
+func (l *Localizer) Estimates() []Estimate {
+	n := len(l.xs)
+	points := make([]float64, 0, 3*n)
+	weights := make([]float64, 0, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		if l.ws[i] <= 0 {
+			continue
+		}
+		points = append(points, l.xs[i], l.ys[i], l.ss[i])
+		weights = append(weights, l.ws[i])
+		total += l.ws[i]
+	}
+	if total <= 0 {
+		return nil
+	}
+
+	starts := l.sampleStarts(points, weights, total)
+	cfg := meanshift.Config{
+		Bandwidth: []float64{l.cfg.BandwidthXY, l.cfg.BandwidthXY, l.cfg.BandwidthStr},
+		Workers:   l.cfg.Workers,
+	}
+	modes, err := meanshift.FindModes(cfg, points, weights, starts)
+	if err != nil {
+		// Only reachable through an internal inconsistency; surface
+		// loudly in tests rather than corrupt results.
+		panic(fmt.Sprintf("core: mean-shift failed: %v", err))
+	}
+	if len(modes) == 0 {
+		return nil
+	}
+	mass, err := meanshift.AssignMass(cfg, modes, points, weights, 3)
+	if err != nil {
+		panic(fmt.Sprintf("core: mass assignment failed: %v", err))
+	}
+
+	var out []Estimate
+	for i, m := range modes {
+		frac := mass[i] / total
+		if frac < l.cfg.ModeMassMin {
+			continue
+		}
+		if m.Point[2] < l.cfg.MinSourceStrength {
+			continue
+		}
+		if !l.observable(geometry.V(m.Point[0], m.Point[1])) {
+			continue
+		}
+		out = append(out, Estimate{
+			Pos:      geometry.V(m.Point[0], m.Point[1]),
+			Strength: m.Point[2],
+			Mass:     frac,
+			Starts:   m.Starts,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Mass > out[b].Mass })
+	return out
+}
+
+// observable reports whether a mode location lies within MaxSensorGap
+// of any sensor the filter has heard from. With the filter disabled, or
+// before any sensor has reported, everything is observable.
+func (l *Localizer) observable(p geometry.Vec) bool {
+	if l.cfg.MaxSensorGap <= 0 || len(l.sensorPos) == 0 {
+		return true
+	}
+	gap2 := l.cfg.MaxSensorGap * l.cfg.MaxSensorGap
+	for _, sp := range l.sensorPos {
+		if sp.Dist2(p) <= gap2 {
+			return true
+		}
+	}
+	return false
+}
+
+// sampleStarts draws MeanShiftStarts start points from the particle
+// population by systematic weighted sampling, so starts concentrate
+// where the mass is while still covering diffuse regions early on.
+func (l *Localizer) sampleStarts(points, weights []float64, total float64) []float64 {
+	m := l.cfg.MeanShiftStarts
+	n := len(weights)
+	if n == 0 {
+		return nil
+	}
+	starts := make([]float64, 0, 3*m)
+	step := total / float64(m)
+	u := l.stream.Float64() * step
+	var cum float64
+	j := 0
+	for k := 0; k < m; k++ {
+		target := u + float64(k)*step
+		for j < n-1 && cum+weights[j] < target {
+			cum += weights[j]
+			j++
+		}
+		starts = append(starts, points[3*j], points[3*j+1], points[3*j+2])
+	}
+	return starts
+}
+
+// Centroid returns the weighted centroid of the whole population — the
+// traditional particle-filter point estimate. With multiple sources it
+// lands between them (Section V-D's motivating failure); it is exposed
+// for the estimator ablation benchmark.
+func (l *Localizer) Centroid() Estimate {
+	var sx, sy, ss, sw float64
+	for i := range l.xs {
+		w := l.ws[i]
+		sx += w * l.xs[i]
+		sy += w * l.ys[i]
+		ss += w * l.ss[i]
+		sw += w
+	}
+	if sw <= 0 {
+		return Estimate{}
+	}
+	return Estimate{
+		Pos:      geometry.V(sx/sw, sy/sw),
+		Strength: ss / sw,
+		Mass:     1,
+	}
+}

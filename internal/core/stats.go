@@ -1,0 +1,50 @@
+package core
+
+// Stats summarizes the filter's runtime behaviour for monitoring and
+// tuning.
+type Stats struct {
+	// Iterations is the number of measurements ingested.
+	Iterations int
+	// LastSubsetSize is |P''| of the most recent iteration — how many
+	// particles the last fusion disc captured (0 if the last
+	// measurement found no particles in range).
+	LastSubsetSize int
+	// MeanSubsetSize is the running mean of |P''| over all iterations.
+	// The paper's efficiency argument rests on this being a small
+	// fraction of the population once particles concentrate.
+	MeanSubsetSize float64
+	// EmptyIterations counts measurements whose fusion disc contained
+	// no particles (Eq. 5 returned the null set).
+	EmptyIterations int
+	// EffectiveSampleSize is Kish's (Σw)²/Σw² over the current weights:
+	// near NumParticles for healthy diversity, collapsing toward 1 on
+	// degeneracy — the failure resampling exists to prevent (V-E).
+	EffectiveSampleSize float64
+	// SensorsSeen is the number of distinct sensors heard from (only
+	// tracked when MaxSensorGap is enabled; otherwise 0).
+	SensorsSeen int
+}
+
+// Stats returns the current runtime statistics.
+func (l *Localizer) Stats() Stats {
+	s := Stats{
+		Iterations:      l.iter,
+		LastSubsetSize:  l.lastSubset,
+		EmptyIterations: l.emptyIters,
+		SensorsSeen:     len(l.sensorPos),
+	}
+	if l.iter > 0 {
+		s.MeanSubsetSize = float64(l.subsetTotal) / float64(l.iter)
+	}
+	var sum, sum2 float64
+	for _, w := range l.ws {
+		if w > 0 {
+			sum += w
+			sum2 += w * w
+		}
+	}
+	if sum2 > 0 {
+		s.EffectiveSampleSize = sum * sum / sum2
+	}
+	return s
+}

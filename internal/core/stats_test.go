@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"radloc/internal/geometry"
+	"radloc/internal/radiation"
+	"radloc/internal/sensor"
+)
+
+func TestStatsFreshLocalizer(t *testing.T) {
+	l, err := NewLocalizer(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := l.Stats()
+	if s.Iterations != 0 || s.LastSubsetSize != 0 || s.MeanSubsetSize != 0 || s.EmptyIterations != 0 {
+		t.Errorf("fresh stats: %+v", s)
+	}
+	// Uniform weights: ESS equals the population size.
+	if math.Abs(s.EffectiveSampleSize-2000) > 1 {
+		t.Errorf("fresh ESS = %v, want ≈2000", s.EffectiveSampleSize)
+	}
+	if s.SensorsSeen != 0 {
+		t.Errorf("SensorsSeen = %d without MaxSensorGap", s.SensorsSeen)
+	}
+}
+
+func TestStatsTrackIterations(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxSensorGap = 50
+	l, err := NewLocalizer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inRange := sensor.Sensor{ID: 0, Pos: geometry.V(50, 50), Efficiency: 1e-4, Background: 5}
+	outOfArea := sensor.Sensor{ID: 1, Pos: geometry.V(-500, -500), Efficiency: 1e-4, Background: 5}
+
+	l.Ingest(inRange, 5)
+	s := l.Stats()
+	if s.Iterations != 1 || s.LastSubsetSize == 0 || s.EmptyIterations != 0 {
+		t.Errorf("after one in-range ingest: %+v", s)
+	}
+	first := s.LastSubsetSize
+
+	l.Ingest(outOfArea, 5)
+	s = l.Stats()
+	if s.Iterations != 2 || s.LastSubsetSize != 0 || s.EmptyIterations != 1 {
+		t.Errorf("after empty-disc ingest: %+v", s)
+	}
+	if want := float64(first) / 2; math.Abs(s.MeanSubsetSize-want) > 1e-9 {
+		t.Errorf("MeanSubsetSize = %v, want %v", s.MeanSubsetSize, want)
+	}
+	if s.SensorsSeen != 2 {
+		t.Errorf("SensorsSeen = %d, want 2", s.SensorsSeen)
+	}
+}
+
+// TestStatsSubsetShrinksAfterConvergence: the paper's efficiency story —
+// once particles concentrate at the sources, most fusion discs capture
+// few particles, so the mean subset size drops well below the uniform
+// expectation.
+func TestStatsSubsetShrinks(t *testing.T) {
+	l, err := NewLocalizer(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := []radiation.Source{{Pos: geometry.V(47, 71), Strength: 100}}
+	runSteps(t, l, truth, nil, 10, 31)
+
+	// Uniform expectation: disc area fraction × N ≈ π·28²/10⁴ × 2000 ≈ 430
+	// (boundary effects push it lower). After convergence, a sensor far
+	// from the source should capture almost nothing.
+	far := sensor.Sensor{ID: 99, Pos: geometry.V(5, 5), Efficiency: 1e-4, Background: 5}
+	l.Ingest(far, 5)
+	s := l.Stats()
+	if s.LastSubsetSize > 300 {
+		t.Errorf("far-sensor subset = %d after convergence, want small", s.LastSubsetSize)
+	}
+	if s.EffectiveSampleSize < 100 {
+		t.Errorf("ESS collapsed to %v", s.EffectiveSampleSize)
+	}
+}

@@ -1,0 +1,170 @@
+// Package deploy provides sensor-placement utilities and the
+// fusion-range selection rule of Section V-B: "the value of d_i is
+// selected such that a particle located at p is within the fusion range
+// of a handful of sensors". For uniform grids the paper uses one global
+// d (28 for spacing-20 grids); for irregular deployments — Scenario C's
+// Poisson placement — per-sensor ranges derived from local sensor
+// density keep the coverage multiplicity roughly constant.
+package deploy
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"radloc/internal/geometry"
+	"radloc/internal/rng"
+	"radloc/internal/sensor"
+)
+
+// ErrTooFewSensors is returned when a range rule needs more sensors
+// than provided.
+var ErrTooFewSensors = errors.New("deploy: too few sensors")
+
+// KNearestRanges returns a per-sensor fusion range equal to each
+// sensor's distance to its k-th nearest neighbour, scaled by factor.
+// With factor ≈ 1.4 (the paper's 28 over a spacing-20 grid) a point in
+// the hull of the network falls within the fusion range of a "handful"
+// of sensors regardless of local density.
+func KNearestRanges(sensors []sensor.Sensor, k int, factor float64) ([]float64, error) {
+	if k < 1 || len(sensors) <= k {
+		return nil, ErrTooFewSensors
+	}
+	if factor <= 0 {
+		factor = 1.4
+	}
+	out := make([]float64, len(sensors))
+	dists := make([]float64, 0, len(sensors)-1)
+	for i, si := range sensors {
+		dists = dists[:0]
+		for j, sj := range sensors {
+			if i == j {
+				continue
+			}
+			dists = append(dists, si.Pos.Dist(sj.Pos))
+		}
+		sort.Float64s(dists)
+		out[i] = factor * dists[k-1]
+	}
+	return out, nil
+}
+
+// RangeFunc converts a per-sensor range table into the lookup the
+// localizer configuration accepts. Sensor IDs outside the table fall
+// back (return 0).
+func RangeFunc(ranges []float64) func(sensorID int) float64 {
+	return func(sensorID int) float64 {
+		if sensorID < 0 || sensorID >= len(ranges) {
+			return 0
+		}
+		return ranges[sensorID]
+	}
+}
+
+// CoverageStats reports how many sensors cover the points of a uniform
+// sample of the bounds under the given per-sensor ranges — the paper's
+// "handful" criterion made measurable.
+type CoverageStats struct {
+	Mean float64
+	Min  int
+	Max  int
+	// ZeroFraction is the fraction of sampled points covered by no
+	// sensor at all (blind spots where new sources can only be found
+	// via random injection).
+	ZeroFraction float64
+}
+
+// Coverage samples bounds on a res×res lattice and counts covering
+// sensors per point.
+func Coverage(sensors []sensor.Sensor, ranges []float64, bounds geometry.Rect, res int) CoverageStats {
+	if res < 2 {
+		res = 2
+	}
+	stats := CoverageStats{Min: math.MaxInt}
+	var total, zero int
+	for iy := 0; iy < res; iy++ {
+		for ix := 0; ix < res; ix++ {
+			p := geometry.V(
+				bounds.Min.X+bounds.Width()*float64(ix)/float64(res-1),
+				bounds.Min.Y+bounds.Height()*float64(iy)/float64(res-1),
+			)
+			n := 0
+			for i, s := range sensors {
+				r := 0.0
+				if i < len(ranges) {
+					r = ranges[i]
+				}
+				if p.Dist2(s.Pos) <= r*r {
+					n++
+				}
+			}
+			total += n
+			if n == 0 {
+				zero++
+			}
+			if n < stats.Min {
+				stats.Min = n
+			}
+			if n > stats.Max {
+				stats.Max = n
+			}
+		}
+	}
+	samples := res * res
+	stats.Mean = float64(total) / float64(samples)
+	stats.ZeroFraction = float64(zero) / float64(samples)
+	return stats
+}
+
+// HexGrid places sensors on a hexagonal lattice with the given spacing
+// — the densest covering for a fixed sensor budget.
+func HexGrid(bounds geometry.Rect, spacing float64, efficiency, background float64) []sensor.Sensor {
+	if spacing <= 0 {
+		return nil
+	}
+	var out []sensor.Sensor
+	rowHeight := spacing * math.Sqrt(3) / 2
+	id := 0
+	for row := 0; ; row++ {
+		y := bounds.Min.Y + float64(row)*rowHeight
+		if y > bounds.Max.Y+1e-9 {
+			break
+		}
+		offset := 0.0
+		if row%2 == 1 {
+			offset = spacing / 2
+		}
+		for col := 0; ; col++ {
+			x := bounds.Min.X + offset + float64(col)*spacing
+			if x > bounds.Max.X+1e-9 {
+				break
+			}
+			out = append(out, sensor.Sensor{
+				ID:         id,
+				Pos:        geometry.V(x, y),
+				Efficiency: efficiency,
+				Background: background,
+			})
+			id++
+		}
+	}
+	return out
+}
+
+// JitteredGrid perturbs a uniform nx×ny grid by uniform offsets up to
+// ±jitter in each axis — a realistic "planned but imprecise"
+// deployment.
+func JitteredGrid(bounds geometry.Rect, nx, ny int, jitter float64, stream *rng.Stream, efficiency, background float64) []sensor.Sensor {
+	base := sensor.Grid(bounds, nx, ny, efficiency, background)
+	for i := range base {
+		base[i].Pos = geometry.V(
+			clamp(base[i].Pos.X+stream.Uniform(-jitter, jitter), bounds.Min.X, bounds.Max.X),
+			clamp(base[i].Pos.Y+stream.Uniform(-jitter, jitter), bounds.Min.Y, bounds.Max.Y),
+		)
+	}
+	return base
+}
+
+func clamp(v, lo, hi float64) float64 {
+	return math.Max(lo, math.Min(hi, v))
+}

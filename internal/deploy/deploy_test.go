@@ -1,0 +1,154 @@
+package deploy
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"radloc/internal/geometry"
+	"radloc/internal/rng"
+	"radloc/internal/sensor"
+)
+
+func bounds100() geometry.Rect {
+	return geometry.NewRect(geometry.V(0, 0), geometry.V(100, 100))
+}
+
+func TestKNearestRangesUniformGrid(t *testing.T) {
+	// On a spacing-20 grid every sensor's 1st neighbour is 20 away;
+	// factor 1.4 reproduces the paper's d = 28.
+	g := sensor.Grid(bounds100(), 6, 6, 1e-4, 5)
+	ranges, err := KNearestRanges(g, 1, 1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range ranges {
+		if math.Abs(r-28) > 1e-9 {
+			t.Fatalf("sensor %d range = %v, want 28", i, r)
+		}
+	}
+}
+
+func TestKNearestRangesAdaptsToDensity(t *testing.T) {
+	// Dense cluster + one remote sensor: the remote sensor must get a
+	// much larger range.
+	sensors := []sensor.Sensor{
+		{ID: 0, Pos: geometry.V(10, 10)},
+		{ID: 1, Pos: geometry.V(12, 10)},
+		{ID: 2, Pos: geometry.V(10, 12)},
+		{ID: 3, Pos: geometry.V(90, 90)},
+	}
+	ranges, err := KNearestRanges(sensors, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranges[3] < 10*ranges[0] {
+		t.Errorf("remote sensor range %v not ≫ cluster range %v", ranges[3], ranges[0])
+	}
+}
+
+func TestKNearestRangesErrors(t *testing.T) {
+	g := sensor.Grid(bounds100(), 2, 1, 1e-4, 5)
+	if _, err := KNearestRanges(g, 2, 1); !errors.Is(err, ErrTooFewSensors) {
+		t.Errorf("k ≥ n: %v", err)
+	}
+	if _, err := KNearestRanges(g, 0, 1); !errors.Is(err, ErrTooFewSensors) {
+		t.Errorf("k = 0: %v", err)
+	}
+}
+
+func TestRangeFunc(t *testing.T) {
+	f := RangeFunc([]float64{5, 7})
+	if f(0) != 5 || f(1) != 7 {
+		t.Error("lookup wrong")
+	}
+	if f(-1) != 0 || f(2) != 0 {
+		t.Error("out-of-range IDs must fall back to 0")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	g := sensor.Grid(bounds100(), 6, 6, 1e-4, 5)
+	ranges, err := KNearestRanges(g, 1, 1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := Coverage(g, ranges, bounds100(), 21)
+	// The paper's "handful": with d=28 on a spacing-20 grid every point
+	// is covered by several sensors and there are no blind spots.
+	if stats.Min < 1 {
+		t.Errorf("blind spots: min coverage %d", stats.Min)
+	}
+	if stats.Mean < 3 || stats.Mean > 9 {
+		t.Errorf("mean coverage = %v, want a handful (3..9)", stats.Mean)
+	}
+	if stats.ZeroFraction != 0 {
+		t.Errorf("zero fraction = %v", stats.ZeroFraction)
+	}
+
+	// With tiny ranges almost everything is uncovered.
+	tiny := make([]float64, len(g))
+	for i := range tiny {
+		tiny[i] = 0.5
+	}
+	stats = Coverage(g, tiny, bounds100(), 21)
+	if stats.ZeroFraction < 0.5 {
+		t.Errorf("tiny ranges should leave blind spots: %v", stats.ZeroFraction)
+	}
+}
+
+func TestHexGrid(t *testing.T) {
+	hs := HexGrid(bounds100(), 20, 1e-4, 5)
+	if len(hs) == 0 {
+		t.Fatal("empty hex grid")
+	}
+	for _, s := range hs {
+		if !bounds100().Contains(s.Pos) {
+			t.Fatalf("sensor outside bounds: %v", s.Pos)
+		}
+	}
+	// Odd rows are offset by spacing/2.
+	var row0, row1 []float64
+	for _, s := range hs {
+		if math.Abs(s.Pos.Y-0) < 1e-9 {
+			row0 = append(row0, s.Pos.X)
+		}
+		if math.Abs(s.Pos.Y-20*math.Sqrt(3)/2) < 1e-9 {
+			row1 = append(row1, s.Pos.X)
+		}
+	}
+	if len(row0) == 0 || len(row1) == 0 {
+		t.Fatal("rows not found")
+	}
+	if math.Abs(row1[0]-row0[0]-10) > 1e-9 {
+		t.Errorf("odd row offset = %v, want 10", row1[0]-row0[0])
+	}
+	if got := HexGrid(bounds100(), 0, 1e-4, 5); got != nil {
+		t.Errorf("zero spacing: %v", got)
+	}
+}
+
+func TestJitteredGrid(t *testing.T) {
+	stream := rng.New(4, 4)
+	js := JitteredGrid(bounds100(), 6, 6, 5, stream, 1e-4, 5)
+	if len(js) != 36 {
+		t.Fatalf("count = %d", len(js))
+	}
+	base := sensor.Grid(bounds100(), 6, 6, 1e-4, 5)
+	moved := 0
+	for i := range js {
+		if !bounds100().Contains(js[i].Pos) {
+			t.Fatalf("jittered sensor out of bounds: %v", js[i].Pos)
+		}
+		d := js[i].Pos.Dist(base[i].Pos)
+		if d > 5*math.Sqrt2+1e-9 {
+			t.Fatalf("sensor %d jittered too far: %v", i, d)
+		}
+		if d > 0 {
+			moved++
+		}
+	}
+	if moved < 30 {
+		t.Errorf("only %d/36 sensors moved", moved)
+	}
+}

@@ -1,0 +1,231 @@
+// Package detect decides WHETHER radiation sources are present before
+// the localizer is asked WHERE they are — the detection half of the
+// "detection and localization" pipeline the paper's introduction
+// motivates, using the sequential probability ratio test (SPRT) of the
+// Chin/Rao line of work the paper builds on ([4], [5]).
+//
+// Each sensor runs a Poisson SPRT between
+//
+//	H0: λ = B           (background only)
+//	H1: λ = B + δ       (a source elevates the rate by at least δ)
+//
+// accumulating the log-likelihood ratio of its readings until one of
+// Wald's thresholds is crossed. A network-level Monitor raises the
+// alarm when enough sensors decide H1.
+package detect
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Decision is the state of a sequential test.
+type Decision int
+
+// Decision values.
+const (
+	// Undecided: keep sampling.
+	Undecided Decision = iota + 1
+	// SourcePresent: H1 accepted.
+	SourcePresent
+	// BackgroundOnly: H0 accepted.
+	BackgroundOnly
+)
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	switch d {
+	case Undecided:
+		return "undecided"
+	case SourcePresent:
+		return "source-present"
+	case BackgroundOnly:
+		return "background-only"
+	default:
+		return fmt.Sprintf("Decision(%d)", int(d))
+	}
+}
+
+// Config parameterizes a Poisson SPRT.
+type Config struct {
+	// Background is the sensor's background rate B in CPM (> 0; a
+	// zero background would make the test degenerate, so B is floored
+	// at 0.1 CPM).
+	Background float64
+	// MinElevation is δ, the smallest source-induced rate increase the
+	// test must detect (CPM, > 0).
+	MinElevation float64
+	// Alpha is the false-alarm probability bound (default 0.01).
+	Alpha float64
+	// Beta is the missed-detection probability bound (default 0.01).
+	Beta float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = 0.01
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.01
+	}
+	if c.Background < 0.1 {
+		c.Background = 0.1
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.MinElevation <= 0 {
+		return fmt.Errorf("detect: MinElevation = %v", c.MinElevation)
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 || c.Beta <= 0 || c.Beta >= 1 {
+		return fmt.Errorf("detect: error bounds α=%v β=%v", c.Alpha, c.Beta)
+	}
+	return nil
+}
+
+// SPRT is one sensor's sequential test. Create with NewSPRT; feed
+// readings with Observe.
+type SPRT struct {
+	cfg      Config
+	logRatio float64 // ln((B+δ)/B), precomputed
+	delta    float64
+	upper    float64 // accept H1 at or above
+	lower    float64 // accept H0 at or below
+	llr      float64
+	n        int
+	decision Decision
+}
+
+// NewSPRT builds a sequential test.
+func NewSPRT(cfg Config) (*SPRT, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &SPRT{
+		cfg:      cfg,
+		logRatio: math.Log((cfg.Background + cfg.MinElevation) / cfg.Background),
+		delta:    cfg.MinElevation,
+		upper:    math.Log((1 - cfg.Beta) / cfg.Alpha),
+		lower:    math.Log(cfg.Beta / (1 - cfg.Alpha)),
+		decision: Undecided,
+	}, nil
+}
+
+// Observe folds one CPM reading into the test and returns the current
+// decision. After a terminal decision further readings are ignored
+// until Reset.
+func (s *SPRT) Observe(cpm int) Decision {
+	if s.decision != Undecided {
+		return s.decision
+	}
+	if cpm < 0 {
+		cpm = 0
+	}
+	// Poisson LLR: m·ln(λ1/λ0) − (λ1 − λ0).
+	s.llr += float64(cpm)*s.logRatio - s.delta
+	s.n++
+	switch {
+	case s.llr >= s.upper:
+		s.decision = SourcePresent
+	case s.llr <= s.lower:
+		s.decision = BackgroundOnly
+	}
+	return s.decision
+}
+
+// Decision returns the current state without observing.
+func (s *SPRT) Decision() Decision { return s.decision }
+
+// Samples returns the number of readings consumed.
+func (s *SPRT) Samples() int { return s.n }
+
+// LLR returns the accumulated log-likelihood ratio (diagnostic).
+func (s *SPRT) LLR() float64 { return s.llr }
+
+// Reset returns the test to its initial state — used after a decision
+// to keep monitoring.
+func (s *SPRT) Reset() {
+	s.llr = 0
+	s.n = 0
+	s.decision = Undecided
+}
+
+// ErrNoSensors is returned by NewMonitor without any sensor configs.
+var ErrNoSensors = errors.New("detect: no sensors")
+
+// Monitor fuses per-sensor SPRTs into a network-level alarm: the alarm
+// raises when at least Quorum sensors have decided SourcePresent.
+type Monitor struct {
+	tests  []*SPRT
+	quorum int
+}
+
+// NewMonitor builds one SPRT per sensor config. quorum ≤ 0 defaults
+// to 1 (any sensor).
+func NewMonitor(cfgs []Config, quorum int) (*Monitor, error) {
+	if len(cfgs) == 0 {
+		return nil, ErrNoSensors
+	}
+	if quorum <= 0 {
+		quorum = 1
+	}
+	if quorum > len(cfgs) {
+		return nil, fmt.Errorf("detect: quorum %d > %d sensors", quorum, len(cfgs))
+	}
+	m := &Monitor{quorum: quorum}
+	for _, c := range cfgs {
+		t, err := NewSPRT(c)
+		if err != nil {
+			return nil, err
+		}
+		m.tests = append(m.tests, t)
+	}
+	return m, nil
+}
+
+// Observe feeds sensor sensorIdx's reading and reports whether the
+// network alarm is raised.
+func (m *Monitor) Observe(sensorIdx, cpm int) (bool, error) {
+	if sensorIdx < 0 || sensorIdx >= len(m.tests) {
+		return false, fmt.Errorf("detect: sensor index %d out of [0,%d)", sensorIdx, len(m.tests))
+	}
+	m.tests[sensorIdx].Observe(cpm)
+	return m.Alarmed(), nil
+}
+
+// Alarmed reports whether at least Quorum sensors currently decide
+// SourcePresent.
+func (m *Monitor) Alarmed() bool {
+	n := 0
+	for _, t := range m.tests {
+		if t.Decision() == SourcePresent {
+			n++
+			if n >= m.quorum {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Triggered returns the indices of sensors that decided SourcePresent —
+// a natural seed region for localization.
+func (m *Monitor) Triggered() []int {
+	var out []int
+	for i, t := range m.tests {
+		if t.Decision() == SourcePresent {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Reset restarts every per-sensor test.
+func (m *Monitor) Reset() {
+	for _, t := range m.tests {
+		t.Reset()
+	}
+}

@@ -1,0 +1,57 @@
+package eval
+
+import "math"
+
+// Operational latency metrics over per-step series — the quantities a
+// deployment cares about beyond the paper's per-step plots: how long
+// until the picture is right, and does it stay right.
+
+// TimeToLock returns the first step from which the error series stays
+// at or below threshold for the remainder of the run (NaN entries,
+// i.e. steps where the source was unmatched, break a lock). Returns
+// -1 if the series never locks.
+func TimeToLock(errs []float64, threshold float64) int {
+	lock := -1
+	for t, e := range errs {
+		if math.IsNaN(e) || e > threshold {
+			lock = -1
+			continue
+		}
+		if lock < 0 {
+			lock = t
+		}
+	}
+	return lock
+}
+
+// TimeToClear returns the first step from which the count series (false
+// positives or negatives) stays at or below threshold for the rest of
+// the run, or -1.
+func TimeToClear(counts []float64, threshold float64) int {
+	clear := -1
+	for t, c := range counts {
+		if math.IsNaN(c) || c > threshold {
+			clear = -1
+			continue
+		}
+		if clear < 0 {
+			clear = t
+		}
+	}
+	return clear
+}
+
+// Availability returns the fraction of steps with error at or below
+// threshold (NaN counts as unavailable). Empty input yields 0.
+func Availability(errs []float64, threshold float64) float64 {
+	if len(errs) == 0 {
+		return 0
+	}
+	good := 0
+	for _, e := range errs {
+		if !math.IsNaN(e) && e <= threshold {
+			good++
+		}
+	}
+	return float64(good) / float64(len(errs))
+}

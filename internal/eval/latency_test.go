@@ -1,0 +1,56 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTimeToLock(t *testing.T) {
+	nan := math.NaN()
+	tests := []struct {
+		name string
+		errs []float64
+		th   float64
+		want int
+	}{
+		{"locks-mid", []float64{9, 7, 3, 2, 1, 2}, 4, 2},
+		{"never", []float64{9, 9, 9}, 4, -1},
+		{"relock-after-dropout", []float64{3, 2, nan, 2, 1}, 4, 3},
+		{"relock-after-spike", []float64{3, 2, 8, 2, 1}, 4, 3},
+		{"immediate", []float64{1, 1}, 4, 0},
+		{"ends-unlocked", []float64{1, 1, 9}, 4, -1},
+		{"empty", nil, 4, -1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := TimeToLock(tt.errs, tt.th); got != tt.want {
+				t.Errorf("TimeToLock = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTimeToClear(t *testing.T) {
+	if got := TimeToClear([]float64{4, 2, 0.5, 0.2, 0}, 0.5); got != 2 {
+		t.Errorf("TimeToClear = %d, want 2", got)
+	}
+	if got := TimeToClear([]float64{0, 0, 3}, 0.5); got != -1 {
+		t.Errorf("ends dirty: %d, want -1", got)
+	}
+	if got := TimeToClear([]float64{math.NaN(), 0}, 0.5); got != 1 {
+		t.Errorf("NaN breaks a clear: %d, want 1", got)
+	}
+}
+
+func TestAvailability(t *testing.T) {
+	nan := math.NaN()
+	if got := Availability([]float64{1, 2, 9, nan, 3}, 4); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("Availability = %v, want 0.6", got)
+	}
+	if got := Availability(nil, 4); got != 0 {
+		t.Errorf("empty availability = %v", got)
+	}
+	if got := Availability([]float64{1}, 4); got != 1 {
+		t.Errorf("full availability = %v", got)
+	}
+}

@@ -1,0 +1,155 @@
+// Package fusion wraps the localizer as a long-running, concurrency-
+// safe fusion-center engine: measurements arrive from many network
+// connections in any order (the deployment model of Section V — "the
+// algorithm can proceed as soon as possible, without waiting for all
+// the measurements"), estimates are recomputed at a bounded rate, and
+// consumers snapshot the current source picture at any time.
+package fusion
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"radloc/internal/core"
+	"radloc/internal/sensor"
+	"radloc/internal/track"
+)
+
+// Config assembles an Engine.
+type Config struct {
+	// Localizer configures the underlying filter.
+	Localizer core.Config
+	// Sensors is the calibrated sensor registry; measurements from
+	// unknown sensor IDs are rejected.
+	Sensors []sensor.Sensor
+	// EstimateEvery recomputes estimates after this many ingested
+	// measurements (default: one sensor round, i.e. len(Sensors)).
+	EstimateEvery int
+	// Tracking, when non-nil, maintains persistent tracks over the
+	// periodic estimates.
+	Tracking *track.Config
+}
+
+// Engine is the fusion center. All methods are safe for concurrent
+// use.
+type Engine struct {
+	mu        sync.Mutex
+	loc       *core.Localizer
+	sensors   map[int]sensor.Sensor
+	every     int
+	sinceEst  int
+	ests      []core.Estimate
+	tracker   *track.Manager
+	trackStep int
+	ingested  uint64
+	rejected  uint64
+}
+
+// ErrUnknownSensor is returned for measurements from unregistered
+// sensor IDs.
+var ErrUnknownSensor = errors.New("fusion: unknown sensor")
+
+// ErrBadMeasurement is returned for physically impossible readings.
+var ErrBadMeasurement = errors.New("fusion: bad measurement")
+
+// NewEngine builds the engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if len(cfg.Sensors) == 0 {
+		return nil, errors.New("fusion: no sensors registered")
+	}
+	loc, err := core.NewLocalizer(cfg.Localizer)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		loc:     loc,
+		sensors: make(map[int]sensor.Sensor, len(cfg.Sensors)),
+		every:   cfg.EstimateEvery,
+	}
+	for _, s := range cfg.Sensors {
+		if _, dup := e.sensors[s.ID]; dup {
+			return nil, fmt.Errorf("fusion: duplicate sensor ID %d", s.ID)
+		}
+		e.sensors[s.ID] = s
+	}
+	if e.every <= 0 {
+		e.every = len(cfg.Sensors)
+	}
+	if cfg.Tracking != nil {
+		e.tracker = track.NewManager(*cfg.Tracking)
+	}
+	return e, nil
+}
+
+// Ingest folds one measurement into the filter. It returns the number
+// of measurements ingested so far.
+func (e *Engine) Ingest(sensorID, cpm int) (uint64, error) {
+	if cpm < 0 {
+		e.mu.Lock()
+		e.rejected++
+		e.mu.Unlock()
+		return 0, fmt.Errorf("%w: negative CPM %d", ErrBadMeasurement, cpm)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sen, ok := e.sensors[sensorID]
+	if !ok {
+		e.rejected++
+		return 0, fmt.Errorf("%w: id %d", ErrUnknownSensor, sensorID)
+	}
+	e.loc.Ingest(sen, cpm)
+	e.ingested++
+	e.sinceEst++
+	if e.sinceEst >= e.every {
+		e.refreshLocked()
+	}
+	return e.ingested, nil
+}
+
+// refreshLocked recomputes estimates (and tracks). Callers hold e.mu.
+func (e *Engine) refreshLocked() {
+	e.sinceEst = 0
+	e.ests = e.loc.Estimates()
+	if e.tracker != nil {
+		e.tracker.Update(e.trackStep, e.ests)
+		e.trackStep++
+	}
+}
+
+// Refresh forces an estimate recomputation now.
+func (e *Engine) Refresh() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.refreshLocked()
+}
+
+// Snapshot is the engine's externally visible state.
+type Snapshot struct {
+	Ingested  uint64
+	Rejected  uint64
+	Estimates []core.Estimate
+	Tracks    []track.Track // confirmed tracks; nil without tracking
+}
+
+// Snapshot returns the current source picture.
+func (e *Engine) Snapshot() Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := Snapshot{
+		Ingested:  e.ingested,
+		Rejected:  e.rejected,
+		Estimates: append([]core.Estimate(nil), e.ests...),
+	}
+	if e.tracker != nil {
+		out.Tracks = e.tracker.Confirmed()
+	}
+	return out
+}
+
+// Sensors returns the registered sensor count.
+func (e *Engine) Sensors() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.sensors)
+}

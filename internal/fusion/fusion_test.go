@@ -1,0 +1,199 @@
+package fusion
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"radloc/internal/core"
+	"radloc/internal/rng"
+	"radloc/internal/scenario"
+	"radloc/internal/sim"
+	"radloc/internal/track"
+)
+
+func testEngine(t *testing.T, withTracking bool) (*Engine, scenario.Scenario) {
+	t.Helper()
+	sc := scenario.A(50, false)
+	cfg := Config{
+		Localizer: sim.LocalizerConfig(sc),
+		Sensors:   sc.Sensors,
+	}
+	cfg.Localizer.Seed = 5
+	cfg.Localizer.Workers = 2
+	if withTracking {
+		cfg.Tracking = &track.Config{}
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, sc
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(Config{}); err == nil {
+		t.Error("no sensors accepted")
+	}
+	sc := scenario.A(50, false)
+	dup := Config{Localizer: sim.LocalizerConfig(sc), Sensors: sc.Sensors}
+	dup.Sensors = append(dup.Sensors, dup.Sensors[0])
+	if _, err := NewEngine(dup); err == nil {
+		t.Error("duplicate sensor IDs accepted")
+	}
+	bad := Config{Localizer: core.Config{}, Sensors: sc.Sensors}
+	if _, err := NewEngine(bad); err == nil {
+		t.Error("invalid localizer config accepted")
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	e, _ := testEngine(t, false)
+	if _, err := e.Ingest(999, 5); !errors.Is(err, ErrUnknownSensor) {
+		t.Errorf("unknown sensor: %v", err)
+	}
+	if _, err := e.Ingest(0, -1); !errors.Is(err, ErrBadMeasurement) {
+		t.Errorf("negative CPM: %v", err)
+	}
+	snap := e.Snapshot()
+	if snap.Rejected != 2 || snap.Ingested != 0 {
+		t.Errorf("counters: %+v", snap)
+	}
+}
+
+func TestEngineLocalizesEndToEnd(t *testing.T) {
+	e, sc := testEngine(t, false)
+	stream := rng.NewNamed(5, "fusion/measure")
+	for step := 0; step < 6; step++ {
+		for _, sen := range sc.Sensors {
+			m := sen.Measure(stream, sc.Sources, nil, step)
+			if _, err := e.Ingest(sen.ID, m.CPM); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	snap := e.Snapshot()
+	if snap.Ingested != uint64(6*len(sc.Sensors)) {
+		t.Errorf("ingested = %d", snap.Ingested)
+	}
+	if len(snap.Estimates) == 0 {
+		t.Fatal("no estimates after six sensor rounds")
+	}
+	for _, src := range sc.Sources {
+		best := 1e18
+		for _, est := range snap.Estimates {
+			if d := est.Pos.Dist(src.Pos); d < best {
+				best = d
+			}
+		}
+		if best > 8 {
+			t.Errorf("source %v estimate error %v", src.Pos, best)
+		}
+	}
+	if snap.Tracks != nil {
+		t.Error("tracks present without tracking enabled")
+	}
+}
+
+func TestEngineTracking(t *testing.T) {
+	e, sc := testEngine(t, true)
+	stream := rng.NewNamed(6, "fusion/measure")
+	for step := 0; step < 8; step++ {
+		for _, sen := range sc.Sensors {
+			m := sen.Measure(stream, sc.Sources, nil, step)
+			if _, err := e.Ingest(sen.ID, m.CPM); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	snap := e.Snapshot()
+	if len(snap.Tracks) < 2 {
+		t.Fatalf("confirmed tracks = %d, want ≥ 2", len(snap.Tracks))
+	}
+	for _, src := range sc.Sources {
+		best := 1e18
+		for _, tr := range snap.Tracks {
+			if d := tr.Pos.Dist(src.Pos); d < best {
+				best = d
+			}
+		}
+		if best > 8 {
+			t.Errorf("no confirmed track near source %v (best %v)", src.Pos, best)
+		}
+	}
+}
+
+func TestRefreshForcesEstimates(t *testing.T) {
+	e, sc := testEngine(t, false)
+	stream := rng.NewNamed(7, "fusion/measure")
+	// Fewer measurements than EstimateEvery: no estimates yet.
+	for i := 0; i < 10; i++ {
+		sen := sc.Sensors[i]
+		m := sen.Measure(stream, sc.Sources, nil, 0)
+		if _, err := e.Ingest(sen.ID, m.CPM); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(e.Snapshot().Estimates) != 0 {
+		t.Fatal("estimates computed before the configured interval")
+	}
+	e.Refresh()
+	// After an explicit refresh there may be estimates (possibly empty
+	// if mass is still uniform, but the call must be safe). Just check
+	// the snapshot path.
+	_ = e.Snapshot()
+}
+
+func TestEngineConcurrentIngest(t *testing.T) {
+	e, sc := testEngine(t, true)
+	stream := rng.NewNamed(8, "fusion/measure")
+	// Pre-generate measurements so goroutines don't share the stream.
+	type msg struct{ id, cpm int }
+	var msgs []msg
+	for step := 0; step < 6; step++ {
+		for _, sen := range sc.Sensors {
+			m := sen.Measure(stream, sc.Sources, nil, step)
+			msgs = append(msgs, msg{id: sen.ID, cpm: m.CPM})
+		}
+	}
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(msgs); i += workers {
+				if _, err := e.Ingest(msgs[i].id, msgs[i].cpm); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := e.Snapshot()
+	if snap.Ingested != uint64(len(msgs)) {
+		t.Errorf("ingested = %d, want %d", snap.Ingested, len(msgs))
+	}
+	// Concurrent arrival order is arbitrary — exactly the paper's
+	// out-of-order robustness — so the sources must still be found.
+	found := 0
+	for _, src := range sc.Sources {
+		for _, est := range snap.Estimates {
+			if est.Pos.Dist(src.Pos) < 10 {
+				found++
+				break
+			}
+		}
+	}
+	if found != 2 {
+		t.Errorf("found %d/2 sources under concurrent ingest: %v", found, snap.Estimates)
+	}
+}
+
+func TestSensorsCount(t *testing.T) {
+	e, sc := testEngine(t, false)
+	if e.Sensors() != len(sc.Sensors) {
+		t.Errorf("Sensors() = %d", e.Sensors())
+	}
+}

@@ -1,0 +1,62 @@
+package geometry
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzChordLength drives the polygon clipper with arbitrary segments
+// over the U-shaped obstacle: the chord must always be finite,
+// non-negative, and never exceed the segment length.
+func FuzzChordLength(f *testing.F) {
+	f.Add(0.0, 0.0, 10.0, 10.0)
+	f.Add(-10.0, 10.0, 40.0, 10.0)
+	f.Add(15.0, -5.0, 15.0, 25.0)
+	f.Add(0.0, 0.0, 0.0, 0.0)
+	f.Add(1e9, 1e9, -1e9, -1e9)
+
+	u := uShape(2)
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by float64) {
+		for _, v := range []float64{ax, ay, bx, by} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip()
+			}
+		}
+		s := Seg(V(ax, ay), V(bx, by))
+		c := u.ChordLength(s)
+		if math.IsNaN(c) || c < 0 {
+			t.Fatalf("chord(%v) = %v", s, c)
+		}
+		if c > s.Length()+1e-6*(1+s.Length()) {
+			t.Fatalf("chord %v exceeds segment length %v", c, s.Length())
+		}
+	})
+}
+
+// FuzzSegmentIntersect checks that any reported intersection point lies
+// on both segments.
+func FuzzSegmentIntersect(f *testing.F) {
+	f.Add(0.0, 0.0, 10.0, 10.0, 0.0, 10.0, 10.0, 0.0)
+	f.Add(0.0, 0.0, 1.0, 0.0, 2.0, 0.0, 3.0, 0.0)
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by, cx, cy, dx, dy float64) {
+		for _, v := range []float64{ax, ay, bx, by, cx, cy, dx, dy} {
+			if math.IsNaN(v) || math.Abs(v) > 1e9 {
+				t.Skip()
+			}
+		}
+		s := Seg(V(ax, ay), V(bx, by))
+		o := Seg(V(cx, cy), V(dx, dy))
+		tt, ok := s.Intersect(o)
+		if !ok {
+			return
+		}
+		if tt < 0 || tt > 1 || math.IsNaN(tt) {
+			t.Fatalf("intersection parameter %v out of [0,1]", tt)
+		}
+		p := s.At(tt)
+		scale := 1 + s.Length() + o.Length()
+		if o.DistTo(p) > 1e-5*scale {
+			t.Fatalf("intersection point %v misses other segment by %v", p, o.DistTo(p))
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package geometry
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVecArithmetic(t *testing.T) {
+	tests := []struct {
+		name string
+		got  Vec
+		want Vec
+	}{
+		{"add", V(1, 2).Add(V(3, -4)), V(4, -2)},
+		{"sub", V(1, 2).Sub(V(3, -4)), V(-2, 6)},
+		{"scale", V(1.5, -2).Scale(2), V(3, -4)},
+		{"perp", V(1, 0).Perp(), V(0, 1)},
+		{"lerp-mid", V(0, 0).Lerp(V(2, 4), 0.5), V(1, 2)},
+		{"lerp-ends", V(3, 3).Lerp(V(9, 9), 0), V(3, 3)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if !tt.got.Eq(tt.want) {
+				t.Errorf("got %v, want %v", tt.got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVecNormDot(t *testing.T) {
+	v := V(3, 4)
+	if got := v.Norm(); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Norm() = %v, want 5", got)
+	}
+	if got := v.Norm2(); !almostEq(got, 25, 1e-12) {
+		t.Errorf("Norm2() = %v, want 25", got)
+	}
+	if got := v.Dot(V(-4, 3)); !almostEq(got, 0, 1e-12) {
+		t.Errorf("Dot(perp) = %v, want 0", got)
+	}
+	if got := v.Cross(V(0, 1)); !almostEq(got, 3, 1e-12) {
+		t.Errorf("Cross = %v, want 3", got)
+	}
+}
+
+func TestVecUnit(t *testing.T) {
+	if got := V(0, 0).Unit(); !got.Eq(V(0, 0)) {
+		t.Errorf("zero vector Unit() = %v, want zero", got)
+	}
+	u := V(10, -10).Unit()
+	if !almostEq(u.Norm(), 1, 1e-12) {
+		t.Errorf("Unit norm = %v, want 1", u.Norm())
+	}
+}
+
+func TestVecDist(t *testing.T) {
+	if got := V(0, 0).Dist(V(3, 4)); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	if got := V(1, 1).Dist2(V(4, 5)); !almostEq(got, 25, 1e-12) {
+		t.Errorf("Dist2 = %v, want 25", got)
+	}
+}
+
+// Property: |v+w|² = |v|² + 2 v·w + |w|².
+func TestVecNormExpansionProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if !finiteAll(ax, ay, bx, by) {
+			return true
+		}
+		v, w := clampVec(V(ax, ay)), clampVec(V(bx, by))
+		lhs := v.Add(w).Norm2()
+		rhs := v.Norm2() + 2*v.Dot(w) + w.Norm2()
+		return almostEq(lhs, rhs, 1e-6*(1+math.Abs(lhs)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cross product is antisymmetric.
+func TestVecCrossAntisymmetryProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if !finiteAll(ax, ay, bx, by) {
+			return true
+		}
+		v, w := clampVec(V(ax, ay)), clampVec(V(bx, by))
+		return almostEq(v.Cross(w), -w.Cross(v), 1e-6*(1+math.Abs(v.Cross(w))))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the triangle inequality holds.
+func TestVecTriangleInequalityProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		if !finiteAll(ax, ay, bx, by, cx, cy) {
+			return true
+		}
+		a, b, c := clampVec(V(ax, ay)), clampVec(V(bx, by)), clampVec(V(cx, cy))
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func finiteAll(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// clampVec maps arbitrary float inputs into a numerically sane range so
+// the property checks do not trip on catastrophic cancellation.
+func clampVec(v Vec) Vec {
+	c := func(x float64) float64 {
+		return math.Mod(x, 1e6)
+	}
+	return V(c(v.X), c(v.Y))
+}

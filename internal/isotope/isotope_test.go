@@ -1,0 +1,145 @@
+package isotope
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLookup(t *testing.T) {
+	info, err := Lookup(Cs137)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(info.PrimaryMeV, 0.662, 1e-9) {
+		t.Errorf("Cs-137 line = %v", info.PrimaryMeV)
+	}
+	if info.HalfLife < 30*365*24*time.Hour || info.HalfLife > 31*365*24*time.Hour {
+		t.Errorf("Cs-137 half-life = %v", info.HalfLife)
+	}
+	if _, err := Lookup("Pu-239"); !errors.Is(err, ErrUnknownIsotope) {
+		t.Errorf("unknown isotope: %v", err)
+	}
+	if n := len(Isotopes()); n != 5 {
+		t.Errorf("catalog size = %d", n)
+	}
+}
+
+func TestDecay(t *testing.T) {
+	info, _ := Lookup(Cs137)
+	// One half-life → half the activity.
+	got, err := Decay(100, Cs137, info.HalfLife)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, 50, 1e-9) {
+		t.Errorf("one half-life: %v, want 50", got)
+	}
+	// Two half-lives → a quarter.
+	got, _ = Decay(100, Cs137, 2*info.HalfLife)
+	if !almostEq(got, 25, 1e-9) {
+		t.Errorf("two half-lives: %v, want 25", got)
+	}
+	// A surveillance hour of Cs-137 is essentially undecayed...
+	got, _ = Decay(100, Cs137, time.Hour)
+	if got < 99.999 {
+		t.Errorf("hour of Cs-137: %v", got)
+	}
+	// ...but Ir-192 loses a visible fraction over a month.
+	got, _ = Decay(100, Ir192, 30*24*time.Hour)
+	if got > 80 || got < 70 {
+		t.Errorf("month of Ir-192: %v, want ≈75", got)
+	}
+	// Degenerate inputs.
+	if got, _ := Decay(-5, Cs137, time.Hour); got != 0 {
+		t.Errorf("negative activity: %v", got)
+	}
+	if got, _ := Decay(100, Cs137, -time.Hour); got != 100 {
+		t.Errorf("negative elapsed: %v", got)
+	}
+	if _, err := Decay(100, "Xx-1", time.Hour); err == nil {
+		t.Error("unknown isotope accepted")
+	}
+}
+
+func TestMuAtTablePointsAndInterpolation(t *testing.T) {
+	// Exact table rows come back verbatim.
+	mu, err := MuAt("lead", 1.0)
+	if err != nil || !almostEq(mu, 0.797, 1e-9) {
+		t.Errorf("lead @1MeV: %v, %v", mu, err)
+	}
+	// Interpolated values are monotone between neighbours (µ decreases
+	// with energy in this range).
+	lo, _ := MuAt("lead", 0.662)
+	mid, err := MuAt("lead", 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, _ := MuAt("lead", 1.0)
+	if !(mid < lo && mid > hi) {
+		t.Errorf("interpolation not monotone: %v between %v and %v", mid, lo, hi)
+	}
+	// Errors.
+	if _, err := MuAt("butter", 1.0); !errors.Is(err, ErrUnknownMaterial) {
+		t.Errorf("unknown material: %v", err)
+	}
+	if _, err := MuAt("lead", 0.001); !errors.Is(err, ErrEnergyRange) {
+		t.Errorf("energy too low: %v", err)
+	}
+	if _, err := MuAt("lead", 50); !errors.Is(err, ErrEnergyRange) {
+		t.Errorf("energy too high: %v", err)
+	}
+}
+
+func TestMuForIsotopes(t *testing.T) {
+	// Cs-137 at 662 keV in lead: the classic 1.25 cm⁻¹.
+	mu, err := MuFor("lead", Cs137)
+	if err != nil || !almostEq(mu, 1.25, 0.01) {
+		t.Errorf("lead vs Cs-137: %v, %v", mu, err)
+	}
+	// Co-60's harder 1.25 MeV photons penetrate lead more easily.
+	muCo, err := MuFor("lead", Co60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if muCo >= mu {
+		t.Errorf("Co-60 µ (%v) should be below Cs-137 µ (%v)", muCo, mu)
+	}
+	// Am-241's soft 60 keV photons are stopped dramatically faster.
+	muAm, err := MuFor("lead", Am241)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if muAm < 10*mu {
+		t.Errorf("Am-241 µ (%v) should dwarf Cs-137 µ (%v)", muAm, mu)
+	}
+}
+
+func TestHalvingThickness(t *testing.T) {
+	// ~0.55 cm of lead halves Cs-137's line.
+	ht, err := HalvingThickness("lead", Cs137)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ht < 0.4 || ht > 0.7 {
+		t.Errorf("lead halving thickness for Cs-137 = %v cm", ht)
+	}
+	// Concrete needs far more.
+	htC, err := HalvingThickness("concrete", Cs137)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if htC < 5*ht {
+		t.Errorf("concrete (%v) should need ≫ lead (%v)", htC, ht)
+	}
+	if _, err := HalvingThickness("lead", "Xx-1"); err == nil {
+		t.Error("unknown isotope accepted")
+	}
+	// Sr-90's 1 keV placeholder energy is outside every table.
+	if _, err := HalvingThickness("lead", Sr90); err == nil {
+		t.Error("out-of-range energy accepted")
+	}
+}

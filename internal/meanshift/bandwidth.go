@@ -1,0 +1,79 @@
+package meanshift
+
+import (
+	"math"
+)
+
+// SuggestBandwidth computes a per-dimension kernel bandwidth from the
+// weighted sample using Silverman's rule of thumb,
+//
+//	h_k = σ_k · (4 / ((d+2) n_eff))^(1/(d+4))
+//
+// with σ_k the weighted standard deviation of dimension k and n_eff =
+// (Σw)²/Σw² the effective sample size (Kish). It gives a data-driven
+// alternative to the fixed bandwidths of Config when the particle
+// spread varies a lot over a run — wide early (uniform particles),
+// narrow after convergence.
+//
+// Dimensions with (near-)zero spread get a floor of 1e-6 so the result
+// is always usable as a Config.Bandwidth. points is the usual flat
+// n×d array; d is the dimensionality. Returns nil when there are no
+// points or the weights sum to zero.
+func SuggestBandwidth(points []float64, weights []float64, d int) []float64 {
+	if d < 1 || len(points) == 0 || len(points)%d != 0 {
+		return nil
+	}
+	n := len(points) / d
+	if len(weights) != n {
+		return nil
+	}
+	var wSum, w2Sum float64
+	for _, w := range weights {
+		if w > 0 {
+			wSum += w
+			w2Sum += w * w
+		}
+	}
+	if wSum <= 0 {
+		return nil
+	}
+	nEff := wSum * wSum / w2Sum
+
+	// Weighted mean and variance per dimension.
+	mean := make([]float64, d)
+	for j := 0; j < n; j++ {
+		w := weights[j]
+		if w <= 0 {
+			continue
+		}
+		for k := 0; k < d; k++ {
+			mean[k] += w * points[j*d+k]
+		}
+	}
+	for k := range mean {
+		mean[k] /= wSum
+	}
+	variance := make([]float64, d)
+	for j := 0; j < n; j++ {
+		w := weights[j]
+		if w <= 0 {
+			continue
+		}
+		for k := 0; k < d; k++ {
+			diff := points[j*d+k] - mean[k]
+			variance[k] += w * diff * diff
+		}
+	}
+
+	factor := math.Pow(4/(float64(d+2)*nEff), 1/float64(d+4))
+	out := make([]float64, d)
+	for k := 0; k < d; k++ {
+		sigma := math.Sqrt(variance[k] / wSum)
+		h := sigma * factor
+		if h < 1e-6 {
+			h = 1e-6
+		}
+		out[k] = h
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package meanshift
+
+import (
+	"fmt"
+	"testing"
+
+	"radloc/internal/rng"
+)
+
+// benchData builds a realistic particle population: two tight clusters
+// plus diffuse background, mirroring a converged filter.
+func benchData(n int) (pts, ws, starts []float64) {
+	s := rng.New(1, 1)
+	for i := 0; i < n; i++ {
+		var x, y, str float64
+		switch i % 10 {
+		case 0, 1, 2, 3:
+			x, y, str = s.Normal(47, 2), s.Normal(71, 2), s.Normal(50, 5)
+		case 4, 5, 6, 7:
+			x, y, str = s.Normal(81, 2), s.Normal(42, 2), s.Normal(50, 5)
+		default:
+			x, y, str = s.Uniform(0, 100), s.Uniform(0, 100), s.Uniform(0, 200)
+		}
+		pts = append(pts, x, y, str)
+		ws = append(ws, 1)
+	}
+	for i := 0; i < 192; i++ {
+		j := s.IntN(n)
+		starts = append(starts, pts[3*j], pts[3*j+1], pts[3*j+2])
+	}
+	return pts, ws, starts
+}
+
+func BenchmarkFindModes(b *testing.B) {
+	for _, n := range []int{2000, 15000} {
+		pts, ws, starts := benchData(n)
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("n%d-w%d", n, workers), func(b *testing.B) {
+				cfg := Config{Bandwidth: []float64{4, 4, 30}, Workers: workers}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := FindModes(cfg, pts, ws, starts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkAssignMass(b *testing.B) {
+	pts, ws, starts := benchData(15000)
+	cfg := Config{Bandwidth: []float64{4, 4, 30}}
+	modes, err := FindModes(cfg, pts, ws, starts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AssignMass(cfg, modes, pts, ws, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

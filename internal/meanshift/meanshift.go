@@ -1,0 +1,324 @@
+// Package meanshift implements the weighted kernel-density mode seeking
+// of Comaniciu & Meer that the paper uses to turn the particle
+// population into source estimates (Section V-D, Eq. 6–7).
+//
+// Points live in R^d with a diagonal Gaussian bandwidth; the search
+// runs in "scaled space" where every coordinate is divided by its
+// bandwidth, making the kernel isotropic. Starts are iterated with
+//
+//	x_{i+1} = Σ_j p_j w_j K(x_i − p_j) / Σ_j w_j K(x_i − p_j)
+//
+// until convergence; converged points within MergeRadius of each other
+// are merged into one mode. The paper reports that mean-shift dominates
+// its runtime and parallelizes well — FindModes distributes starts
+// across Workers goroutines, and a uniform grid over the first two
+// (spatial) dimensions prunes kernel evaluations to a CutoffSigmas
+// neighbourhood.
+package meanshift
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"radloc/internal/geometry"
+	"radloc/internal/spatial"
+)
+
+// Config controls the mode search. Zero values of MaxIter, Tol,
+// MergeRadius, CutoffSigmas and Workers select the documented defaults.
+type Config struct {
+	// Bandwidth is the per-dimension kernel bandwidth h_k (> 0). Its
+	// length fixes the dimensionality d ≥ 2; the first two dimensions
+	// must be the spatial ones (they drive neighbour pruning).
+	Bandwidth []float64
+	// MaxIter bounds the iterations per start (default 100).
+	MaxIter int
+	// Tol is the scaled-space movement below which a start has
+	// converged (default 1e-3).
+	Tol float64
+	// MergeRadius is the scaled-space distance within which two
+	// converged points are one mode (default 1.0).
+	MergeRadius float64
+	// CutoffSigmas is the scaled-space radius beyond which kernel
+	// contributions are ignored (default 4).
+	CutoffSigmas float64
+	// Workers is the number of goroutines iterating starts (default
+	// runtime.GOMAXPROCS(0)).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxIter <= 0 {
+		c.MaxIter = 100
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-3
+	}
+	if c.MergeRadius <= 0 {
+		c.MergeRadius = 1.0
+	}
+	if c.CutoffSigmas <= 0 {
+		c.CutoffSigmas = 4
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if len(c.Bandwidth) < 2 {
+		return fmt.Errorf("meanshift: need ≥ 2 dimensions, got %d", len(c.Bandwidth))
+	}
+	for k, h := range c.Bandwidth {
+		if h <= 0 || math.IsNaN(h) || math.IsInf(h, 0) {
+			return fmt.Errorf("meanshift: bandwidth[%d] = %v", k, h)
+		}
+	}
+	return nil
+}
+
+// Mode is a local maximum of the weighted kernel density.
+type Mode struct {
+	// Point is the mode location in original (unscaled) coordinates.
+	Point []float64
+	// Density is the unnormalized kernel density Σ w_j K at the mode.
+	Density float64
+	// Starts is the number of start points that converged to this mode.
+	Starts int
+}
+
+// ErrDimensionMismatch is returned when points, weights, or starts do
+// not agree with the configured dimensionality.
+var ErrDimensionMismatch = errors.New("meanshift: dimension mismatch")
+
+// FindModes locates the density modes reachable from the given starts.
+//
+// points is a flat array of n·d coordinates (point j at
+// points[j*d:(j+1)*d]); weights holds the n non-negative point weights;
+// starts is a flat array of m·d start coordinates. The returned modes
+// are sorted by descending density.
+func FindModes(cfg Config, points []float64, weights []float64, starts []float64) ([]Mode, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	d := len(cfg.Bandwidth)
+	if len(points)%d != 0 || len(starts)%d != 0 {
+		return nil, fmt.Errorf("%w: %d coords, %d starts, dim %d", ErrDimensionMismatch, len(points), len(starts), d)
+	}
+	n := len(points) / d
+	if len(weights) != n {
+		return nil, fmt.Errorf("%w: %d weights for %d points", ErrDimensionMismatch, len(weights), n)
+	}
+	if n == 0 || len(starts) == 0 {
+		return nil, nil
+	}
+
+	// Scale all coordinates by the bandwidth once.
+	scaled := make([]float64, len(points))
+	for j := 0; j < n; j++ {
+		for k := 0; k < d; k++ {
+			scaled[j*d+k] = points[j*d+k] / cfg.Bandwidth[k]
+		}
+	}
+	grid := buildGrid(scaled, d, cfg.CutoffSigmas)
+
+	m := len(starts) / d
+	results := make([][]float64, m)
+	densities := make([]float64, m)
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := &searchBuf{ids: make([]int, 0, 256)}
+			for i := range next {
+				x := make([]float64, d)
+				for k := 0; k < d; k++ {
+					x[k] = starts[i*d+k] / cfg.Bandwidth[k]
+				}
+				dens, ok := climb(cfg, scaled, weights, grid, x, buf)
+				if ok {
+					results[i] = x
+					densities[i] = dens
+				}
+			}
+		}()
+	}
+	for i := 0; i < m; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	modes := mergeModes(cfg, results, densities)
+	// Unscale back to original coordinates.
+	for i := range modes {
+		for k := 0; k < d; k++ {
+			modes[i].Point[k] *= cfg.Bandwidth[k]
+		}
+	}
+	return modes, nil
+}
+
+type searchBuf struct {
+	ids []int
+}
+
+// climb runs the mean-shift iteration in scaled space, mutating x in
+// place. It reports the final kernel density and whether the start ever
+// saw any support.
+func climb(cfg Config, scaled, weights []float64, grid *spatial.Grid, x []float64, buf *searchBuf) (float64, bool) {
+	d := len(cfg.Bandwidth)
+	num := make([]float64, d)
+	var dens float64
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		for k := range num {
+			num[k] = 0
+		}
+		var denom float64
+		buf.ids = grid.WithinRadius(geometry.V(x[0], x[1]), cfg.CutoffSigmas, buf.ids[:0])
+		for _, j := range buf.ids {
+			w := weights[j]
+			if w <= 0 {
+				continue
+			}
+			var d2 float64
+			base := j * d
+			for k := 0; k < d; k++ {
+				diff := x[k] - scaled[base+k]
+				d2 += diff * diff
+			}
+			kv := w * math.Exp(-0.5*d2)
+			denom += kv
+			for k := 0; k < d; k++ {
+				num[k] += kv * scaled[base+k]
+			}
+		}
+		if denom <= 0 {
+			return 0, false
+		}
+		var move float64
+		for k := 0; k < d; k++ {
+			nx := num[k] / denom
+			diff := nx - x[k]
+			move += diff * diff
+			x[k] = nx
+		}
+		dens = denom
+		if math.Sqrt(move) < cfg.Tol {
+			return dens, true
+		}
+	}
+	return dens, true
+}
+
+// mergeModes greedily merges converged points within MergeRadius,
+// keeping the densest representative.
+func mergeModes(cfg Config, results [][]float64, densities []float64) []Mode {
+	d := len(cfg.Bandwidth)
+	order := make([]int, 0, len(results))
+	for i, r := range results {
+		if r != nil {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return densities[order[a]] > densities[order[b]] })
+
+	var modes []Mode
+	r2 := cfg.MergeRadius * cfg.MergeRadius
+	for _, i := range order {
+		pt := results[i]
+		merged := false
+		for mi := range modes {
+			var dist2 float64
+			for k := 0; k < d; k++ {
+				diff := modes[mi].Point[k] - pt[k]
+				dist2 += diff * diff
+			}
+			if dist2 <= r2 {
+				modes[mi].Starts++
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			cp := make([]float64, d)
+			copy(cp, pt)
+			modes = append(modes, Mode{Point: cp, Density: densities[i], Starts: 1})
+		}
+	}
+	return modes
+}
+
+// AssignMass distributes the points' weights over the modes: each point
+// is credited to its nearest mode when their scaled-space distance is
+// within cutoff bandwidths, otherwise it stays unassigned. The return
+// value has one total per mode (same order) followed by the unassigned
+// remainder at index len(modes).
+func AssignMass(cfg Config, modes []Mode, points []float64, weights []float64, cutoff float64) ([]float64, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	d := len(cfg.Bandwidth)
+	if len(points)%d != 0 {
+		return nil, ErrDimensionMismatch
+	}
+	n := len(points) / d
+	if len(weights) != n {
+		return nil, ErrDimensionMismatch
+	}
+	if cutoff <= 0 {
+		cutoff = cfg.withDefaults().CutoffSigmas
+	}
+	out := make([]float64, len(modes)+1)
+	c2 := cutoff * cutoff
+	for j := 0; j < n; j++ {
+		best := -1
+		bestD2 := math.Inf(1)
+		for mi := range modes {
+			var d2 float64
+			for k := 0; k < d; k++ {
+				diff := (points[j*d+k] - modes[mi].Point[k]) / cfg.Bandwidth[k]
+				d2 += diff * diff
+			}
+			if d2 < bestD2 {
+				bestD2 = d2
+				best = mi
+			}
+		}
+		if best >= 0 && bestD2 <= c2 {
+			out[best] += weights[j]
+		} else {
+			out[len(modes)] += weights[j]
+		}
+	}
+	return out, nil
+}
+
+// buildGrid indexes the first two scaled dimensions for neighbour
+// pruning.
+func buildGrid(scaled []float64, d int, cutoff float64) *spatial.Grid {
+	n := len(scaled) / d
+	pts := make([]geometry.Vec, n)
+	lo := geometry.V(math.Inf(1), math.Inf(1))
+	hi := geometry.V(math.Inf(-1), math.Inf(-1))
+	for j := 0; j < n; j++ {
+		p := geometry.V(scaled[j*d], scaled[j*d+1])
+		pts[j] = p
+		lo.X = math.Min(lo.X, p.X)
+		lo.Y = math.Min(lo.Y, p.Y)
+		hi.X = math.Max(hi.X, p.X)
+		hi.Y = math.Max(hi.Y, p.Y)
+	}
+	g := spatial.NewGrid(geometry.NewRect(lo, hi), cutoff)
+	g.Rebuild(pts)
+	return g
+}

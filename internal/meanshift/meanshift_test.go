@@ -1,0 +1,247 @@
+package meanshift
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"radloc/internal/rng"
+)
+
+// cluster3 appends n points of a Gaussian cluster at (cx, cy, cs) to
+// the flat arrays.
+func cluster3(s *rng.Stream, pts, ws []float64, n int, cx, cy, cs, spread, w float64) ([]float64, []float64) {
+	for i := 0; i < n; i++ {
+		pts = append(pts,
+			s.Normal(cx, spread),
+			s.Normal(cy, spread),
+			s.Normal(cs, spread*3),
+		)
+		ws = append(ws, w)
+	}
+	return pts, ws
+}
+
+func defaultCfg() Config {
+	return Config{Bandwidth: []float64{4, 4, 30}}
+}
+
+func TestFindModesTwoClusters(t *testing.T) {
+	s := rng.New(1, 1)
+	var pts, ws []float64
+	pts, ws = cluster3(s, pts, ws, 400, 20, 20, 50, 2, 1)
+	pts, ws = cluster3(s, pts, ws, 400, 80, 70, 120, 2, 1)
+
+	// Starts on a coarse grid.
+	var starts []float64
+	for x := 10.0; x <= 90; x += 20 {
+		for y := 10.0; y <= 90; y += 20 {
+			starts = append(starts, x, y, 80)
+		}
+	}
+	modes, err := FindModes(defaultCfg(), pts, ws, starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(modes) != 2 {
+		t.Fatalf("found %d modes, want 2: %+v", len(modes), modes)
+	}
+	// Modes are density-sorted but the clusters are symmetric; match by
+	// distance.
+	for _, want := range [][2]float64{{20, 20}, {80, 70}} {
+		found := false
+		for _, m := range modes {
+			if math.Hypot(m.Point[0]-want[0], m.Point[1]-want[1]) < 3 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no mode near (%v,%v): %+v", want[0], want[1], modes)
+		}
+	}
+	// Strength coordinate recovered too.
+	for _, m := range modes {
+		if m.Point[0] < 50 && math.Abs(m.Point[2]-50) > 15 {
+			t.Errorf("cluster-1 strength mode = %v, want ≈50", m.Point[2])
+		}
+		if m.Point[0] > 50 && math.Abs(m.Point[2]-120) > 15 {
+			t.Errorf("cluster-2 strength mode = %v, want ≈120", m.Point[2])
+		}
+	}
+}
+
+func TestFindModesRespectsWeights(t *testing.T) {
+	s := rng.New(2, 2)
+	var pts, ws []float64
+	// Heavy cluster and a zero-weight cluster: the latter must not
+	// produce a mode.
+	pts, ws = cluster3(s, pts, ws, 300, 25, 25, 40, 2, 1)
+	pts, ws = cluster3(s, pts, ws, 300, 75, 75, 40, 2, 0)
+
+	starts := []float64{25, 25, 40, 75, 75, 40}
+	modes, err := FindModes(defaultCfg(), pts, ws, starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(modes) != 1 {
+		t.Fatalf("modes = %+v, want exactly 1", modes)
+	}
+	if math.Hypot(modes[0].Point[0]-25, modes[0].Point[1]-25) > 3 {
+		t.Errorf("mode at (%v,%v), want near (25,25)", modes[0].Point[0], modes[0].Point[1])
+	}
+}
+
+func TestFindModesMergesDuplicateStarts(t *testing.T) {
+	s := rng.New(3, 3)
+	var pts, ws []float64
+	pts, ws = cluster3(s, pts, ws, 500, 50, 50, 100, 2, 1)
+	var starts []float64
+	// All starts within the kernel cutoff of the cluster so none is
+	// discarded for lack of support.
+	for i := 0; i < 32; i++ {
+		starts = append(starts, s.Uniform(42, 58), s.Uniform(42, 58), s.Uniform(70, 130))
+	}
+	modes, err := FindModes(defaultCfg(), pts, ws, starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(modes) != 1 {
+		t.Fatalf("modes = %d, want 1", len(modes))
+	}
+	if modes[0].Starts != 32 {
+		t.Errorf("merged starts = %d, want 32", modes[0].Starts)
+	}
+}
+
+func TestFindModesEmptyInputs(t *testing.T) {
+	cfg := defaultCfg()
+	if modes, err := FindModes(cfg, nil, nil, []float64{1, 1, 1}); err != nil || modes != nil {
+		t.Errorf("no points: %v, %v", modes, err)
+	}
+	if modes, err := FindModes(cfg, []float64{1, 1, 1}, []float64{1}, nil); err != nil || modes != nil {
+		t.Errorf("no starts: %v, %v", modes, err)
+	}
+}
+
+func TestFindModesErrors(t *testing.T) {
+	if _, err := FindModes(Config{Bandwidth: []float64{4}}, nil, nil, nil); err == nil {
+		t.Error("1-D bandwidth accepted")
+	}
+	if _, err := FindModes(Config{Bandwidth: []float64{4, -1}}, nil, nil, nil); err == nil {
+		t.Error("negative bandwidth accepted")
+	}
+	cfg := defaultCfg()
+	if _, err := FindModes(cfg, []float64{1, 2}, []float64{1}, nil); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("ragged points: %v", err)
+	}
+	if _, err := FindModes(cfg, []float64{1, 2, 3}, []float64{1, 1}, nil); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("weight count mismatch: %v", err)
+	}
+	if _, err := FindModes(cfg, []float64{1, 2, 3}, []float64{1}, []float64{1}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("ragged starts: %v", err)
+	}
+}
+
+func TestStartInDesertIsDiscarded(t *testing.T) {
+	s := rng.New(4, 4)
+	var pts, ws []float64
+	pts, ws = cluster3(s, pts, ws, 200, 10, 10, 50, 1.5, 1)
+	// One start near the cluster, one far outside any kernel support.
+	starts := []float64{12, 12, 60, 900, 900, 50}
+	modes, err := FindModes(defaultCfg(), pts, ws, starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(modes) != 1 {
+		t.Fatalf("modes = %+v, want 1 (desert start discarded)", modes)
+	}
+}
+
+func TestAssignMass(t *testing.T) {
+	s := rng.New(5, 5)
+	var pts, ws []float64
+	pts, ws = cluster3(s, pts, ws, 300, 20, 20, 50, 2, 2)  // mass 600
+	pts, ws = cluster3(s, pts, ws, 100, 80, 80, 100, 2, 1) // mass 100
+	pts = append(pts, 500, 500, 50)                        // outlier
+	ws = append(ws, 5)
+
+	cfg := defaultCfg()
+	starts := []float64{20, 20, 50, 80, 80, 100}
+	modes, err := FindModes(cfg, pts, ws, starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(modes) != 2 {
+		t.Fatalf("modes = %d, want 2", len(modes))
+	}
+	mass, err := AssignMass(cfg, modes, pts, ws, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mass) != 3 {
+		t.Fatalf("mass slots = %d, want 3", len(mass))
+	}
+	var big, small float64
+	if modes[0].Point[0] < 50 {
+		big, small = mass[0], mass[1]
+	} else {
+		big, small = mass[1], mass[0]
+	}
+	if big < 550 || big > 610 {
+		t.Errorf("big-cluster mass = %v, want ≈600", big)
+	}
+	if small < 80 || small > 110 {
+		t.Errorf("small-cluster mass = %v, want ≈100", small)
+	}
+	if mass[2] < 5 {
+		t.Errorf("unassigned mass = %v, want ≥ 5 (the outlier)", mass[2])
+	}
+}
+
+func TestAssignMassErrors(t *testing.T) {
+	cfg := defaultCfg()
+	if _, err := AssignMass(cfg, nil, []float64{1, 2}, []float64{1}, 3); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("ragged points: %v", err)
+	}
+	if _, err := AssignMass(Config{Bandwidth: []float64{0, 1}}, nil, nil, nil, 3); err == nil {
+		t.Error("invalid bandwidth accepted")
+	}
+	// No modes: everything unassigned.
+	mass, err := AssignMass(cfg, nil, []float64{1, 2, 3}, []float64{7}, 3)
+	if err != nil || len(mass) != 1 || mass[0] != 7 {
+		t.Errorf("no-mode assignment = %v, %v", mass, err)
+	}
+}
+
+func TestWorkerCountsAgree(t *testing.T) {
+	s := rng.New(6, 6)
+	var pts, ws []float64
+	pts, ws = cluster3(s, pts, ws, 300, 30, 40, 60, 2, 1)
+	pts, ws = cluster3(s, pts, ws, 300, 70, 60, 140, 2, 1)
+	var starts []float64
+	for i := 0; i < 24; i++ {
+		starts = append(starts, s.Uniform(0, 100), s.Uniform(0, 100), s.Uniform(0, 200))
+	}
+	cfg1 := defaultCfg()
+	cfg1.Workers = 1
+	cfgN := defaultCfg()
+	cfgN.Workers = 8
+	m1, err := FindModes(cfg1, pts, ws, starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mN, err := FindModes(cfgN, pts, ws, starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m1) != len(mN) {
+		t.Fatalf("worker counts disagree: %d vs %d modes", len(m1), len(mN))
+	}
+	for i := range m1 {
+		for k := range m1[i].Point {
+			if math.Abs(m1[i].Point[k]-mN[i].Point[k]) > 1e-6 {
+				t.Fatalf("mode %d dim %d: %v vs %v", i, k, m1[i].Point[k], mN[i].Point[k])
+			}
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package mobile
+
+import (
+	"container/heap"
+	"math"
+
+	"radloc/internal/core"
+	"radloc/internal/geometry"
+	"radloc/internal/radiation"
+)
+
+// AvoidingPlanner wraps a Planner with obstacle avoidance: when the
+// straight line to the desired waypoint crosses an obstacle footprint,
+// it plans a detour with A* over an occupancy grid — the motion-
+// planning concern of the paper's references [19] and [20] (tracking
+// with obstacle detection and avoidance).
+type AvoidingPlanner struct {
+	// Inner chooses the desired waypoint from the particles.
+	Inner Planner
+	// Obstacles are the footprints the surveyor must not enter.
+	Obstacles []radiation.Obstacle
+	// CellSize is the planning grid resolution (default Inner.Speed,
+	// at least 1).
+	CellSize float64
+	// Clearance inflates obstacles by this margin (default CellSize/2).
+	Clearance float64
+}
+
+// Validate checks the planner configuration.
+func (p AvoidingPlanner) Validate() error {
+	return p.Inner.Validate()
+}
+
+func (p AvoidingPlanner) cellSize() float64 {
+	if p.CellSize > 0 {
+		return p.CellSize
+	}
+	return math.Max(p.Inner.Speed, 1)
+}
+
+func (p AvoidingPlanner) clearance() float64 {
+	if p.Clearance > 0 {
+		return p.Clearance
+	}
+	return p.cellSize() / 2
+}
+
+// Next returns the surveyor's next position: the inner planner's move
+// when its line of travel is collision-free, otherwise the first
+// stretch of an A* detour toward the particle mass around the blocking
+// obstacles.
+func (p AvoidingPlanner) Next(cur geometry.Vec, parts []core.Particle) geometry.Vec {
+	target, ok := massCenter(parts)
+	if !ok {
+		return cur
+	}
+	if !p.blockedSegment(cur, target) {
+		want := p.Inner.Next(cur, parts)
+		if !p.blockedSegment(cur, want) && !p.inside(want) {
+			return want
+		}
+	}
+	// The direct line is blocked: plan around the obstacles toward the
+	// mass itself (not the one-step waypoint, which may sit inside the
+	// wall between here and there).
+	path := p.route(cur, target)
+	if len(path) == 0 {
+		// No route (target enclosed): hold position rather than clip
+		// through walls.
+		return cur
+	}
+	// Walk along the planned path up to Speed.
+	budget := p.Inner.Speed
+	pos := cur
+	for _, wp := range path {
+		d := pos.Dist(wp)
+		if d >= budget {
+			return pos.Lerp(wp, budget/d)
+		}
+		budget -= d
+		pos = wp
+	}
+	return pos
+}
+
+// inside reports whether q lies within any (inflated) obstacle.
+func (p AvoidingPlanner) inside(q geometry.Vec) bool {
+	for i := range p.Obstacles {
+		ob := &p.Obstacles[i]
+		if ob.Shape.Bounds().Expand(p.clearance()).Contains(q) {
+			if ob.Shape.Contains(q) {
+				return true
+			}
+			// Near the boundary: respect the clearance margin.
+			for _, e := range ob.Shape.Edges() {
+				if e.DistTo(q) <= p.clearance() {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// blockedSegment reports whether the straight segment a→b crosses any
+// obstacle.
+func (p AvoidingPlanner) blockedSegment(a, b geometry.Vec) bool {
+	s := geometry.Seg(a, b)
+	for i := range p.Obstacles {
+		if p.Obstacles[i].Shape.IntersectsSegment(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// route plans an 8-connected A* path on the occupancy grid from `from`
+// to `to`, returning intermediate waypoints (excluding `from`). An
+// empty result means no route exists.
+func (p AvoidingPlanner) route(from, to geometry.Vec) []geometry.Vec {
+	b := p.Inner.Bounds
+	cs := p.cellSize()
+	nx := int(math.Ceil(b.Width()/cs)) + 1
+	ny := int(math.Ceil(b.Height()/cs)) + 1
+	if nx < 2 || ny < 2 || nx*ny > 1<<20 {
+		return nil
+	}
+	center := func(cx, cy int) geometry.Vec {
+		return geometry.V(b.Min.X+(float64(cx)+0.5)*cs, b.Min.Y+(float64(cy)+0.5)*cs)
+	}
+	cellOf := func(q geometry.Vec) (int, int) {
+		cx := int((q.X - b.Min.X) / cs)
+		cy := int((q.Y - b.Min.Y) / cs)
+		return clampI(cx, 0, nx-1), clampI(cy, 0, ny-1)
+	}
+
+	blocked := make([]bool, nx*ny)
+	for cy := 0; cy < ny; cy++ {
+		for cx := 0; cx < nx; cx++ {
+			blocked[cy*nx+cx] = p.inside(center(cx, cy))
+		}
+	}
+	sx, sy := cellOf(from)
+	tx, ty := cellOf(to)
+	blocked[sy*nx+sx] = false // the surveyor's own cell is passable
+	if blocked[ty*nx+tx] {
+		// The desired waypoint sits inside an obstacle (e.g. the
+		// particle mass centroid falls on a wall): aim for the nearest
+		// free cell instead so the surveyor can still close in.
+		ntx, nty, ok := nearestFree(blocked, nx, ny, tx, ty)
+		if !ok {
+			return nil
+		}
+		tx, ty = ntx, nty
+		to = center(tx, ty)
+	}
+
+	const unvisited = math.MaxFloat64
+	gScore := make([]float64, nx*ny)
+	cameFrom := make([]int32, nx*ny)
+	for i := range gScore {
+		gScore[i] = unvisited
+		cameFrom[i] = -1
+	}
+	h := func(cx, cy int) float64 {
+		return math.Hypot(float64(cx-tx), float64(cy-ty))
+	}
+	start := sy*nx + sx
+	goal := ty*nx + tx
+	gScore[start] = 0
+	pq := &nodeQueue{{idx: start, f: h(sx, sy)}}
+
+	for pq.Len() > 0 {
+		n := heap.Pop(pq).(node)
+		if n.idx == goal {
+			return p.reconstruct(cameFrom, goal, nx, center, to)
+		}
+		cx, cy := n.idx%nx, n.idx/nx
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				mx, my := cx+dx, cy+dy
+				if mx < 0 || my < 0 || mx >= nx || my >= ny {
+					continue
+				}
+				mi := my*nx + mx
+				if blocked[mi] {
+					continue
+				}
+				// Forbid diagonal corner cutting.
+				if dx != 0 && dy != 0 &&
+					(blocked[cy*nx+mx] || blocked[my*nx+cx]) {
+					continue
+				}
+				step := 1.0
+				if dx != 0 && dy != 0 {
+					step = math.Sqrt2
+				}
+				g := gScore[n.idx] + step
+				if g < gScore[mi] {
+					gScore[mi] = g
+					cameFrom[mi] = int32(n.idx)
+					heap.Push(pq, node{idx: mi, f: g + h(mx, my)})
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// reconstruct walks cameFrom back from the goal and returns waypoints
+// in travel order, ending at the exact target.
+func (p AvoidingPlanner) reconstruct(cameFrom []int32, goal, nx int, center func(int, int) geometry.Vec, to geometry.Vec) []geometry.Vec {
+	var rev []geometry.Vec
+	for i := goal; i >= 0; i = int(cameFrom[i]) {
+		rev = append(rev, center(i%nx, i/nx))
+		if cameFrom[i] < 0 {
+			break
+		}
+	}
+	out := make([]geometry.Vec, 0, len(rev))
+	for i := len(rev) - 2; i >= 0; i-- { // drop the start cell
+		out = append(out, rev[i])
+	}
+	if len(out) == 0 {
+		return []geometry.Vec{to}
+	}
+	out[len(out)-1] = to
+	return out
+}
+
+// nearestFree breadth-first-searches outward from (tx, ty) for the
+// closest unblocked cell.
+func nearestFree(blocked []bool, nx, ny, tx, ty int) (int, int, bool) {
+	type cell struct{ x, y int }
+	seen := make(map[cell]bool, 64)
+	queue := []cell{{tx, ty}}
+	seen[cell{tx, ty}] = true
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		if !blocked[c.y*nx+c.x] {
+			return c.x, c.y, true
+		}
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				m := cell{c.x + dx, c.y + dy}
+				if m.x < 0 || m.y < 0 || m.x >= nx || m.y >= ny || seen[m] {
+					continue
+				}
+				seen[m] = true
+				queue = append(queue, m)
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+type node struct {
+	idx int
+	f   float64
+}
+
+type nodeQueue []node
+
+func (q nodeQueue) Len() int           { return len(q) }
+func (q nodeQueue) Less(a, b int) bool { return q[a].f < q[b].f }
+func (q nodeQueue) Swap(a, b int)      { q[a], q[b] = q[b], q[a] }
+func (q *nodeQueue) Push(x any)        { *q = append(*q, x.(node)) }
+func (q *nodeQueue) Pop() any          { old := *q; n := old[len(old)-1]; *q = old[:len(old)-1]; return n }
+
+func clampI(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,114 @@
+// Package mobile implements a controlled search with a moving detector,
+// after Ristic et al. [18] ("A controlled search for radioactive point
+// sources", cited in Section II): a surveyor carries a radiation sensor
+// through the area, each move chosen from the current particle
+// population, and the same particle filter does detection and
+// localization along the way.
+//
+// The planner is the classic greedy two-phase behaviour: while far from
+// the filter's probability mass, drive toward it; once close, orbit it
+// so consecutive readings triangulate the source instead of sampling
+// the same bearing twice.
+package mobile
+
+import (
+	"errors"
+	"math"
+
+	"radloc/internal/core"
+	"radloc/internal/geometry"
+)
+
+// Planner chooses surveyor waypoints from particle populations.
+type Planner struct {
+	// Speed is the distance moved per filter iteration (> 0).
+	Speed float64
+	// Bounds clamps the trajectory.
+	Bounds geometry.Rect
+	// OrbitRadius is the stand-off distance at which the planner stops
+	// approaching and starts circling (default 2 × Speed, at least 5).
+	OrbitRadius float64
+}
+
+// ErrBadPlanner reports an unusable configuration.
+var ErrBadPlanner = errors.New("mobile: bad planner")
+
+// Validate checks the planner configuration.
+func (p Planner) Validate() error {
+	if p.Speed <= 0 {
+		return errors.Join(ErrBadPlanner, errors.New("speed must be positive"))
+	}
+	if p.Bounds.Width() <= 0 || p.Bounds.Height() <= 0 {
+		return errors.Join(ErrBadPlanner, errors.New("empty bounds"))
+	}
+	return nil
+}
+
+func (p Planner) orbitRadius() float64 {
+	r := p.OrbitRadius
+	if r <= 0 {
+		r = math.Max(2*p.Speed, 5)
+	}
+	return r
+}
+
+// Next returns the surveyor's next position given the current particle
+// population. With no usable particles the surveyor holds position.
+func (p Planner) Next(cur geometry.Vec, parts []core.Particle) geometry.Vec {
+	target, ok := massCenter(parts)
+	if !ok {
+		return cur
+	}
+	to := target.Sub(cur)
+	dist := to.Norm()
+	var step geometry.Vec
+	if dist > p.orbitRadius() {
+		// Approach phase.
+		step = to.Unit().Scale(math.Min(p.Speed, dist-p.orbitRadius()/2))
+	} else {
+		// Orbit phase: move tangentially for parallax.
+		step = to.Unit().Perp().Scale(p.Speed)
+	}
+	next := cur.Add(step)
+	return geometry.V(
+		math.Max(p.Bounds.Min.X, math.Min(p.Bounds.Max.X, next.X)),
+		math.Max(p.Bounds.Min.Y, math.Min(p.Bounds.Max.Y, next.Y)),
+	)
+}
+
+// massCenter is the weight-trimmed centroid of the particle positions:
+// only particles at or above the median weight contribute, so the
+// diffuse uniform tail does not drag the target to the area's middle.
+func massCenter(parts []core.Particle) (geometry.Vec, bool) {
+	if len(parts) == 0 {
+		return geometry.Vec{}, false
+	}
+	// A hair of tolerance so a perfectly uniform population (where
+	// rounding can push the mean an ulp above every weight) is not
+	// entirely excluded.
+	med := medianWeight(parts) * (1 - 1e-9)
+	var sx, sy, sw float64
+	for _, pt := range parts {
+		if pt.Weight < med {
+			continue
+		}
+		sx += pt.Weight * pt.Pos.X
+		sy += pt.Weight * pt.Pos.Y
+		sw += pt.Weight
+	}
+	if sw <= 0 {
+		return geometry.Vec{}, false
+	}
+	return geometry.V(sx/sw, sy/sw), true
+}
+
+func medianWeight(parts []core.Particle) float64 {
+	// A full sort is unnecessary: the weights are reset to near-uniform
+	// within fusion discs each iteration, so the mean is a robust
+	// stand-in for the median at a fraction of the cost.
+	var sum float64
+	for _, pt := range parts {
+		sum += pt.Weight
+	}
+	return sum / float64(len(parts))
+}

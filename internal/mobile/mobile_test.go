@@ -1,0 +1,141 @@
+package mobile
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"radloc/internal/core"
+	"radloc/internal/geometry"
+	"radloc/internal/radiation"
+	"radloc/internal/rng"
+	"radloc/internal/sensor"
+)
+
+func bounds100() geometry.Rect {
+	return geometry.NewRect(geometry.V(0, 0), geometry.V(100, 100))
+}
+
+func particlesAt(p geometry.Vec, n int, w float64) []core.Particle {
+	out := make([]core.Particle, n)
+	for i := range out {
+		out[i] = core.Particle{Pos: p, Strength: 10, Weight: w}
+	}
+	return out
+}
+
+func TestPlannerValidate(t *testing.T) {
+	if err := (Planner{Speed: 0, Bounds: bounds100()}).Validate(); !errors.Is(err, ErrBadPlanner) {
+		t.Errorf("zero speed: %v", err)
+	}
+	if err := (Planner{Speed: 2}).Validate(); !errors.Is(err, ErrBadPlanner) {
+		t.Errorf("empty bounds: %v", err)
+	}
+	if err := (Planner{Speed: 2, Bounds: bounds100()}).Validate(); err != nil {
+		t.Errorf("valid planner rejected: %v", err)
+	}
+}
+
+func TestNextApproachesMass(t *testing.T) {
+	p := Planner{Speed: 3, Bounds: bounds100()}
+	parts := particlesAt(geometry.V(80, 80), 100, 1.0/100)
+	cur := geometry.V(10, 10)
+	next := p.Next(cur, parts)
+	if d := next.Dist(cur); d > 3+1e-9 {
+		t.Errorf("moved %v > speed 3", d)
+	}
+	if next.Dist(geometry.V(80, 80)) >= cur.Dist(geometry.V(80, 80)) {
+		t.Error("did not approach the mass")
+	}
+}
+
+func TestNextOrbitsWhenClose(t *testing.T) {
+	p := Planner{Speed: 3, Bounds: bounds100(), OrbitRadius: 8}
+	target := geometry.V(50, 50)
+	parts := particlesAt(target, 100, 1.0/100)
+	cur := geometry.V(56, 50) // within orbit radius
+	next := p.Next(cur, parts)
+	// Orbit: distance to target roughly preserved, position changed.
+	if next.Eq(cur) {
+		t.Fatal("did not move in orbit phase")
+	}
+	d0, d1 := cur.Dist(target), next.Dist(target)
+	if math.Abs(d1-d0) > 1.5 {
+		t.Errorf("orbit radius drifted: %v → %v", d0, d1)
+	}
+}
+
+func TestNextHoldsWithoutParticles(t *testing.T) {
+	p := Planner{Speed: 3, Bounds: bounds100()}
+	cur := geometry.V(20, 20)
+	if next := p.Next(cur, nil); !next.Eq(cur) {
+		t.Errorf("moved with no particles: %v", next)
+	}
+	// All-zero weights hold too.
+	parts := particlesAt(geometry.V(80, 80), 10, 0)
+	if next := p.Next(cur, parts); !next.Eq(cur) {
+		t.Errorf("moved with zero-weight particles: %v", next)
+	}
+}
+
+func TestNextStaysInBounds(t *testing.T) {
+	p := Planner{Speed: 10, Bounds: bounds100()}
+	parts := particlesAt(geometry.V(99, 99), 100, 1.0/100)
+	cur := geometry.V(98, 98)
+	for i := 0; i < 20; i++ {
+		cur = p.Next(cur, parts)
+		if !bounds100().Contains(cur) {
+			t.Fatalf("left bounds: %v", cur)
+		}
+	}
+}
+
+// TestMobileSurveyLocalizes runs the full controlled search: a sparse
+// 3×3 fixed grid cannot pin the source well, but adding one surveyor
+// that drives toward and orbits the filter's mass nails it.
+func TestMobileSurveyLocalizes(t *testing.T) {
+	truth := []radiation.Source{{Pos: geometry.V(68, 37), Strength: 50}}
+	fixed := sensor.Grid(bounds100(), 3, 3, sensor.DefaultEfficiency, 5)
+
+	run := func(withMobile bool) float64 {
+		cfg := core.Config{Bounds: bounds100(), Seed: 9, Workers: 2, FusionRange: 40}
+		loc, err := core.NewLocalizer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream := rng.NewNamed(9, "mobile/measure")
+		planner := Planner{Speed: 4, Bounds: bounds100()}
+		surveyorPos := geometry.V(5, 95)
+		for step := 0; step < 25; step++ {
+			for _, sen := range fixed {
+				m := sen.Measure(stream, truth, nil, step)
+				loc.Ingest(sen, m.CPM)
+			}
+			if withMobile {
+				surveyor := sensor.Sensor{
+					ID:         100,
+					Pos:        surveyorPos,
+					Efficiency: sensor.DefaultEfficiency,
+					Background: 5,
+				}
+				m := surveyor.Measure(stream, truth, nil, step)
+				loc.Ingest(surveyor, m.CPM)
+				surveyorPos = planner.Next(surveyorPos, loc.Particles())
+			}
+		}
+		best := math.Inf(1)
+		for _, e := range loc.Estimates() {
+			best = math.Min(best, e.Pos.Dist(truth[0].Pos))
+		}
+		return best
+	}
+
+	static := run(false)
+	mobile := run(true)
+	if math.IsInf(mobile, 1) || mobile > 6 {
+		t.Errorf("mobile survey error = %v, want ≤ 6", mobile)
+	}
+	if !math.IsInf(static, 1) && mobile > static+2 {
+		t.Errorf("mobile (%v) did not improve over static (%v)", mobile, static)
+	}
+}

@@ -1,0 +1,191 @@
+package network
+
+import (
+	"testing"
+
+	"radloc/internal/geometry"
+	"radloc/internal/rng"
+)
+
+func TestInOrderPlan(t *testing.T) {
+	p := InOrder(4, 3)
+	if err := p.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 12 {
+		t.Fatalf("events = %d, want 12", len(p.Events))
+	}
+	// First four events are step 0 sensors 0..3 in order.
+	for i := 0; i < 4; i++ {
+		e := p.Events[i]
+		if e.SensorIndex != i || e.EmitStep != 0 {
+			t.Errorf("event %d = %+v", i, e)
+		}
+	}
+	if p.ReorderFraction() != 0 {
+		t.Errorf("in-order plan reorder fraction = %v", p.ReorderFraction())
+	}
+}
+
+func TestInOrderDegenerate(t *testing.T) {
+	if p := InOrder(0, 5); len(p.Events) != 0 {
+		t.Errorf("zero sensors: %d events", len(p.Events))
+	}
+	if p := InOrder(5, 0); len(p.Events) != 0 || p.Steps != 0 {
+		t.Errorf("zero steps: %+v", p)
+	}
+}
+
+func TestEventsInStep(t *testing.T) {
+	p := InOrder(6, 4)
+	total := 0
+	for step := 0; step < 4; step++ {
+		evs := p.EventsInStep(step)
+		if len(evs) != 6 {
+			t.Errorf("step %d has %d events, want 6", step, len(evs))
+		}
+		for _, e := range evs {
+			if e.EmitStep != step {
+				t.Errorf("step %d got event emitted at %d", step, e.EmitStep)
+			}
+		}
+		total += len(evs)
+	}
+	if total != len(p.Events) {
+		t.Errorf("steps cover %d of %d events", total, len(p.Events))
+	}
+}
+
+func TestOutOfOrderReordersAndCoversAllSteps(t *testing.T) {
+	s := rng.New(11, 13)
+	p := OutOfOrder(36, 10, s, Options{MeanLatency: 0.8})
+	if err := p.Validate(36); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 360 {
+		t.Fatalf("no-drop plan lost events: %d", len(p.Events))
+	}
+	if f := p.ReorderFraction(); f <= 0.05 {
+		t.Errorf("out-of-order plan barely reordered: %v", f)
+	}
+	// All events are still delivered inside the plan horizon via the
+	// final-step straggler rule.
+	total := 0
+	for step := 0; step < p.Steps; step++ {
+		total += len(p.EventsInStep(step))
+	}
+	if total != len(p.Events) {
+		t.Errorf("steps cover %d of %d events (stragglers lost)", total, len(p.Events))
+	}
+}
+
+func TestOutOfOrderDrops(t *testing.T) {
+	s := rng.New(3, 3)
+	p := OutOfOrder(50, 10, s, Options{MeanLatency: 0.2, DropProb: 0.3})
+	got := len(p.Events)
+	if got >= 500 || got < 250 {
+		t.Errorf("drop prob 0.3 kept %d/500 events", got)
+	}
+	// Clamp out-of-range drop probabilities.
+	all := OutOfOrder(10, 2, rng.New(1, 1), Options{DropProb: 2})
+	if len(all.Events) != 0 {
+		t.Errorf("DropProb>1 should drop everything, kept %d", len(all.Events))
+	}
+	none := OutOfOrder(10, 2, rng.New(1, 1), Options{DropProb: -1})
+	if len(none.Events) != 20 {
+		t.Errorf("DropProb<0 should keep everything, kept %d", len(none.Events))
+	}
+}
+
+func TestOutOfOrderDeterministic(t *testing.T) {
+	p1 := OutOfOrder(20, 5, rng.New(9, 9), Options{MeanLatency: 0.5})
+	p2 := OutOfOrder(20, 5, rng.New(9, 9), Options{MeanLatency: 0.5})
+	if len(p1.Events) != len(p2.Events) {
+		t.Fatal("plans differ in length")
+	}
+	for i := range p1.Events {
+		if p1.Events[i] != p2.Events[i] {
+			t.Fatalf("plans diverge at event %d", i)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	p := InOrder(4, 2)
+	bad := p
+	bad.Events = append([]Event(nil), p.Events...)
+	bad.Events[3].SensorIndex = 99
+	if err := bad.Validate(4); err == nil {
+		t.Error("bad sensor index not caught")
+	}
+	bad.Events[3] = p.Events[3]
+	bad.Events[5].Arrival = -1
+	if err := bad.Validate(4); err == nil {
+		t.Error("non-monotone arrival not caught")
+	}
+	bad.Events[5] = p.Events[5]
+	bad.Events[2].EmitStep = 7
+	if err := bad.Validate(4); err == nil {
+		t.Error("emit step out of range not caught")
+	}
+}
+
+func TestMultiHopLatencyGrowsWithDistance(t *testing.T) {
+	// Sensors at 1, 3 and 9 hops from the sink.
+	sensors := []geometry.Vec{
+		geometry.V(5, 0),  // 1 hop at range 10
+		geometry.V(25, 0), // 3 hops
+		geometry.V(85, 0), // 9 hops
+	}
+	p := MultiHop(sensors, 40, rng.New(7, 7), MultiHopOptions{
+		Sink:          geometry.V(0, 0),
+		RadioRange:    10,
+		PerHopLatency: 0.2,
+	})
+	if err := p.Validate(len(sensors)); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 3*40 {
+		t.Fatalf("events = %d", len(p.Events))
+	}
+	// Mean latency per sensor must be ordered by hop count.
+	var sum [3]float64
+	var n [3]int
+	for _, ev := range p.Events {
+		sum[ev.SensorIndex] += ev.Arrival - float64(ev.EmitStep)
+		n[ev.SensorIndex]++
+	}
+	l0, l1, l2 := sum[0]/float64(n[0]), sum[1]/float64(n[1]), sum[2]/float64(n[2])
+	if !(l0 < l1 && l1 < l2) {
+		t.Errorf("latencies not ordered by hops: %v %v %v", l0, l1, l2)
+	}
+}
+
+func TestMultiHopDropsCompound(t *testing.T) {
+	near := []geometry.Vec{geometry.V(5, 0)} // 1 hop
+	far := []geometry.Vec{geometry.V(95, 0)} // 10 hops
+	opts := MultiHopOptions{Sink: geometry.V(0, 0), RadioRange: 10, PerHopLatency: 0.1, DropPerHop: 0.1}
+	pn := MultiHop(near, 400, rng.New(1, 1), opts)
+	pf := MultiHop(far, 400, rng.New(1, 1), opts)
+	// 1 hop keeps ~90%, 10 hops keep ~35%.
+	if len(pn.Events) < 320 || len(pn.Events) > 390 {
+		t.Errorf("near kept %d/400", len(pn.Events))
+	}
+	if len(pf.Events) > 200 || len(pf.Events) < 80 {
+		t.Errorf("far kept %d/400", len(pf.Events))
+	}
+}
+
+func TestMultiHopDegenerate(t *testing.T) {
+	if p := MultiHop(nil, 5, rng.New(1, 1), MultiHopOptions{}); len(p.Events) != 0 {
+		t.Errorf("no sensors: %d events", len(p.Events))
+	}
+	// Zero radio range falls back, drop ≥ 1 clamps (not everything lost
+	// forever, but nearly).
+	p := MultiHop([]geometry.Vec{geometry.V(0.5, 0)}, 10, rng.New(1, 1), MultiHopOptions{
+		Sink: geometry.V(0, 0), RadioRange: 0, PerHopLatency: 0.1, DropPerHop: 5,
+	})
+	if err := p.Validate(1); err != nil {
+		t.Fatal(err)
+	}
+}

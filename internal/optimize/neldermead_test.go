@@ -1,0 +1,143 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"radloc/internal/rng"
+)
+
+func sphere(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+func rosenbrock(x []float64) float64 {
+	var s float64
+	for i := 0; i+1 < len(x); i++ {
+		a := x[i+1] - x[i]*x[i]
+		b := 1 - x[i]
+		s += 100*a*a + b*b
+	}
+	return s
+}
+
+func TestNelderMeadSphere(t *testing.T) {
+	r, err := NelderMead(Problem{F: sphere}, []float64{3, -4, 5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Converged {
+		t.Error("did not converge on sphere")
+	}
+	for k, v := range r.X {
+		if math.Abs(v) > 1e-3 {
+			t.Errorf("x[%d] = %v, want ≈0", k, v)
+		}
+	}
+	if r.F > 1e-6 {
+		t.Errorf("f = %v", r.F)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	r, err := NelderMead(Problem{F: rosenbrock}, []float64{-1.2, 1}, Options{MaxIter: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]-1) > 1e-2 || math.Abs(r.X[1]-1) > 1e-2 {
+		t.Errorf("rosenbrock minimum at %v, want (1,1)", r.X)
+	}
+}
+
+func TestNelderMeadRespectsBounds(t *testing.T) {
+	// Unconstrained minimum at (−2, −2); box forces (0, 0).
+	f := func(x []float64) float64 {
+		return (x[0]+2)*(x[0]+2) + (x[1]+2)*(x[1]+2)
+	}
+	p := Problem{F: f, Lower: []float64{0, 0}, Upper: []float64{5, 5}}
+	r, err := NelderMead(p, []float64{3, 3}, Options{MaxIter: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range r.X {
+		if v < -1e-12 || v > 5+1e-12 {
+			t.Fatalf("x[%d] = %v violates bounds", k, v)
+		}
+	}
+	if r.X[0] > 0.05 || r.X[1] > 0.05 {
+		t.Errorf("constrained minimum at %v, want ≈(0,0)", r.X)
+	}
+}
+
+func TestNelderMeadNaNObjective(t *testing.T) {
+	// NaN regions are treated as +Inf, not propagated.
+	f := func(x []float64) float64 {
+		if x[0] < 0 {
+			return math.NaN()
+		}
+		return (x[0] - 2) * (x[0] - 2)
+	}
+	r, err := NelderMead(Problem{F: f}, []float64{5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]-2) > 1e-3 {
+		t.Errorf("minimum at %v, want 2", r.X[0])
+	}
+}
+
+func TestNelderMeadErrors(t *testing.T) {
+	if _, err := NelderMead(Problem{F: sphere}, nil, Options{}); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("empty start: %v", err)
+	}
+	if _, err := NelderMead(Problem{}, []float64{1}, Options{}); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("nil objective: %v", err)
+	}
+	p := Problem{F: sphere, Lower: []float64{0}}
+	if _, err := NelderMead(p, []float64{1, 2}, Options{}); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("bounds mismatch: %v", err)
+	}
+}
+
+func TestNelderMeadIterationBudget(t *testing.T) {
+	evals := 0
+	f := func(x []float64) float64 { evals++; return sphere(x) }
+	r, err := NelderMead(Problem{F: f}, []float64{100, 100}, Options{MaxIter: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Converged {
+		t.Error("claimed convergence after 5 iterations from (100,100)")
+	}
+	if r.Iters != 5 {
+		t.Errorf("iters = %d, want 5", r.Iters)
+	}
+}
+
+func TestMultiStartFindsGlobalMinimum(t *testing.T) {
+	// Double well: local minimum at x≈3, global at x≈−3 (deeper).
+	f := func(x []float64) float64 {
+		a := x[0] - 3
+		b := x[0] + 3
+		return math.Min(a*a, b*b-1)
+	}
+	p := Problem{F: f, Lower: []float64{-10}, Upper: []float64{10}}
+	r, err := MultiStart(p, 20, rng.New(1, 1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X[0]+3) > 0.1 {
+		t.Errorf("MultiStart found %v, want global minimum ≈ −3", r.X[0])
+	}
+}
+
+func TestMultiStartRequiresBox(t *testing.T) {
+	if _, err := MultiStart(Problem{F: sphere}, 5, rng.New(1, 1), Options{}); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("missing box: %v", err)
+	}
+}

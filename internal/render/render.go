@@ -1,0 +1,170 @@
+// Package render draws scenarios, particle clouds and estimates as
+// ASCII density maps (for terminals; Fig. 4-style snapshots) and SVG
+// documents (for reports; Fig. 8-style layout plots). Pure stdlib.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"radloc/internal/core"
+	"radloc/internal/geometry"
+	"radloc/internal/scenario"
+)
+
+// ASCIIOptions control the terminal renderer.
+type ASCIIOptions struct {
+	// Cols and Rows set the character raster (defaults 60×30).
+	Cols, Rows int
+}
+
+func (o ASCIIOptions) withDefaults() ASCIIOptions {
+	if o.Cols <= 0 {
+		o.Cols = 60
+	}
+	if o.Rows <= 0 {
+		o.Rows = 30
+	}
+	return o
+}
+
+// ASCII renders the particle cloud of a scenario as a density map.
+// Sources print as 'O', estimates as 'X', sensors as '+' (on empty
+// cells); density uses " .:-=+*#%@".
+func ASCII(sc scenario.Scenario, parts []core.Particle, ests []core.Estimate, opts ASCIIOptions) string {
+	opts = opts.withDefaults()
+	cols, rows := opts.Cols, opts.Rows
+
+	toCell := func(p geometry.Vec) (int, int, bool) {
+		if sc.Bounds.Width() <= 0 || sc.Bounds.Height() <= 0 {
+			return 0, 0, false
+		}
+		cx := int((p.X - sc.Bounds.Min.X) / sc.Bounds.Width() * float64(cols-1))
+		cy := int((p.Y - sc.Bounds.Min.Y) / sc.Bounds.Height() * float64(rows-1))
+		if cx < 0 || cy < 0 || cx >= cols || cy >= rows {
+			return 0, 0, false
+		}
+		return cx, cy, true
+	}
+
+	grid := make([]int, cols*rows)
+	maxCount := 0
+	for _, p := range parts {
+		if cx, cy, ok := toCell(p.Pos); ok {
+			grid[cy*cols+cx]++
+			if grid[cy*cols+cx] > maxCount {
+				maxCount = grid[cy*cols+cx]
+			}
+		}
+	}
+
+	shades := []byte(" .:-=+*#%@")
+	canvas := make([][]byte, rows)
+	for cy := range canvas {
+		canvas[cy] = make([]byte, cols)
+		for cx := 0; cx < cols; cx++ {
+			n := grid[cy*cols+cx]
+			idx := 0
+			if maxCount > 0 && n > 0 {
+				idx = 1 + n*(len(shades)-2)/maxCount
+				if idx >= len(shades) {
+					idx = len(shades) - 1
+				}
+			}
+			canvas[cy][cx] = shades[idx]
+		}
+	}
+	for _, s := range sc.Sensors {
+		if cx, cy, ok := toCell(s.Pos); ok && canvas[cy][cx] == ' ' {
+			canvas[cy][cx] = '+'
+		}
+	}
+	for _, e := range ests {
+		if cx, cy, ok := toCell(e.Pos); ok {
+			canvas[cy][cx] = 'X'
+		}
+	}
+	for _, s := range sc.Sources {
+		if cx, cy, ok := toCell(s.Pos); ok {
+			canvas[cy][cx] = 'O'
+		}
+	}
+
+	var b strings.Builder
+	b.Grow((cols + 1) * rows)
+	for cy := rows - 1; cy >= 0; cy-- {
+		b.Write(canvas[cy])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SVGOptions control the SVG renderer.
+type SVGOptions struct {
+	// WidthPx is the pixel width of the document (default 640); height
+	// follows the bounds' aspect ratio.
+	WidthPx int
+	// ShowParticles toggles particle dots.
+	ShowParticles bool
+}
+
+func (o SVGOptions) withDefaults() SVGOptions {
+	if o.WidthPx <= 0 {
+		o.WidthPx = 640
+	}
+	return o
+}
+
+// SVG renders the scenario layout (sensors, sources, obstacles) plus
+// optional particles and estimates into a standalone SVG document.
+func SVG(sc scenario.Scenario, parts []core.Particle, ests []core.Estimate, opts SVGOptions) string {
+	opts = opts.withDefaults()
+	w := float64(opts.WidthPx)
+	scale := w / sc.Bounds.Width()
+	h := sc.Bounds.Height() * scale
+
+	// SVG y grows downward; flip so the plot matches the paper's axes.
+	tx := func(p geometry.Vec) (float64, float64) {
+		return (p.X - sc.Bounds.Min.X) * scale, h - (p.Y-sc.Bounds.Min.Y)*scale
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%.0f" height="%.0f" fill="white" stroke="black"/>`+"\n", w, h)
+
+	for _, o := range sc.Obstacles {
+		var pts []string
+		for _, v := range o.Shape.Vertices() {
+			x, y := tx(v)
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+		}
+		fmt.Fprintf(&b, `<polygon points="%s" fill="#bbbbbb" stroke="#555555"><title>%s µ=%.4g</title></polygon>`+"\n",
+			strings.Join(pts, " "), svgEscape(o.Name), o.Mu)
+	}
+	if opts.ShowParticles {
+		for _, p := range parts {
+			x, y := tx(p.Pos)
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="1" fill="#3366cc" fill-opacity="0.35"/>`+"\n", x, y)
+		}
+	}
+	for _, s := range sc.Sensors {
+		x, y := tx(s.Pos)
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="5" height="5" fill="none" stroke="#009900"><title>sensor %d</title></rect>`+"\n", x-2.5, y-2.5, s.ID)
+	}
+	for i, s := range sc.Sources {
+		x, y := tx(s.Pos)
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="5" fill="#cc0000"><title>S%d %.4g µCi</title></circle>`+"\n", x, y, i+1, s.Strength)
+	}
+	for _, e := range ests {
+		x, y := tx(e.Pos)
+		fmt.Fprintf(&b, `<path d="M %.1f %.1f l 8 8 m -8 0 l 8 -8" stroke="#ff9900" stroke-width="2" fill="none"><title>est %.4g µCi (mass %.3f)</title></path>`+"\n",
+			x-4, y-4, e.Strength, e.Mass)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,138 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"radloc/internal/core"
+	"radloc/internal/geometry"
+	"radloc/internal/scenario"
+)
+
+func particlesAt(p geometry.Vec, n int) []core.Particle {
+	out := make([]core.Particle, n)
+	for i := range out {
+		out[i] = core.Particle{Pos: p, Strength: 10, Weight: 1}
+	}
+	return out
+}
+
+func TestASCIIBasics(t *testing.T) {
+	sc := scenario.A(10, false)
+	parts := particlesAt(geometry.V(30, 30), 100)
+	ests := []core.Estimate{{Pos: geometry.V(70, 80), Strength: 10, Mass: 0.3}}
+
+	out := ASCII(sc, parts, ests, ASCIIOptions{})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 30 {
+		t.Fatalf("rows = %d, want 30", len(lines))
+	}
+	for i, l := range lines {
+		if len(l) != 60 {
+			t.Fatalf("row %d width = %d, want 60", i, len(l))
+		}
+	}
+	if !strings.Contains(out, "O") {
+		t.Error("sources not marked")
+	}
+	if !strings.Contains(out, "X") {
+		t.Error("estimates not marked")
+	}
+	if !strings.Contains(out, "+") {
+		t.Error("sensors not marked")
+	}
+	if !strings.Contains(out, "@") {
+		t.Error("dense particle cell not at darkest shade")
+	}
+}
+
+func TestASCIIOrientationYUp(t *testing.T) {
+	// A particle cluster at the TOP of the area must appear in the
+	// FIRST rendered line (y grows upward like the paper's plots).
+	sc := scenario.A(10, false)
+	sc.Sources = nil
+	sc.Sensors = sc.Sensors[:1] // single sensor at (0,0) = bottom-left
+	parts := particlesAt(geometry.V(50, 100), 50)
+	out := ASCII(sc, parts, nil, ASCIIOptions{Cols: 20, Rows: 10})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[0], "@") {
+		t.Errorf("top cluster not in first line:\n%s", out)
+	}
+	if !strings.Contains(lines[len(lines)-1], "+") {
+		t.Errorf("bottom-left sensor not in last line:\n%s", out)
+	}
+}
+
+func TestASCIIOutOfBoundsIgnored(t *testing.T) {
+	sc := scenario.A(10, false)
+	parts := []core.Particle{{Pos: geometry.V(-50, -50)}, {Pos: geometry.V(500, 500)}}
+	out := ASCII(sc, parts, nil, ASCIIOptions{Cols: 10, Rows: 5})
+	if strings.ContainsAny(out, ".@#") {
+		t.Errorf("out-of-bounds particles rendered:\n%s", out)
+	}
+}
+
+func TestASCIIEmpty(t *testing.T) {
+	sc := scenario.A(10, false)
+	out := ASCII(sc, nil, nil, ASCIIOptions{Cols: 10, Rows: 5})
+	if len(out) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestSVGStructure(t *testing.T) {
+	sc := scenario.A(10, true)
+	parts := particlesAt(geometry.V(47, 71), 5)
+	ests := []core.Estimate{{Pos: geometry.V(81, 42), Strength: 12, Mass: 0.2}}
+	out := SVG(sc, parts, ests, SVGOptions{ShowParticles: true})
+
+	for _, want := range []string{
+		"<svg", "</svg>",
+		"<polygon",          // the obstacle
+		`fill="#cc0000"`,    // sources
+		`stroke="#009900"`,  // sensors
+		`stroke="#ff9900"`,  // estimate cross
+		`fill-opacity`,      // particles
+		"sensor 0", "S1 10", // titles
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// 36 sensors → 36 rects (plus background rect).
+	if n := strings.Count(out, "<rect"); n != 37 {
+		t.Errorf("rect count = %d, want 37", n)
+	}
+	if n := strings.Count(out, "<circle"); n != 2+5 {
+		t.Errorf("circle count = %d, want 7 (2 sources + 5 particles)", n)
+	}
+}
+
+func TestSVGHidesParticlesByDefault(t *testing.T) {
+	sc := scenario.A(10, false)
+	parts := particlesAt(geometry.V(47, 71), 5)
+	out := SVG(sc, parts, nil, SVGOptions{})
+	if strings.Contains(out, "fill-opacity") {
+		t.Error("particles rendered although ShowParticles=false")
+	}
+}
+
+func TestSVGEscapesNames(t *testing.T) {
+	sc := scenario.A(10, true)
+	sc.Obstacles[0].Name = `<&">`
+	out := SVG(sc, nil, nil, SVGOptions{})
+	if strings.Contains(out, `<&">`) {
+		t.Error("obstacle name not escaped")
+	}
+	if !strings.Contains(out, "&lt;&amp;&quot;&gt;") {
+		t.Error("escaped name missing")
+	}
+}
+
+func TestSVGAspectRatio(t *testing.T) {
+	sc := scenario.A(10, false) // square bounds
+	out := SVG(sc, nil, nil, SVGOptions{WidthPx: 400})
+	if !strings.Contains(out, `width="400" height="400"`) {
+		t.Errorf("square bounds should give square SVG: %s", out[:120])
+	}
+}

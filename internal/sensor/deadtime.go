@@ -1,0 +1,54 @@
+package sensor
+
+import (
+	"errors"
+	"math"
+)
+
+// Geiger–Müller counters cannot register a second ionization while the
+// tube recovers from the previous one, so observed count rates saturate
+// at high intensities. The standard non-paralyzable model relates the
+// true rate n (CPM) to the observed rate m:
+//
+//	m = n / (1 + n·τ)    and inversely    n = m / (1 − m·τ)
+//
+// with τ the dead time in minutes. Typical GM dead times are 50–200 µs
+// (≈ 1–3×10⁻⁶ min), so the distortion only matters near strong sources —
+// exactly the sensors whose readings drive localization, which is why a
+// production deployment corrects for it before feeding the filter.
+
+// ErrSaturated is returned by CorrectDeadTime when the observed rate
+// is at or beyond the theoretical saturation limit 1/τ.
+var ErrSaturated = errors.New("sensor: reading at or beyond dead-time saturation")
+
+// ApplyDeadTime maps a true rate to the expected observed rate under
+// the non-paralyzable model. τ ≤ 0 is a perfect counter.
+func ApplyDeadTime(trueCPM, tauMinutes float64) float64 {
+	if tauMinutes <= 0 || trueCPM <= 0 {
+		return math.Max(trueCPM, 0)
+	}
+	return trueCPM / (1 + trueCPM*tauMinutes)
+}
+
+// CorrectDeadTime inverts ApplyDeadTime: recover the true rate from an
+// observed rate. Returns ErrSaturated when observed·τ ≥ 1 (no finite
+// true rate produces such a reading).
+func CorrectDeadTime(observedCPM, tauMinutes float64) (float64, error) {
+	if tauMinutes <= 0 || observedCPM <= 0 {
+		return math.Max(observedCPM, 0), nil
+	}
+	denom := 1 - observedCPM*tauMinutes
+	if denom <= 0 {
+		return 0, ErrSaturated
+	}
+	return observedCPM / denom, nil
+}
+
+// SaturationCPM returns the maximum observable rate 1/τ of a counter
+// with the given dead time (infinite for a perfect counter).
+func SaturationCPM(tauMinutes float64) float64 {
+	if tauMinutes <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / tauMinutes
+}

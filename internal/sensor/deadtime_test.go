@@ -1,0 +1,81 @@
+package sensor
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestApplyDeadTimeBasics(t *testing.T) {
+	// Perfect counter: identity.
+	if got := ApplyDeadTime(1000, 0); got != 1000 {
+		t.Errorf("τ=0: %v", got)
+	}
+	if got := ApplyDeadTime(-5, 1e-6); got != 0 {
+		t.Errorf("negative rate: %v", got)
+	}
+	// At n = 1/τ the observed rate is exactly half the true rate.
+	tau := 2e-6
+	n := 1 / tau
+	if got := ApplyDeadTime(n, tau); math.Abs(got-n/2) > 1e-6 {
+		t.Errorf("half-rate point: %v, want %v", got, n/2)
+	}
+	// Low rates are barely affected.
+	if got := ApplyDeadTime(100, 1e-6); math.Abs(got-100)/100 > 1e-3 {
+		t.Errorf("low-rate distortion too large: %v", got)
+	}
+	// Observed rate can never exceed saturation.
+	if got := ApplyDeadTime(1e12, tau); got > SaturationCPM(tau) {
+		t.Errorf("observed %v beyond saturation %v", got, SaturationCPM(tau))
+	}
+}
+
+func TestCorrectDeadTimeRoundTrip(t *testing.T) {
+	f := func(rate uint32, tauExp uint8) bool {
+		trueCPM := float64(rate%2_000_000) + 1
+		tau := math.Pow(10, -6-float64(tauExp%3)) // 1e-6 .. 1e-8 min
+		obs := ApplyDeadTime(trueCPM, tau)
+		back, err := CorrectDeadTime(obs, tau)
+		if err != nil {
+			return false
+		}
+		return math.Abs(back-trueCPM) <= 1e-6*(1+trueCPM)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorrectDeadTimeSaturation(t *testing.T) {
+	tau := 1e-6
+	sat := SaturationCPM(tau)
+	if _, err := CorrectDeadTime(sat, tau); !errors.Is(err, ErrSaturated) {
+		t.Errorf("at saturation: %v", err)
+	}
+	if _, err := CorrectDeadTime(sat*1.5, tau); !errors.Is(err, ErrSaturated) {
+		t.Errorf("beyond saturation: %v", err)
+	}
+	got, err := CorrectDeadTime(sat*0.5, tau)
+	if err != nil || math.Abs(got-sat) > 1e-6 {
+		t.Errorf("half saturation corrects to 1/τ: %v, %v", got, err)
+	}
+}
+
+func TestCorrectDeadTimeDegenerate(t *testing.T) {
+	if got, err := CorrectDeadTime(500, 0); err != nil || got != 500 {
+		t.Errorf("perfect counter: %v, %v", got, err)
+	}
+	if got, err := CorrectDeadTime(-3, 1e-6); err != nil || got != 0 {
+		t.Errorf("negative reading: %v, %v", got, err)
+	}
+}
+
+func TestSaturationCPM(t *testing.T) {
+	if got := SaturationCPM(0); !math.IsInf(got, 1) {
+		t.Errorf("perfect counter saturation: %v", got)
+	}
+	if got := SaturationCPM(2e-6); math.Abs(got-5e5) > 1 {
+		t.Errorf("saturation: %v, want 5e5", got)
+	}
+}

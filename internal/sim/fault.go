@@ -1,0 +1,66 @@
+package sim
+
+import "fmt"
+
+// FaultMode classifies a sensor malfunction.
+type FaultMode int
+
+// Fault modes.
+const (
+	// FaultDead drops every message from the sensor (battery death,
+	// radio failure).
+	FaultDead FaultMode = iota + 1
+	// FaultStuck replaces every reading with StuckCPM (ADC failure,
+	// saturated or shorted counter).
+	FaultStuck
+)
+
+// String implements fmt.Stringer.
+func (m FaultMode) String() string {
+	switch m {
+	case FaultDead:
+		return "dead"
+	case FaultStuck:
+		return "stuck"
+	default:
+		return fmt.Sprintf("FaultMode(%d)", int(m))
+	}
+}
+
+// Fault injects one sensor malfunction for the whole run — the paper
+// claims robustness against "malfunctioning of unreliable sensors"
+// (Section V), which these experiments quantify.
+type Fault struct {
+	SensorIndex int
+	Mode        FaultMode
+	// StuckCPM is the constant reading reported under FaultStuck.
+	StuckCPM int
+}
+
+// validateFaults checks fault specs against the sensor count.
+func validateFaults(faults []Fault, numSensors int) error {
+	for i, f := range faults {
+		if f.SensorIndex < 0 || f.SensorIndex >= numSensors {
+			return fmt.Errorf("sim: fault %d targets sensor %d of %d", i, f.SensorIndex, numSensors)
+		}
+		if f.Mode != FaultDead && f.Mode != FaultStuck {
+			return fmt.Errorf("sim: fault %d has unknown mode %d", i, int(f.Mode))
+		}
+		if f.Mode == FaultStuck && f.StuckCPM < 0 {
+			return fmt.Errorf("sim: fault %d has negative stuck CPM", i)
+		}
+	}
+	return nil
+}
+
+// faultTable indexes faults by sensor for the hot loop.
+func faultTable(faults []Fault, numSensors int) []*Fault {
+	if len(faults) == 0 {
+		return nil
+	}
+	table := make([]*Fault, numSensors)
+	for i := range faults {
+		table[faults[i].SensorIndex] = &faults[i]
+	}
+	return table
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFaultValidation(t *testing.T) {
+	sc := quickScenario(50)
+	tests := []struct {
+		name  string
+		fault Fault
+	}{
+		{"index-negative", Fault{SensorIndex: -1, Mode: FaultDead}},
+		{"index-too-big", Fault{SensorIndex: 99, Mode: FaultDead}},
+		{"bad-mode", Fault{SensorIndex: 0, Mode: 0}},
+		{"negative-stuck", Fault{SensorIndex: 0, Mode: FaultStuck, StuckCPM: -5}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Run(sc, Options{Seed: 1, Faults: []Fault{tt.fault}}); err == nil {
+				t.Error("invalid fault accepted")
+			}
+		})
+	}
+}
+
+func TestFaultModeString(t *testing.T) {
+	if FaultDead.String() != "dead" || FaultStuck.String() != "stuck" {
+		t.Error("fault mode names wrong")
+	}
+	if !strings.Contains(FaultMode(9).String(), "9") {
+		t.Error("unknown mode string")
+	}
+}
+
+// TestRobustToDeadSensors: the paper claims robustness against sensor
+// malfunction. With 4 of 36 sensors dead the localizer must still find
+// both sources with only mildly degraded accuracy.
+func TestRobustToDeadSensors(t *testing.T) {
+	sc := quickScenario(50)
+	sc.Params.TimeSteps = 10
+
+	healthy, err := Run(sc, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := []Fault{
+		{SensorIndex: 7, Mode: FaultDead},
+		{SensorIndex: 14, Mode: FaultDead},
+		{SensorIndex: 21, Mode: FaultDead},
+		{SensorIndex: 28, Mode: FaultDead},
+	}
+	faulty, err := Run(sc, Options{Seed: 6, Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := sc.Params.TimeSteps - 1
+	if math.IsNaN(faulty.MeanErr[last]) {
+		t.Fatal("sources lost with 4/36 dead sensors")
+	}
+	if faulty.MeanErr[last] > healthy.MeanErr[last]+8 {
+		t.Errorf("dead sensors degrade error too much: %v vs %v",
+			faulty.MeanErr[last], healthy.MeanErr[last])
+	}
+	if faulty.FalseNeg[last] > 1 {
+		t.Errorf("false negatives with dead sensors: %v", faulty.FalseNeg[last])
+	}
+}
+
+// TestRobustToStuckSensor: one sensor reporting a wild constant reading
+// creates localized disturbance but must not destroy the other source's
+// estimate.
+func TestRobustToStuckSensor(t *testing.T) {
+	sc := quickScenario(50)
+	sc.Params.TimeSteps = 10
+	// Sensor 0 sits at (0,0), far from both sources; it screams 500 CPM.
+	faulty, err := Run(sc, Options{Seed: 8, Faults: []Fault{
+		{SensorIndex: 0, Mode: FaultStuck, StuckCPM: 500},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := sc.Params.TimeSteps - 1
+	// Both true sources still found...
+	if faulty.FalseNeg[last] > 0.5 {
+		t.Errorf("stuck sensor causes FN: %v", faulty.FalseNeg[last])
+	}
+	if math.IsNaN(faulty.MeanErr[last]) || faulty.MeanErr[last] > 10 {
+		t.Errorf("stuck sensor degrades error: %v", faulty.MeanErr[last])
+	}
+	// ...though a phantom source near the stuck sensor is expected (it
+	// honestly reports a huge rate). That is a false positive, not a
+	// localization failure.
+	if faulty.FalsePos[last] < 0.5 {
+		t.Logf("note: no phantom near the stuck sensor (fine, fusion discs overlap)")
+	}
+}
+
+// TestDeadSensorNeverIngested: a dead sensor must contribute zero
+// iterations.
+func TestDeadSensorNeverIngested(t *testing.T) {
+	sc := quickScenario(50)
+	sc.Params.TimeSteps = 4
+	all := len(sc.Sensors) * sc.Params.TimeSteps
+
+	res, err := Run(sc, Options{Seed: 2, Faults: []Fault{{SensorIndex: 3, Mode: FaultDead}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// IterTime is averaged over ingested measurements; we can't observe
+	// the count directly, but a dead sensor shows up as missing
+	// events: verify via a scenario-level invariant instead — the run
+	// completes with the correct number of steps.
+	if len(res.Trials[0].Steps) != sc.Params.TimeSteps {
+		t.Fatalf("steps = %d", len(res.Trials[0].Steps))
+	}
+	_ = all
+}
+
+func TestAllSensorsDeadStillRuns(t *testing.T) {
+	sc := quickScenario(50)
+	sc.Params.TimeSteps = 3
+	faults := make([]Fault, len(sc.Sensors))
+	for i := range faults {
+		faults[i] = Fault{SensorIndex: i, Mode: FaultDead}
+	}
+	res, err := Run(sc, Options{Seed: 2, Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing ingested: particles stay uniform; either no estimates or
+	// random weak ones, but the harness must not crash and FN counts
+	// both sources... (estimates may flicker; just check shape).
+	if len(res.Trials[0].Steps) != 3 {
+		t.Fatalf("steps = %d", len(res.Trials[0].Steps))
+	}
+}

@@ -1,0 +1,283 @@
+// Package sim drives complete experiments: it wires a scenario's
+// sensors, sources and obstacles to a core.Localizer through a network
+// delivery plan, advances time step by step (one step = every sensor
+// reports once, Section VI), scores each step with eval.Match, and
+// aggregates repeated trials — the loop behind every figure in the
+// paper's evaluation.
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"radloc/internal/core"
+	"radloc/internal/eval"
+	"radloc/internal/network"
+	"radloc/internal/rng"
+	"radloc/internal/scenario"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Seed is the root seed; trial r derives all randomness from
+	// (Seed, r).
+	Seed uint64
+	// Reps is the number of repeated trials averaged together (the
+	// paper uses 10). Default 1.
+	Reps int
+	// TrialWorkers bounds how many trials run concurrently (default 1;
+	// each trial's mean-shift still parallelizes internally unless
+	// CoreWorkers is 1).
+	TrialWorkers int
+	// CoreWorkers overrides the localizer's internal worker count
+	// (default: 1 when TrialWorkers > 1, else GOMAXPROCS via core).
+	CoreWorkers int
+	// SnapshotSteps lists time steps after which the particle
+	// population of trial 0 is recorded (Fig. 4).
+	SnapshotSteps []int
+	// Faults injects sensor malfunctions (dead or stuck sensors) for
+	// robustness experiments.
+	Faults []Fault
+}
+
+func (o Options) withDefaults() Options {
+	if o.Reps <= 0 {
+		o.Reps = 1
+	}
+	if o.TrialWorkers <= 0 {
+		o.TrialWorkers = 1
+	}
+	if o.CoreWorkers <= 0 {
+		if o.TrialWorkers > 1 {
+			o.CoreWorkers = 1
+		}
+	}
+	return o
+}
+
+// StepStat holds one trial's metrics at the end of one time step.
+type StepStat struct {
+	Step      int
+	SourceErr []float64 // per-source localization error, NaN = false negative
+	FalsePos  int
+	FalseNeg  int
+	Estimates int
+}
+
+// Trial is the outcome of one simulation run.
+type Trial struct {
+	Steps []StepStat
+	// IterTime is the mean wall-clock time per filter iteration
+	// (Ingest), and EstimateTime per Estimates() call.
+	IterTime     time.Duration
+	EstimateTime time.Duration
+	// Snapshots holds particle populations recorded after the requested
+	// steps (only on trial 0).
+	Snapshots map[int][]core.Particle
+	// FinalEstimates is the estimate set after the last step.
+	FinalEstimates []core.Estimate
+}
+
+// Result aggregates all trials of a scenario.
+type Result struct {
+	Scenario scenario.Scenario
+	Trials   []Trial
+
+	// ErrBySource[s][t] is the mean (over trials, ignoring false
+	// negatives) localization error of source s at step t.
+	ErrBySource [][]float64
+	// MeanErr[t] is the mean over sources of ErrBySource at step t.
+	MeanErr []float64
+	// FalsePos[t] and FalseNeg[t] are mean counts per step.
+	FalsePos []float64
+	FalseNeg []float64
+}
+
+// Run executes a scenario and aggregates the trials.
+func Run(sc scenario.Scenario, opts Options) (Result, error) {
+	if err := sc.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := validateFaults(opts.Faults, len(sc.Sensors)); err != nil {
+		return Result{}, err
+	}
+	opts = opts.withDefaults()
+
+	trials := make([]Trial, opts.Reps)
+	errs := make([]error, opts.Reps)
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.TrialWorkers)
+	for r := 0; r < opts.Reps; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var snaps []int
+			if r == 0 {
+				snaps = opts.SnapshotSteps
+			}
+			trials[r], errs[r] = runTrial(sc, opts, uint64(r), snaps)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	res := Result{Scenario: sc, Trials: trials}
+	res.aggregate()
+	return res, nil
+}
+
+// runTrial executes one end-to-end simulation.
+func runTrial(sc scenario.Scenario, opts Options, rep uint64, snapshotSteps []int) (Trial, error) {
+	seed := opts.Seed*1_000_003 + rep
+	cfg := LocalizerConfig(sc)
+	cfg.Seed = seed
+	if opts.CoreWorkers > 0 {
+		cfg.Workers = opts.CoreWorkers
+	}
+	loc, err := core.NewLocalizer(cfg)
+	if err != nil {
+		return Trial{}, fmt.Errorf("trial %d: %w", rep, err)
+	}
+
+	steps := sc.Params.TimeSteps
+	var plan network.Plan
+	if sc.OutOfOrder {
+		plan = network.OutOfOrder(len(sc.Sensors), steps, rng.NewNamed(seed, "sim/delivery"), network.Options{
+			MeanLatency: sc.MeanLatency,
+		})
+	} else {
+		plan = network.InOrder(len(sc.Sensors), steps)
+	}
+
+	measure := rng.NewNamed(seed, "sim/measurements")
+	snapWant := make(map[int]bool, len(snapshotSteps))
+	for _, s := range snapshotSteps {
+		snapWant[s] = true
+	}
+
+	tr := Trial{Steps: make([]StepStat, 0, steps)}
+	if len(snapWant) > 0 {
+		tr.Snapshots = make(map[int][]core.Particle, len(snapWant))
+	}
+	var iterTotal, estTotal time.Duration
+	iterCount := 0
+
+	faults := faultTable(opts.Faults, len(sc.Sensors))
+
+	for step := 0; step < steps; step++ {
+		for _, ev := range plan.EventsInStep(step) {
+			sen := sc.Sensors[ev.SensorIndex]
+			m := sen.Measure(measure, sc.Sources, sc.Obstacles, ev.EmitStep)
+			if faults != nil {
+				if f := faults[ev.SensorIndex]; f != nil {
+					if f.Mode == FaultDead {
+						continue
+					}
+					m.CPM = f.StuckCPM
+				}
+			}
+			t0 := time.Now()
+			loc.Ingest(sen, m.CPM)
+			iterTotal += time.Since(t0)
+			iterCount++
+		}
+
+		t0 := time.Now()
+		ests := loc.Estimates()
+		estTotal += time.Since(t0)
+
+		match := eval.Match(ests, sc.Sources, sc.Params.MatchRadius)
+		tr.Steps = append(tr.Steps, StepStat{
+			Step:      step,
+			SourceErr: match.Err,
+			FalsePos:  match.FalsePos,
+			FalseNeg:  match.FalseNeg,
+			Estimates: len(ests),
+		})
+		if snapWant[step] {
+			tr.Snapshots[step] = loc.Particles()
+		}
+		if step == steps-1 {
+			tr.FinalEstimates = ests
+		}
+	}
+
+	if iterCount > 0 {
+		tr.IterTime = iterTotal / time.Duration(iterCount)
+	}
+	tr.EstimateTime = estTotal / time.Duration(steps)
+	return tr, nil
+}
+
+// LocalizerConfig translates a scenario's parameter block into a core
+// configuration (exported so examples and benchmarks can build the
+// localizer directly).
+func LocalizerConfig(sc scenario.Scenario) core.Config {
+	return core.Config{
+		Bounds:            sc.Bounds,
+		NumParticles:      sc.Params.NumParticles,
+		FusionRange:       sc.Params.FusionRange,
+		ResampleNoise:     sc.Params.ResampleNoise,
+		InjectionFrac:     sc.Params.InjectionFrac,
+		StrengthMax:       sc.Params.MaxStrength,
+		BandwidthXY:       sc.Params.BandwidthXY,
+		BandwidthStr:      sc.Params.BandwidthStr,
+		ModeMassMin:       sc.Params.ModeMassMin,
+		MinSourceStrength: sc.Params.MinSourceStr,
+		MaxSensorGap:      sc.Params.MaxSensorGap,
+		MeanShiftStarts:   sc.Params.MeanShiftStarts,
+	}
+}
+
+// aggregate fills the per-step aggregates from the trials.
+func (r *Result) aggregate() {
+	if len(r.Trials) == 0 {
+		return
+	}
+	steps := len(r.Trials[0].Steps)
+	numSources := len(r.Scenario.Sources)
+
+	r.ErrBySource = make([][]float64, numSources)
+	for s := 0; s < numSources; s++ {
+		rows := make([][]float64, steps)
+		for t := 0; t < steps; t++ {
+			row := make([]float64, 0, len(r.Trials))
+			for _, tr := range r.Trials {
+				if t < len(tr.Steps) && s < len(tr.Steps[t].SourceErr) {
+					row = append(row, tr.Steps[t].SourceErr[s])
+				}
+			}
+			rows[t] = row
+		}
+		r.ErrBySource[s] = eval.Series(rows)
+	}
+
+	r.MeanErr = make([]float64, steps)
+	for t := 0; t < steps; t++ {
+		row := make([]float64, 0, numSources)
+		for s := 0; s < numSources; s++ {
+			row = append(row, r.ErrBySource[s][t])
+		}
+		r.MeanErr[t] = eval.MeanOverWindow(row, 0, len(row))
+	}
+
+	r.FalsePos = make([]float64, steps)
+	r.FalseNeg = make([]float64, steps)
+	for t := 0; t < steps; t++ {
+		var fp, fn float64
+		for _, tr := range r.Trials {
+			fp += float64(tr.Steps[t].FalsePos)
+			fn += float64(tr.Steps[t].FalseNeg)
+		}
+		r.FalsePos[t] = fp / float64(len(r.Trials))
+		r.FalseNeg[t] = fn / float64(len(r.Trials))
+	}
+}

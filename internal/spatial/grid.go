@@ -1,0 +1,147 @@
+// Package spatial provides a uniform-grid index over 2-D points for the
+// fusion-range queries at the heart of the particle filter: "which
+// particles lie within distance d of sensor S?".
+//
+// The index stores integer item IDs; callers map IDs back to their own
+// records. Rebuild cost is O(n), query cost is proportional to the
+// number of cells the query disc overlaps plus the number of hits —
+// far cheaper than the O(n) scan a naive filter performs per
+// measurement once particles have concentrated.
+package spatial
+
+import (
+	"math"
+
+	"radloc/internal/geometry"
+)
+
+// Grid is a uniform spatial hash over a rectangular region. The zero
+// value is not usable; construct with NewGrid.
+type Grid struct {
+	bounds   geometry.Rect
+	cellSize float64
+	nx, ny   int
+	cells    [][]int32
+	pos      []geometry.Vec // item id → position
+}
+
+// NewGrid creates an index over bounds with approximately the given
+// cell size. cellSize is clamped so the grid has at least one and at
+// most 1<<20 cells.
+func NewGrid(bounds geometry.Rect, cellSize float64) *Grid {
+	if cellSize <= 0 {
+		cellSize = math.Max(bounds.Width(), bounds.Height()) / 16
+	}
+	if cellSize <= 0 {
+		cellSize = 1
+	}
+	// Grow the cell size until the cell count is bounded; the sizing
+	// arithmetic stays in float64 so absurd inputs cannot overflow int.
+	const maxCells = 1 << 20
+	dims := func(cs float64) (int, int) {
+		fx := math.Ceil(bounds.Width()/cs) + 1
+		fy := math.Ceil(bounds.Height()/cs) + 1
+		fx = math.Max(1, math.Min(fx, maxCells))
+		fy = math.Max(1, math.Min(fy, maxCells))
+		return int(fx), int(fy)
+	}
+	nx, ny := dims(cellSize)
+	for float64(nx)*float64(ny) > maxCells {
+		cellSize *= 2
+		nx, ny = dims(cellSize)
+	}
+	return &Grid{
+		bounds:   bounds,
+		cellSize: cellSize,
+		nx:       nx,
+		ny:       ny,
+		cells:    make([][]int32, nx*ny),
+	}
+}
+
+// Rebuild replaces the index contents with the given positions; item i
+// is positions[i]. Positions outside the bounds are clamped into the
+// border cells, so no point is ever lost.
+func (g *Grid) Rebuild(positions []geometry.Vec) {
+	for i := range g.cells {
+		g.cells[i] = g.cells[i][:0]
+	}
+	g.pos = append(g.pos[:0], positions...)
+	for i, p := range positions {
+		c := g.cellIndex(p)
+		g.cells[c] = append(g.cells[c], int32(i))
+	}
+}
+
+// Len returns the number of indexed items.
+func (g *Grid) Len() int { return len(g.pos) }
+
+// CellSize returns the effective cell size.
+func (g *Grid) CellSize() float64 { return g.cellSize }
+
+// WithinRadius appends to dst the IDs of all items within radius r of
+// center and returns the extended slice. Pass a reused dst to avoid
+// allocation.
+func (g *Grid) WithinRadius(center geometry.Vec, r float64, dst []int) []int {
+	if r < 0 {
+		return dst
+	}
+	r2 := r * r
+	x0, y0 := g.cellCoords(geometry.V(center.X-r, center.Y-r))
+	x1, y1 := g.cellCoords(geometry.V(center.X+r, center.Y+r))
+	for cy := y0; cy <= y1; cy++ {
+		for cx := x0; cx <= x1; cx++ {
+			for _, id := range g.cells[cy*g.nx+cx] {
+				if g.pos[id].Dist2(center) <= r2 {
+					dst = append(dst, int(id))
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// CountWithinRadius returns the number of items within radius r of
+// center without materializing the ID list.
+func (g *Grid) CountWithinRadius(center geometry.Vec, r float64) int {
+	if r < 0 {
+		return 0
+	}
+	r2 := r * r
+	x0, y0 := g.cellCoords(geometry.V(center.X-r, center.Y-r))
+	x1, y1 := g.cellCoords(geometry.V(center.X+r, center.Y+r))
+	n := 0
+	for cy := y0; cy <= y1; cy++ {
+		for cx := x0; cx <= x1; cx++ {
+			for _, id := range g.cells[cy*g.nx+cx] {
+				if g.pos[id].Dist2(center) <= r2 {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+func (g *Grid) cellCoords(p geometry.Vec) (int, int) {
+	cx := int((p.X - g.bounds.Min.X) / g.cellSize)
+	cy := int((p.Y - g.bounds.Min.Y) / g.cellSize)
+	cx = clampInt(cx, 0, g.nx-1)
+	cy = clampInt(cy, 0, g.ny-1)
+	return cx, cy
+}
+
+func (g *Grid) cellIndex(p geometry.Vec) int {
+	cx, cy := g.cellCoords(p)
+	return cy*g.nx + cx
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,169 @@
+package spatial
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"radloc/internal/geometry"
+	"radloc/internal/rng"
+)
+
+func bounds100() geometry.Rect {
+	return geometry.NewRect(geometry.V(0, 0), geometry.V(100, 100))
+}
+
+func TestWithinRadiusMatchesBruteForce(t *testing.T) {
+	s := rng.New(1, 2)
+	pts := make([]geometry.Vec, 500)
+	for i := range pts {
+		pts[i] = geometry.V(s.Uniform(0, 100), s.Uniform(0, 100))
+	}
+	g := NewGrid(bounds100(), 10)
+	g.Rebuild(pts)
+
+	for trial := 0; trial < 50; trial++ {
+		c := geometry.V(s.Uniform(-10, 110), s.Uniform(-10, 110))
+		r := s.Uniform(0, 40)
+		got := g.WithinRadius(c, r, nil)
+		sort.Ints(got)
+		var want []int
+		for i, p := range pts {
+			if p.Dist2(c) <= r*r {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d hits, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: hit mismatch at %d: %d vs %d", trial, i, got[i], want[i])
+			}
+		}
+		if n := g.CountWithinRadius(c, r); n != len(want) {
+			t.Fatalf("trial %d: CountWithinRadius = %d, want %d", trial, n, len(want))
+		}
+	}
+}
+
+func TestOutOfBoundsPointsRetained(t *testing.T) {
+	g := NewGrid(bounds100(), 10)
+	pts := []geometry.Vec{
+		geometry.V(-50, -50),
+		geometry.V(150, 150),
+		geometry.V(50, 50),
+	}
+	g.Rebuild(pts)
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", g.Len())
+	}
+	got := g.WithinRadius(geometry.V(-50, -50), 1, nil)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("out-of-bounds point not found: %v", got)
+	}
+	got = g.WithinRadius(geometry.V(150, 150), 1, nil)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("far out-of-bounds point not found: %v", got)
+	}
+}
+
+func TestRebuildReplacesContents(t *testing.T) {
+	g := NewGrid(bounds100(), 10)
+	g.Rebuild([]geometry.Vec{geometry.V(10, 10)})
+	g.Rebuild([]geometry.Vec{geometry.V(90, 90)})
+	if got := g.WithinRadius(geometry.V(10, 10), 5, nil); len(got) != 0 {
+		t.Errorf("stale point survived rebuild: %v", got)
+	}
+	if got := g.WithinRadius(geometry.V(90, 90), 5, nil); len(got) != 1 {
+		t.Errorf("new point missing: %v", got)
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	g := NewGrid(bounds100(), 10)
+	g.Rebuild(nil)
+	if g.Len() != 0 {
+		t.Errorf("empty rebuild Len = %d", g.Len())
+	}
+	if got := g.WithinRadius(geometry.V(50, 50), 10, nil); len(got) != 0 {
+		t.Errorf("query on empty grid: %v", got)
+	}
+	g.Rebuild([]geometry.Vec{geometry.V(50, 50)})
+	if got := g.WithinRadius(geometry.V(50, 50), -1, nil); len(got) != 0 {
+		t.Errorf("negative radius: %v", got)
+	}
+	if n := g.CountWithinRadius(geometry.V(50, 50), -1); n != 0 {
+		t.Errorf("negative radius count: %d", n)
+	}
+	// Radius 0 finds exactly coincident points.
+	if got := g.WithinRadius(geometry.V(50, 50), 0, nil); len(got) != 1 {
+		t.Errorf("zero radius: %v", got)
+	}
+}
+
+func TestDegenerateCellSizes(t *testing.T) {
+	// Non-positive cell size falls back to a sane default.
+	g := NewGrid(bounds100(), 0)
+	if g.CellSize() <= 0 {
+		t.Errorf("CellSize = %v", g.CellSize())
+	}
+	g.Rebuild([]geometry.Vec{geometry.V(1, 1), geometry.V(99, 99)})
+	if got := g.WithinRadius(geometry.V(0, 0), 5, nil); len(got) != 1 {
+		t.Errorf("fallback grid query: %v", got)
+	}
+
+	// A tiny cell size over a big area must not explode memory: the
+	// constructor caps total cells.
+	big := NewGrid(geometry.NewRect(geometry.V(0, 0), geometry.V(1e6, 1e6)), 1e-6)
+	big.Rebuild([]geometry.Vec{geometry.V(5e5, 5e5)})
+	if got := big.WithinRadius(geometry.V(5e5, 5e5), 1, nil); len(got) != 1 {
+		t.Errorf("capped grid query: %v", got)
+	}
+
+	// Zero-area bounds still work.
+	pt := NewGrid(geometry.NewRect(geometry.V(3, 3), geometry.V(3, 3)), 0)
+	pt.Rebuild([]geometry.Vec{geometry.V(3, 3)})
+	if got := pt.WithinRadius(geometry.V(3, 3), 1, nil); len(got) != 1 {
+		t.Errorf("point-bounds grid query: %v", got)
+	}
+}
+
+func TestDstReuse(t *testing.T) {
+	g := NewGrid(bounds100(), 10)
+	g.Rebuild([]geometry.Vec{geometry.V(10, 10), geometry.V(12, 10)})
+	buf := make([]int, 0, 8)
+	out := g.WithinRadius(geometry.V(11, 10), 5, buf)
+	if len(out) != 2 {
+		t.Fatalf("hits = %v", out)
+	}
+	if &out[0] != &buf[:1][0] {
+		t.Error("WithinRadius did not reuse provided capacity")
+	}
+}
+
+// Property: grid query equals brute force for random configurations.
+func TestWithinRadiusProperty(t *testing.T) {
+	f := func(seed uint64, n uint8, cx, cy uint16, rr uint8) bool {
+		s := rng.New(seed, 99)
+		pts := make([]geometry.Vec, int(n)%64+1)
+		for i := range pts {
+			pts[i] = geometry.V(s.Uniform(0, 100), s.Uniform(0, 100))
+		}
+		g := NewGrid(bounds100(), 7)
+		g.Rebuild(pts)
+		c := geometry.V(float64(cx%120)-10, float64(cy%120)-10)
+		r := float64(rr % 50)
+		got := g.WithinRadius(c, r, nil)
+		want := 0
+		for _, p := range pts {
+			if p.Dist2(c) <= r*r {
+				want++
+			}
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+package stat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPoissonLogPMFKnownValues(t *testing.T) {
+	tests := []struct {
+		name   string
+		k      int
+		lambda float64
+		want   float64 // P(K=k), linear scale
+	}{
+		{"k0-l1", 0, 1, math.Exp(-1)},
+		{"k1-l1", 1, 1, math.Exp(-1)},
+		{"k2-l3", 2, 3, 9.0 / 2 * math.Exp(-3)},
+		{"k5-l5", 5, 5, math.Pow(5, 5) / 120 * math.Exp(-5)},
+		{"k0-l0", 0, 0, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := math.Exp(PoissonLogPMF(tt.k, tt.lambda))
+			if !almostEq(got, tt.want, 1e-12*math.Max(1, tt.want)) {
+				t.Errorf("exp(PoissonLogPMF(%d, %v)) = %v, want %v", tt.k, tt.lambda, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPoissonLogPMFEdgeCases(t *testing.T) {
+	if got := PoissonLogPMF(-1, 5); !math.IsInf(got, -1) {
+		t.Errorf("negative k: %v, want -Inf", got)
+	}
+	if got := PoissonLogPMF(3, 0); !math.IsInf(got, -1) {
+		t.Errorf("k>0, lambda=0: %v, want -Inf", got)
+	}
+	if got := PoissonLogPMF(3, math.NaN()); !math.IsInf(got, -1) {
+		t.Errorf("NaN lambda: %v, want -Inf", got)
+	}
+	if got := PoissonLogPMF(3, -2); !math.IsInf(got, -1) {
+		t.Errorf("negative lambda: %v, want -Inf", got)
+	}
+	// Large counts must not overflow.
+	if got := PoissonLogPMF(1_000_000, 1_000_000); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("large k log-pmf = %v, want finite", got)
+	}
+}
+
+func TestPoissonPMFSumsToOne(t *testing.T) {
+	for _, lambda := range []float64{0.5, 5, 50} {
+		var sum float64
+		for k := 0; k < 1000; k++ {
+			sum += PoissonPMF(k, lambda)
+		}
+		if !almostEq(sum, 1, 1e-9) {
+			t.Errorf("lambda=%v: pmf sum = %v, want 1", lambda, sum)
+		}
+	}
+}
+
+func TestPoissonCDF(t *testing.T) {
+	if got := PoissonCDF(-1, 5); got != 0 {
+		t.Errorf("CDF(-1) = %v, want 0", got)
+	}
+	if got := PoissonCDF(0, 2); !almostEq(got, math.Exp(-2), 1e-12) {
+		t.Errorf("CDF(0;2) = %v, want e^-2", got)
+	}
+	if got := PoissonCDF(500, 5); !almostEq(got, 1, 1e-9) {
+		t.Errorf("CDF(500;5) = %v, want ~1", got)
+	}
+}
+
+// Property: the Poisson mode is at floor(lambda), i.e. pmf(floor(λ)) ≥
+// pmf(k) for all k in a window.
+func TestPoissonModeProperty(t *testing.T) {
+	f := func(l uint8) bool {
+		lambda := float64(l%100) + 0.5
+		mode := int(math.Floor(lambda))
+		pm := PoissonLogPMF(mode, lambda)
+		for k := 0; k < 200; k++ {
+			if PoissonLogPMF(k, lambda) > pm+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	if got := LogSumExp(nil); !math.IsInf(got, -1) {
+		t.Errorf("empty: %v, want -Inf", got)
+	}
+	got := LogSumExp([]float64{math.Log(1), math.Log(2), math.Log(3)})
+	if !almostEq(got, math.Log(6), 1e-12) {
+		t.Errorf("LogSumExp = %v, want log 6", got)
+	}
+	// Must survive values that would overflow exp().
+	got = LogSumExp([]float64{1000, 1000})
+	if !almostEq(got, 1000+math.Log(2), 1e-9) {
+		t.Errorf("LogSumExp overflow case = %v", got)
+	}
+	got = LogSumExp([]float64{math.Inf(-1), math.Inf(-1)})
+	if !math.IsInf(got, -1) {
+		t.Errorf("all -Inf: %v, want -Inf", got)
+	}
+}
+
+func TestGaussianKernel(t *testing.T) {
+	if got := GaussianKernel(0, 2); got != 1 {
+		t.Errorf("K(0) = %v, want 1", got)
+	}
+	if got := GaussianKernel(8, 2); !almostEq(got, math.Exp(-1), 1e-12) {
+		t.Errorf("K(d2=8,h=2) = %v, want e^-1", got)
+	}
+	if got := GaussianKernel(1, 0); got != 0 {
+		t.Errorf("degenerate bandwidth: %v, want 0", got)
+	}
+	if got := GaussianKernel(0, 0); got != 1 {
+		t.Errorf("degenerate bandwidth at 0: %v, want 1", got)
+	}
+}
+
+func TestGaussianLogPDF(t *testing.T) {
+	// Standard normal at 0: log(1/sqrt(2π)).
+	want := -0.5 * math.Log(2*math.Pi)
+	if got := GaussianLogPDF(0, 0, 1); !almostEq(got, want, 1e-12) {
+		t.Errorf("logpdf = %v, want %v", got, want)
+	}
+	if got := GaussianLogPDF(1, 0, 0); !math.IsInf(got, -1) {
+		t.Errorf("sigma=0: %v, want -Inf", got)
+	}
+}
+
+func TestInformationCriteria(t *testing.T) {
+	if got := AIC(3, -10); !almostEq(got, 26, 1e-12) {
+		t.Errorf("AIC = %v, want 26", got)
+	}
+	if got := BIC(3, 100, -10); !almostEq(got, 3*math.Log(100)+20, 1e-12) {
+		t.Errorf("BIC = %v", got)
+	}
+}
