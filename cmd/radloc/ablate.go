@@ -8,15 +8,21 @@ import (
 	"time"
 
 	"radloc"
+	"radloc/internal/eval"
+	"radloc/internal/faults"
+	"radloc/internal/fusion"
+	"radloc/internal/network"
 	"radloc/internal/report"
 	"radloc/internal/rng"
+	"radloc/internal/scenario"
+	"radloc/internal/sim"
 )
 
 // ablateCmd runs the design-choice ablations of DESIGN.md
 // (`radloc ablate <fusion-range|estimator|scale-k>`).
 func ablateCmd(args []string, stdout io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("ablate: want fusion-range, estimator or scale-k\n%s", usage)
+		return fmt.Errorf("ablate: want fusion-range, estimator, scale-k or faults\n%s", usage)
 	}
 	which := args[0]
 	fs := flag.NewFlagSet("ablate "+which, flag.ContinueOnError)
@@ -38,6 +44,8 @@ func ablateCmd(args []string, stdout io.Writer) error {
 		return ablateEstimator(w, cf)
 	case "scale-k":
 		return ablateScaleK(w, cf)
+	case "faults":
+		return ablateFaults(w, cf)
 	default:
 		return fmt.Errorf("ablate: unknown experiment %q", which)
 	}
@@ -175,4 +183,131 @@ func ablateScaleK(w io.Writer, cf commonFlags) error {
 		}
 	}
 	return tb.WriteCSV(w)
+}
+
+// ablateFaults sweeps the per-sensor fault probability p over Scenario
+// A: each sensor is independently faulted (cycling through stuck-at,
+// calibration drift and byzantine spoofing) and the identical corrupted
+// stream is fed to a fusion engine with the health monitor enabled and
+// one with it disabled. The gap between the two columns is the payoff
+// of quarantine; at p = 0 they must coincide.
+func ablateFaults(w io.Writer, cf commonFlags) error {
+	tb := report.NewTable(
+		"Ablation: sensor fault probability p (Scenario A; stuck/drift/byzantine faults; defended = health monitor + quarantine)",
+		"fault_prob", "defended_err", "undefended_err",
+		"defended_fn", "undefended_fn", "mean_quarantined")
+	for _, p := range []float64{0, 0.05, 0.1, 0.2, 0.3} {
+		var dErrSum, uErrSum, dFNSum, uFNSum, qSum float64
+		dN, uN := 0, 0
+		for rep := 0; rep < cf.reps; rep++ {
+			res, err := runFaultTrial(p, cf.steps, cf.seed+uint64(rep))
+			if err != nil {
+				return err
+			}
+			if !math.IsNaN(res.defendedErr) {
+				dErrSum += res.defendedErr
+				dN++
+			}
+			if !math.IsNaN(res.undefendedErr) {
+				uErrSum += res.undefendedErr
+				uN++
+			}
+			dFNSum += float64(res.defendedFN)
+			uFNSum += float64(res.undefendedFN)
+			qSum += float64(res.quarantined)
+		}
+		dErr, uErr := math.NaN(), math.NaN()
+		if dN > 0 {
+			dErr = dErrSum / float64(dN)
+		}
+		if uN > 0 {
+			uErr = uErrSum / float64(uN)
+		}
+		reps := float64(cf.reps)
+		if err := tb.AddRow(p, dErr, uErr, dFNSum/reps, uFNSum/reps, qSum/reps); err != nil {
+			return err
+		}
+	}
+	return tb.WriteCSV(w)
+}
+
+type faultTrialResult struct {
+	defendedErr, undefendedErr float64
+	defendedFN, undefendedFN   int
+	quarantined                int
+}
+
+// runFaultTrial faults each Scenario A sensor with probability p and
+// runs the same corrupted stream through a defended and an undefended
+// fusion engine.
+func runFaultTrial(p float64, steps int, seed uint64) (faultTrialResult, error) {
+	sc := scenario.A(50, false)
+	pick := rng.NewNamed(seed, "ablate/faults-pick")
+	var specs []faults.Spec
+	for i := range sc.Sensors {
+		if pick.Float64() >= p {
+			continue
+		}
+		// Faults set in after the filter's warm-up (a sensor degrading
+		// mid-mission); instant-onset corruption would poison the
+		// posterior both engines score against before it converges.
+		switch len(specs) % 3 {
+		case 0:
+			specs = append(specs, faults.Spec{Sensor: i, Kind: faults.StuckAt, StuckCPM: 2000, StartStep: 6})
+		case 1:
+			specs = append(specs, faults.Spec{Sensor: i, Kind: faults.Drift, Gain: 0.5, StartStep: 8})
+		case 2:
+			specs = append(specs, faults.Spec{Sensor: i, Kind: faults.Byzantine, MaxCPM: 5000, StartStep: 6})
+		}
+	}
+	inj, err := faults.NewInjector(len(sc.Sensors), seed, specs)
+	if err != nil {
+		return faultTrialResult{}, err
+	}
+
+	newEngine := func(disabled bool) (*fusion.Engine, error) {
+		cfg := fusion.Config{
+			Localizer: sim.LocalizerConfig(sc),
+			Sensors:   sc.Sensors,
+			Health:    fusion.HealthConfig{Disabled: disabled},
+		}
+		cfg.Localizer.Seed = seed
+		return fusion.NewEngine(cfg)
+	}
+	defended, err := newEngine(false)
+	if err != nil {
+		return faultTrialResult{}, err
+	}
+	undefended, err := newEngine(true)
+	if err != nil {
+		return faultTrialResult{}, err
+	}
+
+	plan := network.InOrder(len(sc.Sensors), steps).Filter(func(ev network.Event) bool {
+		return inj.Delivered(ev.SensorIndex, ev.EmitStep)
+	})
+	stream := rng.NewNamed(seed, "ablate/faults-measure")
+	for step := 0; step < steps; step++ {
+		for _, ev := range plan.EventsInStep(step) {
+			sen := sc.Sensors[ev.SensorIndex]
+			m := sen.Measure(stream, sc.Sources, nil, ev.EmitStep)
+			cpm := inj.Transform(ev.SensorIndex, ev.EmitStep, m.CPM)
+			// Quarantine refusals are the point of the experiment, not
+			// an error.
+			_, _ = defended.Ingest(sen.ID, cpm)
+			_, _ = undefended.Ingest(sen.ID, cpm)
+		}
+	}
+	defended.Refresh()
+	undefended.Refresh()
+
+	dMatch := eval.Match(defended.Snapshot().Estimates, sc.Sources, sc.Params.MatchRadius)
+	uMatch := eval.Match(undefended.Snapshot().Estimates, sc.Sources, sc.Params.MatchRadius)
+	return faultTrialResult{
+		defendedErr:   dMatch.MeanError(),
+		undefendedErr: uMatch.MeanError(),
+		defendedFN:    dMatch.FalseNeg,
+		undefendedFN:  uMatch.FalseNeg,
+		quarantined:   len(defended.QuarantinedSensors()),
+	}, nil
 }

@@ -57,6 +57,31 @@ func TestAblateScaleK(t *testing.T) {
 	}
 }
 
+func TestAblateFaults(t *testing.T) {
+	out, err := execute(t, "ablate", "faults", "-steps", "8", "-reps", "1", "-seed", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fault_prob,defended_err,undefended_err,defended_fn,undefended_fn,mean_quarantined") {
+		t.Errorf("header wrong:\n%s", firstLine(out))
+	}
+	for _, row := range []string{"\n0.000,", "\n0.100,", "\n0.300,"} {
+		if !strings.Contains(out, row) {
+			t.Errorf("missing sweep row %q:\n%s", row, out)
+		}
+	}
+	// At p = 0 no sensor is faulted, so both engines consume the
+	// identical trusted stream and the columns must coincide.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "0.000,") {
+			f := strings.Split(line, ",")
+			if f[1] != f[2] {
+				t.Errorf("p=0 columns differ: defended %s vs undefended %s", f[1], f[2])
+			}
+		}
+	}
+}
+
 func TestDiagnoseCommand(t *testing.T) {
 	out, err := execute(t, "diagnose", "-scenario", "A", "-obstacles", "-steps", "8", "-seed", "2")
 	if err != nil {

@@ -15,14 +15,22 @@
 //	radlocd -config deployment.json -listen 127.0.0.1:8080
 //
 // serves POST /measurements (a single measurement or an array),
-// GET /snapshot, and GET /healthz.
+// GET /snapshot, GET /sensors (per-sensor health), GET /healthz
+// (liveness) and GET /readyz (readiness).
+//
+// SIGINT/SIGTERM shut either mode down gracefully: the pipe flushes a
+// final snapshot line, the HTTP server drains in-flight requests and
+// logs a final snapshot.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"radloc/internal/config"
 	"radloc/internal/fusion"
@@ -31,13 +39,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "radlocd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("radlocd", flag.ContinueOnError)
 	var (
 		cfgPath     = fs.String("config", "", "JSON scenario file with the sensor deployment (required)")
@@ -45,6 +55,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		reportEvery = fs.Int("report-every", 0, "pipe mode: snapshot after this many measurements (default: one sensor round)")
 		seed        = fs.Uint64("seed", 1, "localizer random seed")
 		withTracks  = fs.Bool("tracks", true, "maintain confirmed tracks over estimates")
+		noHealth    = fs.Bool("no-health", false, "disable the per-sensor health monitor (trust every reading)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +75,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fcfg := fusion.Config{
 		Localizer: sim.LocalizerConfig(sc),
 		Sensors:   sc.Sensors,
+		Health:    fusion.HealthConfig{Disabled: *noHealth},
 	}
 	fcfg.Localizer.Seed = *seed
 	if *withTracks {
@@ -75,11 +87,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 
 	if *listen != "" {
-		return serveHTTP(*listen, engine, stdout)
+		return serveHTTP(ctx, *listen, engine, stdout)
 	}
 	every := *reportEvery
 	if every <= 0 {
 		every = len(sc.Sensors)
 	}
-	return servePipe(engine, stdin, stdout, every)
+	return servePipe(ctx, engine, stdin, stdout, every)
 }

@@ -2,14 +2,18 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"radloc/internal/config"
 	"radloc/internal/fusion"
@@ -51,17 +55,17 @@ func measurementsNDJSON(t *testing.T, sc scenario.Scenario, steps int) string {
 
 func TestRunFlagValidation(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(nil, strings.NewReader(""), &out); err == nil {
+	if err := run(context.Background(), nil, strings.NewReader(""), &out); err == nil {
 		t.Error("missing -config accepted")
 	}
-	if err := run([]string{"-config", "/nope.json"}, strings.NewReader(""), &out); err == nil {
+	if err := run(context.Background(), []string{"-config", "/nope.json"}, strings.NewReader(""), &out); err == nil {
 		t.Error("unreadable config accepted")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-config", bad}, strings.NewReader(""), &out); err == nil {
+	if err := run(context.Background(), []string{"-config", bad}, strings.NewReader(""), &out); err == nil {
 		t.Error("invalid config accepted")
 	}
 }
@@ -70,7 +74,7 @@ func TestPipeModeEndToEnd(t *testing.T) {
 	path, sc := writeDeployment(t)
 	input := measurementsNDJSON(t, sc, 6)
 	var out bytes.Buffer
-	if err := run([]string{"-config", path, "-seed", "2"}, strings.NewReader(input), &out); err != nil {
+	if err := run(context.Background(), []string{"-config", path, "-seed", "2"}, strings.NewReader(input), &out); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -106,12 +110,98 @@ func TestPipeModeEndToEnd(t *testing.T) {
 	}
 }
 
-func TestPipeModeBadLine(t *testing.T) {
-	path, _ := writeDeployment(t)
+// TestPipeModeSurvivesMessyStream: malformed lines, unknown sensors
+// and out-of-range CPM are counted and skipped — field data is messy
+// and one corrupt record must not kill the stream.
+func TestPipeModeSurvivesMessyStream(t *testing.T) {
+	path, sc := writeDeployment(t)
+	input := "not json\n" +
+		`{"sensorId":9999,"cpm":5}` + "\n" + // unknown sensor
+		`{"sensorId":0,"cpm":-3}` + "\n" + // negative CPM
+		`{"sensorId":0,"cpm":999999999}` + "\n" + // above the physical ceiling
+		measurementsNDJSON(t, sc, 1)
 	var out bytes.Buffer
-	err := run([]string{"-config", path}, strings.NewReader("not json\n"), &out)
-	if err == nil {
-		t.Error("malformed line accepted")
+	if err := run(context.Background(), []string{"-config", path}, strings.NewReader(input), &out); err != nil {
+		t.Fatalf("messy stream killed the daemon: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	var last snapshotJSON
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Malformed != 1 {
+		t.Errorf("malformed = %d, want 1", last.Malformed)
+	}
+	if last.Rejected != 3 {
+		t.Errorf("rejected = %d, want 3 (unknown sensor + negative + absurd CPM)", last.Rejected)
+	}
+	if last.Ingested != uint64(len(sc.Sensors)) {
+		t.Errorf("ingested = %d, want %d", last.Ingested, len(sc.Sensors))
+	}
+}
+
+// lockedBuffer is a bytes.Buffer safe to poll while the daemon
+// goroutine writes to it.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Len()
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// TestPipeModeGracefulShutdown: cancelling the context (what SIGTERM
+// does via signal.NotifyContext in main) while stdin is still open
+// must flush a final snapshot and exit cleanly.
+func TestPipeModeGracefulShutdown(t *testing.T) {
+	path, sc := writeDeployment(t)
+	pr, pw := io.Pipe()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &lockedBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-config", path}, pr, out)
+	}()
+	// Feed two clean rounds, then "send SIGTERM" with the pipe held open.
+	if _, err := io.WriteString(pw, measurementsNDJSON(t, sc, 2)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for out.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown not clean: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not exit after context cancellation")
+	}
+	pw.Close()
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	var last snapshotJSON
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatalf("no final snapshot after shutdown: %v", err)
+	}
+	if last.Ingested == 0 {
+		t.Error("final snapshot empty")
 	}
 }
 
@@ -119,7 +209,7 @@ func TestPipeModeSkipsUnknownSensors(t *testing.T) {
 	path, sc := writeDeployment(t)
 	input := `{"sensorId":9999,"cpm":5}` + "\n" + measurementsNDJSON(t, sc, 1)
 	var out bytes.Buffer
-	if err := run([]string{"-config", path}, strings.NewReader(input), &out); err != nil {
+	if err := run(context.Background(), []string{"-config", path}, strings.NewReader(input), &out); err != nil {
 		t.Fatal(err)
 	}
 	var last snapshotJSON
@@ -291,5 +381,77 @@ func TestHTTPStats(t *testing.T) {
 	resp2.Body.Close()
 	if resp2.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("POST /stats status %d", resp2.StatusCode)
+	}
+}
+
+func TestHTTPReadyzAndSensors(t *testing.T) {
+	srv, sc := newTestServer(t)
+
+	// Before any estimate refresh the daemon is live but not ready.
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz before refresh: status %d, want 503", resp.StatusCode)
+	}
+
+	// Post one full sensor round; the engine refreshes and turns ready.
+	stream := rng.NewNamed(5, "radlocd-http/ready")
+	var batch []measurementJSON
+	for _, sen := range sc.Sensors {
+		m := sen.Measure(stream, sc.Sources, nil, 0)
+		batch = append(batch, measurementJSON{SensorID: sen.ID, CPM: m.CPM})
+	}
+	body, _ := json.Marshal(batch)
+	resp, err = http.Post(srv.URL+"/measurements", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("readyz after refresh: status %d, want 200", resp.StatusCode)
+	}
+
+	// /sensors reports one health record per sensor, sorted by ID.
+	resp, err = http.Get(srv.URL + "/sensors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health []sensorHealthJSON
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if len(health) != len(sc.Sensors) {
+		t.Fatalf("sensors = %d records, want %d", len(health), len(sc.Sensors))
+	}
+	for i, h := range health {
+		if h.SensorID != i {
+			t.Fatalf("sensors not sorted by ID: %d at index %d", h.SensorID, i)
+		}
+		if h.Status != "healthy" {
+			t.Errorf("sensor %d status %q after clean round", h.SensorID, h.Status)
+		}
+		if h.Seen != 1 {
+			t.Errorf("sensor %d seen = %d, want 1", h.SensorID, h.Seen)
+		}
+	}
+
+	// POST to /sensors is refused.
+	resp, err = http.Post(srv.URL+"/sensors", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /sensors: status %d, want 405", resp.StatusCode)
 	}
 }

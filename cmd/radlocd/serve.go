@@ -2,9 +2,11 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"time"
@@ -20,10 +22,13 @@ type measurementJSON struct {
 
 // snapshotJSON is the wire form of the engine state.
 type snapshotJSON struct {
-	Ingested  uint64         `json:"ingested"`
-	Rejected  uint64         `json:"rejected"`
-	Estimates []estimateJSON `json:"estimates"`
-	Tracks    []trackJSON    `json:"tracks,omitempty"`
+	Ingested    uint64         `json:"ingested"`
+	Rejected    uint64         `json:"rejected"`
+	Refreshes   uint64         `json:"refreshes"`
+	Quarantined int            `json:"quarantined"`
+	Malformed   uint64         `json:"malformed,omitempty"` // pipe mode: unparseable lines skipped
+	Estimates   []estimateJSON `json:"estimates"`
+	Tracks      []trackJSON    `json:"tracks,omitempty"`
 }
 
 type estimateJSON struct {
@@ -41,11 +46,42 @@ type trackJSON struct {
 	Hits        int     `json:"hits"`
 }
 
+// sensorHealthJSON is the wire form of one sensor's health record.
+type sensorHealthJSON struct {
+	SensorID    int      `json:"sensorId"`
+	Status      string   `json:"status"`
+	LastZ       *float64 `json:"lastZ,omitempty"` // omitted until the monitor has scored a reading
+	Seen        uint64   `json:"seen"`
+	Dropped     uint64   `json:"dropped"`
+	Quarantines int      `json:"quarantines"`
+}
+
+func healthToJSON(hs []fusion.SensorHealth) []sensorHealthJSON {
+	out := make([]sensorHealthJSON, 0, len(hs))
+	for _, h := range hs {
+		rec := sensorHealthJSON{
+			SensorID:    h.SensorID,
+			Status:      h.Status.String(),
+			Seen:        h.Seen,
+			Dropped:     h.Dropped,
+			Quarantines: h.Quarantines,
+		}
+		if !math.IsNaN(h.LastZ) {
+			z := h.LastZ
+			rec.LastZ = &z
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
 func snapshotToJSON(s fusion.Snapshot) snapshotJSON {
 	out := snapshotJSON{
-		Ingested:  s.Ingested,
-		Rejected:  s.Rejected,
-		Estimates: make([]estimateJSON, 0, len(s.Estimates)),
+		Ingested:    s.Ingested,
+		Rejected:    s.Rejected,
+		Refreshes:   s.Refreshes,
+		Quarantined: s.Quarantined,
+		Estimates:   make([]estimateJSON, 0, len(s.Estimates)),
 	}
 	for _, e := range s.Estimates {
 		out.Estimates = append(out.Estimates, estimateJSON{
@@ -61,43 +97,103 @@ func snapshotToJSON(s fusion.Snapshot) snapshotJSON {
 }
 
 // servePipe consumes NDJSON measurements from r, emitting a snapshot
-// line every reportEvery measurements and a final one at EOF.
-func servePipe(engine *fusion.Engine, r io.Reader, w io.Writer, reportEvery int) error {
-	scanner := bufio.NewScanner(r)
-	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+// line every reportEvery measurements and a final one at EOF or when
+// ctx is cancelled (SIGINT/SIGTERM). Malformed lines are counted and
+// skipped — field data is messy and one corrupt record must not kill
+// the stream — as are unknown sensors and out-of-range readings.
+func servePipe(ctx context.Context, engine *fusion.Engine, r io.Reader, w io.Writer, reportEvery int) error {
+	lines := make(chan []byte)
+	scanErr := make(chan error, 1)
+	go func() {
+		defer close(lines)
+		scanner := bufio.NewScanner(r)
+		scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for scanner.Scan() {
+			// Copy: the scanner reuses its buffer across Scan calls.
+			line := append([]byte(nil), scanner.Bytes()...)
+			select {
+			case lines <- line:
+			case <-ctx.Done():
+				scanErr <- nil
+				return
+			}
+		}
+		scanErr <- scanner.Err()
+	}()
+
 	enc := json.NewEncoder(w)
 	count := 0
-	for scanner.Scan() {
-		line := scanner.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var m measurementJSON
-		if err := json.Unmarshal(line, &m); err != nil {
-			return fmt.Errorf("bad measurement line %q: %w", line, err)
-		}
-		// Unknown sensors and bad readings are counted but do not kill
-		// the stream — field data is messy.
-		_, _ = engine.Ingest(m.SensorID, m.CPM)
-		count++
-		if count%reportEvery == 0 {
-			if err := enc.Encode(snapshotToJSON(engine.Snapshot())); err != nil {
-				return err
+	var malformed uint64
+	flush := func() error {
+		s := snapshotToJSON(engine.Snapshot())
+		s.Malformed = malformed
+		return enc.Encode(s)
+	}
+	final := func() error {
+		engine.Refresh()
+		return flush()
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			// Graceful shutdown: emit the final source picture and exit
+			// cleanly.
+			return final()
+		case line, ok := <-lines:
+			if !ok {
+				if err := <-scanErr; err != nil {
+					return err
+				}
+				return final()
+			}
+			if len(line) == 0 {
+				continue
+			}
+			var m measurementJSON
+			if err := json.Unmarshal(line, &m); err != nil {
+				malformed++
+				continue
+			}
+			// Unknown sensors, out-of-range CPM and quarantined readings
+			// are counted by the engine but do not kill the stream.
+			_, _ = engine.Ingest(m.SensorID, m.CPM)
+			count++
+			if count%reportEvery == 0 {
+				if err := flush(); err != nil {
+					return err
+				}
 			}
 		}
 	}
-	if err := scanner.Err(); err != nil {
-		return err
-	}
-	engine.Refresh()
-	return enc.Encode(snapshotToJSON(engine.Snapshot()))
 }
 
 // newMux builds the HTTP API.
 func newMux(engine *fusion.Engine) *http.ServeMux {
 	mux := http.NewServeMux()
+	// Liveness: the process is up and serving.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "ok: %d sensors registered\n", engine.Sensors())
+	})
+	// Readiness: the engine has recomputed estimates at least once, so
+	// /snapshot serves a meaningful source picture. Distinct from
+	// liveness so orchestrators don't route traffic to a fusion center
+	// that has not yet seen a full sensor round.
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		s := engine.Snapshot()
+		if s.Refreshes == 0 {
+			http.Error(w, fmt.Sprintf("not ready: %d measurements ingested, no estimate refresh yet", s.Ingested),
+				http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintf(w, "ready: %d refreshes over %d measurements\n", s.Refreshes, s.Ingested)
+	})
+	mux.HandleFunc("/sensors", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(healthToJSON(engine.Snapshot().Health))
 	})
 	started := time.Now()
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -112,6 +208,8 @@ func newMux(engine *fusion.Engine) *http.ServeMux {
 			"sensors":       engine.Sensors(),
 			"ingested":      s.Ingested,
 			"rejected":      s.Rejected,
+			"refreshes":     s.Refreshes,
+			"quarantined":   s.Quarantined,
 			"estimates":     len(s.Estimates),
 			"tracks":        len(s.Tracks),
 		})
@@ -158,16 +256,32 @@ func newMux(engine *fusion.Engine) *http.ServeMux {
 	return mux
 }
 
-// serveHTTP blocks serving the API on addr.
-func serveHTTP(addr string, engine *fusion.Engine, logw io.Writer) error {
+// serveHTTP serves the API on addr until ctx is cancelled
+// (SIGINT/SIGTERM), then shuts down gracefully — in-flight requests
+// drain — and flushes a final snapshot line to logw.
+func serveHTTP(ctx context.Context, addr string, engine *fusion.Engine, logw io.Writer) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(logw, "radlocd: serving on http://%s (POST /measurements, GET /snapshot)\n", ln.Addr())
+	fmt.Fprintf(logw, "radlocd: serving on http://%s (POST /measurements, GET /snapshot /sensors /healthz /readyz)\n", ln.Addr())
 	srv := &http.Server{
 		Handler:           newMux(engine),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	return srv.Serve(ln)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		_ = srv.Close()
+	}
+	engine.Refresh()
+	fmt.Fprintln(logw, "radlocd: shutting down, final snapshot:")
+	return json.NewEncoder(logw).Encode(snapshotToJSON(engine.Snapshot()))
 }

@@ -66,10 +66,7 @@ func Check(readings []Reading, estimates []core.Estimate, zThreshold float64) (R
 	if zThreshold <= 0 {
 		zThreshold = 3
 	}
-	sources := make([]radiation.Source, len(estimates))
-	for i, e := range estimates {
-		sources[i] = radiation.Source{Pos: e.Pos, Strength: e.Strength}
-	}
+	sources := Sources(estimates)
 
 	rep := Report{Residuals: make([]Residual, 0, len(readings))}
 	var sumZ2 float64
@@ -101,6 +98,37 @@ func Check(readings []Reading, estimates []core.Estimate, zThreshold float64) (R
 		}
 	}
 	return rep, nil
+}
+
+// Sources converts estimates into the hypothesized source set their
+// free-space predictions are computed from.
+func Sources(estimates []core.Estimate) []radiation.Source {
+	out := make([]radiation.Source, len(estimates))
+	for i, e := range estimates {
+		out[i] = radiation.Source{Pos: e.Pos, Strength: e.Strength}
+	}
+	return out
+}
+
+// ResidualZ standardizes a single reading against the free-space
+// prediction of the hypothesized sources: (observed − expected)/√expected.
+// This is the one-reading form of Check's residual, shared with the
+// fusion engine's per-sensor health monitor so streaming plausibility
+// scoring and offline posterior-predictive checks agree.
+func ResidualZ(sen sensor.Sensor, cpm int, sources []radiation.Source) float64 {
+	return ResidualZInflated(sen, cpm, sources, 0)
+}
+
+// ResidualZInflated is ResidualZ with the predictive variance inflated
+// by a multiplicative model-uncertainty term: Var = λ + (relSlack·λ)².
+// Sensors very close to a source see λ change steeply with small
+// source-position errors, so a pure-Poisson z explodes on perfectly
+// healthy readings while the filter is still converging; the relative
+// slack absorbs that without masking order-of-magnitude faults.
+func ResidualZInflated(sen sensor.Sensor, cpm int, sources []radiation.Source, relSlack float64) float64 {
+	expected := radiation.ExpectedCPM(sen.Pos, sen.Efficiency, sen.Background, sources, nil)
+	variance := expected + (relSlack*expected)*(relSlack*expected)
+	return (float64(cpm) - expected) / math.Sqrt(math.Max(variance, 1e-9))
 }
 
 // ShadowedSensors returns the suspicious sensors with strongly NEGATIVE

@@ -9,9 +9,12 @@ package fusion
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"radloc/internal/core"
+	"radloc/internal/diagnose"
+	"radloc/internal/radiation"
 	"radloc/internal/sensor"
 	"radloc/internal/track"
 )
@@ -29,6 +32,10 @@ type Config struct {
 	// Tracking, when non-nil, maintains persistent tracks over the
 	// periodic estimates.
 	Tracking *track.Config
+	// Health tunes the per-sensor health monitor; the zero value
+	// enables it with defaults. Set Health.Disabled for the paper's
+	// original trust-everything behavior.
+	Health HealthConfig
 }
 
 // Engine is the fusion center. All methods are safe for concurrent
@@ -44,6 +51,12 @@ type Engine struct {
 	trackStep int
 	ingested  uint64
 	rejected  uint64
+	refreshes uint64
+
+	// Health monitor state.
+	hcfg        HealthConfig
+	health      map[int]*sensorHealth
+	predSources []radiation.Source // free-space prediction set from ests
 }
 
 // ErrUnknownSensor is returned for measurements from unregistered
@@ -52,6 +65,16 @@ var ErrUnknownSensor = errors.New("fusion: unknown sensor")
 
 // ErrBadMeasurement is returned for physically impossible readings.
 var ErrBadMeasurement = errors.New("fusion: bad measurement")
+
+// ErrQuarantined is returned for readings from sensors the health
+// monitor has quarantined; the reading is scored (it counts toward
+// probation) but not folded into the filter.
+var ErrQuarantined = errors.New("fusion: sensor quarantined")
+
+// MaxCPM is the physical ceiling on a single reading. Geiger–Müller
+// counters saturate orders of magnitude below this; anything larger is
+// a corrupt or spoofed record, not a measurement.
+const MaxCPM = 10_000_000
 
 // NewEngine builds the engine.
 func NewEngine(cfg Config) (*Engine, error) {
@@ -66,12 +89,15 @@ func NewEngine(cfg Config) (*Engine, error) {
 		loc:     loc,
 		sensors: make(map[int]sensor.Sensor, len(cfg.Sensors)),
 		every:   cfg.EstimateEvery,
+		hcfg:    cfg.Health.withDefaults(),
+		health:  make(map[int]*sensorHealth, len(cfg.Sensors)),
 	}
 	for _, s := range cfg.Sensors {
 		if _, dup := e.sensors[s.ID]; dup {
 			return nil, fmt.Errorf("fusion: duplicate sensor ID %d", s.ID)
 		}
 		e.sensors[s.ID] = s
+		e.health[s.ID] = &sensorHealth{id: s.ID, lastZ: math.NaN()}
 	}
 	if e.every <= 0 {
 		e.every = len(cfg.Sensors)
@@ -85,18 +111,21 @@ func NewEngine(cfg Config) (*Engine, error) {
 // Ingest folds one measurement into the filter. It returns the number
 // of measurements ingested so far.
 func (e *Engine) Ingest(sensorID, cpm int) (uint64, error) {
-	if cpm < 0 {
-		e.mu.Lock()
-		e.rejected++
-		e.mu.Unlock()
-		return 0, fmt.Errorf("%w: negative CPM %d", ErrBadMeasurement, cpm)
-	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if cpm < 0 || cpm > MaxCPM {
+		e.rejected++
+		return 0, fmt.Errorf("%w: CPM %d outside [0, %d]", ErrBadMeasurement, cpm, MaxCPM)
+	}
 	sen, ok := e.sensors[sensorID]
 	if !ok {
 		e.rejected++
 		return 0, fmt.Errorf("%w: id %d", ErrUnknownSensor, sensorID)
+	}
+	h := e.health[sensorID]
+	if !e.admitLocked(h, sen, cpm) {
+		h.dropped++
+		return e.ingested, fmt.Errorf("%w: id %d (last |z| %.1f)", ErrQuarantined, sensorID, math.Abs(h.lastZ))
 	}
 	e.loc.Ingest(sen, cpm)
 	e.ingested++
@@ -111,6 +140,8 @@ func (e *Engine) Ingest(sensorID, cpm int) (uint64, error) {
 func (e *Engine) refreshLocked() {
 	e.sinceEst = 0
 	e.ests = e.loc.Estimates()
+	e.predSources = diagnose.Sources(e.ests)
+	e.refreshes++
 	if e.tracker != nil {
 		e.tracker.Update(e.trackStep, e.ests)
 		e.trackStep++
@@ -128,8 +159,12 @@ func (e *Engine) Refresh() {
 type Snapshot struct {
 	Ingested  uint64
 	Rejected  uint64
+	Refreshes uint64 // estimate recomputations so far (readiness signal)
 	Estimates []core.Estimate
-	Tracks    []track.Track // confirmed tracks; nil without tracking
+	Tracks    []track.Track  // confirmed tracks; nil without tracking
+	Health    []SensorHealth // per-sensor health, sorted by sensor ID
+	// Quarantined counts the sensors currently quarantined.
+	Quarantined int
 }
 
 // Snapshot returns the current source picture.
@@ -139,7 +174,14 @@ func (e *Engine) Snapshot() Snapshot {
 	out := Snapshot{
 		Ingested:  e.ingested,
 		Rejected:  e.rejected,
+		Refreshes: e.refreshes,
 		Estimates: append([]core.Estimate(nil), e.ests...),
+		Health:    e.healthSnapshotLocked(),
+	}
+	for _, h := range out.Health {
+		if h.Status == Quarantined {
+			out.Quarantined++
+		}
 	}
 	if e.tracker != nil {
 		out.Tracks = e.tracker.Confirmed()

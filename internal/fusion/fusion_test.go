@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"radloc/internal/core"
 	"radloc/internal/rng"
@@ -196,4 +197,105 @@ func TestSensorsCount(t *testing.T) {
 	if e.Sensors() != len(sc.Sensors) {
 		t.Errorf("Sensors() = %d", e.Sensors())
 	}
+}
+
+// TestEngineConcurrentMixedOps hammers every public engine method from
+// parallel goroutines — Ingest, Snapshot, Refresh, Sensors, and
+// QuarantinedSensors — so `go test -race` exercises the full lock
+// surface, not just the ingest path. Correctness assertions are
+// deliberately loose; the point is that no interleaving races or
+// deadlocks.
+func TestEngineConcurrentMixedOps(t *testing.T) {
+	e, sc := testEngine(t, true)
+	stream := rng.NewNamed(9, "fusion/measure-mixed")
+	type msg struct{ id, cpm int }
+	var msgs []msg
+	for step := 0; step < 4; step++ {
+		for _, sen := range sc.Sensors {
+			m := sen.Measure(stream, sc.Sources, nil, step)
+			msgs = append(msgs, msg{id: sen.ID, cpm: m.CPM})
+		}
+	}
+
+	var wg sync.WaitGroup
+	const ingesters = 4
+	for w := 0; w < ingesters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(msgs); i += ingesters {
+				if _, err := e.Ingest(msgs[i].id, msgs[i].cpm); err != nil && !errors.Is(err, ErrQuarantined) {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(3)
+	go func() { // snapshots
+		defer readers.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				snap := e.Snapshot()
+				if snap.Ingested > uint64(len(msgs)) {
+					t.Errorf("ingested overshot: %d", snap.Ingested)
+					return
+				}
+				if len(snap.Health) != len(sc.Sensors) {
+					t.Errorf("health records = %d", len(snap.Health))
+					return
+				}
+			}
+		}
+	}()
+	go func() { // forced refreshes
+		defer readers.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				e.Refresh()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	go func() { // registry and quarantine reads
+		defer readers.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				if e.Sensors() != len(sc.Sensors) {
+					t.Error("sensor count changed")
+					return
+				}
+				_ = e.QuarantinedSensors()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	readers.Wait()
+
+	snap := e.Snapshot()
+	if snap.Ingested+uint64(droppedTotal(snap)) != uint64(len(msgs)) {
+		t.Errorf("ingested %d + dropped %d != sent %d", snap.Ingested, droppedTotal(snap), len(msgs))
+	}
+}
+
+// droppedTotal sums quarantine-withheld readings across the fleet.
+func droppedTotal(s Snapshot) uint64 {
+	var n uint64
+	for _, h := range s.Health {
+		n += h.Dropped
+	}
+	return n
 }

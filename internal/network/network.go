@@ -71,6 +71,20 @@ func (p Plan) EventsInStep(step int) []Event {
 	return p.Events[lo:hi]
 }
 
+// Filter returns a copy of the plan keeping only the events for which
+// keep returns true. Arrival order is preserved. This is the hook
+// fault injectors use to knock delivery-level faults (dropouts, dead
+// sensors) out of a schedule before it is replayed.
+func (p Plan) Filter(keep func(Event) bool) Plan {
+	out := Plan{Events: make([]Event, 0, len(p.Events)), Steps: p.Steps}
+	for _, e := range p.Events {
+		if keep(e) {
+			out.Events = append(out.Events, e)
+		}
+	}
+	return out
+}
+
 // InOrder builds the paper's default delivery plan: in each of steps
 // time steps, every one of numSensors sensors delivers exactly one
 // measurement, in index order.

@@ -189,3 +189,31 @@ func TestMultiHopDegenerate(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPlanFilter(t *testing.T) {
+	p := InOrder(4, 3)
+	// Knock sensor 2 out entirely (a dead sensor's delivery-level fault).
+	q := p.Filter(func(e Event) bool { return e.SensorIndex != 2 })
+	if len(q.Events) != 9 {
+		t.Fatalf("filtered events = %d, want 9", len(q.Events))
+	}
+	if q.Steps != p.Steps {
+		t.Errorf("filtered Steps = %d, want %d", q.Steps, p.Steps)
+	}
+	if err := q.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range q.Events {
+		if e.SensorIndex == 2 {
+			t.Fatalf("sensor 2 survived the filter: %+v", e)
+		}
+	}
+	// The original plan is untouched.
+	if len(p.Events) != 12 {
+		t.Errorf("Filter mutated the source plan: %d events", len(p.Events))
+	}
+	// Keep-all round-trips.
+	if all := p.Filter(func(Event) bool { return true }); len(all.Events) != 12 {
+		t.Errorf("keep-all filter dropped events: %d", len(all.Events))
+	}
+}

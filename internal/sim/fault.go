@@ -1,8 +1,16 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
 
-// FaultMode classifies a sensor malfunction.
+	"radloc/internal/faults"
+)
+
+// FaultMode classifies a simple sensor malfunction. The richer
+// composable models (drift, burst noise, byzantine spoofing, partial
+// dropout) live in internal/faults and are injected via
+// Options.FaultSpecs; FaultMode is kept as the compact form for the
+// paper's two classic robustness experiments.
 type FaultMode int
 
 // Fault modes.
@@ -37,6 +45,19 @@ type Fault struct {
 	StuckCPM int
 }
 
+// Spec translates the legacy fault into its internal/faults form.
+func (f Fault) Spec() faults.Spec {
+	switch f.Mode {
+	case FaultDead:
+		return faults.Spec{Sensor: f.SensorIndex, Kind: faults.Dropout, Prob: 1}
+	case FaultStuck:
+		return faults.Spec{Sensor: f.SensorIndex, Kind: faults.StuckAt, StuckCPM: f.StuckCPM}
+	default:
+		// Invalid mode; surfaces as a validation error in the injector.
+		return faults.Spec{Sensor: f.SensorIndex}
+	}
+}
+
 // validateFaults checks fault specs against the sensor count.
 func validateFaults(faults []Fault, numSensors int) error {
 	for i, f := range faults {
@@ -53,14 +74,15 @@ func validateFaults(faults []Fault, numSensors int) error {
 	return nil
 }
 
-// faultTable indexes faults by sensor for the hot loop.
-func faultTable(faults []Fault, numSensors int) []*Fault {
-	if len(faults) == 0 {
+// faultSpecs merges the legacy faults and the composable specs into the
+// single list handed to the injector.
+func faultSpecs(opts Options) []faults.Spec {
+	if len(opts.Faults) == 0 && len(opts.FaultSpecs) == 0 {
 		return nil
 	}
-	table := make([]*Fault, numSensors)
-	for i := range faults {
-		table[faults[i].SensorIndex] = &faults[i]
+	out := make([]faults.Spec, 0, len(opts.Faults)+len(opts.FaultSpecs))
+	for _, f := range opts.Faults {
+		out = append(out, f.Spec())
 	}
-	return table
+	return append(out, opts.FaultSpecs...)
 }

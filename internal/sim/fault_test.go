@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"radloc/internal/faults"
 )
 
 func TestFaultValidation(t *testing.T) {
@@ -135,5 +137,53 @@ func TestAllSensorsDeadStillRuns(t *testing.T) {
 	// both sources... (estimates may flicker; just check shape).
 	if len(res.Trials[0].Steps) != 3 {
 		t.Fatalf("steps = %d", len(res.Trials[0].Steps))
+	}
+}
+
+// TestFaultSpecsEndToEnd drives the composable internal/faults models
+// through a full simulation: with one sensor stuck hot, one drifting,
+// and one dropping half its messages, the run must complete and both
+// sources must survive (bounded error, no false negatives).
+func TestFaultSpecsEndToEnd(t *testing.T) {
+	sc := quickScenario(50)
+	sc.Params.TimeSteps = 10
+	res, err := Run(sc, Options{Seed: 4, FaultSpecs: []faults.Spec{
+		{Sensor: 0, Kind: faults.StuckAt, StuckCPM: 400},
+		{Sensor: 35, Kind: faults.Drift, Gain: 0.2},
+		{Sensor: 17, Kind: faults.Dropout, Prob: 0.5},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := sc.Params.TimeSteps - 1
+	if res.FalseNeg[last] > 0.5 {
+		t.Errorf("false negatives under composable faults: %v", res.FalseNeg[last])
+	}
+	if math.IsNaN(res.MeanErr[last]) || res.MeanErr[last] > 12 {
+		t.Errorf("error diverged under composable faults: %v", res.MeanErr[last])
+	}
+}
+
+// TestFaultSpecValidationSurfacesInRun: a bad spec must fail Run before
+// any trial executes.
+func TestFaultSpecValidationSurfacesInRun(t *testing.T) {
+	sc := quickScenario(50)
+	if _, err := Run(sc, Options{Seed: 1, FaultSpecs: []faults.Spec{
+		{Sensor: 999, Kind: faults.StuckAt},
+	}}); err == nil {
+		t.Error("out-of-range fault spec accepted")
+	}
+}
+
+// TestLegacyFaultBridge: Fault.Spec maps the classic modes onto the
+// composable representation.
+func TestLegacyFaultBridge(t *testing.T) {
+	dead := Fault{SensorIndex: 3, Mode: FaultDead}.Spec()
+	if dead.Kind != faults.Dropout || dead.Prob != 1 || dead.Sensor != 3 {
+		t.Errorf("dead bridge = %+v", dead)
+	}
+	stuck := Fault{SensorIndex: 5, Mode: FaultStuck, StuckCPM: 77}.Spec()
+	if stuck.Kind != faults.StuckAt || stuck.StuckCPM != 77 || stuck.Sensor != 5 {
+		t.Errorf("stuck bridge = %+v", stuck)
 	}
 }

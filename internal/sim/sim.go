@@ -13,6 +13,7 @@ import (
 
 	"radloc/internal/core"
 	"radloc/internal/eval"
+	"radloc/internal/faults"
 	"radloc/internal/network"
 	"radloc/internal/rng"
 	"radloc/internal/scenario"
@@ -39,6 +40,11 @@ type Options struct {
 	// Faults injects sensor malfunctions (dead or stuck sensors) for
 	// robustness experiments.
 	Faults []Fault
+	// FaultSpecs injects the composable fault models of internal/faults
+	// (stuck-at, calibration drift, dropout, burst noise, byzantine
+	// spoofing). Specs compose with Faults; randomness derives from the
+	// trial seed so chaos runs stay reproducible.
+	FaultSpecs []faults.Spec
 }
 
 func (o Options) withDefaults() Options {
@@ -102,6 +108,13 @@ func Run(sc scenario.Scenario, opts Options) (Result, error) {
 	if err := validateFaults(opts.Faults, len(sc.Sensors)); err != nil {
 		return Result{}, err
 	}
+	// Validate the composable specs up front so every trial sees the
+	// same error instead of racing to report it.
+	if specs := faultSpecs(opts); len(specs) > 0 {
+		if _, err := faults.NewInjector(len(sc.Sensors), 0, specs); err != nil {
+			return Result{}, fmt.Errorf("sim: %w", err)
+		}
+	}
 	opts = opts.withDefaults()
 
 	trials := make([]Trial, opts.Reps)
@@ -157,6 +170,20 @@ func runTrial(sc scenario.Scenario, opts Options, rep uint64, snapshotSteps []in
 		plan = network.InOrder(len(sc.Sensors), steps)
 	}
 
+	var inj *faults.Injector
+	if specs := faultSpecs(opts); len(specs) > 0 {
+		inj, err = faults.NewInjector(len(sc.Sensors), seed, specs)
+		if err != nil {
+			return Trial{}, fmt.Errorf("trial %d: %w", rep, err)
+		}
+		// Delivery-level faults (dropouts, dead sensors) are knocked out
+		// of the network schedule itself; value-level faults transform
+		// readings below.
+		plan = plan.Filter(func(ev network.Event) bool {
+			return inj.Delivered(ev.SensorIndex, ev.EmitStep)
+		})
+	}
+
 	measure := rng.NewNamed(seed, "sim/measurements")
 	snapWant := make(map[int]bool, len(snapshotSteps))
 	for _, s := range snapshotSteps {
@@ -170,22 +197,13 @@ func runTrial(sc scenario.Scenario, opts Options, rep uint64, snapshotSteps []in
 	var iterTotal, estTotal time.Duration
 	iterCount := 0
 
-	faults := faultTable(opts.Faults, len(sc.Sensors))
-
 	for step := 0; step < steps; step++ {
 		for _, ev := range plan.EventsInStep(step) {
 			sen := sc.Sensors[ev.SensorIndex]
 			m := sen.Measure(measure, sc.Sources, sc.Obstacles, ev.EmitStep)
-			if faults != nil {
-				if f := faults[ev.SensorIndex]; f != nil {
-					if f.Mode == FaultDead {
-						continue
-					}
-					m.CPM = f.StuckCPM
-				}
-			}
+			cpm := inj.Transform(ev.SensorIndex, ev.EmitStep, m.CPM)
 			t0 := time.Now()
-			loc.Ingest(sen, m.CPM)
+			loc.Ingest(sen, cpm)
 			iterTotal += time.Since(t0)
 			iterCount++
 		}
