@@ -22,7 +22,7 @@ import (
 // (`radloc ablate <fusion-range|estimator|scale-k>`).
 func ablateCmd(args []string, stdout io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("ablate: want fusion-range, estimator, scale-k or faults\n%s", usage)
+		return fmt.Errorf("ablate: want fusion-range, estimator, scale-k, faults or delivery\n%s", usage)
 	}
 	which := args[0]
 	fs := flag.NewFlagSet("ablate "+which, flag.ContinueOnError)
@@ -46,6 +46,8 @@ func ablateCmd(args []string, stdout io.Writer) error {
 		return ablateScaleK(w, cf)
 	case "faults":
 		return ablateFaults(w, cf)
+	case "delivery":
+		return ablateDelivery(w, cf)
 	default:
 		return fmt.Errorf("ablate: unknown experiment %q", which)
 	}
@@ -229,6 +231,145 @@ func ablateFaults(w io.Writer, cf commonFlags) error {
 		}
 	}
 	return tb.WriteCSV(w)
+}
+
+// ablateDelivery sweeps transport pathologies — at-least-once
+// duplication, bounded reordering, silent drops — over Scenario A and
+// feeds the identical corrupted wire stream to a fusion engine with
+// the sequence gate engaged (sequenced ingest: per-sensor dedup +
+// watermark reorder buffer) and one that trusts the transport (the
+// paper's original assumption). The gated column should track the
+// clean baseline; the ungated column pays for every duplicate and
+// reordering with a distorted posterior.
+func ablateDelivery(w io.Writer, cf commonFlags) error {
+	tb := report.NewTable(
+		"Ablation: delivery faults (Scenario A; gated = seq dedup + reorder gate, ungated = trust the transport)",
+		"condition", "gated_err", "ungated_err",
+		"gated_fn", "ungated_fn", "dup_suppressed")
+	conds := []struct {
+		name      string
+		dup, drop float64
+		span      int
+	}{
+		{"clean", 0, 0, 0},
+		{"dup 30%", 0.3, 0, 0},
+		{"reorder span 8", 0, 0, 8},
+		{"drop 10%", 0, 0.1, 0},
+		{"dup+reorder+drop", 0.3, 0.1, 8},
+	}
+	for _, c := range conds {
+		var gErrSum, uErrSum, gFNSum, uFNSum, dupSum float64
+		gN, uN := 0, 0
+		for rep := 0; rep < cf.reps; rep++ {
+			res, err := runDeliveryTrial(c.dup, c.drop, c.span, cf.steps, cf.seed+uint64(rep))
+			if err != nil {
+				return err
+			}
+			if !math.IsNaN(res.gatedErr) {
+				gErrSum += res.gatedErr
+				gN++
+			}
+			if !math.IsNaN(res.ungatedErr) {
+				uErrSum += res.ungatedErr
+				uN++
+			}
+			gFNSum += float64(res.gatedFN)
+			uFNSum += float64(res.ungatedFN)
+			dupSum += float64(res.duplicates)
+		}
+		gErr, uErr := math.NaN(), math.NaN()
+		if gN > 0 {
+			gErr = gErrSum / float64(gN)
+		}
+		if uN > 0 {
+			uErr = uErrSum / float64(uN)
+		}
+		reps := float64(cf.reps)
+		if err := tb.AddRow(c.name, gErr, uErr, gFNSum/reps, uFNSum/reps, dupSum/reps); err != nil {
+			return err
+		}
+	}
+	return tb.WriteCSV(w)
+}
+
+type deliveryTrialResult struct {
+	gatedErr, ungatedErr float64
+	gatedFN, ungatedFN   int
+	duplicates           uint64
+}
+
+// runDeliveryTrial corrupts one sequenced Scenario A stream with the
+// given duplicate probability, drop probability and reorder span, and
+// runs the identical wire stream through a gated and an ungated
+// engine.
+func runDeliveryTrial(dup, drop float64, span, steps int, seed uint64) (deliveryTrialResult, error) {
+	sc := scenario.A(50, false)
+	measure := rng.NewNamed(seed, "ablate/delivery-measure")
+	var canonical []fusion.Meas
+	for step := 0; step < steps; step++ {
+		for _, sen := range sc.Sensors {
+			m := sen.Measure(measure, sc.Sources, nil, step)
+			canonical = append(canonical, fusion.Meas{SensorID: sen.ID, CPM: m.CPM, Step: step, Seq: uint64(step + 1)})
+		}
+	}
+	transport := rng.NewNamed(seed, "ablate/delivery-net")
+	wire := make([]fusion.Meas, 0, len(canonical))
+	for _, m := range canonical {
+		if transport.Float64() < drop {
+			continue
+		}
+		wire = append(wire, m)
+		if transport.Float64() < dup {
+			wire = append(wire, m)
+		}
+	}
+	for i := range wire {
+		if span <= 0 {
+			break
+		}
+		j := i + transport.IntN(span)
+		if j >= len(wire) {
+			j = len(wire) - 1
+		}
+		wire[i], wire[j] = wire[j], wire[i]
+	}
+
+	newEngine := func() (*fusion.Engine, error) {
+		cfg := fusion.Config{
+			Localizer: sim.LocalizerConfig(sc),
+			Sensors:   sc.Sensors,
+		}
+		cfg.Localizer.Seed = seed
+		return fusion.NewEngine(cfg)
+	}
+	gated, err := newEngine()
+	if err != nil {
+		return deliveryTrialResult{}, err
+	}
+	ungated, err := newEngine()
+	if err != nil {
+		return deliveryTrialResult{}, err
+	}
+	for _, m := range wire {
+		// Dedup refusals and buffering are the point of the experiment.
+		_, _ = gated.IngestSeq(m)
+		_, _ = ungated.Ingest(m.SensorID, m.CPM)
+	}
+	if _, err := gated.FlushPending(); err != nil {
+		return deliveryTrialResult{}, err
+	}
+	gated.Refresh()
+	ungated.Refresh()
+
+	gMatch := eval.Match(gated.Snapshot().Estimates, sc.Sources, sc.Params.MatchRadius)
+	uMatch := eval.Match(ungated.Snapshot().Estimates, sc.Sources, sc.Params.MatchRadius)
+	return deliveryTrialResult{
+		gatedErr:   gMatch.MeanError(),
+		ungatedErr: uMatch.MeanError(),
+		gatedFN:    gMatch.FalseNeg,
+		ungatedFN:  uMatch.FalseNeg,
+		duplicates: gated.Snapshot().Delivery.Duplicates,
+	}, nil
 }
 
 type faultTrialResult struct {

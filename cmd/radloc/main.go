@@ -91,7 +91,7 @@ const usage = `usage:
   radloc config emit <A|A3|B|C> [flags]             emit a scenario as editable JSON
   radloc config check <file>                        validate a JSON scenario
   radloc plot <csv> [-x col -y col1,col2 -format gnuplot|markdown]
-  radloc ablate <fusion-range|estimator|scale-k|faults> [flags]
+  radloc ablate <fusion-range|estimator|scale-k|faults|delivery> [flags]
   radloc diagnose [-scenario A -obstacles] [flags]  posterior-predictive check
   radloc record [-scenario A | -config FILE] [flags]  NDJSON stream for radlocd
 flags: -reps N  -seed S  -steps T  -out FILE`

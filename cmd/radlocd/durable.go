@@ -1,0 +1,268 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"radloc/internal/fusion"
+	"radloc/internal/wal"
+)
+
+// walJournal bridges the fusion engine's write-ahead hook to the WAL.
+// Append runs with the engine lock held, so WAL order is exactly the
+// filter's application order; mu additionally serializes the log
+// against the checkpointer's Sync/Prune. Lock order is always
+// engine.mu → walJournal.mu, never the reverse.
+type walJournal struct {
+	mu  sync.Mutex
+	log *wal.Log
+}
+
+func (j *walJournal) Append(m fusion.Meas) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err := j.log.Append(wal.Record{SensorID: m.SensorID, CPM: m.CPM, Step: m.Step, Seq: m.Seq})
+	return err
+}
+
+// recoveryJSON reports what boot-time recovery found and did — logged
+// at startup and served on /statez for the life of the process.
+type recoveryJSON struct {
+	WalRecords       uint64 `json:"walRecords"`
+	WalSegments      int    `json:"walSegments"`
+	TruncatedRecords uint64 `json:"truncatedRecords,omitempty"`
+	TruncatedBytes   int64  `json:"truncatedBytes,omitempty"`
+	DroppedSegments  int    `json:"droppedSegments,omitempty"`
+	// CheckpointUsed is true when a valid checkpoint seeded the engine;
+	// CheckpointDiscarded when one existed but its state would not
+	// import (recovery fell back to replaying the whole surviving WAL).
+	CheckpointUsed      bool   `json:"checkpointUsed"`
+	CheckpointApplied   uint64 `json:"checkpointApplied,omitempty"`
+	CheckpointDiscarded bool   `json:"checkpointDiscarded,omitempty"`
+	// Replayed is the number of WAL records re-applied at boot.
+	Replayed uint64 `json:"replayed"`
+}
+
+// durable owns radlocd's durability plumbing: the WAL, the checkpoint
+// cadence, and the recovery report.
+type durable struct {
+	dir    string
+	fsync  wal.FsyncPolicy
+	every  int // checkpoint every N journaled records; 0 = shutdown only
+	engine *fusion.Engine
+	j      *walJournal
+
+	mu          sync.Mutex
+	busy        bool   // a checkpoint is in flight; skip, don't queue
+	lastApplied uint64 // newest checkpoint's WAL offset
+	prevApplied uint64 // second-newest — segments below it are prunable
+	checkpoints uint64 // checkpoints written this run
+	recovery    recoveryJSON
+}
+
+// openDurable opens (or cold-starts) the durability directory and
+// returns a recovered engine: newest valid checkpoint imported, WAL
+// suffix replayed through the live ingest path, torn tails truncated.
+// Bad data on disk is repaired and reported, never fatal — the daemon
+// must come up. build constructs a fresh engine wired to the given
+// journal; it may be called twice if a checkpoint turns out to be
+// unusable.
+func openDurable(dir string, pol wal.FsyncPolicy, every int,
+	build func(fusion.Journal) (*fusion.Engine, error), logw io.Writer) (*fusion.Engine, *durable, error) {
+
+	l, stats, err := wal.Open(dir, wal.Options{Fsync: pol})
+	if err != nil {
+		return nil, nil, fmt.Errorf("open WAL %s: %w", dir, err)
+	}
+	j := &walJournal{log: l}
+	engine, err := build(j)
+	if err != nil {
+		l.Close()
+		return nil, nil, err
+	}
+	d := &durable{dir: dir, fsync: pol, every: every, engine: engine, j: j}
+	d.recovery = recoveryJSON{
+		WalRecords:       stats.Records,
+		WalSegments:      stats.Segments,
+		TruncatedRecords: stats.TruncatedRecords,
+		TruncatedBytes:   stats.TruncatedBytes,
+		DroppedSegments:  stats.DroppedSegments,
+	}
+
+	replayFrom := uint64(0)
+	if ck, ok, lerr := wal.LoadCheckpoint(dir); lerr != nil {
+		l.Close()
+		return nil, nil, lerr
+	} else if ok {
+		var st fusion.EngineState
+		ierr := json.Unmarshal(ck.State, &st)
+		if ierr == nil {
+			ierr = engine.ImportState(st)
+		}
+		if ierr != nil {
+			// A checkpoint that will not import must not poison boot:
+			// fall back to a fresh engine and replay the whole WAL.
+			fmt.Fprintf(logw, "radlocd: discarding unusable checkpoint (applied %d): %v\n", ck.Applied, ierr)
+			d.recovery.CheckpointDiscarded = true
+			if engine, err = build(j); err != nil {
+				l.Close()
+				return nil, nil, err
+			}
+			d.engine = engine
+		} else {
+			d.recovery.CheckpointUsed = true
+			d.recovery.CheckpointApplied = ck.Applied
+			d.lastApplied = ck.Applied
+			replayFrom = ck.Applied
+		}
+	}
+	if replayFrom > l.Offset() {
+		// The checkpoint outlived the WAL tail (corruption truncated
+		// records it had already covered): fast-forward the log so new
+		// records never reuse offsets the checkpoint claims.
+		if err := l.AlignTo(replayFrom); err != nil {
+			l.Close()
+			return nil, nil, err
+		}
+	}
+	if err := l.Replay(replayFrom, func(off uint64, rec wal.Record) error {
+		engine.Replay(fusion.Meas{SensorID: rec.SensorID, CPM: rec.CPM, Step: rec.Step, Seq: rec.Seq})
+		d.recovery.Replayed++
+		return nil
+	}); err != nil {
+		l.Close()
+		return nil, nil, fmt.Errorf("replay WAL %s: %w", dir, err)
+	}
+	// From here on the engine's journal counter IS the WAL offset; each
+	// Append advances both in lockstep.
+	engine.SetJournalOffset(l.Offset())
+	fmt.Fprintf(logw, "radlocd: durability on (%s, fsync=%s): %d WAL records, checkpoint@%d used=%v, %d replayed, %d truncated\n",
+		dir, pol, d.recovery.WalRecords, d.recovery.CheckpointApplied, d.recovery.CheckpointUsed,
+		d.recovery.Replayed, d.recovery.TruncatedRecords)
+	return engine, d, nil
+}
+
+// maybeCheckpoint writes a checkpoint if the WAL has grown past the
+// cadence since the last one. Called outside the engine lock, after
+// ingests; a failure is reported but does not stop ingest (the WAL
+// still has everything).
+func (d *durable) maybeCheckpoint(logw io.Writer) {
+	if d == nil || d.every <= 0 {
+		return
+	}
+	d.j.mu.Lock()
+	off := d.j.log.Offset()
+	d.j.mu.Unlock()
+	d.mu.Lock()
+	if d.busy || off < d.lastApplied+uint64(d.every) {
+		d.mu.Unlock()
+		return
+	}
+	d.busy = true
+	d.mu.Unlock()
+	err := d.checkpoint()
+	d.mu.Lock()
+	d.busy = false
+	d.mu.Unlock()
+	if err != nil {
+		fmt.Fprintf(logw, "radlocd: checkpoint failed (WAL intact, will retry): %v\n", err)
+	}
+}
+
+// checkpoint persists the engine state: export under the engine lock,
+// sync the WAL through the exported offset (a checkpoint must never
+// run ahead of the durable log), write atomically, prune what the
+// surviving checkpoints no longer need.
+func (d *durable) checkpoint() error {
+	st, err := d.engine.ExportState()
+	if err != nil {
+		return err
+	}
+	blob, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	d.j.mu.Lock()
+	err = d.j.log.Sync()
+	d.j.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := wal.WriteCheckpoint(d.dir, wal.Checkpoint{Applied: st.Journaled, State: blob}); err != nil {
+		return err
+	}
+	_ = wal.PruneCheckpoints(d.dir, 2)
+	d.mu.Lock()
+	if st.Journaled != d.lastApplied {
+		d.prevApplied = d.lastApplied
+		d.lastApplied = st.Journaled
+	}
+	d.checkpoints++
+	pruneTo := d.prevApplied
+	d.mu.Unlock()
+	d.j.mu.Lock()
+	err = d.j.log.Prune(pruneTo)
+	d.j.mu.Unlock()
+	return err
+}
+
+// close flushes everything: final checkpoint, then sync and close the
+// WAL. Called on graceful shutdown; after a crash, recovery does the
+// equivalent from disk.
+func (d *durable) close() error {
+	if d == nil {
+		return nil
+	}
+	err := d.checkpoint()
+	d.j.mu.Lock()
+	cerr := d.j.log.Close()
+	d.j.mu.Unlock()
+	if err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// statezJSON is the /statez payload: durability + delivery posture.
+type statezJSON struct {
+	Durability durabilityJSON       `json:"durability"`
+	Delivery   fusion.DeliveryStats `json:"delivery"`
+	Journaled  uint64               `json:"journaled"`
+}
+
+type durabilityJSON struct {
+	Enabled        bool          `json:"enabled"`
+	WalDir         string        `json:"walDir,omitempty"`
+	Fsync          string        `json:"fsync,omitempty"`
+	WalOffset      uint64        `json:"walOffset,omitempty"`
+	Checkpoints    uint64        `json:"checkpoints"`
+	LastCheckpoint uint64        `json:"lastCheckpoint"`
+	Recovery       *recoveryJSON `json:"recovery,omitempty"`
+}
+
+// statez assembles the /statez payload; d may be nil (durability off).
+func statez(engine *fusion.Engine, d *durable) statezJSON {
+	s := engine.Snapshot()
+	out := statezJSON{Delivery: s.Delivery, Journaled: s.Journaled}
+	if d == nil {
+		return out
+	}
+	d.j.mu.Lock()
+	off := d.j.log.Offset()
+	d.j.mu.Unlock()
+	d.mu.Lock()
+	rec := d.recovery
+	out.Durability = durabilityJSON{
+		Enabled:        true,
+		WalDir:         d.dir,
+		Fsync:          d.fsync.String(),
+		WalOffset:      off,
+		Checkpoints:    d.checkpoints,
+		LastCheckpoint: d.lastApplied,
+		Recovery:       &rec,
+	}
+	d.mu.Unlock()
+	return out
+}

@@ -36,6 +36,7 @@ import (
 	"radloc/internal/fusion"
 	"radloc/internal/sim"
 	"radloc/internal/track"
+	"radloc/internal/wal"
 )
 
 func main() {
@@ -56,6 +57,10 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		seed        = fs.Uint64("seed", 1, "localizer random seed")
 		withTracks  = fs.Bool("tracks", true, "maintain confirmed tracks over estimates")
 		noHealth    = fs.Bool("no-health", false, "disable the per-sensor health monitor (trust every reading)")
+		walDir      = fs.String("wal-dir", "", "durability directory for the write-ahead log and checkpoints; empty = durability off")
+		fsyncMode   = fs.String("fsync", "batch", "WAL fsync policy: always (sync per record), batch (sync at checkpoints/shutdown) or never")
+		ckptEvery   = fs.Int("checkpoint-every", 1000, "checkpoint the engine state every N journaled records (0 = only at shutdown)")
+		queueCap    = fs.Int("queue", 4096, "pipe mode: bounded ingest queue capacity; overflow sheds the oldest reading per sensor")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,26 +77,51 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		return err
 	}
 
-	fcfg := fusion.Config{
-		Localizer: sim.LocalizerConfig(sc),
-		Sensors:   sc.Sensors,
-		Health:    fusion.HealthConfig{Disabled: *noHealth},
+	build := func(j fusion.Journal) (*fusion.Engine, error) {
+		fcfg := fusion.Config{
+			Localizer: sim.LocalizerConfig(sc),
+			Sensors:   sc.Sensors,
+			Health:    fusion.HealthConfig{Disabled: *noHealth},
+			Journal:   j,
+		}
+		fcfg.Localizer.Seed = *seed
+		if *withTracks {
+			fcfg.Tracking = &track.Config{}
+		}
+		return fusion.NewEngine(fcfg)
 	}
-	fcfg.Localizer.Seed = *seed
-	if *withTracks {
-		fcfg.Tracking = &track.Config{}
-	}
-	engine, err := fusion.NewEngine(fcfg)
-	if err != nil {
+
+	var engine *fusion.Engine
+	var d *durable
+	if *walDir != "" {
+		pol, err := wal.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			return err
+		}
+		// Recovery at boot: newest valid checkpoint + WAL suffix replay
+		// through the live ingest path. Logged to stderr — stdout is
+		// the data channel in pipe mode.
+		engine, d, err = openDurable(*walDir, pol, *ckptEvery, build, os.Stderr)
+		if err != nil {
+			return err
+		}
+	} else if engine, err = build(nil); err != nil {
 		return err
 	}
 
 	if *listen != "" {
-		return serveHTTP(ctx, *listen, engine, stdout)
+		err = serveHTTP(ctx, *listen, engine, d, stdout)
+	} else {
+		every := *reportEvery
+		if every <= 0 {
+			every = len(sc.Sensors)
+		}
+		err = servePipe(ctx, engine, d, stdin, stdout, every, *queueCap)
 	}
-	every := *reportEvery
-	if every <= 0 {
-		every = len(sc.Sensors)
+	// Final checkpoint + WAL sync/close, even on a serve error: what
+	// the engine applied is what the next boot recovers.
+	if cerr := d.close(); err == nil {
+		err = cerr
 	}
-	return servePipe(ctx, engine, stdin, stdout, every)
+	return err
 }

@@ -9,26 +9,43 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"radloc/internal/fusion"
 )
 
-// measurementJSON is the wire form of one reading.
+// measurementJSON is the wire form of one reading. The full record
+// form carries the emission step and a per-sensor monotone sequence
+// number (what the replay recorder emits); the minimal two-field form
+// remains valid — seq 0 means "unsequenced" and bypasses the
+// dedup/reorder gate, preserving the old trust-the-transport
+// behavior for legacy feeders.
 type measurementJSON struct {
-	SensorID int `json:"sensorId"`
-	CPM      int `json:"cpm"`
+	SensorID int    `json:"sensorId"`
+	CPM      int    `json:"cpm"`
+	Step     int    `json:"step,omitempty"`
+	Seq      uint64 `json:"seq,omitempty"`
+}
+
+func (m measurementJSON) meas() fusion.Meas {
+	return fusion.Meas{SensorID: m.SensorID, CPM: m.CPM, Step: m.Step, Seq: m.Seq}
 }
 
 // snapshotJSON is the wire form of the engine state.
 type snapshotJSON struct {
-	Ingested    uint64         `json:"ingested"`
-	Rejected    uint64         `json:"rejected"`
-	Refreshes   uint64         `json:"refreshes"`
-	Quarantined int            `json:"quarantined"`
-	Malformed   uint64         `json:"malformed,omitempty"` // pipe mode: unparseable lines skipped
-	Estimates   []estimateJSON `json:"estimates"`
-	Tracks      []trackJSON    `json:"tracks,omitempty"`
+	Ingested    uint64                `json:"ingested"`
+	Rejected    uint64                `json:"rejected"`
+	Refreshes   uint64                `json:"refreshes"`
+	Quarantined int                   `json:"quarantined"`
+	Malformed   uint64                `json:"malformed,omitempty"` // pipe mode: unparseable lines skipped
+	Shed        uint64                `json:"shed,omitempty"`      // pipe mode: readings shed by the bounded queue
+	Journaled   uint64                `json:"journaled,omitempty"` // WAL offset (durability on)
+	Delivery    *fusion.DeliveryStats `json:"delivery,omitempty"`  // dedup/reorder gate counters
+	Estimates   []estimateJSON        `json:"estimates"`
+	Tracks      []trackJSON           `json:"tracks,omitempty"`
 }
 
 type estimateJSON struct {
@@ -81,7 +98,12 @@ func snapshotToJSON(s fusion.Snapshot) snapshotJSON {
 		Rejected:    s.Rejected,
 		Refreshes:   s.Refreshes,
 		Quarantined: s.Quarantined,
+		Journaled:   s.Journaled,
 		Estimates:   make([]estimateJSON, 0, len(s.Estimates)),
+	}
+	if s.Delivery != (fusion.DeliveryStats{}) {
+		del := s.Delivery
+		out.Delivery = &del
 	}
 	for _, e := range s.Estimates {
 		out.Estimates = append(out.Estimates, estimateJSON{
@@ -96,80 +118,178 @@ func snapshotToJSON(s fusion.Snapshot) snapshotJSON {
 	return out
 }
 
-// servePipe consumes NDJSON measurements from r, emitting a snapshot
-// line every reportEvery measurements and a final one at EOF or when
-// ctx is cancelled (SIGINT/SIGTERM). Malformed lines are counted and
-// skipped — field data is messy and one corrupt record must not kill
-// the stream — as are unknown sensors and out-of-range readings.
-func servePipe(ctx context.Context, engine *fusion.Engine, r io.Reader, w io.Writer, reportEvery int) error {
-	lines := make(chan []byte)
+// shedQueue is the pipe mode's bounded ingest queue. When full, a
+// push sheds the oldest queued reading from the same sensor (losing
+// one stale reading from a chatty sensor beats losing fresh data from
+// a quiet one), falling back to the globally oldest, and counts the
+// drop.
+type shedQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buf     []fusion.Meas
+	cap     int
+	closed  bool // no more pushes (EOF); drain what remains
+	aborted bool // shutdown; pop stops immediately
+	dropped uint64
+}
+
+func newShedQueue(capacity int) *shedQueue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &shedQueue{cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *shedQueue) push(m fusion.Meas) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.aborted {
+		return
+	}
+	if len(q.buf) >= q.cap {
+		victim := 0
+		for i := range q.buf {
+			if q.buf[i].SensorID == m.SensorID {
+				victim = i
+				break
+			}
+		}
+		q.buf = append(q.buf[:victim], q.buf[victim+1:]...)
+		q.dropped++
+	}
+	q.buf = append(q.buf, m)
+	q.cond.Signal()
+}
+
+// pop blocks for the next reading; false means drained-and-closed or
+// aborted.
+func (q *shedQueue) pop() (fusion.Meas, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.buf) == 0 && !q.closed && !q.aborted {
+		q.cond.Wait()
+	}
+	if q.aborted || len(q.buf) == 0 {
+		return fusion.Meas{}, false
+	}
+	m := q.buf[0]
+	q.buf = q.buf[1:]
+	return m, true
+}
+
+func (q *shedQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+func (q *shedQueue) abort() {
+	q.mu.Lock()
+	q.aborted = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+func (q *shedQueue) wasAborted() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.aborted
+}
+
+func (q *shedQueue) drops() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dropped
+}
+
+// servePipe consumes NDJSON measurements from r through a bounded
+// shed queue, emitting a snapshot line every reportEvery measurements
+// and a final one at EOF or when ctx is cancelled (SIGINT/SIGTERM).
+// Malformed lines are counted and skipped — field data is messy and
+// one corrupt record must not kill the stream — as are unknown
+// sensors, duplicates and out-of-range readings.
+func servePipe(ctx context.Context, engine *fusion.Engine, d *durable, r io.Reader, w io.Writer, reportEvery, queueCap int) error {
+	q := newShedQueue(queueCap)
+	var malformed atomic.Uint64
 	scanErr := make(chan error, 1)
 	go func() {
-		defer close(lines)
+		defer q.close()
 		scanner := bufio.NewScanner(r)
 		scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
 		for scanner.Scan() {
-			// Copy: the scanner reuses its buffer across Scan calls.
-			line := append([]byte(nil), scanner.Bytes()...)
-			select {
-			case lines <- line:
-			case <-ctx.Done():
+			if ctx.Err() != nil {
 				scanErr <- nil
 				return
 			}
-		}
-		scanErr <- scanner.Err()
-	}()
-
-	enc := json.NewEncoder(w)
-	count := 0
-	var malformed uint64
-	flush := func() error {
-		s := snapshotToJSON(engine.Snapshot())
-		s.Malformed = malformed
-		return enc.Encode(s)
-	}
-	final := func() error {
-		engine.Refresh()
-		return flush()
-	}
-	for {
-		select {
-		case <-ctx.Done():
-			// Graceful shutdown: emit the final source picture and exit
-			// cleanly.
-			return final()
-		case line, ok := <-lines:
-			if !ok {
-				if err := <-scanErr; err != nil {
-					return err
-				}
-				return final()
-			}
+			line := scanner.Bytes()
 			if len(line) == 0 {
 				continue
 			}
 			var m measurementJSON
 			if err := json.Unmarshal(line, &m); err != nil {
-				malformed++
+				malformed.Add(1)
 				continue
 			}
-			// Unknown sensors, out-of-range CPM and quarantined readings
-			// are counted by the engine but do not kill the stream.
-			_, _ = engine.Ingest(m.SensorID, m.CPM)
-			count++
-			if count%reportEvery == 0 {
-				if err := flush(); err != nil {
-					return err
-				}
+			q.push(m.meas())
+		}
+		scanErr <- scanner.Err()
+	}()
+	go func() {
+		<-ctx.Done()
+		q.abort()
+	}()
+
+	enc := json.NewEncoder(w)
+	count := 0
+	flush := func() error {
+		s := snapshotToJSON(engine.Snapshot())
+		s.Malformed = malformed.Load()
+		s.Shed = q.drops()
+		return enc.Encode(s)
+	}
+	for {
+		m, ok := q.pop()
+		if !ok {
+			break
+		}
+		_, _ = engine.IngestSeq(m)
+		count++
+		if count%reportEvery == 0 {
+			if err := flush(); err != nil {
+				return err
 			}
 		}
+		d.maybeCheckpoint(os.Stderr)
 	}
+	if !q.wasAborted() {
+		if err := <-scanErr; err != nil {
+			return err
+		}
+	}
+	// Graceful end of stream: release the reorder gate's tail (the
+	// watermark will never advance again), journal it, and emit the
+	// final source picture. The caller writes the final checkpoint.
+	_, _ = engine.FlushPending()
+	engine.Refresh()
+	return flush()
 }
 
-// newMux builds the HTTP API.
-func newMux(engine *fusion.Engine) *http.ServeMux {
+// newMux builds the HTTP API. d may be nil (durability off).
+func newMux(engine *fusion.Engine, d *durable) *http.ServeMux {
 	mux := http.NewServeMux()
+	// Durability and delivery posture: WAL offset, checkpoint history,
+	// boot-time recovery report, dedup/reorder counters.
+	mux.HandleFunc("/statez", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(statez(engine, d))
+	})
 	// Liveness: the process is up and serving.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "ok: %d sensors registered\n", engine.Sensors())
@@ -243,10 +363,15 @@ func newMux(engine *fusion.Engine) *http.ServeMux {
 		}
 		accepted := 0
 		for _, m := range batch {
-			if _, err := engine.Ingest(m.SensorID, m.CPM); err == nil {
+			// Sequenced readings pass the dedup/reorder gate (a
+			// buffered reading counts as accepted: it will be applied
+			// when its round releases); seq-0 readings take the legacy
+			// direct path.
+			if _, err := engine.IngestSeq(m.meas()); err == nil {
 				accepted++
 			}
 		}
+		d.maybeCheckpoint(os.Stderr)
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(map[string]int{
 			"accepted": accepted,
@@ -259,14 +384,14 @@ func newMux(engine *fusion.Engine) *http.ServeMux {
 // serveHTTP serves the API on addr until ctx is cancelled
 // (SIGINT/SIGTERM), then shuts down gracefully — in-flight requests
 // drain — and flushes a final snapshot line to logw.
-func serveHTTP(ctx context.Context, addr string, engine *fusion.Engine, logw io.Writer) error {
+func serveHTTP(ctx context.Context, addr string, engine *fusion.Engine, d *durable, logw io.Writer) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(logw, "radlocd: serving on http://%s (POST /measurements, GET /snapshot /sensors /healthz /readyz)\n", ln.Addr())
+	fmt.Fprintf(logw, "radlocd: serving on http://%s (POST /measurements, GET /snapshot /sensors /statez /healthz /readyz)\n", ln.Addr())
 	srv := &http.Server{
-		Handler:           newMux(engine),
+		Handler:           newMux(engine, d),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	serveErr := make(chan error, 1)
@@ -281,6 +406,9 @@ func serveHTTP(ctx context.Context, addr string, engine *fusion.Engine, logw io.
 	if err := srv.Shutdown(shutCtx); err != nil {
 		_ = srv.Close()
 	}
+	// Release and journal the reorder gate's tail before the final
+	// picture; the caller writes the final checkpoint.
+	_, _ = engine.FlushPending()
 	engine.Refresh()
 	fmt.Fprintln(logw, "radlocd: shutting down, final snapshot:")
 	return json.NewEncoder(logw).Encode(snapshotToJSON(engine.Snapshot()))

@@ -240,8 +240,8 @@ func TestDeterminismAndOrderIndependence(t *testing.T) {
 func TestComposition(t *testing.T) {
 	// Drift then burst on the same sensor: both visible.
 	in, err := NewInjector(2, 9, []Spec{
-		{Sensor: 0, Kind: Drift, Gain: 1},               // step 1 → ×2
-		{Sensor: 0, Kind: Burst, Prob: 1, BurstCPM: 5},  // always fires
+		{Sensor: 0, Kind: Drift, Gain: 1},                 // step 1 → ×2
+		{Sensor: 0, Kind: Burst, Prob: 1, BurstCPM: 5},    // always fires
 		{Sensor: 0, Kind: Dropout, Prob: 0, StartStep: 0}, // never drops
 	})
 	if err != nil {

@@ -36,6 +36,17 @@ type Config struct {
 	// enables it with defaults. Set Health.Disabled for the paper's
 	// original trust-everything behavior.
 	Health HealthConfig
+	// Journal, when non-nil, receives every reading the ingest layer
+	// accepts BEFORE it is applied to the filter (write-ahead). A
+	// journal append error aborts the ingest: nothing unjournaled is
+	// ever folded into the posterior.
+	Journal Journal
+	// ReorderWindow is the reorder buffer's watermark lag in sequence
+	// rounds: a round of sequenced readings is held and released in
+	// canonical order once a reading ReorderWindow rounds newer has
+	// been seen, so deliveries scrambled within the window reduce to
+	// the identical application order (default 4).
+	ReorderWindow int
 }
 
 // Engine is the fusion center. All methods are safe for concurrent
@@ -57,6 +68,13 @@ type Engine struct {
 	hcfg        HealthConfig
 	health      map[int]*sensorHealth
 	predSources []radiation.Source // free-space prediction set from ests
+
+	// Durability and delivery-robustness state (see ingress.go).
+	journal   Journal
+	journaled uint64 // records appended to the journal (the WAL offset)
+	window    int    // reorder watermark lag, in sequence rounds
+	gate      *gate
+	delivery  DeliveryStats
 }
 
 // ErrUnknownSensor is returned for measurements from unregistered
@@ -91,6 +109,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 		every:   cfg.EstimateEvery,
 		hcfg:    cfg.Health.withDefaults(),
 		health:  make(map[int]*sensorHealth, len(cfg.Sensors)),
+		journal: cfg.Journal,
+		window:  cfg.ReorderWindow,
+		gate:    newGate(),
+	}
+	if e.window <= 0 {
+		e.window = 4
 	}
 	for _, s := range cfg.Sensors {
 		if _, dup := e.sensors[s.ID]; dup {
@@ -108,26 +132,51 @@ func NewEngine(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
-// Ingest folds one measurement into the filter. It returns the number
-// of measurements ingested so far.
+// Ingest folds one measurement into the filter (the unsequenced,
+// trust-the-transport path — for sequenced, deduplicated ingest see
+// IngestSeq). It returns the number of measurements ingested so far.
 func (e *Engine) Ingest(sensorID, cpm int) (uint64, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if cpm < 0 || cpm > MaxCPM {
-		e.rejected++
-		return 0, fmt.Errorf("%w: CPM %d outside [0, %d]", ErrBadMeasurement, cpm, MaxCPM)
+	m := Meas{SensorID: sensorID, CPM: cpm}
+	if err := e.journalLocked(m); err != nil {
+		return e.ingested, err
 	}
-	sen, ok := e.sensors[sensorID]
+	return e.applyLocked(m)
+}
+
+// journalLocked appends one accepted reading to the write-ahead
+// journal, if one is configured. Callers hold e.mu. An error means the
+// reading MUST NOT be applied: durability before visibility.
+func (e *Engine) journalLocked(m Meas) error {
+	if e.journal == nil {
+		return nil
+	}
+	if err := e.journal.Append(m); err != nil {
+		return fmt.Errorf("fusion: journal append: %w", err)
+	}
+	e.journaled++
+	return nil
+}
+
+// applyLocked folds one journaled measurement into the filter. Callers
+// hold e.mu.
+func (e *Engine) applyLocked(m Meas) (uint64, error) {
+	if m.CPM < 0 || m.CPM > MaxCPM {
+		e.rejected++
+		return 0, fmt.Errorf("%w: CPM %d outside [0, %d]", ErrBadMeasurement, m.CPM, MaxCPM)
+	}
+	sen, ok := e.sensors[m.SensorID]
 	if !ok {
 		e.rejected++
-		return 0, fmt.Errorf("%w: id %d", ErrUnknownSensor, sensorID)
+		return 0, fmt.Errorf("%w: id %d", ErrUnknownSensor, m.SensorID)
 	}
-	h := e.health[sensorID]
-	if !e.admitLocked(h, sen, cpm) {
+	h := e.health[m.SensorID]
+	if !e.admitLocked(h, sen, m.CPM) {
 		h.dropped++
-		return e.ingested, fmt.Errorf("%w: id %d (last |z| %.1f)", ErrQuarantined, sensorID, math.Abs(h.lastZ))
+		return e.ingested, fmt.Errorf("%w: id %d (last |z| %.1f)", ErrQuarantined, m.SensorID, math.Abs(h.lastZ))
 	}
-	e.loc.Ingest(sen, cpm)
+	e.loc.Ingest(sen, m.CPM)
 	e.ingested++
 	e.sinceEst++
 	if e.sinceEst >= e.every {
@@ -165,6 +214,11 @@ type Snapshot struct {
 	Health    []SensorHealth // per-sensor health, sorted by sensor ID
 	// Quarantined counts the sensors currently quarantined.
 	Quarantined int
+	// Delivery reports the sequence gate's dedup/reorder counters.
+	Delivery DeliveryStats
+	// Journaled is the number of records appended to the write-ahead
+	// journal (0 without one) — the engine's durable WAL offset.
+	Journaled uint64
 }
 
 // Snapshot returns the current source picture.
@@ -177,7 +231,10 @@ func (e *Engine) Snapshot() Snapshot {
 		Refreshes: e.refreshes,
 		Estimates: append([]core.Estimate(nil), e.ests...),
 		Health:    e.healthSnapshotLocked(),
+		Delivery:  e.delivery,
+		Journaled: e.journaled,
 	}
+	out.Delivery.Pending = e.gate.heldN
 	for _, h := range out.Health {
 		if h.Status == Quarantined {
 			out.Quarantined++

@@ -1,0 +1,265 @@
+package fusion
+
+import (
+	"errors"
+	"sort"
+)
+
+// Meas is one sequence-stamped measurement as it crosses the ingest
+// boundary. Seq is a per-sensor monotone sequence number assigned at
+// the source (sensors reporting in rounds share the rhythm: the k-th
+// reading of every sensor carries Seq k); 0 means "unsequenced" and
+// bypasses the dedup/reorder gate entirely.
+type Meas struct {
+	SensorID int
+	CPM      int
+	Step     int    // emission time step (0 when unknown)
+	Seq      uint64 // per-sensor monotone sequence; 0 = unsequenced
+}
+
+// Journal receives accepted readings before they are applied to the
+// filter — the write-ahead hook. Append is always called with the
+// engine lock held, so appends are totally ordered exactly as the
+// filter applies them; an error vetoes the application.
+type Journal interface {
+	Append(Meas) error
+}
+
+// ErrDuplicate is returned for readings whose sequence number has
+// already been consumed or is currently held — at-least-once
+// redelivery detected and suppressed — and for stale stragglers whose
+// slot was given up on.
+var ErrDuplicate = errors.New("fusion: duplicate delivery")
+
+// DeliveryStats counts the sequence gate's work. All fields are
+// monotone counters except Pending.
+type DeliveryStats struct {
+	// Duplicates counts redelivered or stale readings dropped by dedup.
+	Duplicates uint64 `json:"duplicates"`
+	// OutOfOrder counts readings that arrived with a sequence number
+	// below the newest already seen — observed transport reordering.
+	OutOfOrder uint64 `json:"outOfOrder"`
+	// Buffered counts readings that entered the reorder buffer.
+	Buffered uint64 `json:"buffered"`
+	// Late counts readings applied out of canonical order because they
+	// arrived after their round had already been released — reordering
+	// beyond the window, admitted rather than dropped.
+	Late uint64 `json:"late"`
+	// GapSkips counts sequence numbers given up on: readings the
+	// transport apparently lost for good.
+	GapSkips uint64 `json:"gapSkips"`
+	// ForcedFlushes counts buffer overflows that forced releases ahead
+	// of the watermark.
+	ForcedFlushes uint64 `json:"forcedFlushes"`
+	// Unsequenced counts seq-0 readings that bypassed the gate.
+	Unsequenced uint64 `json:"unsequenced"`
+	// Pending is the number of readings currently held in the reorder
+	// buffer (snapshot-time value, not a counter).
+	Pending int `json:"pending"`
+}
+
+// gate is the dedup/reorder front of the engine. Guarded by Engine.mu.
+//
+// Readings are staged per round (their Seq) and a round is released —
+// journaled and applied in ascending sensor-ID order — once the
+// watermark (newest Seq seen minus the window) passes it. Because the
+// release order is a pure function of the readings' own stamps, any
+// arrival order whose displacement stays within the window reduces to
+// the identical application sequence, which is what makes "duplicate
+// and shuffled redelivery ≡ exactly-once in-order" an exact statement
+// rather than a statistical one.
+type gate struct {
+	cursor   map[int]uint64          // per-sensor highest applied seq (dedup)
+	held     map[uint64]map[int]Meas // round → sensorID → reading
+	heldN    int
+	maxSeq   uint64 // newest sequence number seen
+	released uint64 // rounds ≤ released have been released
+}
+
+func newGate() *gate {
+	return &gate{
+		cursor: make(map[int]uint64),
+		held:   make(map[uint64]map[int]Meas),
+	}
+}
+
+// IngestSeq feeds one sequence-stamped measurement through the
+// dedup/reorder gate and applies whatever the gate releases. It
+// returns the number of readings applied to the engine by this call
+// (0 if the reading was deduplicated or buffered; possibly many when
+// it advanced the watermark). The error reflects the offered
+// reading's own outcome: ErrDuplicate for redelivery, nil otherwise
+// (including "buffered, pending the watermark"); rejections of
+// individual released readings are visible in the engine's counters,
+// as on the unsequenced path.
+func (e *Engine) IngestSeq(m Meas) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if m.Seq == 0 {
+		e.delivery.Unsequenced++
+		if err := e.journalLocked(m); err != nil {
+			return 0, err
+		}
+		_, err := e.applyLocked(m)
+		return 1, err
+	}
+	g := e.gate
+	if m.Seq < g.maxSeq {
+		e.delivery.OutOfOrder++
+	}
+	if m.Seq <= g.cursor[m.SensorID] {
+		e.delivery.Duplicates++
+		return 0, ErrDuplicate
+	}
+	if _, dup := g.held[m.Seq][m.SensorID]; dup {
+		e.delivery.Duplicates++
+		return 0, ErrDuplicate
+	}
+	if m.Seq <= g.released {
+		// The round has sailed: apply immediately, out of canonical
+		// order but admitted — shedding data over a bounded-window
+		// violation would be worse.
+		e.delivery.Late++
+		if err := e.journalLocked(m); err != nil {
+			return 0, err
+		}
+		_, err := e.applyReleasedLocked(m)
+		return 1, err
+	}
+	round := g.held[m.Seq]
+	if round == nil {
+		round = make(map[int]Meas)
+		g.held[m.Seq] = round
+	}
+	round[m.SensorID] = m
+	g.heldN++
+	e.delivery.Buffered++
+	if m.Seq > g.maxSeq {
+		g.maxSeq = m.Seq
+	}
+	applied, err := e.drainLocked(false)
+	if err != nil {
+		return applied, err
+	}
+	// Overflow backstop: the organic bound is (window+1) rounds ×
+	// sensor count, but nothing forces well-formed stamps, so cap the
+	// buffer and release ahead of the watermark when it bursts.
+	if g.heldN > e.maxHeld() {
+		e.delivery.ForcedFlushes++
+		n, err := e.flushRoundsLocked(g.maxSeq)
+		applied += n
+		if err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
+}
+
+func (e *Engine) maxHeld() int {
+	return (e.window + 1) * (len(e.sensors) + 1)
+}
+
+// drainLocked releases every round the watermark has passed — or, for
+// final=true, every held round. Callers hold e.mu.
+func (e *Engine) drainLocked(final bool) (int, error) {
+	g := e.gate
+	target := g.maxSeq
+	if !final {
+		if g.maxSeq <= uint64(e.window) {
+			return 0, nil
+		}
+		target = g.maxSeq - uint64(e.window)
+	}
+	if target <= g.released {
+		return 0, nil
+	}
+	return e.flushRoundsLocked(target)
+}
+
+// flushRoundsLocked releases all held rounds ≤ target in (round,
+// sensor-ID) order and advances the release watermark to target.
+// Callers hold e.mu.
+func (e *Engine) flushRoundsLocked(target uint64) (int, error) {
+	g := e.gate
+	rounds := make([]uint64, 0, len(g.held))
+	for s := range g.held {
+		if s <= target {
+			rounds = append(rounds, s)
+		}
+	}
+	sort.Slice(rounds, func(a, b int) bool { return rounds[a] < rounds[b] })
+	applied := 0
+	for _, s := range rounds {
+		round := g.held[s]
+		ids := make([]int, 0, len(round))
+		for id := range round {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			m := round[id]
+			if err := e.journalLocked(m); err != nil {
+				// Leave the unjournaled remainder held; released stays
+				// behind so nothing is lost.
+				return applied, err
+			}
+			delete(round, id)
+			g.heldN--
+			_, _ = e.applyReleasedLocked(m)
+			applied++
+		}
+		delete(g.held, s)
+		g.released = s
+	}
+	if target > g.released {
+		g.released = target
+	}
+	return applied, nil
+}
+
+// applyReleasedLocked applies one gate-released (already journaled)
+// reading: advances the sensor's dedup cursor, accounts for skipped
+// sequence numbers, and folds the reading in. Callers hold e.mu.
+func (e *Engine) applyReleasedLocked(m Meas) (uint64, error) {
+	cur := e.gate.cursor[m.SensorID]
+	if m.Seq > cur {
+		if cur > 0 && m.Seq > cur+1 {
+			e.delivery.GapSkips += m.Seq - cur - 1
+		}
+		e.gate.cursor[m.SensorID] = m.Seq
+	}
+	return e.applyLocked(m)
+}
+
+// FlushPending releases every held round in canonical order — for
+// end-of-stream or shutdown, when no further watermark advance will
+// come. Returns the number of readings applied.
+func (e *Engine) FlushPending() (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.drainLocked(true)
+}
+
+// Replay re-applies one journaled reading during recovery: it bypasses
+// both journal and gate (the record was journaled in application
+// order, post-gate) but advances the gate's cursors and watermark so
+// redelivery of already-recovered readings deduplicates, and advances
+// the journal offset accounting — replayed records are already
+// durable.
+func (e *Engine) Replay(m Meas) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.journaled++
+	if m.Seq > 0 {
+		g := e.gate
+		if m.Seq > g.released {
+			g.released = m.Seq
+		}
+		if m.Seq > g.maxSeq {
+			g.maxSeq = m.Seq
+		}
+		_, _ = e.applyReleasedLocked(m)
+		return
+	}
+	_, _ = e.applyLocked(m)
+}

@@ -1,0 +1,174 @@
+package fusion
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"radloc/internal/core"
+	"radloc/internal/diagnose"
+	"radloc/internal/track"
+)
+
+// EngineState is a serializable snapshot of the whole fusion engine —
+// the contents of a recovery checkpoint. Together with the WAL suffix
+// of readings journaled after Journaled, it reconstructs the engine
+// exactly: counters, particle filter (including its RNG position),
+// per-sensor health, tracker, and the sequence gate's dedup cursors.
+// Reorder-buffer contents are deliberately NOT part of the state: a
+// buffered reading has not been journaled yet, so it is not durable —
+// the at-least-once transport redelivers it after recovery.
+type EngineState struct {
+	Ingested  uint64 `json:"ingested"`
+	Rejected  uint64 `json:"rejected"`
+	Refreshes uint64 `json:"refreshes"`
+	SinceEst  int    `json:"sinceEst"`
+	TrackStep int    `json:"trackStep"`
+	// Journaled is the WAL offset this state corresponds to: every
+	// journaled record with index < Journaled is folded in, every
+	// record ≥ Journaled must be replayed on recovery.
+	Journaled uint64          `json:"journaled"`
+	Estimates []core.Estimate `json:"estimates,omitempty"`
+	Localizer core.State      `json:"localizer"`
+	Health    []HealthState   `json:"health,omitempty"`
+	Tracker   *track.State    `json:"tracker,omitempty"`
+	Seqs      []SeqCursor     `json:"seqs,omitempty"`
+	// GateReleased is the reorder gate's release watermark: rounds ≤
+	// it have been applied in canonical order.
+	GateReleased uint64        `json:"gateReleased,omitempty"`
+	Delivery     DeliveryStats `json:"delivery"`
+}
+
+// HealthState is the serializable form of one sensor's full health
+// record (the streaks included — SensorHealth omits them).
+type HealthState struct {
+	SensorID    int      `json:"sensorId"`
+	Status      int      `json:"status"`
+	BadStreak   int      `json:"badStreak,omitempty"`
+	GoodStreak  int      `json:"goodStreak,omitempty"`
+	LastZ       *float64 `json:"lastZ,omitempty"` // nil encodes NaN (never scored)
+	Seen        uint64   `json:"seen"`
+	Dropped     uint64   `json:"dropped,omitempty"`
+	Quarantines int      `json:"quarantines,omitempty"`
+}
+
+// SeqCursor is one sensor's dedup cursor: the highest sequence number
+// consumed from it.
+type SeqCursor struct {
+	SensorID int    `json:"sensorId"`
+	Applied  uint64 `json:"applied"`
+}
+
+// ExportState captures the engine's resumable state. The reorder
+// buffers are excluded (see EngineState); everything else round-trips
+// exactly.
+func (e *Engine) ExportState() (EngineState, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	loc, err := e.loc.ExportState()
+	if err != nil {
+		return EngineState{}, err
+	}
+	st := EngineState{
+		Ingested:  e.ingested,
+		Rejected:  e.rejected,
+		Refreshes: e.refreshes,
+		SinceEst:  e.sinceEst,
+		TrackStep: e.trackStep,
+		Journaled: e.journaled,
+		Estimates: append([]core.Estimate(nil), e.ests...),
+		Localizer: loc,
+		Delivery:  e.delivery,
+	}
+	for _, h := range e.health {
+		hs := HealthState{
+			SensorID:    h.id,
+			Status:      int(h.status),
+			BadStreak:   h.badStreak,
+			GoodStreak:  h.goodStreak,
+			Seen:        h.seen,
+			Dropped:     h.dropped,
+			Quarantines: h.quarantines,
+		}
+		if !math.IsNaN(h.lastZ) {
+			z := h.lastZ
+			hs.LastZ = &z
+		}
+		st.Health = append(st.Health, hs)
+	}
+	sort.Slice(st.Health, func(a, b int) bool { return st.Health[a].SensorID < st.Health[b].SensorID })
+	for id, applied := range e.gate.cursor {
+		if applied > 0 {
+			st.Seqs = append(st.Seqs, SeqCursor{SensorID: id, Applied: applied})
+		}
+	}
+	sort.Slice(st.Seqs, func(a, b int) bool { return st.Seqs[a].SensorID < st.Seqs[b].SensorID })
+	st.GateReleased = e.gate.released
+	if e.tracker != nil {
+		ts := e.tracker.ExportState()
+		st.Tracker = &ts
+	}
+	return st, nil
+}
+
+// SetJournalOffset aligns the engine's journal-offset counter with an
+// external log position — recovery bookkeeping for when the engine's
+// replay count and the log's record offsets differ (a pruned prefix or
+// a hole left by tail truncation). Checkpoints built after this call
+// carry WAL offsets, which is what recovery replays from.
+func (e *Engine) SetJournalOffset(off uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.journaled = off
+}
+
+// ImportState restores a snapshot captured by ExportState into an
+// engine built with the same Config (same sensors, localizer
+// parameters and tracking mode). Health records for sensors unknown
+// to this engine are rejected; sensors added since the export keep
+// their fresh zero records.
+func (e *Engine) ImportState(st EngineState) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, hs := range st.Health {
+		if _, ok := e.health[hs.SensorID]; !ok {
+			return fmt.Errorf("fusion: state has health for unknown sensor %d", hs.SensorID)
+		}
+	}
+	if err := e.loc.ImportState(st.Localizer); err != nil {
+		return err
+	}
+	e.ingested = st.Ingested
+	e.rejected = st.Rejected
+	e.refreshes = st.Refreshes
+	e.sinceEst = st.SinceEst
+	e.trackStep = st.TrackStep
+	e.journaled = st.Journaled
+	e.ests = append(e.ests[:0], st.Estimates...)
+	e.predSources = diagnose.Sources(e.ests)
+	e.delivery = st.Delivery
+	e.delivery.Pending = 0
+	for _, hs := range st.Health {
+		h := e.health[hs.SensorID]
+		h.status = HealthStatus(hs.Status)
+		h.badStreak = hs.BadStreak
+		h.goodStreak = hs.GoodStreak
+		h.lastZ = math.NaN()
+		if hs.LastZ != nil {
+			h.lastZ = *hs.LastZ
+		}
+		h.seen = hs.Seen
+		h.dropped = hs.Dropped
+		h.quarantines = hs.Quarantines
+	}
+	e.gate = newGate()
+	for _, sc := range st.Seqs {
+		e.gate.cursor[sc.SensorID] = sc.Applied
+	}
+	e.gate.released = st.GateReleased
+	e.gate.maxSeq = st.GateReleased
+	if e.tracker != nil && st.Tracker != nil {
+		e.tracker.ImportState(*st.Tracker)
+	}
+	return nil
+}

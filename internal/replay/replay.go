@@ -25,6 +25,12 @@ type Record struct {
 	// Step is the time step at which the reading was taken (emission
 	// time, not delivery time).
 	Step int `json:"step"`
+	// Seq is the per-sensor monotone sequence number (Step+1 — sensors
+	// report in rounds, so the k-th reading of every sensor carries
+	// seq k). It lets an at-least-once consumer deduplicate redelivery
+	// and restore canonical order after transport reordering; 0 in
+	// streams recorded before sequencing existed.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // ErrTruncated is returned when a stream ends mid-record.
@@ -53,7 +59,7 @@ func Write(w io.Writer, sc scenario.Scenario, seed uint64) (int, error) {
 		for _, ev := range plan.EventsInStep(step) {
 			sen := sc.Sensors[ev.SensorIndex]
 			m := sen.Measure(measure, sc.Sources, sc.Obstacles, ev.EmitStep)
-			if err := enc.Encode(Record{SensorID: sen.ID, CPM: m.CPM, Step: ev.EmitStep}); err != nil {
+			if err := enc.Encode(Record{SensorID: sen.ID, CPM: m.CPM, Step: ev.EmitStep, Seq: uint64(ev.EmitStep) + 1}); err != nil {
 				return n, err
 			}
 			n++

@@ -19,11 +19,26 @@ import (
 // for concurrent use; derive one Stream per goroutine via Split.
 type Stream struct {
 	src *rand.Rand
+	pcg *rand.PCG
 }
 
 // New returns a Stream seeded with the two words of seed material.
 func New(seed1, seed2 uint64) *Stream {
-	return &Stream{src: rand.New(rand.NewPCG(seed1, seed2))}
+	pcg := rand.NewPCG(seed1, seed2)
+	return &Stream{src: rand.New(pcg), pcg: pcg}
+}
+
+// MarshalBinary captures the generator's exact position so a restored
+// Stream continues the identical variate sequence — the foundation of
+// checkpointed crash recovery, where "replay the WAL tail" is only
+// sound if the filter's randomness resumes where it left off.
+func (s *Stream) MarshalBinary() ([]byte, error) {
+	return s.pcg.MarshalBinary()
+}
+
+// UnmarshalBinary restores a position captured by MarshalBinary.
+func (s *Stream) UnmarshalBinary(data []byte) error {
+	return s.pcg.UnmarshalBinary(data)
 }
 
 // NewNamed derives a stream from a root seed and a human-readable

@@ -156,6 +156,31 @@ func (m *Manager) hit(t *Track, step int, e core.Estimate) {
 	}
 }
 
+// State is a serializable snapshot of a Manager, for checkpointed
+// crash recovery. Track fields are all exported, so the track set
+// round-trips through JSON unchanged.
+type State struct {
+	NextID int     `json:"nextId"`
+	Tracks []Track `json:"tracks,omitempty"`
+}
+
+// ExportState captures the manager's resumable state.
+func (m *Manager) ExportState() State {
+	return State{
+		NextID: m.nextID,
+		Tracks: append([]Track(nil), m.tracks...),
+	}
+}
+
+// ImportState restores a snapshot captured by ExportState.
+func (m *Manager) ImportState(st State) {
+	m.nextID = st.NextID
+	if m.nextID < 1 {
+		m.nextID = 1
+	}
+	m.tracks = append(m.tracks[:0], st.Tracks...)
+}
+
 // Confirmed returns the confirmed tracks, most-hit first.
 func (m *Manager) Confirmed() []Track {
 	var out []Track

@@ -1,0 +1,151 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Checkpoint is one durable engine snapshot: the serialized engine
+// state after applying the first Applied journaled records. Recovery
+// loads the newest valid checkpoint and replays the WAL from Applied.
+type Checkpoint struct {
+	// Applied is the WAL offset this state corresponds to.
+	Applied uint64 `json:"applied"`
+	// State is the engine's opaque serialized state.
+	State json.RawMessage `json:"state"`
+}
+
+const ckptPrefix, ckptSuffix = "checkpoint-", ".json"
+
+func checkpointPath(dir string, applied uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016x%s", ckptPrefix, applied, ckptSuffix))
+}
+
+type ckptEnvelope struct {
+	CRC     uint32          `json:"crc"`
+	Applied uint64          `json:"applied"`
+	State   json.RawMessage `json:"state"`
+}
+
+// WriteCheckpoint atomically persists a checkpoint into dir
+// (write-to-temp, fsync, rename, fsync dir). The caller MUST have
+// Sync'd the WAL through Applied first — a checkpoint that refers to
+// records the log could still lose is a lie.
+func WriteCheckpoint(dir string, ck Checkpoint) error {
+	env := ckptEnvelope{
+		CRC:     crc32.Checksum(ck.State, crcTable),
+		Applied: ck.Applied,
+		State:   ck.State,
+	}
+	blob, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ckptPrefix+"tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, checkpointPath(dir, ck.Applied)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// LoadCheckpoint returns the newest valid checkpoint in dir. Corrupt
+// or unreadable candidates are skipped (renamed aside), walking back
+// to older ones; ok=false means no usable checkpoint exists — cold
+// start from WAL offset 0.
+func LoadCheckpoint(dir string) (ck Checkpoint, ok bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Checkpoint{}, false, nil
+		}
+		return Checkpoint{}, false, err
+	}
+	var candidates []uint64
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+			continue
+		}
+		hexpart := strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix)
+		applied, perr := strconv.ParseUint(hexpart, 16, 64)
+		if perr != nil || checkpointPath(dir, applied) != filepath.Join(dir, name) {
+			continue
+		}
+		candidates = append(candidates, applied)
+	}
+	sort.Slice(candidates, func(a, b int) bool { return candidates[a] > candidates[b] })
+	for _, applied := range candidates {
+		path := checkpointPath(dir, applied)
+		blob, rerr := os.ReadFile(path)
+		if rerr != nil {
+			continue
+		}
+		var env ckptEnvelope
+		if json.Unmarshal(blob, &env) != nil ||
+			env.Applied != applied ||
+			crc32.Checksum(env.State, crcTable) != env.CRC {
+			// Corrupt: move aside and fall back to the previous one.
+			_ = os.Rename(path, path+".bad")
+			continue
+		}
+		return Checkpoint{Applied: env.Applied, State: env.State}, true, nil
+	}
+	return Checkpoint{}, false, nil
+}
+
+// PruneCheckpoints removes all but the newest keep valid-looking
+// checkpoints (by name; content is not re-validated).
+func PruneCheckpoints(dir string, keep int) error {
+	if keep < 1 {
+		keep = 1
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var candidates []uint64
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+			continue
+		}
+		hexpart := strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix)
+		applied, perr := strconv.ParseUint(hexpart, 16, 64)
+		if perr != nil || checkpointPath(dir, applied) != filepath.Join(dir, name) {
+			continue
+		}
+		candidates = append(candidates, applied)
+	}
+	if len(candidates) <= keep {
+		return nil
+	}
+	sort.Slice(candidates, func(a, b int) bool { return candidates[a] > candidates[b] })
+	for _, applied := range candidates[keep:] {
+		if err := os.Remove(checkpointPath(dir, applied)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzWALReplay throws arbitrary bytes at the recovery path as a WAL
+// segment (plus a mutated copy as a second segment): Open must always
+// succeed — truncating, never panicking, never looping — and the
+// recovered prefix must itself replay cleanly and survive appends.
+func FuzzWALReplay(f *testing.F) {
+	valid := func(recs ...Record) []byte {
+		var buf bytes.Buffer
+		for _, r := range recs {
+			raw, _ := json.Marshal(r)
+			line, _ := json.Marshal(envelope{CRC: crc32.Checksum(raw, crcTable), Rec: raw})
+			buf.Write(line)
+			buf.WriteByte('\n')
+		}
+		return buf.Bytes()
+	}
+	f.Add([]byte{})
+	f.Add([]byte("not json at all\n"))
+	f.Add([]byte(`{"crc":0,"rec":{"sensorId":1,"cpm":2}}` + "\n"))
+	f.Add(valid(Record{SensorID: 1, CPM: 40, Seq: 1}, Record{SensorID: 2, CPM: 41, Seq: 1}))
+	f.Add(append(valid(Record{SensorID: 1, CPM: 40, Seq: 1}), []byte(`{"crc":12,"rec"`)...))
+	f.Add([]byte(`{"crc":1,"rec":{"seq":18446744073709551615}}` + "\n"))
+	f.Add(bytes.Repeat([]byte("\n"), 100))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(segmentPath(dir, 0), data, 0o644); err != nil {
+			t.Skip()
+		}
+		// A second segment whose start offset the fuzzer indirectly
+		// controls via the first one's content.
+		mut := append([]byte{}, data...)
+		for i := range mut {
+			mut[i] ^= byte(i)
+		}
+		if err := os.WriteFile(segmentPath(dir, 3), mut, 0o644); err != nil {
+			t.Skip()
+		}
+
+		l, stats, err := Open(dir, Options{Fsync: FsyncNever, SegmentRecords: 4})
+		if err != nil {
+			t.Fatalf("Open must repair, not fail: %v", err)
+		}
+		if l.Offset() != stats.Records+3 && l.Offset() != stats.Records {
+			// Records counts across surviving segments; with the hole at
+			// [records0, 3) the offset is start-of-last + its count. Just
+			// sanity-bound it.
+			if l.Offset() > stats.Records+3 {
+				t.Fatalf("offset %d beyond plausible range (stats %+v)", l.Offset(), stats)
+			}
+		}
+		n := uint64(0)
+		if err := l.Replay(0, func(off uint64, rec Record) error {
+			n++
+			return nil
+		}); err != nil {
+			t.Fatalf("recovered log must replay cleanly: %v", err)
+		}
+		if n != stats.Records {
+			t.Fatalf("replayed %d records, recovery reported %d", n, stats.Records)
+		}
+		// The repaired log accepts appends and survives a second open
+		// with no further truncation.
+		if _, err := l.Append(Record{SensorID: 9, CPM: 50, Seq: 99}); err != nil {
+			t.Fatalf("append after repair: %v", err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		l2, stats2, err := Open(dir, Options{SegmentRecords: 4})
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		if stats2.TruncatedRecords != 0 || stats2.Records != stats.Records+1 {
+			t.Fatalf("second open not clean: %+v after %+v", stats2, stats)
+		}
+		l2.Close()
+
+		// Checkpoint loader on the same arbitrary bytes.
+		ckDir := t.TempDir()
+		os.WriteFile(filepath.Join(ckDir, "checkpoint-0000000000000007.json"), data, 0o644)
+		if _, _, err := LoadCheckpoint(ckDir); err != nil {
+			t.Fatalf("LoadCheckpoint must skip garbage, not fail: %v", err)
+		}
+	})
+}

@@ -1,0 +1,538 @@
+// Package wal is radlocd's crash-safe durability layer: a segmented,
+// checksummed, append-only write-ahead log of accepted measurements,
+// plus atomic checkpoints of the fusion engine's serialized state.
+//
+// The contract mirrors the classic database recipe. Every reading the
+// engine accepts is appended (and, per the fsync policy, made durable)
+// BEFORE it is folded into the filter; a checkpoint records the
+// engine state after the first Applied records; recovery loads the
+// newest valid checkpoint and replays the WAL suffix through the same
+// ingest code path. Because the filter is a deterministic function of
+// the accepted measurement sequence (including its RNG position,
+// which the checkpoint captures), replay reconstructs the pre-crash
+// posterior exactly.
+//
+// The on-disk format is line-oriented NDJSON so operators can inspect
+// it with standard tools: each line is {"crc":<uint32>,"rec":{...}}
+// where crc is CRC-32 (IEEE) over the raw rec bytes. Segments are
+// named wal-%016x.ndjson by the offset (global record index) of their
+// first record. Torn or corrupt tails are truncated on open, never
+// fatal: crash-mid-write loses at most the records the fsync policy
+// already allowed to be lost.
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is one journaled measurement. The field set matches the
+// fusion engine's ingest boundary; wal stays import-free of the engine
+// so the dependency points one way.
+type Record struct {
+	SensorID int    `json:"sensorId"`
+	CPM      int    `json:"cpm"`
+	Step     int    `json:"step,omitempty"`
+	Seq      uint64 `json:"seq,omitempty"`
+}
+
+// FsyncPolicy selects when appends are forced to stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs after every append: no accepted reading is
+	// ever lost, at per-record fsync cost.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncBatch syncs on explicit Sync calls (the checkpointer and
+	// shutdown path issue them) and on segment rotation. A crash can
+	// lose the unsynced tail; recovery truncates it cleanly and the
+	// at-least-once transport redelivers.
+	FsyncBatch
+	// FsyncNever never syncs (testing / throwaway replays).
+	FsyncNever
+)
+
+// ParseFsyncPolicy maps the -fsync flag values.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "batch":
+		return FsyncBatch, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, batch or never)", s)
+}
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncBatch:
+		return "batch"
+	case FsyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+}
+
+// Options tunes a Log.
+type Options struct {
+	// Fsync is the durability policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// SegmentRecords rotates to a new segment after this many records
+	// (default 4096).
+	SegmentRecords int
+}
+
+// RecoveryStats reports what opening an existing WAL directory found
+// and repaired. Recovery never fails on bad data — it repairs and
+// reports.
+type RecoveryStats struct {
+	// Segments is the number of valid segment files found.
+	Segments int `json:"segments"`
+	// Records is the number of valid records across them.
+	Records uint64 `json:"records"`
+	// TruncatedRecords counts corrupt or torn trailing records
+	// discarded (CRC mismatch, malformed JSON, or a missing final
+	// newline).
+	TruncatedRecords uint64 `json:"truncatedRecords,omitempty"`
+	// TruncatedBytes is the number of bytes cut from the log tail.
+	TruncatedBytes int64 `json:"truncatedBytes,omitempty"`
+	// DroppedSegments counts whole segment files discarded because
+	// they sat beyond a corrupt tail or carried unparsable names.
+	DroppedSegments int `json:"droppedSegments,omitempty"`
+}
+
+// Log is an append-only record log over one directory. Methods are not
+// concurrency-safe; the fusion engine serializes appends under its own
+// lock (which is what makes WAL order = application order).
+type Log struct {
+	dir      string
+	opts     Options
+	segments []segment // sorted by start; last one is the active tail
+	next     uint64    // offset the next appended record will get
+	f        *os.File  // active tail segment, opened for append
+	w        *bufio.Writer
+	dirty    bool // unsynced appends outstanding
+}
+
+type segment struct {
+	start uint64 // offset of the first record
+	count uint64 // valid records in the file
+	path  string
+}
+
+const segPrefix, segSuffix = "wal-", ".ndjson"
+
+func segmentPath(dir string, start uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016x%s", segPrefix, start, segSuffix))
+}
+
+var crcTable = crc32.IEEETable
+
+type envelope struct {
+	CRC uint32          `json:"crc"`
+	Rec json.RawMessage `json:"rec"`
+}
+
+// Open opens (creating if needed) the WAL in dir, validates every
+// segment, truncates any torn or corrupt tail, and positions the log
+// to append after the last valid record. Bad data is repaired and
+// reported in RecoveryStats, never returned as an error; errors are
+// reserved for the filesystem refusing to cooperate.
+func Open(dir string, opts Options) (*Log, RecoveryStats, error) {
+	if opts.SegmentRecords <= 0 {
+		opts.SegmentRecords = 4096
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, RecoveryStats{}, err
+	}
+	l := &Log{dir: dir, opts: opts}
+	stats, err := l.recover()
+	if err != nil {
+		return nil, stats, err
+	}
+	if err := l.openTail(); err != nil {
+		return nil, stats, err
+	}
+	return l, stats, nil
+}
+
+// recover scans the directory, validates segments in offset order and
+// truncates at the first invalid record, dropping everything after it.
+func (l *Log) recover() (RecoveryStats, error) {
+	var stats RecoveryStats
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return stats, err
+	}
+	var segs []segment
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		hexpart := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+		start, perr := strconv.ParseUint(hexpart, 16, 64)
+		if perr != nil || segmentPath(l.dir, start) != filepath.Join(l.dir, name) {
+			// Unparsable or non-canonical name: quarantine rather than
+			// guess at an offset.
+			stats.DroppedSegments++
+			_ = os.Rename(filepath.Join(l.dir, name), filepath.Join(l.dir, name+".bad"))
+			continue
+		}
+		segs = append(segs, segment{start: start, path: filepath.Join(l.dir, name)})
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a].start < segs[b].start })
+
+	var prevEnd uint64
+	truncated := false
+	for i := range segs {
+		seg := &segs[i]
+		if truncated || (i > 0 && seg.start < prevEnd) {
+			// Beyond a corrupt tail, or overlapping the previous
+			// segment's records: this data can't be trusted.
+			stats.DroppedSegments++
+			_ = os.Remove(seg.path)
+			seg.count = 0
+			continue
+		}
+		count, goodBytes, badRecs, err := validateSegment(seg.path)
+		if err != nil {
+			return stats, err
+		}
+		if badRecs > 0 {
+			fi, statErr := os.Stat(seg.path)
+			if statErr == nil {
+				stats.TruncatedBytes += fi.Size() - goodBytes
+			}
+			stats.TruncatedRecords += badRecs
+			if err := os.Truncate(seg.path, goodBytes); err != nil {
+				return stats, err
+			}
+			truncated = true
+		}
+		if count == 0 && (badRecs > 0 || seg.start != 0) && i == len(segs)-1 {
+			// Fully-torn tail segment: remove the empty husk unless it
+			// is the sole genesis segment.
+			if seg.start != 0 || len(segs) > 1 {
+				_ = os.Remove(seg.path)
+				seg.count = 0
+				if badRecs > 0 {
+					stats.DroppedSegments++
+				}
+				continue
+			}
+		}
+		seg.count = count
+		prevEnd = seg.start + seg.count
+		stats.Segments++
+		stats.Records += count
+	}
+	for _, seg := range segs {
+		if seg.count > 0 || (seg.start == 0 && len(segs) == 1) {
+			l.segments = append(l.segments, seg)
+		}
+	}
+	if n := len(l.segments); n > 0 {
+		last := l.segments[n-1]
+		l.next = last.start + last.count
+	}
+	return stats, nil
+}
+
+// validateSegment counts the valid prefix of one segment file:
+// records, the byte length of that prefix, and how many invalid
+// records follow it.
+func validateSegment(path string) (records uint64, goodBytes int64, badRecs uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 64<<10)
+	for {
+		line, rerr := r.ReadBytes('\n')
+		if rerr != nil {
+			// EOF with a partial line = torn final write.
+			if len(line) > 0 {
+				badRecs++
+			}
+			return records, goodBytes, badRecs, nil
+		}
+		if _, ok := decodeLine(line); !ok {
+			// First bad record: everything after it is suspect too.
+			// Count the remaining lines as truncated.
+			badRecs++
+			for {
+				more, rerr2 := r.ReadBytes('\n')
+				if len(more) > 0 {
+					badRecs++
+				}
+				if rerr2 != nil {
+					return records, goodBytes, badRecs, nil
+				}
+				_ = more
+			}
+		}
+		records++
+		goodBytes += int64(len(line))
+	}
+}
+
+// decodeLine parses and checksums one NDJSON line.
+func decodeLine(line []byte) (Record, bool) {
+	line = bytes.TrimRight(line, "\n")
+	if len(line) == 0 {
+		return Record{}, false
+	}
+	var env envelope
+	dec := json.NewDecoder(bytes.NewReader(line))
+	if err := dec.Decode(&env); err != nil || dec.More() {
+		return Record{}, false
+	}
+	if len(env.Rec) == 0 || crc32.Checksum(env.Rec, crcTable) != env.CRC {
+		return Record{}, false
+	}
+	var rec Record
+	if err := json.Unmarshal(env.Rec, &rec); err != nil {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// openTail opens the active segment for appending, creating the
+// genesis segment if the directory is empty.
+func (l *Log) openTail() error {
+	if len(l.segments) == 0 {
+		l.segments = append(l.segments, segment{start: l.next, path: segmentPath(l.dir, l.next)})
+	}
+	tail := &l.segments[len(l.segments)-1]
+	f, err := os.OpenFile(tail.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f = f
+	l.w = bufio.NewWriterSize(f, 64<<10)
+	return nil
+}
+
+// Offset is the global record index the next Append will receive —
+// equivalently, the number of records ever appended (valid after
+// recovery truncation).
+func (l *Log) Offset() uint64 { return l.next }
+
+// Append journals one record, making it durable per the fsync policy,
+// and returns its offset.
+func (l *Log) Append(rec Record) (uint64, error) {
+	if l.f == nil {
+		return 0, errors.New("wal: log closed")
+	}
+	tail := &l.segments[len(l.segments)-1]
+	if tail.count >= uint64(l.opts.SegmentRecords) {
+		if err := l.rotate(); err != nil {
+			return 0, err
+		}
+		tail = &l.segments[len(l.segments)-1]
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return 0, err
+	}
+	env := envelope{CRC: crc32.Checksum(raw, crcTable), Rec: raw}
+	line, err := json.Marshal(env)
+	if err != nil {
+		return 0, err
+	}
+	line = append(line, '\n')
+	if _, err := l.w.Write(line); err != nil {
+		return 0, err
+	}
+	l.dirty = true
+	if l.opts.Fsync == FsyncAlways {
+		if err := l.syncTail(); err != nil {
+			return 0, err
+		}
+	}
+	off := l.next
+	l.next++
+	tail.count++
+	return off, nil
+}
+
+// Sync flushes and (policy permitting) fsyncs outstanding appends. The
+// checkpointer MUST call this before persisting a checkpoint that
+// covers them: a checkpoint must never run ahead of the durable log.
+func (l *Log) Sync() error {
+	if l.f == nil || !l.dirty {
+		return nil
+	}
+	return l.syncTail()
+}
+
+func (l *Log) syncTail() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if l.opts.Fsync != FsyncNever {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+	}
+	l.dirty = false
+	return nil
+}
+
+// rotate seals the active segment and starts a new one at the current
+// offset.
+func (l *Log) rotate() error {
+	if err := l.syncTail(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	seg := segment{start: l.next, path: segmentPath(l.dir, l.next)}
+	f, err := os.OpenFile(seg.path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	l.segments = append(l.segments, seg)
+	l.f = f
+	l.w = bufio.NewWriterSize(f, 64<<10)
+	if l.opts.Fsync != FsyncNever {
+		if err := syncDir(l.dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AlignTo fast-forwards the append offset to at least off by sealing
+// the tail and opening a fresh segment there. Used when a checkpoint
+// is AHEAD of the surviving log (the log's tail was truncated by
+// corruption after the checkpoint covered it): new records must not
+// reuse offsets the checkpoint claims are already folded in.
+func (l *Log) AlignTo(off uint64) error {
+	if off <= l.next {
+		return nil
+	}
+	if err := l.syncTail(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	// Drop a still-empty tail husk so the directory stays canonical.
+	if tail := l.segments[len(l.segments)-1]; tail.count == 0 {
+		_ = os.Remove(tail.path)
+		l.segments = l.segments[:len(l.segments)-1]
+	}
+	l.next = off
+	seg := segment{start: off, path: segmentPath(l.dir, off)}
+	f, err := os.OpenFile(seg.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	l.segments = append(l.segments, seg)
+	l.f = f
+	l.w = bufio.NewWriterSize(f, 64<<10)
+	return nil
+}
+
+// Replay streams every durable record with offset ≥ from, in order,
+// to fn. Replay reads the files as recovered on Open; call it before
+// appending.
+func (l *Log) Replay(from uint64, fn func(off uint64, rec Record) error) error {
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	for _, seg := range l.segments {
+		if seg.start+seg.count <= from || seg.count == 0 {
+			continue
+		}
+		f, err := os.Open(seg.path)
+		if err != nil {
+			return err
+		}
+		r := bufio.NewReaderSize(f, 64<<10)
+		off := seg.start
+		for off < seg.start+seg.count {
+			line, rerr := r.ReadBytes('\n')
+			rec, ok := decodeLine(line)
+			if !ok {
+				f.Close()
+				return fmt.Errorf("wal: segment %s corrupt at offset %d after recovery", seg.path, off)
+			}
+			if off >= from {
+				if err := fn(off, rec); err != nil {
+					f.Close()
+					return err
+				}
+			}
+			off++
+			if rerr != nil {
+				break
+			}
+		}
+		f.Close()
+	}
+	return nil
+}
+
+// Prune removes whole segments every record of which sits below
+// keepFrom (they are covered by a checkpoint and will never be
+// replayed). The active tail always survives.
+func (l *Log) Prune(keepFrom uint64) error {
+	kept := l.segments[:0]
+	for i, seg := range l.segments {
+		last := i == len(l.segments)-1
+		if !last && seg.start+seg.count <= keepFrom {
+			if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	l.segments = kept
+	return nil
+}
+
+// Close flushes, syncs and closes the log.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.syncTail()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Some filesystems refuse fsync on directories; that's their
+	// durability call to make, not a WAL failure.
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return nil
+	}
+	return nil
+}
