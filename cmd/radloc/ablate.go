@@ -22,7 +22,7 @@ import (
 // (`radloc ablate <fusion-range|estimator|scale-k>`).
 func ablateCmd(args []string, stdout io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("ablate: want fusion-range, estimator, scale-k, faults or delivery\n%s", usage)
+		return fmt.Errorf("ablate: want fusion-range, estimator, scale-k, faults, delivery or transport\n%s", usage)
 	}
 	which := args[0]
 	fs := flag.NewFlagSet("ablate "+which, flag.ContinueOnError)
@@ -48,6 +48,8 @@ func ablateCmd(args []string, stdout io.Writer) error {
 		return ablateFaults(w, cf)
 	case "delivery":
 		return ablateDelivery(w, cf)
+	case "transport":
+		return ablateTransport(w, cf)
 	default:
 		return fmt.Errorf("ablate: unknown experiment %q", which)
 	}

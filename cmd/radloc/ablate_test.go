@@ -82,6 +82,30 @@ func TestAblateFaults(t *testing.T) {
 	}
 }
 
+func TestAblateTransport(t *testing.T) {
+	out, err := execute(t, "ablate", "transport", "-steps", "4", "-reps", "1", "-seed", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "loss,partition_s,spool,delivered_frac,mean_err,false_neg,duplicates") {
+		t.Errorf("header wrong:\n%s", firstLine(out))
+	}
+	// Spooled delivery must hand over every reading in every cell of
+	// the sweep — partitions cost latency, never data.
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Split(line, ",")
+		if len(f) < 4 || f[2] != "on" {
+			continue
+		}
+		if f[3] != "1.000" {
+			t.Errorf("spooled delivered_frac = %s in row %q, want 1.000", f[3], line)
+		}
+	}
+	if !strings.Contains(out, ",off,") {
+		t.Error("unspooled rows missing")
+	}
+}
+
 func TestDiagnoseCommand(t *testing.T) {
 	out, err := execute(t, "diagnose", "-scenario", "A", "-obstacles", "-steps", "8", "-seed", "2")
 	if err != nil {

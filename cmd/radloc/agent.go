@@ -1,0 +1,218 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"radloc/internal/clock"
+	"radloc/internal/rng"
+	"radloc/internal/transport"
+	"radloc/internal/wal"
+)
+
+// agentCmd is the field side of the deployment pipeline: it tails an
+// NDJSON measurement stream (a file or stdin — typically `radloc
+// record` output or a real sensor's feed) and delivers it to a
+// radlocd fusion center with retries, backoff, circuit breaking and
+// optional on-disk store-and-forward:
+//
+//	radloc record -scenario A | radloc agent -url http://127.0.0.1:8080 -spool /var/spool/radloc
+//
+// With -spool every reading is journaled before delivery, so a
+// partition, a server restart or an agent crash costs nothing:
+// undelivered readings are re-sent on reconnect or next start, and
+// the server's sequence gate suppresses any redelivered prefix —
+// exactly-once in effect over an at-least-once wire. Without -spool
+// readings live only in memory and a batch is lost once its delivery
+// attempts are exhausted.
+//
+// SIGUSR1 dumps the delivery counters to stderr mid-flight; the same
+// summary is printed on exit.
+func agentCmd(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("agent", flag.ContinueOnError)
+	var (
+		url       = fs.String("url", "", "radlocd base URL, e.g. http://127.0.0.1:8080 (required)")
+		in        = fs.String("in", "", "NDJSON input file (default stdin)")
+		spoolDir  = fs.String("spool", "", "store-and-forward spool directory (empty = in-memory only)")
+		spoolMax  = fs.Int("spool-max", 1<<20, "spool capacity in readings; overflow sheds the newest")
+		fsync     = fs.String("fsync", "batch", "spool fsync policy: always, batch or never")
+		batch     = fs.Int("batch", 64, "readings per POST")
+		attemptTO = fs.Duration("attempt-timeout", 5*time.Second, "per-attempt request deadline")
+		attempts  = fs.Int("max-attempts", 0, "delivery attempts per batch before dropping it (0 = retry forever)")
+		base      = fs.Duration("backoff-base", 200*time.Millisecond, "retry backoff base delay")
+		cap_      = fs.Duration("backoff-cap", 10*time.Second, "retry backoff ceiling")
+		seed      = fs.Uint64("seed", 1, "backoff jitter seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url == "" {
+		return errors.New("agent: missing -url (the radlocd base URL)")
+	}
+
+	client, err := transport.NewClient(transport.Options{
+		URL:            *url,
+		Clock:          clock.Real{},
+		RNG:            rng.NewNamed(*seed, "radloc/agent"),
+		BatchSize:      *batch,
+		AttemptTimeout: *attemptTO,
+		MaxAttempts:    *attempts,
+		Backoff:        transport.Backoff{Base: *base, Cap: *cap_},
+	})
+	if err != nil {
+		return err
+	}
+	var sp *transport.Spool
+	if *spoolDir != "" {
+		pol, err := wal.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			return err
+		}
+		sp, err = transport.OpenSpool(*spoolDir, transport.SpoolOptions{MaxPending: *spoolMax, Fsync: pol})
+		if err != nil {
+			return err
+		}
+		defer sp.Close()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// SIGUSR1 → delivery counters on stderr, without disturbing the run.
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
+	defer signal.Stop(usr1)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			select {
+			case <-usr1:
+				dumpAgentSummary(os.Stderr, client, sp, 0)
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	// Open the input only after the signal handlers are live: opening a
+	// FIFO blocks until a writer appears, and an agent parked there must
+	// already answer SIGUSR1 instead of dying to it.
+	input := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		input = f
+	}
+
+	malformed, err := pumpAgent(ctx, client, sp, input)
+	dumpAgentSummary(stdout, client, sp, malformed)
+	if errors.Is(err, context.Canceled) && sp != nil {
+		// Interrupted with a spool: nothing is lost, the next start
+		// resumes from the ack cursor.
+		err = nil
+	}
+	return err
+}
+
+// pumpAgent runs the read→deliver loop. With a spool every reading is
+// journaled first and delivery drains the spool (including anything
+// left over from a previous run); without one, readings batch in
+// memory and are lost if their delivery fails permanently.
+func pumpAgent(ctx context.Context, c *transport.Client, sp *transport.Spool, r io.Reader) (malformed uint64, err error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	var buf []transport.Reading
+	flush := func() error {
+		if sp != nil {
+			_, err := c.Drain(ctx, sp)
+			if errors.Is(err, transport.ErrGaveUp) {
+				// The batch stays spooled (never acked): keep reading
+				// input and try again at the next drain — store-and-
+				// forward means an unreachable server costs latency,
+				// not data.
+				err = nil
+			}
+			return err
+		}
+		if len(buf) == 0 {
+			return nil
+		}
+		err := c.Send(ctx, buf)
+		if errors.Is(err, transport.ErrRefused) || errors.Is(err, transport.ErrGaveUp) {
+			err = nil // counted in Stats().Dropped; keep the stream moving
+		}
+		buf = buf[:0]
+		return err
+	}
+
+	for scanner.Scan() {
+		if err := ctx.Err(); err != nil {
+			return malformed, err
+		}
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var m transport.Reading
+		if err := json.Unmarshal(line, &m); err != nil {
+			malformed++
+			continue
+		}
+		if sp != nil {
+			if _, err := sp.Append(m); err != nil {
+				return malformed, err
+			}
+			if sp.Pending() < c.BatchSize() {
+				continue
+			}
+		} else {
+			buf = append(buf, m)
+			if len(buf) < c.BatchSize() {
+				continue
+			}
+		}
+		if err := flush(); err != nil {
+			return malformed, err
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return malformed, err
+	}
+	return malformed, flush()
+}
+
+// agentSummary is the exit/SIGUSR1 report: the client's delivery
+// counters plus the agent's own bookkeeping.
+type agentSummary struct {
+	Delivery     transport.Stats `json:"delivery"`
+	Malformed    uint64          `json:"malformed,omitempty"`
+	SpoolPending int             `json:"spoolPending,omitempty"`
+	SpoolShed    uint64          `json:"spoolShed,omitempty"`
+}
+
+func dumpAgentSummary(w io.Writer, c *transport.Client, sp *transport.Spool, malformed uint64) {
+	s := agentSummary{Delivery: c.Stats(), Malformed: malformed}
+	if sp != nil {
+		s.SpoolPending = sp.Pending()
+		s.SpoolShed = sp.Shed()
+	}
+	blob, err := json.Marshal(s)
+	if err != nil {
+		fmt.Fprintln(w, "agent: summary:", err)
+		return
+	}
+	fmt.Fprintln(w, string(blob))
+}

@@ -75,6 +75,8 @@ func run(args []string, stdout io.Writer) error {
 		return diagnoseCmd(args[1:], stdout)
 	case "record":
 		return recordCmd(args[1:], stdout)
+	case "agent":
+		return agentCmd(args[1:], stdout)
 	case "help", "-h", "--help":
 		printUsage(stdout)
 		return nil
@@ -91,9 +93,10 @@ const usage = `usage:
   radloc config emit <A|A3|B|C> [flags]             emit a scenario as editable JSON
   radloc config check <file>                        validate a JSON scenario
   radloc plot <csv> [-x col -y col1,col2 -format gnuplot|markdown]
-  radloc ablate <fusion-range|estimator|scale-k|faults|delivery> [flags]
+  radloc ablate <fusion-range|estimator|scale-k|faults|delivery|transport> [flags]
   radloc diagnose [-scenario A -obstacles] [flags]  posterior-predictive check
   radloc record [-scenario A | -config FILE] [flags]  NDJSON stream for radlocd
+  radloc agent -url URL [-in FILE] [-spool DIR] [flags]  deliver NDJSON to radlocd with retries
 flags: -reps N  -seed S  -steps T  -out FILE`
 
 func usageError() error { return fmt.Errorf("%s", usage) }

@@ -233,7 +233,7 @@ func TestCorruptTailRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatalf("recovery must repair, not fail: %v", err)
 	}
-	st := statez(engine2, d2)
+	st := statez(engine2, d2, nil)
 	recov := st.Durability.Recovery
 	if recov.TruncatedRecords == 0 {
 		t.Errorf("corruption not reported: %+v", recov)
@@ -246,7 +246,7 @@ func TestCorruptTailRecovery(t *testing.T) {
 	}
 
 	// And the daemon serves: snapshot, statez, fresh ingest.
-	srv := httptest.NewServer(newMux(engine2, d2))
+	srv := httptest.NewServer(newMux(engine2, d2, nil))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/statez")
 	if err != nil {

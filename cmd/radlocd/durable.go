@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"radloc/internal/fusion"
+	"radloc/internal/httpingest"
 	"radloc/internal/wal"
 )
 
@@ -225,10 +226,12 @@ func (d *durable) close() error {
 	return err
 }
 
-// statezJSON is the /statez payload: durability + delivery posture.
+// statezJSON is the /statez payload: durability + delivery +
+// admission (backpressure) posture.
 type statezJSON struct {
 	Durability durabilityJSON       `json:"durability"`
 	Delivery   fusion.DeliveryStats `json:"delivery"`
+	Ingress    fusion.IngressStats  `json:"ingress"`
 	Journaled  uint64               `json:"journaled"`
 }
 
@@ -242,10 +245,14 @@ type durabilityJSON struct {
 	Recovery       *recoveryJSON `json:"recovery,omitempty"`
 }
 
-// statez assembles the /statez payload; d may be nil (durability off).
-func statez(engine *fusion.Engine, d *durable) statezJSON {
+// statez assembles the /statez payload; d may be nil (durability
+// off), ing may be nil (pipe mode, no HTTP ingest).
+func statez(engine *fusion.Engine, d *durable, ing *httpingest.Handler) statezJSON {
 	s := engine.Snapshot()
 	out := statezJSON{Delivery: s.Delivery, Journaled: s.Journaled}
+	if ing != nil {
+		out.Ingress = ing.Stats()
+	}
 	if d == nil {
 		return out
 	}

@@ -31,9 +31,11 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"radloc/internal/config"
 	"radloc/internal/fusion"
+	"radloc/internal/httpingest"
 	"radloc/internal/sim"
 	"radloc/internal/track"
 	"radloc/internal/wal"
@@ -61,6 +63,14 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		fsyncMode   = fs.String("fsync", "batch", "WAL fsync policy: always (sync per record), batch (sync at checkpoints/shutdown) or never")
 		ckptEvery   = fs.Int("checkpoint-every", 1000, "checkpoint the engine state every N journaled records (0 = only at shutdown)")
 		queueCap    = fs.Int("queue", 4096, "pipe mode: bounded ingest queue capacity; overflow sheds the oldest reading per sensor")
+		httpQueue   = fs.Int("http-queue", 64, "HTTP mode: admission queue depth; requests beyond it are shed with 429 + Retry-After")
+		maxBody     = fs.Int64("max-body", 1<<20, "HTTP mode: request body byte bound (413 over it)")
+		retryAfter  = fs.Duration("retry-after", time.Second, "HTTP mode: Retry-After hint on 429 responses")
+		rate        = fs.Float64("rate", 0, "HTTP mode: per-sensor sustained readings/sec token-bucket rate limit (0 = off)")
+		burst       = fs.Float64("burst", 0, "HTTP mode: per-sensor token-bucket burst (default 4×-rate)")
+		readTO      = fs.Duration("read-timeout", 15*time.Second, "HTTP mode: server read timeout (slow-loris guard)")
+		writeTO     = fs.Duration("write-timeout", 30*time.Second, "HTTP mode: server write timeout")
+		idleTO      = fs.Duration("idle-timeout", 2*time.Minute, "HTTP mode: keep-alive idle connection timeout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,7 +120,15 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 	}
 
 	if *listen != "" {
-		err = serveHTTP(ctx, *listen, engine, d, stdout)
+		ing := newIngest(engine, d, httpingest.Options{
+			QueueDepth: *httpQueue,
+			MaxBody:    *maxBody,
+			RetryAfter: *retryAfter,
+			RatePerSec: *rate,
+			Burst:      *burst,
+		})
+		err = serveHTTP(ctx, *listen, engine, d, ing,
+			httpTimeouts{Read: *readTO, Write: *writeTO, Idle: *idleTO}, stdout)
 	} else {
 		every := *reportEvery
 		if every <= 0 {

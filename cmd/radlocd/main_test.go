@@ -232,7 +232,7 @@ func newTestServer(t *testing.T) (*httptest.Server, scenario.Scenario) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newMux(engine, nil))
+	srv := httptest.NewServer(newMux(engine, nil, nil))
 	t.Cleanup(srv.Close)
 	return srv, sc
 }

@@ -15,24 +15,16 @@ import (
 	"time"
 
 	"radloc/internal/fusion"
+	"radloc/internal/httpingest"
 )
 
-// measurementJSON is the wire form of one reading. The full record
-// form carries the emission step and a per-sensor monotone sequence
-// number (what the replay recorder emits); the minimal two-field form
-// remains valid — seq 0 means "unsequenced" and bypasses the
-// dedup/reorder gate, preserving the old trust-the-transport
-// behavior for legacy feeders.
-type measurementJSON struct {
-	SensorID int    `json:"sensorId"`
-	CPM      int    `json:"cpm"`
-	Step     int    `json:"step,omitempty"`
-	Seq      uint64 `json:"seq,omitempty"`
-}
-
-func (m measurementJSON) meas() fusion.Meas {
-	return fusion.Meas{SensorID: m.SensorID, CPM: m.CPM, Step: m.Step, Seq: m.Seq}
-}
+// measurementJSON is the wire form of one reading, shared with the
+// HTTP ingest boundary. The full record form carries the emission
+// step and a per-sensor monotone sequence number (what the replay
+// recorder emits); the minimal two-field form remains valid — seq 0
+// means "unsequenced" and bypasses the dedup/reorder gate, preserving
+// the old trust-the-transport behavior for legacy feeders.
+type measurementJSON = httpingest.Measurement
 
 // snapshotJSON is the wire form of the engine state.
 type snapshotJSON struct {
@@ -233,7 +225,7 @@ func servePipe(ctx context.Context, engine *fusion.Engine, d *durable, r io.Read
 				malformed.Add(1)
 				continue
 			}
-			q.push(m.meas())
+			q.push(m.Meas())
 		}
 		scanErr <- scanner.Err()
 	}()
@@ -277,18 +269,30 @@ func servePipe(ctx context.Context, engine *fusion.Engine, d *durable, r io.Read
 	return flush()
 }
 
-// newMux builds the HTTP API. d may be nil (durability off).
-func newMux(engine *fusion.Engine, d *durable) *http.ServeMux {
+// newIngest builds the admission-controlled /measurements handler,
+// wiring the daemon's checkpoint cadence into it. d may be nil.
+func newIngest(engine *fusion.Engine, d *durable, opts httpingest.Options) *httpingest.Handler {
+	opts.AfterBatch = func() { d.maybeCheckpoint(os.Stderr) }
+	return httpingest.New(engine, opts)
+}
+
+// newMux builds the HTTP API. d may be nil (durability off); ing may
+// be nil (a default admission policy is built).
+func newMux(engine *fusion.Engine, d *durable, ing *httpingest.Handler) *http.ServeMux {
+	if ing == nil {
+		ing = newIngest(engine, d, httpingest.Options{})
+	}
 	mux := http.NewServeMux()
 	// Durability and delivery posture: WAL offset, checkpoint history,
-	// boot-time recovery report, dedup/reorder counters.
+	// boot-time recovery report, dedup/reorder counters, admission
+	// (backpressure) counters.
 	mux.HandleFunc("/statez", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "GET only", http.StatusMethodNotAllowed)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(statez(engine, d))
+		_ = json.NewEncoder(w).Encode(statez(engine, d, ing))
 	})
 	// Liveness: the process is up and serving.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -342,58 +346,61 @@ func newMux(engine *fusion.Engine, d *durable) *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(snapshotToJSON(engine.Snapshot()))
 	})
-	mux.HandleFunc("/measurements", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<22))
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		var batch []measurementJSON
-		if err := json.Unmarshal(body, &batch); err != nil {
-			var one measurementJSON
-			if err := json.Unmarshal(body, &one); err != nil {
-				http.Error(w, "want a measurement object or array", http.StatusBadRequest)
-				return
-			}
-			batch = []measurementJSON{one}
-		}
-		accepted := 0
-		for _, m := range batch {
-			// Sequenced readings pass the dedup/reorder gate (a
-			// buffered reading counts as accepted: it will be applied
-			// when its round releases); seq-0 readings take the legacy
-			// direct path.
-			if _, err := engine.IngestSeq(m.meas()); err == nil {
-				accepted++
-			}
-		}
-		d.maybeCheckpoint(os.Stderr)
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(map[string]int{
-			"accepted": accepted,
-			"rejected": len(batch) - accepted,
-		})
-	})
+	// Sequenced readings pass the dedup/reorder gate (a buffered
+	// reading counts as accepted: it will be applied when its round
+	// releases); seq-0 readings take the legacy direct path. The
+	// handler sheds with 429 + Retry-After under overload — see
+	// internal/httpingest.
+	mux.Handle("/measurements", ing)
 	return mux
+}
+
+// httpTimeouts are the server's slow-client guards: a client that
+// trickles its request (slow loris), stalls reading the response, or
+// parks an idle keep-alive connection is cut instead of pinning a
+// connection forever.
+type httpTimeouts struct {
+	Read  time.Duration
+	Write time.Duration
+	Idle  time.Duration
+}
+
+func (t httpTimeouts) withDefaults() httpTimeouts {
+	if t.Read <= 0 {
+		t.Read = 15 * time.Second
+	}
+	if t.Write <= 0 {
+		t.Write = 30 * time.Second
+	}
+	if t.Idle <= 0 {
+		t.Idle = 2 * time.Minute
+	}
+	return t
+}
+
+// newHTTPServer assembles the daemon's http.Server with its timeout
+// posture — factored out so tests can assert it directly.
+func newHTTPServer(h http.Handler, t httpTimeouts) *http.Server {
+	t = t.withDefaults()
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       t.Read,
+		WriteTimeout:      t.Write,
+		IdleTimeout:       t.Idle,
+	}
 }
 
 // serveHTTP serves the API on addr until ctx is cancelled
 // (SIGINT/SIGTERM), then shuts down gracefully — in-flight requests
 // drain — and flushes a final snapshot line to logw.
-func serveHTTP(ctx context.Context, addr string, engine *fusion.Engine, d *durable, logw io.Writer) error {
+func serveHTTP(ctx context.Context, addr string, engine *fusion.Engine, d *durable, ing *httpingest.Handler, timeouts httpTimeouts, logw io.Writer) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(logw, "radlocd: serving on http://%s (POST /measurements, GET /snapshot /sensors /statez /healthz /readyz)\n", ln.Addr())
-	srv := &http.Server{
-		Handler:           newMux(engine, d),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	srv := newHTTPServer(newMux(engine, d, ing), timeouts)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	select {

@@ -1,0 +1,56 @@
+package clock
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestFakeSleepAdvances(t *testing.T) {
+	start := time.Unix(0, 0)
+	f := NewFake(start)
+	f.Sleep(3 * time.Second)
+	f.Sleep(-time.Second) // ignored
+	f.Sleep(500 * time.Millisecond)
+	if got, want := f.Now(), start.Add(3500*time.Millisecond); !got.Equal(want) {
+		t.Errorf("Now() = %v, want %v", got, want)
+	}
+	slept := f.Slept()
+	if len(slept) != 2 || slept[0] != 3*time.Second || slept[1] != 500*time.Millisecond {
+		t.Errorf("Slept() = %v", slept)
+	}
+}
+
+func TestFakeAdvanceDoesNotRecord(t *testing.T) {
+	f := NewFake(time.Unix(100, 0))
+	f.Advance(time.Minute)
+	if len(f.Slept()) != 0 {
+		t.Errorf("Advance recorded a sleep: %v", f.Slept())
+	}
+	if got := f.Now(); !got.Equal(time.Unix(160, 0)) {
+		t.Errorf("Now() = %v", got)
+	}
+}
+
+func TestFakeWithTimeoutNeverFires(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	ctx, cancel := f.WithTimeout(context.Background(), time.Nanosecond)
+	f.Advance(time.Hour)
+	select {
+	case <-ctx.Done():
+		t.Fatal("fake timeout fired on its own")
+	default:
+	}
+	cancel()
+	<-ctx.Done()
+}
+
+func TestRealWithTimeout(t *testing.T) {
+	ctx, cancel := Real{}.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("real timeout did not fire")
+	}
+}

@@ -58,6 +58,42 @@ type DeliveryStats struct {
 	Pending int `json:"pending"`
 }
 
+// IngressStats counts the HTTP ingest boundary's admission work —
+// the transport-facing face of backpressure, served on /statez so an
+// operator can see load being shed before it shows up as loss. All
+// fields are monotone counters. The counters reconcile with a
+// well-behaved agent's delivery stats: every reading the agent counts
+// delivered is Accepted, Duplicates (redelivery suppressed) or
+// Rejected here, and every agent retry prompted by the server shows
+// up as Shed429 or RateLimited.
+type IngressStats struct {
+	// Requests counts POST /measurements requests that passed the
+	// method and Content-Type checks.
+	Requests uint64 `json:"requests"`
+	// Accepted counts readings the engine took (applied or buffered in
+	// the reorder gate).
+	Accepted uint64 `json:"accepted"`
+	// Duplicates counts readings the sequence gate suppressed as
+	// redelivery — the at-least-once transport doing its job.
+	Duplicates uint64 `json:"duplicates"`
+	// Rejected counts readings refused for cause (unknown sensor,
+	// impossible CPM, quarantine).
+	Rejected uint64 `json:"rejected"`
+	// Shed429 counts requests refused at the door because the
+	// admission queue was full (HTTP 429 + Retry-After).
+	Shed429 uint64 `json:"shed429"`
+	// RateLimited counts readings refused by a per-sensor token bucket
+	// (the request is answered 429 + Retry-After at the first refusal).
+	RateLimited uint64 `json:"rateLimited"`
+	// Oversized counts request bodies over the byte bound (HTTP 413).
+	Oversized uint64 `json:"oversized"`
+	// BadContentType counts requests with a non-JSON Content-Type
+	// (HTTP 415).
+	BadContentType uint64 `json:"badContentType"`
+	// Malformed counts request bodies that did not parse (HTTP 400).
+	Malformed uint64 `json:"malformed"`
+}
+
 // gate is the dedup/reorder front of the engine. Guarded by Engine.mu.
 //
 // Readings are staged per round (their Seq) and a round is released —

@@ -1,0 +1,297 @@
+// Package httpingest is the fusion center's HTTP ingest boundary with
+// backpressure: a handler for POST /measurements that bounds request
+// bodies (413), refuses non-JSON payloads (415), sheds load with 429 +
+// Retry-After when its admission queue is full, rate-limits chatty
+// sensors with per-sensor token buckets, and feeds everything admitted
+// through the engine's idempotent sequenced ingest.
+//
+// It lives in its own package (rather than inside cmd/radlocd) so the
+// daemon, the transport ablation and the chaos tests all exercise the
+// exact same admission path.
+package httpingest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"radloc/internal/clock"
+	"radloc/internal/fusion"
+)
+
+// Measurement is the wire form of one reading — a single object or an
+// array of them per request. Seq 0 means "unsequenced" and bypasses
+// the engine's dedup/reorder gate (legacy feeders).
+type Measurement struct {
+	SensorID int    `json:"sensorId"`
+	CPM      int    `json:"cpm"`
+	Step     int    `json:"step,omitempty"`
+	Seq      uint64 `json:"seq,omitempty"`
+}
+
+// Meas converts to the engine's ingest type.
+func (m Measurement) Meas() fusion.Meas {
+	return fusion.Meas{SensorID: m.SensorID, CPM: m.CPM, Step: m.Step, Seq: m.Seq}
+}
+
+// Options tunes a Handler.
+type Options struct {
+	// QueueDepth bounds concurrently admitted requests; one more and
+	// the request is shed with 429 + Retry-After (default 64).
+	QueueDepth int
+	// MaxBody bounds the request body in bytes; over it is 413
+	// (default 1 MiB).
+	MaxBody int64
+	// RetryAfter is the hint returned with 429 responses (default 1s,
+	// rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
+	// RatePerSec, when positive, caps each sensor's sustained reading
+	// rate with a token bucket of Burst capacity. 0 disables rate
+	// limiting.
+	RatePerSec float64
+	// Burst is the token bucket capacity (default 4× RatePerSec,
+	// minimum 1).
+	Burst float64
+	// Clock drives the token buckets (default wall clock).
+	Clock clock.Clock
+	// AfterBatch, when non-nil, runs after each admitted batch — the
+	// daemon hooks its checkpoint cadence here.
+	AfterBatch func()
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.MaxBody <= 0 {
+		o.MaxBody = 1 << 20
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.Burst <= 0 {
+		o.Burst = 4 * o.RatePerSec
+	}
+	if o.Burst < 1 {
+		o.Burst = 1
+	}
+	if o.Clock == nil {
+		o.Clock = clock.Real{}
+	}
+	return o
+}
+
+// bucket is one sensor's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Handler serves POST /measurements with admission control. Safe for
+// concurrent use.
+type Handler struct {
+	engine *fusion.Engine
+	opts   Options
+	slots  chan struct{}
+
+	mu      sync.Mutex
+	buckets map[int]*bucket
+	stats   fusion.IngressStats
+}
+
+// New builds the ingest handler over engine.
+func New(engine *fusion.Engine, opts Options) *Handler {
+	opts = opts.withDefaults()
+	return &Handler{
+		engine:  engine,
+		opts:    opts,
+		slots:   make(chan struct{}, opts.QueueDepth),
+		buckets: make(map[int]*bucket),
+	}
+}
+
+// Stats returns a copy of the admission counters.
+func (h *Handler) Stats() fusion.IngressStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+func (h *Handler) count(f func(*fusion.IngressStats)) {
+	h.mu.Lock()
+	f(&h.stats)
+	h.mu.Unlock()
+}
+
+// allow takes one token from the sensor's bucket, refilling by
+// elapsed time first. Rate limiting off ⇒ always true.
+func (h *Handler) allow(sensorID int) bool {
+	if h.opts.RatePerSec <= 0 {
+		return true
+	}
+	now := h.opts.Clock.Now()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b := h.buckets[sensorID]
+	if b == nil {
+		b = &bucket{tokens: h.opts.Burst, last: now}
+		h.buckets[sensorID] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * h.opts.RatePerSec
+		if b.tokens > h.opts.Burst {
+			b.tokens = h.opts.Burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// refund returns one token to the sensor's bucket — used when a
+// reading turns out to be dedup-suppressed redelivery, so retrying a
+// partially-applied batch converges instead of burning its budget on
+// the already-applied prefix.
+func (h *Handler) refund(sensorID int) {
+	if h.opts.RatePerSec <= 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if b := h.buckets[sensorID]; b != nil && b.tokens < h.opts.Burst {
+		b.tokens++
+	}
+}
+
+// retryAfterSeconds renders the Retry-After hint (whole seconds,
+// minimum 1 — the header has no sub-second form).
+func (h *Handler) retryAfterSeconds() string {
+	secs := int((h.opts.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+func (h *Handler) shed(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", h.retryAfterSeconds())
+	http.Error(w, msg, http.StatusTooManyRequests)
+}
+
+// jsonContentType accepts application/json (any parameters) and an
+// absent header; anything else is a 415.
+func jsonContentType(ct string) bool {
+	if ct == "" {
+		return true
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return false
+	}
+	return mt == "application/json"
+}
+
+// ServeHTTP implements the POST /measurements contract:
+//
+//	405 non-POST · 415 non-JSON Content-Type · 429+Retry-After queue
+//	full or sensor rate-limited · 413 body over MaxBody · 400 parse
+//	failure · 200 {"accepted","duplicate","rejected"}
+//
+// On 429 nothing before the refusing reading is rolled back; the
+// client retries the whole batch and the engine's sequence gate
+// suppresses the replayed prefix — partial application plus dedup is
+// what makes shed-and-retry loss-free.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if !jsonContentType(r.Header.Get("Content-Type")) {
+		h.count(func(s *fusion.IngressStats) { s.BadContentType++ })
+		http.Error(w, "Content-Type must be application/json", http.StatusUnsupportedMediaType)
+		return
+	}
+	select {
+	case h.slots <- struct{}{}:
+		defer func() { <-h.slots }()
+	default:
+		h.count(func(s *fusion.IngressStats) { s.Shed429++ })
+		h.shed(w, "ingest queue full, retry later")
+		return
+	}
+	h.count(func(s *fusion.IngressStats) { s.Requests++ })
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, h.opts.MaxBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			h.count(func(s *fusion.IngressStats) { s.Oversized++ })
+			http.Error(w, fmt.Sprintf("body over %d bytes", h.opts.MaxBody), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var batch []Measurement
+	if err := json.Unmarshal(body, &batch); err != nil {
+		var one Measurement
+		if err := json.Unmarshal(body, &one); err != nil {
+			h.count(func(s *fusion.IngressStats) { s.Malformed++ })
+			http.Error(w, "want a measurement object or array", http.StatusBadRequest)
+			return
+		}
+		batch = []Measurement{one}
+	}
+
+	accepted, duplicate, rejected := 0, 0, 0
+	for i, m := range batch {
+		if !h.allow(m.SensorID) {
+			// Stop at the first rate-limited reading: the client
+			// retries the whole batch and dedup absorbs the replayed
+			// prefix. Count every reading not admitted.
+			h.count(func(s *fusion.IngressStats) {
+				s.RateLimited += uint64(len(batch) - i)
+				s.Accepted += uint64(accepted)
+				s.Duplicates += uint64(duplicate)
+				s.Rejected += uint64(rejected)
+			})
+			if h.opts.AfterBatch != nil && accepted > 0 {
+				h.opts.AfterBatch()
+			}
+			h.shed(w, fmt.Sprintf("sensor %d over rate limit", m.SensorID))
+			return
+		}
+		switch _, err := h.engine.IngestSeq(m.Meas()); {
+		case err == nil:
+			accepted++
+		case errors.Is(err, fusion.ErrDuplicate):
+			duplicate++
+			h.refund(m.SensorID)
+		default:
+			rejected++
+		}
+	}
+	h.count(func(s *fusion.IngressStats) {
+		s.Accepted += uint64(accepted)
+		s.Duplicates += uint64(duplicate)
+		s.Rejected += uint64(rejected)
+	})
+	if h.opts.AfterBatch != nil {
+		h.opts.AfterBatch()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]int{
+		"accepted":  accepted,
+		"duplicate": duplicate,
+		"rejected":  rejected,
+	})
+}

@@ -1,0 +1,186 @@
+package netchaos
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"radloc/internal/clock"
+	"radloc/internal/rng"
+)
+
+// ProxyConfig tunes a Proxy.
+type ProxyConfig struct {
+	// Seed derives the proxy's rng stream.
+	Seed uint64
+	// Clock is the partition/latency time source (default wall clock —
+	// the proxy moves real bytes, so virtual time only makes sense
+	// when the workload also sleeps on the same fake).
+	Clock clock.Clock
+	// AcceptDropProb closes a freshly accepted connection immediately.
+	AcceptDropProb float64
+	// Latency delays each upstream write by a fixed amount.
+	Latency time.Duration
+	// Partitions are windows (relative to proxy start) during which
+	// new connections are refused and existing ones are severed.
+	Partitions []Window
+}
+
+// Proxy is a chaos TCP proxy: it forwards byte streams to a target
+// address while injecting connection-level faults below HTTP. Use it
+// to exercise the transport against faults the RoundTripper cannot
+// express (mid-stream severing, TCP-level partitions).
+type Proxy struct {
+	ln     net.Listener
+	target string
+	cfg    ProxyConfig
+	start  time.Time
+
+	mu     sync.Mutex
+	rng    *rng.Stream
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewProxy listens on listenAddr (e.g. "127.0.0.1:0") and forwards to
+// target. It serves until Close.
+func NewProxy(listenAddr, target string, cfg ProxyConfig) (*Proxy, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		ln:     ln,
+		target: target,
+		cfg:    cfg,
+		start:  cfg.Clock.Now(),
+		rng:    rng.NewNamed(cfg.Seed, "netchaos/proxy"),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Partitioned reports whether the proxy currently sits inside a
+// partition window; if so it also severs every live connection (the
+// check doubles as the enforcement point, so long-lived streams die
+// when the partition starts, not at their next dial).
+func (p *Proxy) Partitioned() bool {
+	elapsed := p.cfg.Clock.Now().Sub(p.start)
+	for _, w := range p.cfg.Partitions {
+		if w.contains(elapsed) {
+			p.severAll()
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Proxy) severAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for c := range p.conns {
+		c.Close()
+		delete(p.conns, c)
+	}
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		dropped := p.rng.Float64() < p.cfg.AcceptDropProb
+		p.mu.Unlock()
+		if dropped || p.Partitioned() {
+			conn.Close()
+			continue
+		}
+		p.wg.Add(1)
+		go p.forward(conn)
+	}
+}
+
+// forward pipes one client connection to the target and back.
+func (p *Proxy) forward(client net.Conn) {
+	defer p.wg.Done()
+	upstream, err := net.Dial("tcp", p.target)
+	if err != nil {
+		client.Close()
+		return
+	}
+	p.mu.Lock()
+	p.conns[client] = struct{}{}
+	p.conns[upstream] = struct{}{}
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		delete(p.conns, client)
+		delete(p.conns, upstream)
+		p.mu.Unlock()
+		client.Close()
+		upstream.Close()
+	}()
+
+	done := make(chan struct{}, 2)
+	copyDir := func(dst, src net.Conn, delay time.Duration) {
+		buf := make([]byte, 32<<10)
+		for {
+			n, rerr := src.Read(buf)
+			if n > 0 {
+				if p.Partitioned() {
+					break // severed mid-stream
+				}
+				if delay > 0 {
+					p.cfg.Clock.Sleep(delay)
+				}
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					break
+				}
+			}
+			if rerr != nil {
+				break
+			}
+		}
+		done <- struct{}{}
+	}
+	go copyDir(upstream, client, p.cfg.Latency)
+	go copyDir(client, upstream, 0)
+	<-done
+}
+
+// Close stops accepting, severs every connection and waits for the
+// forwarders to finish.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.severAll()
+	p.wg.Wait()
+	return err
+}
+
+var _ io.Closer = (*Proxy)(nil)

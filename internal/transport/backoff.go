@@ -1,0 +1,59 @@
+// Package transport is the sensor side of the reliable delivery
+// layer: an HTTP client that batches readings, retries with capped
+// exponential backoff and full jitter, trips a circuit breaker on
+// persistent failure, honors server Retry-After backpressure, and —
+// with a Spool — stores readings on disk until the fusion center has
+// acknowledged them, so a process restart or a long partition loses
+// nothing.
+//
+// Every reading carries the per-sensor sequence number the fusion
+// engine's IngestSeq gate dedups on, so at-least-once redelivery by
+// this package composes into exactly-once-in-effect end to end.
+//
+// Determinism contract: nothing in this package reads the wall clock
+// or the global rand — all time flows through an injected clock.Clock
+// and all randomness through an injected *rng.Stream, so a test (or an
+// incident reconstruction) can replay the exact retry schedule.
+package transport
+
+import (
+	"time"
+
+	"radloc/internal/rng"
+)
+
+// Backoff computes capped exponential retry delays with full jitter
+// (the AWS architecture-blog recipe: sleep = uniform(0, min(cap,
+// base·2^attempt))). Full jitter desynchronizes a fleet of agents
+// that all saw the same failure, so the fusion center is not hit by a
+// synchronized retry wave the moment a partition heals.
+type Backoff struct {
+	// Base is the pre-jitter delay of attempt 0 (default 200ms).
+	Base time.Duration
+	// Cap bounds the pre-jitter delay (default 10s).
+	Cap time.Duration
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 200 * time.Millisecond
+	}
+	if b.Cap <= 0 {
+		b.Cap = 10 * time.Second
+	}
+	return b
+}
+
+// Delay returns the sleep before retry number attempt (0-based),
+// drawing the jitter from r.
+func (b Backoff) Delay(attempt int, r *rng.Stream) time.Duration {
+	b = b.withDefaults()
+	ceil := b.Cap
+	// Avoid shifting past the cap (or past 63 bits) before comparing.
+	if attempt < 63 {
+		if exp := b.Base << uint(attempt); exp > 0 && exp < ceil {
+			ceil = exp
+		}
+	}
+	return time.Duration(r.Float64() * float64(ceil))
+}

@@ -1,0 +1,363 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"radloc/internal/clock"
+	"radloc/internal/rng"
+)
+
+// Options assembles a Client.
+type Options struct {
+	// URL is the radlocd base URL (e.g. http://127.0.0.1:8080); the
+	// client posts to URL + "/measurements". Required.
+	URL string
+	// HTTP performs the requests (default http.DefaultTransport).
+	// Inject a netchaos.RoundTripper to test the failure paths.
+	HTTP http.RoundTripper
+	// Clock is the time source. Required (pass clock.Real{} outside
+	// tests) — the client itself never reads the wall clock.
+	Clock clock.Clock
+	// RNG drives the backoff jitter. Required — the client never
+	// touches global rand.
+	RNG *rng.Stream
+	// BatchSize is the max readings per request (default 64).
+	BatchSize int
+	// AttemptTimeout bounds each individual HTTP attempt (default 5s).
+	AttemptTimeout time.Duration
+	// MaxAttempts bounds delivery attempts per batch; 0 means retry
+	// forever (the right choice when a Spool holds the data).
+	MaxAttempts int
+	// Backoff tunes the retry delays.
+	Backoff Backoff
+	// Breaker tunes the circuit breaker.
+	Breaker BreakerConfig
+	// MaxRetryAfter caps how long a server Retry-After is honored
+	// (default 30s) — a misconfigured server must not park the agent
+	// for an hour.
+	MaxRetryAfter time.Duration
+}
+
+// Stats counts the client's delivery work. All fields are monotone.
+type Stats struct {
+	// Delivered counts readings acknowledged by a 2xx response.
+	Delivered uint64 `json:"delivered"`
+	// AcceptedByServer / DuplicateByServer / RejectedByServer break a
+	// 2xx acknowledgement down by the server's own accounting (dedup
+	// suppressions show up as duplicates — redelivery doing its job).
+	AcceptedByServer  uint64 `json:"acceptedByServer"`
+	DuplicateByServer uint64 `json:"duplicateByServer"`
+	RejectedByServer  uint64 `json:"rejectedByServer"`
+	// Dropped counts readings given up on: MaxAttempts exhausted or a
+	// permanent 4xx refusal.
+	Dropped uint64 `json:"dropped"`
+	// Attempts counts HTTP requests issued; Retries those after the
+	// first per batch.
+	Attempts uint64 `json:"attempts"`
+	Retries  uint64 `json:"retries"`
+	// Backpressure429 counts 429 responses; RetryAfterHonored those
+	// that carried a Retry-After the client slept on.
+	Backpressure429   uint64 `json:"backpressure429"`
+	RetryAfterHonored uint64 `json:"retryAfterHonored"`
+	// ServerErrors counts 5xx responses, NetErrors transport-level
+	// failures (dial/reset/drop).
+	ServerErrors uint64 `json:"serverErrors"`
+	NetErrors    uint64 `json:"netErrors"`
+	// BreakerOpens counts breaker trips; BreakerShortCircuits attempts
+	// refused locally while the breaker was open.
+	BreakerOpens         uint64 `json:"breakerOpens"`
+	BreakerShortCircuits uint64 `json:"breakerShortCircuits"`
+	// Oversized413 counts 413 responses (the client halves and
+	// re-sends).
+	Oversized413 uint64 `json:"oversized413"`
+}
+
+// ErrGaveUp is returned when MaxAttempts is exhausted for a batch.
+var ErrGaveUp = errors.New("transport: delivery attempts exhausted")
+
+// ErrRefused is returned when the server permanently refuses a batch
+// (non-retryable 4xx); retrying would refuse identically.
+var ErrRefused = errors.New("transport: server refused batch")
+
+// Client delivers batches of readings to a radlocd fusion center with
+// retries, backoff, circuit breaking and backpressure honoring. Safe
+// for concurrent use, though delivery order across concurrent Send
+// calls is then unspecified — the agent delivers sequentially so the
+// reorder gate sees an in-order stream.
+type Client struct {
+	opts    Options
+	breaker *Breaker
+
+	mu    sync.Mutex // guards rng draws and stats
+	rng   *rng.Stream
+	stats Stats
+}
+
+// NewClient validates opts and builds a Client.
+func NewClient(opts Options) (*Client, error) {
+	if opts.URL == "" {
+		return nil, errors.New("transport: missing URL")
+	}
+	if opts.Clock == nil {
+		return nil, errors.New("transport: missing Clock (use clock.Real{})")
+	}
+	if opts.RNG == nil {
+		return nil, errors.New("transport: missing RNG stream")
+	}
+	if opts.HTTP == nil {
+		opts.HTTP = http.DefaultTransport
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 64
+	}
+	if opts.AttemptTimeout <= 0 {
+		opts.AttemptTimeout = 5 * time.Second
+	}
+	if opts.MaxRetryAfter <= 0 {
+		opts.MaxRetryAfter = 30 * time.Second
+	}
+	opts.URL = strings.TrimSuffix(opts.URL, "/")
+	return &Client{
+		opts:    opts,
+		breaker: NewBreaker(opts.Breaker, opts.Clock),
+		rng:     opts.RNG,
+	}, nil
+}
+
+// Stats returns a copy of the delivery counters, including breaker
+// trips.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	s := c.stats
+	c.mu.Unlock()
+	s.BreakerOpens = c.breaker.Opens()
+	return s
+}
+
+// BatchSize returns the configured batch size (the agent sizes its
+// spool reads with it).
+func (c *Client) BatchSize() int { return c.opts.BatchSize }
+
+// ack is the server's 2xx response body.
+type ack struct {
+	Accepted  int `json:"accepted"`
+	Duplicate int `json:"duplicate"`
+	Rejected  int `json:"rejected"`
+}
+
+// attemptResult classifies one HTTP attempt.
+type attemptResult struct {
+	ok         bool // 2xx
+	throttled  bool // 429 (or 503 with Retry-After): server alive, shedding
+	oversized  bool // 413: halve the batch
+	permanent  bool // other 4xx: retrying cannot help
+	retryAfter time.Duration
+	status     int
+	ack        ack
+	err        error
+}
+
+// Send delivers one batch, blocking through retries until the server
+// acknowledges it, the context is cancelled, MaxAttempts is exhausted
+// (ErrGaveUp) or the server permanently refuses it (ErrRefused). A
+// nil error means every reading in the batch reached the fusion
+// engine's ingest gate at least once.
+func (c *Client) Send(ctx context.Context, batch []Reading) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	attempts := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ok, wait := c.breaker.Allow()
+		if !ok {
+			c.count(func(s *Stats) { s.BreakerShortCircuits++ })
+			c.opts.Clock.Sleep(wait)
+			continue
+		}
+		res := c.attempt(ctx, batch)
+		attempts++
+		c.count(func(s *Stats) {
+			s.Attempts++
+			if attempts > 1 {
+				s.Retries++
+			}
+		})
+		switch {
+		case res.ok:
+			c.breaker.Success()
+			c.count(func(s *Stats) {
+				s.Delivered += uint64(len(batch))
+				s.AcceptedByServer += uint64(res.ack.Accepted)
+				s.DuplicateByServer += uint64(res.ack.Duplicate)
+				s.RejectedByServer += uint64(res.ack.Rejected)
+			})
+			return nil
+		case res.oversized:
+			c.breaker.Success()
+			c.count(func(s *Stats) { s.Oversized413++ })
+			if len(batch) == 1 {
+				c.count(func(s *Stats) { s.Dropped++ })
+				return fmt.Errorf("%w: single reading over the server's body limit", ErrRefused)
+			}
+			// The server bounds bodies tighter than our batch size:
+			// halve and deliver both sides through the same machinery.
+			half := len(batch) / 2
+			if err := c.Send(ctx, batch[:half]); err != nil {
+				return err
+			}
+			return c.Send(ctx, batch[half:])
+		case res.permanent:
+			c.breaker.Success() // the server answered; transport is fine
+			c.count(func(s *Stats) { s.Dropped += uint64(len(batch)) })
+			return fmt.Errorf("%w: HTTP %d", ErrRefused, res.status)
+		case res.throttled:
+			c.breaker.Success() // alive and explicitly shedding
+			c.count(func(s *Stats) { s.Backpressure429++ })
+			delay := c.backoffDelay(attempts - 1)
+			if res.retryAfter > 0 {
+				c.count(func(s *Stats) { s.RetryAfterHonored++ })
+				if res.retryAfter > delay {
+					delay = res.retryAfter
+				}
+				if delay > c.opts.MaxRetryAfter {
+					delay = c.opts.MaxRetryAfter
+				}
+			}
+			c.opts.Clock.Sleep(delay)
+		default:
+			c.breaker.Failure()
+			c.count(func(s *Stats) {
+				if res.err != nil {
+					s.NetErrors++
+				} else {
+					s.ServerErrors++
+				}
+			})
+			c.opts.Clock.Sleep(c.backoffDelay(attempts - 1))
+		}
+		if c.opts.MaxAttempts > 0 && attempts >= c.opts.MaxAttempts {
+			c.count(func(s *Stats) { s.Dropped += uint64(len(batch)) })
+			return fmt.Errorf("%w after %d attempts", ErrGaveUp, attempts)
+		}
+	}
+}
+
+// attempt performs one HTTP POST under the per-attempt deadline.
+func (c *Client) attempt(ctx context.Context, batch []Reading) attemptResult {
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return attemptResult{permanent: true, err: err}
+	}
+	actx, cancel := c.opts.Clock.WithTimeout(ctx, c.opts.AttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.opts.URL+"/measurements", bytes.NewReader(body))
+	if err != nil {
+		return attemptResult{permanent: true, err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.opts.HTTP.RoundTrip(req)
+	if err != nil {
+		return attemptResult{err: err}
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+	res := attemptResult{status: resp.StatusCode}
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		res.ok = true
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&res.ack)
+	case resp.StatusCode == http.StatusTooManyRequests:
+		res.throttled = true
+		res.retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), c.opts.Clock.Now())
+	case resp.StatusCode == http.StatusRequestEntityTooLarge:
+		res.oversized = true
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		// 503 is retryable; honor Retry-After when present but treat
+		// it as a failure for the breaker (the server is not serving).
+		res.retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), c.opts.Clock.Now())
+		if res.retryAfter > 0 {
+			res.throttled = true
+		}
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		res.permanent = true
+	}
+	return res
+}
+
+// parseRetryAfter reads a Retry-After header: delay-seconds or an
+// HTTP date (evaluated against the injected clock's now).
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(strings.TrimSpace(v)); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+func (c *Client) backoffDelay(retry int) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.opts.Backoff.Delay(retry, c.rng)
+}
+
+func (c *Client) count(f func(*Stats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}
+
+// Drain delivers everything currently pending in the spool, batch by
+// batch, acknowledging after each delivered batch. It stops at an
+// empty spool, a cancelled context, or a delivery error; permanently
+// refused batches (ErrRefused) are acknowledged anyway — redelivering
+// them forever would wedge the queue — and reported via the returned
+// count of readings given up on.
+func (c *Client) Drain(ctx context.Context, sp *Spool) (refused uint64, err error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return refused, err
+		}
+		batch, upto, err := sp.Next(c.opts.BatchSize)
+		if err != nil {
+			return refused, err
+		}
+		if len(batch) == 0 {
+			return refused, nil
+		}
+		if err := c.Send(ctx, batch); err != nil {
+			if errors.Is(err, ErrRefused) {
+				refused += uint64(len(batch))
+			} else {
+				return refused, err
+			}
+		}
+		if err := sp.Ack(upto); err != nil {
+			return refused, err
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"radloc/internal/clock"
+	"radloc/internal/rng"
+)
+
+// scriptRT replays a scripted sequence of responses; after the script
+// is exhausted every request succeeds. A step is either an HTTP status
+// (with optional Retry-After) or a transport error.
+type scriptRT struct {
+	mu      sync.Mutex
+	script  []rtStep
+	got     []int // readings per request actually received
+	served  int
+	lastHdr http.Header
+}
+
+type rtStep struct {
+	status     int
+	retryAfter string
+	err        error
+}
+
+func (s *scriptRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var batch []Reading
+	body, _ := io.ReadAll(req.Body)
+	_ = json.Unmarshal(body, &batch)
+	s.got = append(s.got, len(batch))
+	s.lastHdr = req.Header.Clone()
+	step := rtStep{status: http.StatusOK}
+	if s.served < len(s.script) {
+		step = s.script[s.served]
+	}
+	s.served++
+	if step.err != nil {
+		return nil, step.err
+	}
+	hdr := http.Header{}
+	if step.retryAfter != "" {
+		hdr.Set("Retry-After", step.retryAfter)
+	}
+	respBody := "{}"
+	if step.status == http.StatusOK {
+		respBody = fmt.Sprintf(`{"accepted":%d}`, len(batch))
+	}
+	return &http.Response{
+		StatusCode: step.status,
+		Header:     hdr,
+		Body:       io.NopCloser(strings.NewReader(respBody)),
+	}, nil
+}
+
+func newTestClient(t *testing.T, rt http.RoundTripper, mut func(*Options)) (*Client, *clock.Fake) {
+	t.Helper()
+	clk := clock.NewFake(time.Unix(0, 0))
+	opts := Options{
+		URL:     "http://fusion.test",
+		HTTP:    rt,
+		Clock:   clk,
+		RNG:     rng.NewNamed(11, "client-test"),
+		Backoff: Backoff{Base: 100 * time.Millisecond, Cap: time.Second},
+		Breaker: BreakerConfig{FailureThreshold: 3, Cooldown: 2 * time.Second},
+	}
+	if mut != nil {
+		mut(&opts)
+	}
+	c, err := NewClient(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, clk
+}
+
+func batchOf(n int) []Reading {
+	b := make([]Reading, n)
+	for i := range b {
+		b[i] = reading(i)
+	}
+	return b
+}
+
+func TestClientDeliversFirstTry(t *testing.T) {
+	rt := &scriptRT{}
+	c, clk := newTestClient(t, rt, nil)
+	if err := c.Send(context.Background(), batchOf(5)); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Delivered != 5 || st.AcceptedByServer != 5 || st.Attempts != 1 || st.Retries != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if len(clk.Slept()) != 0 {
+		t.Errorf("clean delivery slept: %v", clk.Slept())
+	}
+	if ct := rt.lastHdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+}
+
+func TestClientRetriesNetErrors(t *testing.T) {
+	rt := &scriptRT{script: []rtStep{
+		{err: errors.New("connection reset")},
+		{err: errors.New("connection reset")},
+		{status: http.StatusBadGateway},
+	}}
+	c, clk := newTestClient(t, rt, func(o *Options) {
+		// Keep the breaker out of this test: pure backoff behavior.
+		o.Breaker = BreakerConfig{FailureThreshold: 10}
+	})
+	if err := c.Send(context.Background(), batchOf(3)); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Attempts != 4 || st.Retries != 3 || st.NetErrors != 2 || st.ServerErrors != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Delivered != 3 {
+		t.Errorf("delivered = %d", st.Delivered)
+	}
+	if got := len(clk.Slept()); got != 3 {
+		t.Errorf("backoff sleeps = %d, want 3", got)
+	}
+}
+
+func TestClientHonorsRetryAfter(t *testing.T) {
+	rt := &scriptRT{script: []rtStep{{status: http.StatusTooManyRequests, retryAfter: "7"}}}
+	c, clk := newTestClient(t, rt, nil)
+	if err := c.Send(context.Background(), batchOf(2)); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Backpressure429 != 1 || st.RetryAfterHonored != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	slept := clk.Slept()
+	if len(slept) != 1 || slept[0] != 7*time.Second {
+		t.Errorf("slept %v, want exactly the 7s Retry-After", slept)
+	}
+}
+
+func TestClientCapsRetryAfter(t *testing.T) {
+	rt := &scriptRT{script: []rtStep{{status: http.StatusTooManyRequests, retryAfter: "3600"}}}
+	c, clk := newTestClient(t, rt, func(o *Options) { o.MaxRetryAfter = 10 * time.Second })
+	if err := c.Send(context.Background(), batchOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if slept := clk.Slept(); len(slept) != 1 || slept[0] != 10*time.Second {
+		t.Errorf("slept %v, want capped 10s", slept)
+	}
+}
+
+func TestClientGivesUpAfterMaxAttempts(t *testing.T) {
+	rt := &scriptRT{script: []rtStep{
+		{err: errors.New("down")}, {err: errors.New("down")}, {err: errors.New("down")},
+		{err: errors.New("down")}, {err: errors.New("down")},
+	}}
+	c, _ := newTestClient(t, rt, func(o *Options) { o.MaxAttempts = 3 })
+	err := c.Send(context.Background(), batchOf(4))
+	if !errors.Is(err, ErrGaveUp) {
+		t.Fatalf("err = %v, want ErrGaveUp", err)
+	}
+	st := c.Stats()
+	if st.Attempts != 3 || st.Dropped != 4 || st.Delivered != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestClientPermanent4xxRefuses(t *testing.T) {
+	rt := &scriptRT{script: []rtStep{{status: http.StatusBadRequest}}}
+	c, _ := newTestClient(t, rt, nil)
+	err := c.Send(context.Background(), batchOf(2))
+	if !errors.Is(err, ErrRefused) {
+		t.Fatalf("err = %v, want ErrRefused", err)
+	}
+	if st := c.Stats(); st.Dropped != 2 || st.Attempts != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestClient413SplitsBatch: an oversized batch is halved recursively
+// until the server accepts the pieces.
+func TestClient413SplitsBatch(t *testing.T) {
+	rt := &scriptRT{script: []rtStep{
+		{status: http.StatusRequestEntityTooLarge}, // 8 readings
+		{status: http.StatusOK},                    // first 4
+		{status: http.StatusRequestEntityTooLarge}, // second 4
+		{status: http.StatusOK},                    // 2
+		{status: http.StatusOK},                    // 2
+	}}
+	c, _ := newTestClient(t, rt, nil)
+	if err := c.Send(context.Background(), batchOf(8)); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.got; len(got) != 5 || got[0] != 8 || got[1] != 4 || got[2] != 4 || got[3] != 2 || got[4] != 2 {
+		t.Errorf("request sizes = %v", rt.got)
+	}
+	st := c.Stats()
+	if st.Delivered != 8 || st.Oversized413 != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestClientBreakerShortCircuits: persistent failure trips the breaker
+// and subsequent work waits out the cooldown instead of hitting the
+// network.
+func TestClientBreakerShortCircuits(t *testing.T) {
+	fails := make([]rtStep, 3)
+	for i := range fails {
+		fails[i] = rtStep{err: errors.New("down")}
+	}
+	rt := &scriptRT{script: fails}
+	c, clk := newTestClient(t, rt, func(o *Options) {
+		o.Breaker = BreakerConfig{FailureThreshold: 3, Cooldown: 2 * time.Second}
+	})
+	if err := c.Send(context.Background(), batchOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.BreakerOpens != 1 {
+		t.Errorf("breaker opens = %d, want 1", st.BreakerOpens)
+	}
+	if st.BreakerShortCircuits == 0 {
+		t.Error("no short circuits despite an open breaker")
+	}
+	// The breaker held requests until the cooldown elapsed.
+	var total time.Duration
+	for _, d := range clk.Slept() {
+		total += d
+	}
+	if total < 2*time.Second {
+		t.Errorf("total slept %v, want ≥ cooldown", total)
+	}
+	if rt.served != 4 {
+		t.Errorf("requests actually sent = %d, want 4 (3 failures + 1 probe)", rt.served)
+	}
+}
+
+// TestClientDeterministicSchedule: two clients with identical seeds
+// against identical failure scripts sleep the identical schedule —
+// no wall clock, no global rand.
+func TestClientDeterministicSchedule(t *testing.T) {
+	run := func() []time.Duration {
+		rt := &scriptRT{script: []rtStep{
+			{err: errors.New("down")},
+			{status: http.StatusBadGateway},
+			{status: http.StatusTooManyRequests, retryAfter: "3"},
+			{err: errors.New("down")},
+		}}
+		c, clk := newTestClient(t, rt, nil)
+		if err := c.Send(context.Background(), batchOf(6)); err != nil {
+			t.Fatal(err)
+		}
+		return clk.Slept()
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("schedules %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sleep %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestClientContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rt := &scriptRT{}
+	c, _ := newTestClient(t, rt, nil)
+	if err := c.Send(ctx, batchOf(1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestClientDrainSpool: Drain delivers everything pending in batch
+// order and acknowledges as it goes.
+func TestClientDrainSpool(t *testing.T) {
+	sp, err := OpenSpool(t.TempDir(), SpoolOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := sp.Append(reading(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt := &scriptRT{script: []rtStep{{err: errors.New("flaky start")}}}
+	c, _ := newTestClient(t, rt, func(o *Options) { o.BatchSize = 4 })
+	refused, err := c.Drain(context.Background(), sp)
+	if err != nil || refused != 0 {
+		t.Fatalf("drain: refused=%d err=%v", refused, err)
+	}
+	if sp.Pending() != 0 || sp.Acked() != 10 {
+		t.Fatalf("pending=%d acked=%d after drain", sp.Pending(), sp.Acked())
+	}
+	if st := c.Stats(); st.Delivered != 10 {
+		t.Errorf("delivered = %d", st.Delivered)
+	}
+}

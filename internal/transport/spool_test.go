@@ -1,0 +1,196 @@
+package transport
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func reading(i int) Reading {
+	return Reading{SensorID: i % 7, CPM: 10 + i, Step: i / 7, Seq: uint64(i/7) + 1}
+}
+
+func TestSpoolAppendNextAck(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := OpenSpool(dir, SpoolOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	for i := 0; i < 10; i++ {
+		if ok, err := sp.Append(reading(i)); err != nil || !ok {
+			t.Fatalf("append %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if sp.Pending() != 10 {
+		t.Fatalf("pending = %d, want 10", sp.Pending())
+	}
+	batch, upto, err := sp.Next(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 4 || upto != 4 {
+		t.Fatalf("Next(4) = %d readings, cursor %d", len(batch), upto)
+	}
+	for i, r := range batch {
+		if r != reading(i) {
+			t.Fatalf("reading %d = %+v, want %+v", i, r, reading(i))
+		}
+	}
+	// Un-acked reads repeat (at-least-once).
+	again, _, err := sp.Next(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 4 || again[0] != batch[0] {
+		t.Fatal("unacked batch did not repeat")
+	}
+	if err := sp.Ack(upto); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Pending() != 6 {
+		t.Fatalf("pending after ack = %d, want 6", sp.Pending())
+	}
+	rest, upto, err := sp.Next(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 6 || rest[0] != reading(4) || upto != 10 {
+		t.Fatalf("rest = %d readings starting %+v, cursor %d", len(rest), rest[0], upto)
+	}
+}
+
+// TestSpoolSurvivesReopen: restart resumes at the persisted cursor,
+// redelivering the delivered-but-unacked tail.
+func TestSpoolSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := OpenSpool(dir, SpoolOptions{SegmentRecords: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := sp.Append(reading(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sp.Ack(9); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sp2, err := OpenSpool(dir, SpoolOptions{SegmentRecords: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp2.Close()
+	if sp2.Acked() != 9 {
+		t.Fatalf("reopened cursor = %d, want 9", sp2.Acked())
+	}
+	if sp2.Pending() != 11 {
+		t.Fatalf("reopened pending = %d, want 11", sp2.Pending())
+	}
+	batch, upto, err := sp2.Next(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 11 || batch[0] != reading(9) || upto != 20 {
+		t.Fatalf("reopened Next = %d readings starting %+v", len(batch), batch[0])
+	}
+	// New appends continue the offset sequence.
+	if _, err := sp2.Append(reading(20)); err != nil {
+		t.Fatal(err)
+	}
+	if sp2.Pending() != 12 {
+		t.Fatalf("pending after append = %d", sp2.Pending())
+	}
+}
+
+// TestSpoolBoundSheds: the pending bound drops the newest reading and
+// counts it.
+func TestSpoolBoundSheds(t *testing.T) {
+	sp, err := OpenSpool(t.TempDir(), SpoolOptions{MaxPending: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	accepted := 0
+	for i := 0; i < 8; i++ {
+		ok, err := sp.Append(reading(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			accepted++
+		}
+	}
+	if accepted != 5 || sp.Shed() != 3 {
+		t.Fatalf("accepted %d shed %d, want 5/3", accepted, sp.Shed())
+	}
+	// Acking frees capacity.
+	if err := sp.Ack(2); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := sp.Append(reading(8)); !ok {
+		t.Fatal("append refused after ack freed capacity")
+	}
+}
+
+// TestSpoolAckPrunesSegments: fully-acknowledged segments disappear
+// from disk.
+func TestSpoolAckPrunesSegments(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := OpenSpool(dir, SpoolOptions{SegmentRecords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := sp.Append(reading(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sp.Ack(8); err != nil {
+		t.Fatal(err)
+	}
+	// Everything below offset 8 is prunable; the remaining data must
+	// still read back.
+	batch, _, err := sp.Next(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 2 || batch[0] != reading(8) {
+		t.Fatalf("post-prune Next = %+v", batch)
+	}
+}
+
+func TestSpoolCorruptCursorDegradesToRedelivery(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := OpenSpool(dir, SpoolOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := sp.Append(reading(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sp.Ack(2); err != nil {
+		t.Fatal(err)
+	}
+	sp.Close()
+	// Corrupt the cursor; reopen must fall back to redelivering from 0
+	// (not fail, not skip data).
+	if err := os.WriteFile(filepath.Join(dir, cursorFile), []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sp2, err := OpenSpool(dir, SpoolOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp2.Close()
+	if sp2.Acked() != 0 {
+		t.Fatalf("corrupt cursor read as %d", sp2.Acked())
+	}
+}
