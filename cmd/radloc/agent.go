@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"radloc/internal/clock"
+	"radloc/internal/obs"
 	"radloc/internal/rng"
 	"radloc/internal/transport"
 	"radloc/internal/wal"
@@ -59,6 +60,10 @@ func agentCmd(args []string, stdout io.Writer) error {
 		return errors.New("agent: missing -url (the radlocd base URL)")
 	}
 
+	// One registry for the whole agent: the client's delivery counters
+	// and the spool's occupancy/WAL metrics land on it, and the SIGUSR1
+	// dump reads the same collectors — a single source of truth.
+	reg := obs.NewRegistry()
 	client, err := transport.NewClient(transport.Options{
 		URL:            *url,
 		Clock:          clock.Real{},
@@ -67,6 +72,7 @@ func agentCmd(args []string, stdout io.Writer) error {
 		AttemptTimeout: *attemptTO,
 		MaxAttempts:    *attempts,
 		Backoff:        transport.Backoff{Base: *base, Cap: *cap_},
+		Metrics:        reg,
 	})
 	if err != nil {
 		return err
@@ -77,7 +83,7 @@ func agentCmd(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		sp, err = transport.OpenSpool(*spoolDir, transport.SpoolOptions{MaxPending: *spoolMax, Fsync: pol})
+		sp, err = transport.OpenSpool(*spoolDir, transport.SpoolOptions{MaxPending: *spoolMax, Fsync: pol, Metrics: reg})
 		if err != nil {
 			return err
 		}

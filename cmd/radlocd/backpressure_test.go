@@ -38,7 +38,7 @@ func newBackpressureEngine(t *testing.T) *fusion.Engine {
 func TestHTTPRejectsNonJSONContentType(t *testing.T) {
 	engine := newBackpressureEngine(t)
 	ing := httpingest.New(engine, httpingest.Options{})
-	srv := httptest.NewServer(newMux(engine, nil, ing))
+	srv := httptest.NewServer(newMux(serveConfig{Engine: engine, Ingest: ing}))
 	defer srv.Close()
 
 	resp, err := http.Post(srv.URL+"/measurements", "text/plain", strings.NewReader(`{"sensorId":0,"cpm":12}`))
@@ -67,7 +67,7 @@ func TestHTTPRejectsNonJSONContentType(t *testing.T) {
 func TestHTTPBoundsRequestBodies(t *testing.T) {
 	engine := newBackpressureEngine(t)
 	ing := httpingest.New(engine, httpingest.Options{MaxBody: 64})
-	srv := httptest.NewServer(newMux(engine, nil, ing))
+	srv := httptest.NewServer(newMux(serveConfig{Engine: engine, Ingest: ing}))
 	defer srv.Close()
 
 	big := `[` + strings.Repeat(`{"sensorId":0,"cpm":12},`, 20) + `{"sensorId":0,"cpm":12}]`
@@ -118,7 +118,7 @@ func TestHTTPShedsWhenQueueFull(t *testing.T) {
 		RetryAfter: 2 * time.Second,
 		AfterBatch: func() { entered <- struct{}{}; <-release },
 	})
-	srv := httptest.NewServer(newMux(engine, nil, ing))
+	srv := httptest.NewServer(newMux(serveConfig{Engine: engine, Ingest: ing}))
 	defer srv.Close()
 
 	firstDone := make(chan error, 1)
@@ -248,7 +248,7 @@ func TestHTTPServerTimeoutPosture(t *testing.T) {
 // connection instead of pinning it for the client's lifetime.
 func TestHTTPCutsSlowClients(t *testing.T) {
 	engine := newBackpressureEngine(t)
-	srv := newHTTPServer(newMux(engine, nil, nil), httpTimeouts{Read: 200 * time.Millisecond})
+	srv := newHTTPServer(newMux(serveConfig{Engine: engine}), httpTimeouts{Read: 200 * time.Millisecond})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

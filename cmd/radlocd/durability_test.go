@@ -177,7 +177,7 @@ func TestCorruptTailRecovery(t *testing.T) {
 		return fusion.NewEngine(fcfg)
 	}
 	dir := t.TempDir()
-	engine, d, err := openDurable(dir, wal.FsyncNever, 50, build, io.Discard)
+	engine, d, err := openDurable(dir, wal.FsyncNever, 50, build, nil, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +229,7 @@ func TestCorruptTailRecovery(t *testing.T) {
 		os.Remove(ck)
 	}
 
-	engine2, d2, err := openDurable(dir, wal.FsyncNever, 50, build, io.Discard)
+	engine2, d2, err := openDurable(dir, wal.FsyncNever, 50, build, nil, io.Discard)
 	if err != nil {
 		t.Fatalf("recovery must repair, not fail: %v", err)
 	}
@@ -246,7 +246,7 @@ func TestCorruptTailRecovery(t *testing.T) {
 	}
 
 	// And the daemon serves: snapshot, statez, fresh ingest.
-	srv := httptest.NewServer(newMux(engine2, d2, nil))
+	srv := httptest.NewServer(newMux(serveConfig{Engine: engine2, Durable: d2}))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/statez")
 	if err != nil {

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"radloc/internal/fusion"
 	"radloc/internal/httpingest"
+	"radloc/internal/obs"
 	"radloc/internal/wal"
 )
 
@@ -55,11 +57,14 @@ type durable struct {
 	engine *fusion.Engine
 	j      *walJournal
 
+	// met holds the checkpoint counters and timing — the registry
+	// collectors are the source of truth; statez reads them.
+	met *durableMetrics
+
 	mu          sync.Mutex
 	busy        bool   // a checkpoint is in flight; skip, don't queue
 	lastApplied uint64 // newest checkpoint's WAL offset
 	prevApplied uint64 // second-newest — segments below it are prunable
-	checkpoints uint64 // checkpoints written this run
 	recovery    recoveryJSON
 }
 
@@ -71,9 +76,9 @@ type durable struct {
 // journal; it may be called twice if a checkpoint turns out to be
 // unusable.
 func openDurable(dir string, pol wal.FsyncPolicy, every int,
-	build func(fusion.Journal) (*fusion.Engine, error), logw io.Writer) (*fusion.Engine, *durable, error) {
+	build func(fusion.Journal) (*fusion.Engine, error), reg *obs.Registry, logw io.Writer) (*fusion.Engine, *durable, error) {
 
-	l, stats, err := wal.Open(dir, wal.Options{Fsync: pol})
+	l, stats, err := wal.Open(dir, wal.Options{Fsync: pol, Metrics: reg})
 	if err != nil {
 		return nil, nil, fmt.Errorf("open WAL %s: %w", dir, err)
 	}
@@ -83,7 +88,7 @@ func openDurable(dir string, pol wal.FsyncPolicy, every int,
 		l.Close()
 		return nil, nil, err
 	}
-	d := &durable{dir: dir, fsync: pol, every: every, engine: engine, j: j}
+	d := &durable{dir: dir, fsync: pol, every: every, engine: engine, j: j, met: newDurableMetrics(reg)}
 	d.recovery = recoveryJSON{
 		WalRecords:       stats.Records,
 		WalSegments:      stats.Segments,
@@ -176,8 +181,10 @@ func (d *durable) maybeCheckpoint(logw io.Writer) {
 // sync the WAL through the exported offset (a checkpoint must never
 // run ahead of the durable log), write atomically, prune what the
 // surviving checkpoints no longer need.
-func (d *durable) checkpoint() error {
+func (d *durable) checkpoint() (err error) {
+	t0 := time.Now()
 	st, err := d.engine.ExportState()
+	defer func() { d.met.done(t0, st.Journaled, err) }()
 	if err != nil {
 		return err
 	}
@@ -200,7 +207,6 @@ func (d *durable) checkpoint() error {
 		d.prevApplied = d.lastApplied
 		d.lastApplied = st.Journaled
 	}
-	d.checkpoints++
 	pruneTo := d.prevApplied
 	d.mu.Unlock()
 	d.j.mu.Lock()
@@ -266,7 +272,7 @@ func statez(engine *fusion.Engine, d *durable, ing *httpingest.Handler) statezJS
 		WalDir:         d.dir,
 		Fsync:          d.fsync.String(),
 		WalOffset:      off,
-		Checkpoints:    d.checkpoints,
+		Checkpoints:    d.met.checkpoints.Value(),
 		LastCheckpoint: d.lastApplied,
 		Recovery:       &rec,
 	}

@@ -36,6 +36,7 @@ import (
 	"radloc/internal/config"
 	"radloc/internal/fusion"
 	"radloc/internal/httpingest"
+	"radloc/internal/obs"
 	"radloc/internal/sim"
 	"radloc/internal/track"
 	"radloc/internal/wal"
@@ -71,6 +72,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		readTO      = fs.Duration("read-timeout", 15*time.Second, "HTTP mode: server read timeout (slow-loris guard)")
 		writeTO     = fs.Duration("write-timeout", 30*time.Second, "HTTP mode: server write timeout")
 		idleTO      = fs.Duration("idle-timeout", 2*time.Minute, "HTTP mode: keep-alive idle connection timeout")
+		pprofOn     = fs.Bool("pprof", false, "HTTP mode: serve net/http/pprof profiles under /debug/pprof/ (off by default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,14 +89,24 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		return err
 	}
 
+	// One registry for the whole process: filter stages, fusion engine,
+	// WAL, checkpointer and HTTP ingest all register on it, and HTTP
+	// mode serves it on GET /metrics. Registration is get-or-create, so
+	// the recovery path rebuilding the engine reuses the same
+	// collectors.
+	reg := obs.NewRegistry()
+	obs.RegisterProcessMetrics(reg, time.Now())
+
 	build := func(j fusion.Journal) (*fusion.Engine, error) {
 		fcfg := fusion.Config{
 			Localizer: sim.LocalizerConfig(sc),
 			Sensors:   sc.Sensors,
 			Health:    fusion.HealthConfig{Disabled: *noHealth},
 			Journal:   j,
+			Metrics:   reg,
 		}
 		fcfg.Localizer.Seed = *seed
+		fcfg.Localizer.Metrics = reg
 		if *withTracks {
 			fcfg.Tracking = &track.Config{}
 		}
@@ -111,7 +123,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		// Recovery at boot: newest valid checkpoint + WAL suffix replay
 		// through the live ingest path. Logged to stderr — stdout is
 		// the data channel in pipe mode.
-		engine, d, err = openDurable(*walDir, pol, *ckptEvery, build, os.Stderr)
+		engine, d, err = openDurable(*walDir, pol, *ckptEvery, build, reg, os.Stderr)
 		if err != nil {
 			return err
 		}
@@ -126,9 +138,13 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 			RetryAfter: *retryAfter,
 			RatePerSec: *rate,
 			Burst:      *burst,
+			Metrics:    reg,
 		})
-		err = serveHTTP(ctx, *listen, engine, d, ing,
-			httpTimeouts{Read: *readTO, Write: *writeTO, Idle: *idleTO}, stdout)
+		err = serveHTTP(ctx, *listen, serveConfig{
+			Engine: engine, Durable: d, Ingest: ing,
+			Timeouts: httpTimeouts{Read: *readTO, Write: *writeTO, Idle: *idleTO},
+			Metrics:  reg, Pprof: *pprofOn,
+		}, stdout)
 	} else {
 		every := *reportEvery
 		if every <= 0 {

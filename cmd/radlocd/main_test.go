@@ -232,7 +232,7 @@ func newTestServer(t *testing.T) (*httptest.Server, scenario.Scenario) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newMux(engine, nil, nil))
+	srv := httptest.NewServer(newMux(serveConfig{Engine: engine}))
 	t.Cleanup(srv.Close)
 	return srv, sc
 }

@@ -9,6 +9,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -16,6 +17,7 @@ import (
 
 	"radloc/internal/fusion"
 	"radloc/internal/httpingest"
+	"radloc/internal/obs"
 )
 
 // measurementJSON is the wire form of one reading, shared with the
@@ -276,13 +278,44 @@ func newIngest(engine *fusion.Engine, d *durable, opts httpingest.Options) *http
 	return httpingest.New(engine, opts)
 }
 
-// newMux builds the HTTP API. d may be nil (durability off); ing may
-// be nil (a default admission policy is built).
-func newMux(engine *fusion.Engine, d *durable, ing *httpingest.Handler) *http.ServeMux {
+// serveConfig assembles the HTTP mode's moving parts. Durable may be
+// nil (durability off), Ingest may be nil (a default admission policy
+// is built), Metrics may be nil (GET /metrics serves an empty
+// registry — process-only families).
+type serveConfig struct {
+	Engine   *fusion.Engine
+	Durable  *durable
+	Ingest   *httpingest.Handler
+	Timeouts httpTimeouts
+	// Metrics is served on GET /metrics in Prometheus text format.
+	Metrics *obs.Registry
+	// Pprof mounts net/http/pprof under /debug/pprof/ when true. Off
+	// by default: the profile endpoints expose heap contents and must
+	// be opted into on trusted networks only.
+	Pprof bool
+}
+
+// newMux builds the HTTP API.
+func newMux(cfg serveConfig) *http.ServeMux {
+	engine, d, ing := cfg.Engine, cfg.Durable, cfg.Ingest
 	if ing == nil {
-		ing = newIngest(engine, d, httpingest.Options{})
+		ing = newIngest(engine, d, httpingest.Options{Metrics: cfg.Metrics})
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
 	mux := http.NewServeMux()
+	// Prometheus text-format exposition of the process registry: the
+	// same collectors /statez and /stats derive their JSON from.
+	mux.Handle("/metrics", reg.Handler())
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	// Durability and delivery posture: WAL offset, checkpoint history,
 	// boot-time recovery report, dedup/reorder counters, admission
 	// (backpressure) counters.
@@ -394,13 +427,18 @@ func newHTTPServer(h http.Handler, t httpTimeouts) *http.Server {
 // serveHTTP serves the API on addr until ctx is cancelled
 // (SIGINT/SIGTERM), then shuts down gracefully — in-flight requests
 // drain — and flushes a final snapshot line to logw.
-func serveHTTP(ctx context.Context, addr string, engine *fusion.Engine, d *durable, ing *httpingest.Handler, timeouts httpTimeouts, logw io.Writer) error {
+func serveHTTP(ctx context.Context, addr string, cfg serveConfig, logw io.Writer) error {
+	engine := cfg.Engine
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(logw, "radlocd: serving on http://%s (POST /measurements, GET /snapshot /sensors /statez /healthz /readyz)\n", ln.Addr())
-	srv := newHTTPServer(newMux(engine, d, ing), timeouts)
+	extra := ""
+	if cfg.Pprof {
+		extra = " /debug/pprof/"
+	}
+	fmt.Fprintf(logw, "radlocd: serving on http://%s (POST /measurements, GET /snapshot /sensors /statez /metrics /healthz /readyz%s)\n", ln.Addr(), extra)
+	srv := newHTTPServer(newMux(cfg), cfg.Timeouts)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	select {

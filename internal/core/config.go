@@ -20,6 +20,7 @@ import (
 	"runtime"
 
 	"radloc/internal/geometry"
+	"radloc/internal/obs"
 )
 
 // Config parameterizes a Localizer. NewLocalizer rejects invalid
@@ -100,6 +101,13 @@ type Config struct {
 	// init, resampling, jitter, injection). Runs with equal seeds and
 	// equal measurement sequences are identical.
 	Seed uint64
+
+	// Metrics, when non-nil, receives the filter's runtime telemetry:
+	// per-stage wall-clock histograms (radloc_filter_stage_seconds),
+	// iteration counters, and population-health gauges. nil disables
+	// instrumentation entirely — the hot path pays one branch and no
+	// clock reads. Metrics never influence the filter's output.
+	Metrics *obs.Registry
 }
 
 // withDefaults returns cfg with unset fields filled in.

@@ -46,6 +46,8 @@ type Localizer struct {
 	grid      *spatial.Grid
 	gridDirty bool
 
+	met *filterMetrics // nil when Config.Metrics is nil
+
 	stream *rng.Stream
 	iter   int
 
@@ -75,6 +77,7 @@ func NewLocalizer(cfg Config) (*Localizer, error) {
 	}
 	l := &Localizer{
 		cfg:    cfg,
+		met:    newFilterMetrics(cfg.Metrics),
 		stream: rng.NewNamed(cfg.Seed, "core/localizer"),
 	}
 	n := cfg.NumParticles
@@ -133,9 +136,14 @@ func (l *Localizer) Ingest(sen sensor.Sensor, cpm int) {
 	if l.sensorPos != nil {
 		l.sensorPos[sen.ID] = sen.Pos
 	}
+	t0 := l.met.now()
 	ids := l.selectParticles(sen)
+	if l.met != nil {
+		t0 = l.met.lap(l.met.selectH, t0)
+	}
 	l.lastSubset = len(ids)
 	l.subsetTotal += int64(len(ids))
+	l.met.ingest(len(ids))
 	if len(ids) == 0 {
 		l.emptyIters++
 		return
@@ -144,6 +152,9 @@ func (l *Localizer) Ingest(sen sensor.Sensor, cpm int) {
 	// Prediction (V-B): P'' = F_movement(P'); identity for static
 	// sources.
 	l.applyMovement(ids)
+	if l.met != nil {
+		t0 = l.met.lap(l.met.predictH, t0)
+	}
 
 	// Weighting (V-C): posterior ∝ prior × Poisson(cpm | λ(particle)).
 	// Log-space with max-shift keeps the arithmetic finite even when
@@ -202,7 +213,13 @@ func (l *Localizer) Ingest(sen sensor.Sensor, cpm int) {
 		}
 	}
 
+	if l.met != nil {
+		t0 = l.met.lap(l.met.weightH, t0)
+	}
 	l.resample(ids, cum, priorMass)
+	if l.met != nil {
+		l.met.lap(l.met.resampleH, t0)
+	}
 	l.gridDirty = true
 }
 
@@ -311,10 +328,11 @@ func (l *Localizer) clampS(s float64) float64 {
 // (x, y, strength) space, merge converged modes, and report the modes
 // that hold enough mass and plausible strength.
 func (l *Localizer) Estimates() []Estimate {
+	t0 := l.met.now()
 	n := len(l.xs)
 	points := make([]float64, 0, 3*n)
 	weights := make([]float64, 0, n)
-	var total float64
+	var total, total2 float64
 	for i := 0; i < n; i++ {
 		if l.ws[i] <= 0 {
 			continue
@@ -322,7 +340,13 @@ func (l *Localizer) Estimates() []Estimate {
 		points = append(points, l.xs[i], l.ys[i], l.ss[i])
 		weights = append(weights, l.ws[i])
 		total += l.ws[i]
+		total2 += l.ws[i] * l.ws[i]
 	}
+	ess := 0.0
+	if total2 > 0 {
+		ess = total * total / total2
+	}
+	defer l.met.estimated(ess, n, t0)
 	if total <= 0 {
 		return nil
 	}

@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"radloc/internal/core"
 	"radloc/internal/diagnose"
+	"radloc/internal/obs"
 	"radloc/internal/radiation"
 	"radloc/internal/sensor"
 	"radloc/internal/track"
@@ -47,6 +49,13 @@ type Config struct {
 	// been seen, so deliveries scrambled within the window reduce to
 	// the identical application order (default 4).
 	ReorderWindow int
+	// Metrics, when non-nil, is the registry the engine's counters live
+	// on (ingest, delivery-gate, refresh timing). These collectors ARE
+	// the engine's accounting — Snapshot and ExportState read them —
+	// so /metrics and /statez can never disagree. nil gets a private
+	// registry; the localizer's stage timings are configured separately
+	// via Localizer.Metrics.
+	Metrics *obs.Registry
 }
 
 // Engine is the fusion center. All methods are safe for concurrent
@@ -60,9 +69,11 @@ type Engine struct {
 	ests      []core.Estimate
 	tracker   *track.Manager
 	trackStep int
-	ingested  uint64
-	rejected  uint64
-	refreshes uint64
+
+	// met holds the engine's counters (ingested, rejected, delivery
+	// gate, ...) — registry collectors are the single source of truth;
+	// Snapshot/ExportState derive their numbers from them.
+	met *engineMetrics
 
 	// Health monitor state.
 	hcfg        HealthConfig
@@ -74,7 +85,6 @@ type Engine struct {
 	journaled uint64 // records appended to the journal (the WAL offset)
 	window    int    // reorder watermark lag, in sequence rounds
 	gate      *gate
-	delivery  DeliveryStats
 }
 
 // ErrUnknownSensor is returned for measurements from unregistered
@@ -107,6 +117,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		loc:     loc,
 		sensors: make(map[int]sensor.Sensor, len(cfg.Sensors)),
 		every:   cfg.EstimateEvery,
+		met:     newEngineMetrics(cfg.Metrics),
 		hcfg:    cfg.Health.withDefaults(),
 		health:  make(map[int]*sensorHealth, len(cfg.Sensors)),
 		journal: cfg.Journal,
@@ -140,7 +151,7 @@ func (e *Engine) Ingest(sensorID, cpm int) (uint64, error) {
 	defer e.mu.Unlock()
 	m := Meas{SensorID: sensorID, CPM: cpm}
 	if err := e.journalLocked(m); err != nil {
-		return e.ingested, err
+		return e.met.ingested.Value(), err
 	}
 	return e.applyLocked(m)
 }
@@ -156,6 +167,7 @@ func (e *Engine) journalLocked(m Meas) error {
 		return fmt.Errorf("fusion: journal append: %w", err)
 	}
 	e.journaled++
+	e.met.journaled.Set(float64(e.journaled))
 	return nil
 }
 
@@ -163,38 +175,48 @@ func (e *Engine) journalLocked(m Meas) error {
 // hold e.mu.
 func (e *Engine) applyLocked(m Meas) (uint64, error) {
 	if m.CPM < 0 || m.CPM > MaxCPM {
-		e.rejected++
+		e.met.rejected.Inc()
 		return 0, fmt.Errorf("%w: CPM %d outside [0, %d]", ErrBadMeasurement, m.CPM, MaxCPM)
 	}
 	sen, ok := e.sensors[m.SensorID]
 	if !ok {
-		e.rejected++
+		e.met.rejected.Inc()
 		return 0, fmt.Errorf("%w: id %d", ErrUnknownSensor, m.SensorID)
 	}
 	h := e.health[m.SensorID]
 	if !e.admitLocked(h, sen, m.CPM) {
 		h.dropped++
-		return e.ingested, fmt.Errorf("%w: id %d (last |z| %.1f)", ErrQuarantined, m.SensorID, math.Abs(h.lastZ))
+		return e.met.ingested.Value(), fmt.Errorf("%w: id %d (last |z| %.1f)", ErrQuarantined, m.SensorID, math.Abs(h.lastZ))
 	}
 	e.loc.Ingest(sen, m.CPM)
-	e.ingested++
+	e.met.ingested.Inc()
 	e.sinceEst++
 	if e.sinceEst >= e.every {
 		e.refreshLocked()
 	}
-	return e.ingested, nil
+	return e.met.ingested.Value(), nil
 }
 
 // refreshLocked recomputes estimates (and tracks). Callers hold e.mu.
 func (e *Engine) refreshLocked() {
+	t0 := time.Now()
 	e.sinceEst = 0
 	e.ests = e.loc.Estimates()
 	e.predSources = diagnose.Sources(e.ests)
-	e.refreshes++
+	e.met.refreshes.Inc()
 	if e.tracker != nil {
 		e.tracker.Update(e.trackStep, e.ests)
 		e.trackStep++
 	}
+	e.met.refreshSeconds.Observe(time.Since(t0).Seconds())
+	e.met.estimates.Set(float64(len(e.ests)))
+	quarantined := 0
+	for _, h := range e.health {
+		if h.status == Quarantined {
+			quarantined++
+		}
+	}
+	e.met.quarantined.Set(float64(quarantined))
 }
 
 // Refresh forces an estimate recomputation now.
@@ -226,12 +248,12 @@ func (e *Engine) Snapshot() Snapshot {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	out := Snapshot{
-		Ingested:  e.ingested,
-		Rejected:  e.rejected,
-		Refreshes: e.refreshes,
+		Ingested:  e.met.ingested.Value(),
+		Rejected:  e.met.rejected.Value(),
+		Refreshes: e.met.refreshes.Value(),
 		Estimates: append([]core.Estimate(nil), e.ests...),
 		Health:    e.healthSnapshotLocked(),
-		Delivery:  e.delivery,
+		Delivery:  e.met.deliveryStats(),
 		Journaled: e.journaled,
 	}
 	out.Delivery.Pending = e.gate.heldN

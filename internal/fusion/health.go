@@ -119,7 +119,7 @@ func (e *Engine) admitLocked(h *sensorHealth, sen sensor.Sensor, cpm int) bool {
 	}
 	// Scoring needs a posterior to predict from: wait for the first
 	// estimate refresh and a per-sensor warmup.
-	if e.refreshes == 0 || h.seen <= uint64(e.hcfg.Warmup) {
+	if e.met.refreshes.Value() == 0 || h.seen <= uint64(e.hcfg.Warmup) {
 		return h.status == Healthy
 	}
 	z := diagnose.ResidualZInflated(sen, cpm, e.predSources, e.hcfg.RelSlack)

@@ -132,7 +132,7 @@ func (e *Engine) IngestSeq(m Meas) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if m.Seq == 0 {
-		e.delivery.Unsequenced++
+		e.met.unsequenced.Inc()
 		if err := e.journalLocked(m); err != nil {
 			return 0, err
 		}
@@ -141,21 +141,21 @@ func (e *Engine) IngestSeq(m Meas) (int, error) {
 	}
 	g := e.gate
 	if m.Seq < g.maxSeq {
-		e.delivery.OutOfOrder++
+		e.met.outOfOrder.Inc()
 	}
 	if m.Seq <= g.cursor[m.SensorID] {
-		e.delivery.Duplicates++
+		e.met.duplicates.Inc()
 		return 0, ErrDuplicate
 	}
 	if _, dup := g.held[m.Seq][m.SensorID]; dup {
-		e.delivery.Duplicates++
+		e.met.duplicates.Inc()
 		return 0, ErrDuplicate
 	}
 	if m.Seq <= g.released {
 		// The round has sailed: apply immediately, out of canonical
 		// order but admitted — shedding data over a bounded-window
 		// violation would be worse.
-		e.delivery.Late++
+		e.met.late.Inc()
 		if err := e.journalLocked(m); err != nil {
 			return 0, err
 		}
@@ -169,7 +169,8 @@ func (e *Engine) IngestSeq(m Meas) (int, error) {
 	}
 	round[m.SensorID] = m
 	g.heldN++
-	e.delivery.Buffered++
+	e.met.buffered.Inc()
+	e.met.pending.Set(float64(g.heldN))
 	if m.Seq > g.maxSeq {
 		g.maxSeq = m.Seq
 	}
@@ -181,7 +182,7 @@ func (e *Engine) IngestSeq(m Meas) (int, error) {
 	// sensor count, but nothing forces well-formed stamps, so cap the
 	// buffer and release ahead of the watermark when it bursts.
 	if g.heldN > e.maxHeld() {
-		e.delivery.ForcedFlushes++
+		e.met.forcedFlushes.Inc()
 		n, err := e.flushRoundsLocked(g.maxSeq)
 		applied += n
 		if err != nil {
@@ -225,6 +226,12 @@ func (e *Engine) flushRoundsLocked(target uint64) (int, error) {
 	}
 	sort.Slice(rounds, func(a, b int) bool { return rounds[a] < rounds[b] })
 	applied := 0
+	defer func() {
+		e.met.pending.Set(float64(g.heldN))
+		if applied > 0 {
+			e.met.releaseBatch.Observe(float64(applied))
+		}
+	}()
 	for _, s := range rounds {
 		round := g.held[s]
 		ids := make([]int, 0, len(round))
@@ -260,7 +267,7 @@ func (e *Engine) applyReleasedLocked(m Meas) (uint64, error) {
 	cur := e.gate.cursor[m.SensorID]
 	if m.Seq > cur {
 		if cur > 0 && m.Seq > cur+1 {
-			e.delivery.GapSkips += m.Seq - cur - 1
+			e.met.gapSkips.Add(m.Seq - cur - 1)
 		}
 		e.gate.cursor[m.SensorID] = m.Seq
 	}
@@ -286,6 +293,7 @@ func (e *Engine) Replay(m Meas) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.journaled++
+	e.met.journaled.Set(float64(e.journaled))
 	if m.Seq > 0 {
 		g := e.gate
 		if m.Seq > g.released {

@@ -70,15 +70,15 @@ func (e *Engine) ExportState() (EngineState, error) {
 		return EngineState{}, err
 	}
 	st := EngineState{
-		Ingested:  e.ingested,
-		Rejected:  e.rejected,
-		Refreshes: e.refreshes,
+		Ingested:  e.met.ingested.Value(),
+		Rejected:  e.met.rejected.Value(),
+		Refreshes: e.met.refreshes.Value(),
 		SinceEst:  e.sinceEst,
 		TrackStep: e.trackStep,
 		Journaled: e.journaled,
 		Estimates: append([]core.Estimate(nil), e.ests...),
 		Localizer: loc,
-		Delivery:  e.delivery,
+		Delivery:  e.met.deliveryStats(),
 	}
 	for _, h := range e.health {
 		hs := HealthState{
@@ -120,6 +120,7 @@ func (e *Engine) SetJournalOffset(off uint64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.journaled = off
+	e.met.journaled.Set(float64(off))
 }
 
 // ImportState restores a snapshot captured by ExportState into an
@@ -138,16 +139,20 @@ func (e *Engine) ImportState(st EngineState) error {
 	if err := e.loc.ImportState(st.Localizer); err != nil {
 		return err
 	}
-	e.ingested = st.Ingested
-	e.rejected = st.Rejected
-	e.refreshes = st.Refreshes
+	e.met.ingested.Store(st.Ingested)
+	e.met.rejected.Store(st.Rejected)
+	e.met.refreshes.Store(st.Refreshes)
 	e.sinceEst = st.SinceEst
 	e.trackStep = st.TrackStep
 	e.journaled = st.Journaled
+	e.met.journaled.Set(float64(e.journaled))
 	e.ests = append(e.ests[:0], st.Estimates...)
+	e.met.estimates.Set(float64(len(e.ests)))
 	e.predSources = diagnose.Sources(e.ests)
-	e.delivery = st.Delivery
-	e.delivery.Pending = 0
+	restored := st.Delivery
+	restored.Pending = 0
+	e.met.restoreDelivery(restored)
+	e.met.pending.Set(0)
 	for _, hs := range st.Health {
 		h := e.health[hs.SensorID]
 		h.status = HealthStatus(hs.Status)

@@ -23,16 +23,17 @@ import (
 
 	"radloc/internal/clock"
 	"radloc/internal/fusion"
+	"radloc/internal/obs"
 )
 
 // Measurement is the wire form of one reading — a single object or an
 // array of them per request. Seq 0 means "unsequenced" and bypasses
 // the engine's dedup/reorder gate (legacy feeders).
 type Measurement struct {
-	SensorID int    `json:"sensorId"`
-	CPM      int    `json:"cpm"`
-	Step     int    `json:"step,omitempty"`
-	Seq      uint64 `json:"seq,omitempty"`
+	SensorID int    `json:"sensorId"`       // deployment index of the reporting sensor
+	CPM      int    `json:"cpm"`            // Geiger counts per minute for this interval
+	Step     int    `json:"step,omitempty"` // discrete time step of the reading
+	Seq      uint64 `json:"seq,omitempty"`  // per-sensor monotone sequence number; 0 = unsequenced
 }
 
 // Meas converts to the engine's ingest type.
@@ -63,6 +64,11 @@ type Options struct {
 	// AfterBatch, when non-nil, runs after each admitted batch — the
 	// daemon hooks its checkpoint cadence here.
 	AfterBatch func()
+	// Metrics, when non-nil, is the registry the admission counters
+	// live on (radloc_ingest_*). The counters ARE the handler's
+	// accounting — Stats() reads them — so /metrics and /statez can
+	// never disagree. nil gets a private registry.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -93,16 +99,58 @@ type bucket struct {
 	last   time.Time
 }
 
+// ingestMetrics is the handler's registry wiring — one counter per
+// IngressStats field plus a queue-occupancy gauge and a request
+// latency histogram. These collectors are the handler's only
+// accounting; Stats() derives the wire struct from them.
+type ingestMetrics struct {
+	requests, accepted, duplicates, rejected *obs.Counter
+	shed429, rateLimited, oversized          *obs.Counter
+	badContentType, malformed                *obs.Counter
+	inflight                                 *obs.Gauge
+	requestSeconds                           *obs.Histogram
+}
+
+func newIngestMetrics(r *obs.Registry) *ingestMetrics {
+	if r == nil {
+		r = obs.NewRegistry()
+	}
+	return &ingestMetrics{
+		requests: r.Counter("radloc_ingest_requests_total",
+			"POST /measurements requests admitted past the method/Content-Type checks."),
+		accepted: r.Counter("radloc_ingest_accepted_total",
+			"Readings the engine took (applied or buffered in the reorder gate)."),
+		duplicates: r.Counter("radloc_ingest_duplicates_total",
+			"Readings the sequence gate suppressed as redelivery."),
+		rejected: r.Counter("radloc_ingest_rejected_total",
+			"Readings refused for cause (unknown sensor, impossible CPM, quarantine)."),
+		shed429: r.Counter("radloc_ingest_shed_429_total",
+			"Requests shed at the door because the admission queue was full (HTTP 429)."),
+		rateLimited: r.Counter("radloc_ingest_rate_limited_total",
+			"Readings refused by a per-sensor token bucket (HTTP 429 + Retry-After)."),
+		oversized: r.Counter("radloc_ingest_oversized_total",
+			"Request bodies over the byte bound (HTTP 413)."),
+		badContentType: r.Counter("radloc_ingest_bad_content_type_total",
+			"Requests with a non-JSON Content-Type (HTTP 415)."),
+		malformed: r.Counter("radloc_ingest_malformed_total",
+			"Request bodies that did not parse (HTTP 400)."),
+		inflight: r.Gauge("radloc_ingest_inflight_requests",
+			"Requests currently holding an admission-queue slot."),
+		requestSeconds: r.Histogram("radloc_ingest_request_seconds",
+			"Wall-clock seconds per admitted POST /measurements request.", nil),
+	}
+}
+
 // Handler serves POST /measurements with admission control. Safe for
 // concurrent use.
 type Handler struct {
 	engine *fusion.Engine
 	opts   Options
 	slots  chan struct{}
+	met    *ingestMetrics
 
 	mu      sync.Mutex
 	buckets map[int]*bucket
-	stats   fusion.IngressStats
 }
 
 // New builds the ingest handler over engine.
@@ -112,21 +160,26 @@ func New(engine *fusion.Engine, opts Options) *Handler {
 		engine:  engine,
 		opts:    opts,
 		slots:   make(chan struct{}, opts.QueueDepth),
+		met:     newIngestMetrics(opts.Metrics),
 		buckets: make(map[int]*bucket),
 	}
 }
 
-// Stats returns a copy of the admission counters.
+// Stats assembles the wire-format admission counters from the
+// registry collectors — the same numbers GET /metrics renders.
 func (h *Handler) Stats() fusion.IngressStats {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.stats
-}
-
-func (h *Handler) count(f func(*fusion.IngressStats)) {
-	h.mu.Lock()
-	f(&h.stats)
-	h.mu.Unlock()
+	m := h.met
+	return fusion.IngressStats{
+		Requests:       m.requests.Value(),
+		Accepted:       m.accepted.Value(),
+		Duplicates:     m.duplicates.Value(),
+		Rejected:       m.rejected.Value(),
+		Shed429:        m.shed429.Value(),
+		RateLimited:    m.rateLimited.Value(),
+		Oversized:      m.oversized.Value(),
+		BadContentType: m.badContentType.Value(),
+		Malformed:      m.malformed.Value(),
+	}
 }
 
 // allow takes one token from the sensor's bucket, refilling by
@@ -216,25 +269,31 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !jsonContentType(r.Header.Get("Content-Type")) {
-		h.count(func(s *fusion.IngressStats) { s.BadContentType++ })
+		h.met.badContentType.Inc()
 		http.Error(w, "Content-Type must be application/json", http.StatusUnsupportedMediaType)
 		return
 	}
 	select {
 	case h.slots <- struct{}{}:
-		defer func() { <-h.slots }()
+		h.met.inflight.Add(1)
+		defer func() {
+			h.met.inflight.Add(-1)
+			<-h.slots
+		}()
 	default:
-		h.count(func(s *fusion.IngressStats) { s.Shed429++ })
+		h.met.shed429.Inc()
 		h.shed(w, "ingest queue full, retry later")
 		return
 	}
-	h.count(func(s *fusion.IngressStats) { s.Requests++ })
+	h.met.requests.Inc()
+	t0 := time.Now()
+	defer func() { h.met.requestSeconds.Observe(time.Since(t0).Seconds()) }()
 
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, h.opts.MaxBody))
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			h.count(func(s *fusion.IngressStats) { s.Oversized++ })
+			h.met.oversized.Inc()
 			http.Error(w, fmt.Sprintf("body over %d bytes", h.opts.MaxBody), http.StatusRequestEntityTooLarge)
 			return
 		}
@@ -245,7 +304,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if err := json.Unmarshal(body, &batch); err != nil {
 		var one Measurement
 		if err := json.Unmarshal(body, &one); err != nil {
-			h.count(func(s *fusion.IngressStats) { s.Malformed++ })
+			h.met.malformed.Inc()
 			http.Error(w, "want a measurement object or array", http.StatusBadRequest)
 			return
 		}
@@ -258,12 +317,10 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			// Stop at the first rate-limited reading: the client
 			// retries the whole batch and dedup absorbs the replayed
 			// prefix. Count every reading not admitted.
-			h.count(func(s *fusion.IngressStats) {
-				s.RateLimited += uint64(len(batch) - i)
-				s.Accepted += uint64(accepted)
-				s.Duplicates += uint64(duplicate)
-				s.Rejected += uint64(rejected)
-			})
+			h.met.rateLimited.Add(uint64(len(batch) - i))
+			h.met.accepted.Add(uint64(accepted))
+			h.met.duplicates.Add(uint64(duplicate))
+			h.met.rejected.Add(uint64(rejected))
 			if h.opts.AfterBatch != nil && accepted > 0 {
 				h.opts.AfterBatch()
 			}
@@ -280,11 +337,9 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			rejected++
 		}
 	}
-	h.count(func(s *fusion.IngressStats) {
-		s.Accepted += uint64(accepted)
-		s.Duplicates += uint64(duplicate)
-		s.Rejected += uint64(rejected)
-	})
+	h.met.accepted.Add(uint64(accepted))
+	h.met.duplicates.Add(uint64(duplicate))
+	h.met.rejected.Add(uint64(rejected))
 	if h.opts.AfterBatch != nil {
 		h.opts.AfterBatch()
 	}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// WriteText renders every registered metric in Prometheus text
+// exposition format (version 0.0.4), families sorted by name and
+// children by label tuple, so the output is deterministic for a given
+// registry state.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range r.snapshot() {
+		fmt.Fprintf(bw, "# HELP %s %s\n", m.metricName(), m.metricHelp())
+		fmt.Fprintf(bw, "# TYPE %s %s\n", m.metricName(), m.metricType())
+		switch v := m.(type) {
+		case *Counter:
+			fmt.Fprintf(bw, "%s %d\n", v.name, v.Value())
+		case *funcCounter:
+			fmt.Fprintf(bw, "%s %d\n", v.name, v.value())
+		case *Gauge:
+			fmt.Fprintf(bw, "%s %s\n", v.name, formatFloat(v.Value()))
+		case *funcGauge:
+			fmt.Fprintf(bw, "%s %s\n", v.name, formatFloat(v.value()))
+		case *Histogram:
+			writeHistogram(bw, v, "")
+		case *CounterFamily:
+			v.each(func(key string, c metric) {
+				fmt.Fprintf(bw, "%s{%s} %d\n", v.name, key, c.(*Counter).Value())
+			})
+		case *GaugeFamily:
+			v.each(func(key string, g metric) {
+				fmt.Fprintf(bw, "%s{%s} %s\n", v.name, key, formatFloat(g.(*Gauge).Value()))
+			})
+		case *HistogramFamily:
+			v.each(func(key string, h metric) {
+				writeHistogram(bw, h.(*Histogram), key)
+			})
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram's _bucket/_sum/_count series;
+// labels is the pre-rendered label body ("" for an unlabeled
+// histogram) that le is appended to.
+func writeHistogram(w io.Writer, h *Histogram, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum, total := h.bucketCounts()
+	for i, bound := range h.bounds {
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", h.name, labels, sep, formatFloat(bound), cum[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", h.name, labels, sep, total)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %s\n", h.name, formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count %d\n", h.name, total)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %s\n", h.name, labels, formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count{%s} %d\n", h.name, labels, total)
+	}
+}
+
+// formatFloat renders a sample value the way Prometheus expects:
+// shortest round-trip decimal, with explicit +Inf/-Inf/NaN spellings.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry in text exposition format — mount it on
+// GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// family is the shared machinery behind labeled metric families: a
+// fixed set of label names, and one child collector per label-value
+// tuple, created on first use.
+type family struct {
+	name, help string
+	labels     []string
+	mu         sync.Mutex
+	children   map[string]metric // label-tuple key → child
+	keys       []string          // insertion order; sorted at exposition
+}
+
+func newFamily(name, help string, labels []string) *family {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("obs: family %q needs at least one label", name))
+	}
+	return &family{name: name, help: help, labels: labels, children: make(map[string]metric)}
+}
+
+// key builds the child map key from the label values (also the
+// rendered label body, so exposition needs no re-derivation).
+func (f *family) key(values []string) string {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: family %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	var b strings.Builder
+	for i, v := range values {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(f.labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// child returns the collector for the label tuple, creating it with mk
+// on first use.
+func (f *family) child(values []string, mk func() metric) metric {
+	k := f.key(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.children[k]; ok {
+		return m
+	}
+	m := mk()
+	f.children[k] = m
+	f.keys = append(f.keys, k)
+	return m
+}
+
+// each visits children in sorted key order.
+func (f *family) each(visit func(key string, m metric)) {
+	f.mu.Lock()
+	keys := append([]string(nil), f.keys...)
+	children := make([]metric, len(keys))
+	sort.Strings(keys)
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.Unlock()
+	for i, k := range keys {
+		visit(k, children[i])
+	}
+}
+
+func (f *family) metricName() string { return f.name }
+func (f *family) metricHelp() string { return f.help }
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// CounterFamily is a set of counters distinguished by label values
+// (e.g. one counter per HTTP status class). Obtain families from a
+// Registry; children are created on first use and live forever.
+type CounterFamily struct {
+	*family
+}
+
+// With returns the child counter for the given label values (in the
+// family's label-name order).
+func (f *CounterFamily) With(values ...string) *Counter {
+	return f.child(values, func() metric { return &Counter{name: f.name} }).(*Counter)
+}
+
+func (f *CounterFamily) metricType() string { return "counter" }
+
+// GaugeFamily is a set of gauges distinguished by label values.
+type GaugeFamily struct {
+	*family
+}
+
+// With returns the child gauge for the given label values.
+func (f *GaugeFamily) With(values ...string) *Gauge {
+	return f.child(values, func() metric { return &Gauge{name: f.name} }).(*Gauge)
+}
+
+func (f *GaugeFamily) metricType() string { return "gauge" }
+
+// HistogramFamily is a set of histograms sharing one bucket layout,
+// distinguished by label values (e.g. one histogram per filter stage).
+type HistogramFamily struct {
+	*family
+	buckets []float64
+}
+
+// With returns the child histogram for the given label values.
+func (f *HistogramFamily) With(values ...string) *Histogram {
+	return f.child(values, func() metric { return newHistogram(f.name, f.help, f.buckets) }).(*Histogram)
+}
+
+func (f *HistogramFamily) metricType() string { return "histogram" }

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// RegisterProcessMetrics registers the standard process-level gauges —
+// uptime, goroutine count, heap bytes and GC cycles — computed at
+// scrape time. started anchors the uptime gauge (pass the process
+// start instant).
+func RegisterProcessMetrics(r *Registry, started time.Time) {
+	r.GaugeFunc("radloc_process_uptime_seconds",
+		"Seconds since the process started.",
+		func() float64 { return time.Since(started).Seconds() })
+	r.GaugeFunc("radloc_process_goroutines",
+		"Current number of goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("radloc_process_heap_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	r.CounterFunc("radloc_process_gc_cycles_total",
+		"Completed GC cycles (runtime.MemStats.NumGC).",
+		func() uint64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return uint64(ms.NumGC)
+		})
+}

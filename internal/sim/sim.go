@@ -15,6 +15,7 @@ import (
 	"radloc/internal/eval"
 	"radloc/internal/faults"
 	"radloc/internal/network"
+	"radloc/internal/obs"
 	"radloc/internal/rng"
 	"radloc/internal/scenario"
 )
@@ -45,6 +46,12 @@ type Options struct {
 	// spoofing). Specs compose with Faults; randomness derives from the
 	// trial seed so chaos runs stay reproducible.
 	FaultSpecs []faults.Spec
+	// Metrics, when non-nil, is the registry every trial's localizer
+	// records its per-stage timings on (radloc_filter_*). Trials share
+	// the registry — histograms and counters aggregate across them —
+	// so pair it with Reps: 1 for a clean single-run profile. nil
+	// disables instrumentation; measurements never change either way.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -152,6 +159,7 @@ func runTrial(sc scenario.Scenario, opts Options, rep uint64, snapshotSteps []in
 	seed := opts.Seed*1_000_003 + rep
 	cfg := LocalizerConfig(sc)
 	cfg.Seed = seed
+	cfg.Metrics = opts.Metrics
 	if opts.CoreWorkers > 0 {
 		cfg.Workers = opts.CoreWorkers
 	}

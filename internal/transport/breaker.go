@@ -21,6 +21,7 @@ const (
 	BreakerHalfOpen
 )
 
+// String returns the human-readable state name.
 func (s BreakerState) String() string {
 	switch s {
 	case BreakerClosed:

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"radloc/internal/clock"
+	"radloc/internal/obs"
 	"radloc/internal/rng"
 )
 
@@ -46,36 +47,46 @@ type Options struct {
 	// (default 30s) — a misconfigured server must not park the agent
 	// for an hour.
 	MaxRetryAfter time.Duration
+	// Metrics, when non-nil, is the registry the delivery counters
+	// live on (radloc_agent_*). The counters ARE the client's
+	// accounting — Stats() reads them — so every surface that reports
+	// delivery agrees. nil gets a private registry.
+	Metrics *obs.Registry
 }
 
 // Stats counts the client's delivery work. All fields are monotone.
 type Stats struct {
 	// Delivered counts readings acknowledged by a 2xx response.
 	Delivered uint64 `json:"delivered"`
-	// AcceptedByServer / DuplicateByServer / RejectedByServer break a
-	// 2xx acknowledgement down by the server's own accounting (dedup
-	// suppressions show up as duplicates — redelivery doing its job).
-	AcceptedByServer  uint64 `json:"acceptedByServer"`
+	// AcceptedByServer counts readings the server reported as newly
+	// applied inside a 2xx acknowledgement.
+	AcceptedByServer uint64 `json:"acceptedByServer"`
+	// DuplicateByServer counts readings the server's sequence gate
+	// suppressed as already-seen — redelivery doing its job.
 	DuplicateByServer uint64 `json:"duplicateByServer"`
-	RejectedByServer  uint64 `json:"rejectedByServer"`
+	// RejectedByServer counts readings the server refused item-wise
+	// inside an otherwise successful response.
+	RejectedByServer uint64 `json:"rejectedByServer"`
 	// Dropped counts readings given up on: MaxAttempts exhausted or a
 	// permanent 4xx refusal.
 	Dropped uint64 `json:"dropped"`
-	// Attempts counts HTTP requests issued; Retries those after the
-	// first per batch.
+	// Attempts counts HTTP requests issued.
 	Attempts uint64 `json:"attempts"`
-	Retries  uint64 `json:"retries"`
-	// Backpressure429 counts 429 responses; RetryAfterHonored those
-	// that carried a Retry-After the client slept on.
-	Backpressure429   uint64 `json:"backpressure429"`
+	// Retries counts attempts after the first for a batch.
+	Retries uint64 `json:"retries"`
+	// Backpressure429 counts 429 responses from the server.
+	Backpressure429 uint64 `json:"backpressure429"`
+	// RetryAfterHonored counts 429s carrying a Retry-After the client
+	// actually slept on.
 	RetryAfterHonored uint64 `json:"retryAfterHonored"`
-	// ServerErrors counts 5xx responses, NetErrors transport-level
-	// failures (dial/reset/drop).
+	// ServerErrors counts 5xx responses.
 	ServerErrors uint64 `json:"serverErrors"`
-	NetErrors    uint64 `json:"netErrors"`
-	// BreakerOpens counts breaker trips; BreakerShortCircuits attempts
-	// refused locally while the breaker was open.
-	BreakerOpens         uint64 `json:"breakerOpens"`
+	// NetErrors counts transport-level failures (dial/reset/drop).
+	NetErrors uint64 `json:"netErrors"`
+	// BreakerOpens counts circuit-breaker trips.
+	BreakerOpens uint64 `json:"breakerOpens"`
+	// BreakerShortCircuits counts attempts refused locally while the
+	// breaker was open.
 	BreakerShortCircuits uint64 `json:"breakerShortCircuits"`
 	// Oversized413 counts 413 responses (the client halves and
 	// re-sends).
@@ -97,10 +108,10 @@ var ErrRefused = errors.New("transport: server refused batch")
 type Client struct {
 	opts    Options
 	breaker *Breaker
+	met     *clientMetrics
 
-	mu    sync.Mutex // guards rng draws and stats
-	rng   *rng.Stream
-	stats Stats
+	mu  sync.Mutex // guards rng draws
+	rng *rng.Stream
 }
 
 // NewClient validates opts and builds a Client.
@@ -127,21 +138,35 @@ func NewClient(opts Options) (*Client, error) {
 		opts.MaxRetryAfter = 30 * time.Second
 	}
 	opts.URL = strings.TrimSuffix(opts.URL, "/")
+	breaker := NewBreaker(opts.Breaker, opts.Clock)
 	return &Client{
 		opts:    opts,
-		breaker: NewBreaker(opts.Breaker, opts.Clock),
+		breaker: breaker,
+		met:     newClientMetrics(opts.Metrics, breaker),
 		rng:     opts.RNG,
 	}, nil
 }
 
-// Stats returns a copy of the delivery counters, including breaker
-// trips.
+// Stats assembles the wire-format delivery counters from the registry
+// collectors — the same numbers a scrape of Options.Metrics renders.
 func (c *Client) Stats() Stats {
-	c.mu.Lock()
-	s := c.stats
-	c.mu.Unlock()
-	s.BreakerOpens = c.breaker.Opens()
-	return s
+	m := c.met
+	return Stats{
+		Delivered:            m.delivered.Value(),
+		AcceptedByServer:     m.acceptedByServer.Value(),
+		DuplicateByServer:    m.duplicateByServer.Value(),
+		RejectedByServer:     m.rejectedByServer.Value(),
+		Dropped:              m.dropped.Value(),
+		Attempts:             m.attempts.Value(),
+		Retries:              m.retries.Value(),
+		Backpressure429:      m.backpressure429.Value(),
+		RetryAfterHonored:    m.retryAfterHonored.Value(),
+		ServerErrors:         m.serverErrors.Value(),
+		NetErrors:            m.netErrors.Value(),
+		BreakerOpens:         c.breaker.Opens(),
+		BreakerShortCircuits: m.breakerShortCircuits.Value(),
+		Oversized413:         m.oversized413.Value(),
+	}
 }
 
 // BatchSize returns the configured batch size (the agent sizes its
@@ -183,33 +208,31 @@ func (c *Client) Send(ctx context.Context, batch []Reading) error {
 		}
 		ok, wait := c.breaker.Allow()
 		if !ok {
-			c.count(func(s *Stats) { s.BreakerShortCircuits++ })
+			c.met.breakerShortCircuits.Inc()
 			c.opts.Clock.Sleep(wait)
 			continue
 		}
+		t0 := c.opts.Clock.Now()
 		res := c.attempt(ctx, batch)
+		c.met.observeAttempt(c.opts.Clock.Now().Sub(t0))
 		attempts++
-		c.count(func(s *Stats) {
-			s.Attempts++
-			if attempts > 1 {
-				s.Retries++
-			}
-		})
+		c.met.attempts.Inc()
+		if attempts > 1 {
+			c.met.retries.Inc()
+		}
 		switch {
 		case res.ok:
 			c.breaker.Success()
-			c.count(func(s *Stats) {
-				s.Delivered += uint64(len(batch))
-				s.AcceptedByServer += uint64(res.ack.Accepted)
-				s.DuplicateByServer += uint64(res.ack.Duplicate)
-				s.RejectedByServer += uint64(res.ack.Rejected)
-			})
+			c.met.delivered.Add(uint64(len(batch)))
+			c.met.acceptedByServer.Add(uint64(res.ack.Accepted))
+			c.met.duplicateByServer.Add(uint64(res.ack.Duplicate))
+			c.met.rejectedByServer.Add(uint64(res.ack.Rejected))
 			return nil
 		case res.oversized:
 			c.breaker.Success()
-			c.count(func(s *Stats) { s.Oversized413++ })
+			c.met.oversized413.Inc()
 			if len(batch) == 1 {
-				c.count(func(s *Stats) { s.Dropped++ })
+				c.met.dropped.Inc()
 				return fmt.Errorf("%w: single reading over the server's body limit", ErrRefused)
 			}
 			// The server bounds bodies tighter than our batch size:
@@ -221,14 +244,14 @@ func (c *Client) Send(ctx context.Context, batch []Reading) error {
 			return c.Send(ctx, batch[half:])
 		case res.permanent:
 			c.breaker.Success() // the server answered; transport is fine
-			c.count(func(s *Stats) { s.Dropped += uint64(len(batch)) })
+			c.met.dropped.Add(uint64(len(batch)))
 			return fmt.Errorf("%w: HTTP %d", ErrRefused, res.status)
 		case res.throttled:
 			c.breaker.Success() // alive and explicitly shedding
-			c.count(func(s *Stats) { s.Backpressure429++ })
+			c.met.backpressure429.Inc()
 			delay := c.backoffDelay(attempts - 1)
 			if res.retryAfter > 0 {
-				c.count(func(s *Stats) { s.RetryAfterHonored++ })
+				c.met.retryAfterHonored.Inc()
 				if res.retryAfter > delay {
 					delay = res.retryAfter
 				}
@@ -239,17 +262,15 @@ func (c *Client) Send(ctx context.Context, batch []Reading) error {
 			c.opts.Clock.Sleep(delay)
 		default:
 			c.breaker.Failure()
-			c.count(func(s *Stats) {
-				if res.err != nil {
-					s.NetErrors++
-				} else {
-					s.ServerErrors++
-				}
-			})
+			if res.err != nil {
+				c.met.netErrors.Inc()
+			} else {
+				c.met.serverErrors.Inc()
+			}
 			c.opts.Clock.Sleep(c.backoffDelay(attempts - 1))
 		}
 		if c.opts.MaxAttempts > 0 && attempts >= c.opts.MaxAttempts {
-			c.count(func(s *Stats) { s.Dropped += uint64(len(batch)) })
+			c.met.dropped.Add(uint64(len(batch)))
 			return fmt.Errorf("%w after %d attempts", ErrGaveUp, attempts)
 		}
 	}
@@ -323,12 +344,6 @@ func (c *Client) backoffDelay(retry int) time.Duration {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.opts.Backoff.Delay(retry, c.rng)
-}
-
-func (c *Client) count(f func(*Stats)) {
-	c.mu.Lock()
-	f(&c.stats)
-	c.mu.Unlock()
 }
 
 // Drain delivers everything currently pending in the spool, batch by

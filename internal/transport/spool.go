@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"radloc/internal/obs"
 	"radloc/internal/wal"
 )
 
@@ -18,10 +19,10 @@ import (
 // it blindly, so redelivery of a seq-0 reading double-counts — spooled
 // pipelines should always sequence).
 type Reading struct {
-	SensorID int    `json:"sensorId"`
-	CPM      int    `json:"cpm"`
-	Step     int    `json:"step,omitempty"`
-	Seq      uint64 `json:"seq,omitempty"`
+	SensorID int    `json:"sensorId"`       // deployment index of the reporting sensor
+	CPM      int    `json:"cpm"`            // Geiger counts per minute for this interval
+	Step     int    `json:"step,omitempty"` // discrete time step of the reading
+	Seq      uint64 `json:"seq,omitempty"`  // per-sensor monotone sequence number; 0 = unsequenced
 }
 
 // SpoolOptions tunes a Spool.
@@ -39,6 +40,10 @@ type SpoolOptions struct {
 	// SegmentRecords is the WAL segment rotation size (default 512 —
 	// small segments so acknowledged data is pruned promptly).
 	SegmentRecords int
+	// Metrics, when non-nil, receives the spool's occupancy gauges
+	// (radloc_agent_spool_*) and the underlying WAL's counters and
+	// fsync timings (radloc_wal_*). nil disables instrumentation.
+	Metrics *obs.Registry
 }
 
 func (o SpoolOptions) withDefaults() SpoolOptions {
@@ -79,7 +84,7 @@ type cursorJSON struct {
 // positions it after the last acknowledged reading.
 func OpenSpool(dir string, opts SpoolOptions) (*Spool, error) {
 	opts = opts.withDefaults()
-	l, _, err := wal.Open(dir, wal.Options{Fsync: opts.Fsync, SegmentRecords: opts.SegmentRecords})
+	l, _, err := wal.Open(dir, wal.Options{Fsync: opts.Fsync, SegmentRecords: opts.SegmentRecords, Metrics: opts.Metrics})
 	if err != nil {
 		return nil, fmt.Errorf("transport: open spool %s: %w", dir, err)
 	}
@@ -103,6 +108,7 @@ func OpenSpool(dir string, opts SpoolOptions) (*Spool, error) {
 		// Cursor ahead of a truncated log: nothing pending.
 		s.acked = l.Offset()
 	}
+	RegisterSpoolMetrics(opts.Metrics, s)
 	return s, nil
 }
 

@@ -33,16 +33,18 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"radloc/internal/obs"
 )
 
 // Record is one journaled measurement. The field set matches the
 // fusion engine's ingest boundary; wal stays import-free of the engine
 // so the dependency points one way.
 type Record struct {
-	SensorID int    `json:"sensorId"`
-	CPM      int    `json:"cpm"`
-	Step     int    `json:"step,omitempty"`
-	Seq      uint64 `json:"seq,omitempty"`
+	SensorID int    `json:"sensorId"`       // deployment index of the reporting sensor
+	CPM      int    `json:"cpm"`            // Geiger counts per minute for this interval
+	Step     int    `json:"step,omitempty"` // discrete time step of the reading
+	Seq      uint64 `json:"seq,omitempty"`  // per-sensor monotone sequence number; 0 = unsequenced
 }
 
 // FsyncPolicy selects when appends are forced to stable storage.
@@ -74,6 +76,7 @@ func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
 	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, batch or never)", s)
 }
 
+// String returns the flag-value spelling of the policy.
 func (p FsyncPolicy) String() string {
 	switch p {
 	case FsyncAlways:
@@ -93,6 +96,11 @@ type Options struct {
 	// SegmentRecords rotates to a new segment after this many records
 	// (default 4096).
 	SegmentRecords int
+	// Metrics, when non-nil, is the registry the log's counters and
+	// timing histograms live on (radloc_wal_*). nil disables
+	// instrumentation: appends pay one branch and never read the
+	// clock.
+	Metrics *obs.Registry
 }
 
 // RecoveryStats reports what opening an existing WAL directory found
@@ -124,7 +132,8 @@ type Log struct {
 	next     uint64    // offset the next appended record will get
 	f        *os.File  // active tail segment, opened for append
 	w        *bufio.Writer
-	dirty    bool // unsynced appends outstanding
+	dirty    bool        // unsynced appends outstanding
+	met      *walMetrics // nil when uninstrumented
 }
 
 type segment struct {
@@ -158,7 +167,7 @@ func Open(dir string, opts Options) (*Log, RecoveryStats, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, RecoveryStats{}, err
 	}
-	l := &Log{dir: dir, opts: opts}
+	l := &Log{dir: dir, opts: opts, met: newWALMetrics(opts.Metrics)}
 	stats, err := l.recover()
 	if err != nil {
 		return nil, stats, err
@@ -166,6 +175,8 @@ func Open(dir string, opts Options) (*Log, RecoveryStats, error) {
 	if err := l.openTail(); err != nil {
 		return nil, stats, err
 	}
+	l.met.recovered(stats)
+	l.met.layout(len(l.segments), l.next)
 	return l, stats, nil
 }
 
@@ -339,6 +350,7 @@ func (l *Log) Append(rec Record) (uint64, error) {
 	if l.f == nil {
 		return 0, errors.New("wal: log closed")
 	}
+	t0 := l.met.now()
 	tail := &l.segments[len(l.segments)-1]
 	if tail.count >= uint64(l.opts.SegmentRecords) {
 		if err := l.rotate(); err != nil {
@@ -368,6 +380,7 @@ func (l *Log) Append(rec Record) (uint64, error) {
 	off := l.next
 	l.next++
 	tail.count++
+	l.met.appended(t0, l.next)
 	return off, nil
 }
 
@@ -382,6 +395,7 @@ func (l *Log) Sync() error {
 }
 
 func (l *Log) syncTail() error {
+	t0 := l.met.now()
 	if err := l.w.Flush(); err != nil {
 		return err
 	}
@@ -389,6 +403,7 @@ func (l *Log) syncTail() error {
 		if err := l.f.Sync(); err != nil {
 			return err
 		}
+		l.met.synced(t0)
 	}
 	l.dirty = false
 	return nil
@@ -416,6 +431,7 @@ func (l *Log) rotate() error {
 			return err
 		}
 	}
+	l.met.rotated(len(l.segments))
 	return nil
 }
 
@@ -458,6 +474,9 @@ func (l *Log) Replay(from uint64, fn func(off uint64, rec Record) error) error {
 	if err := l.Sync(); err != nil {
 		return err
 	}
+	t0 := l.met.now()
+	var replayed uint64
+	defer func() { l.met.replayDone(t0, replayed) }()
 	for _, seg := range l.segments {
 		if seg.start+seg.count <= from || seg.count == 0 {
 			continue
@@ -480,6 +499,7 @@ func (l *Log) Replay(from uint64, fn func(off uint64, rec Record) error) error {
 					f.Close()
 					return err
 				}
+				replayed++
 			}
 			off++
 			if rerr != nil {
@@ -507,6 +527,7 @@ func (l *Log) Prune(keepFrom uint64) error {
 		kept = append(kept, seg)
 	}
 	l.segments = kept
+	l.met.layout(len(l.segments), l.next)
 	return nil
 }
 
