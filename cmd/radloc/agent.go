@@ -28,6 +28,10 @@ import (
 //
 //	radloc record -scenario A | radloc agent -url http://127.0.0.1:8080 -spool /var/spool/radloc
 //
+// With -zone the agent addresses a named fusion zone on a sharded
+// server (POST /zones/{zone}/measurements); without it readings land
+// in the server's default zone over the classic route.
+//
 // With -spool every reading is journaled before delivery, so a
 // partition, a server restart or an agent crash costs nothing:
 // undelivered readings are re-sent on reconnect or next start, and
@@ -42,6 +46,7 @@ func agentCmd(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("agent", flag.ContinueOnError)
 	var (
 		url       = fs.String("url", "", "radlocd base URL, e.g. http://127.0.0.1:8080 (required)")
+		zoneName  = fs.String("zone", "", "fusion zone to deliver into (empty = the server's default zone)")
 		in        = fs.String("in", "", "NDJSON input file (default stdin)")
 		spoolDir  = fs.String("spool", "", "store-and-forward spool directory (empty = in-memory only)")
 		spoolMax  = fs.Int("spool-max", 1<<20, "spool capacity in readings; overflow sheds the newest")
@@ -66,6 +71,7 @@ func agentCmd(args []string, stdout io.Writer) error {
 	reg := obs.NewRegistry()
 	client, err := transport.NewClient(transport.Options{
 		URL:            *url,
+		Zone:           *zoneName,
 		Clock:          clock.Real{},
 		RNG:            rng.NewNamed(*seed, "radloc/agent"),
 		BatchSize:      *batch,

@@ -25,6 +25,13 @@ import (
 //
 //	radloc bench -particles 5000 -sensors 36 -steps 10 -out bench.csv -profile
 //	go tool pprof bench.cpu.pprof
+//
+// With -zones it instead benchmarks the sharded ingest runtime:
+// for each zone count it drives the same workload through one shared
+// engine (every feeder contending on its lock) and through that many
+// single-writer zones, and emits a JSON throughput report:
+//
+//	radloc bench -zones 1,4,16 -particles 2000 -steps 6 -out BENCH_zones.json
 func benchCmd(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
@@ -35,9 +42,22 @@ func benchCmd(args []string, stdout io.Writer) error {
 		workers   = fs.Int("workers", 0, "mean-shift worker count (0 = GOMAXPROCS)")
 		out       = fs.String("out", "", "output CSV (default stdout); profiles are written next to it")
 		profile   = fs.Bool("profile", false, "write CPU (<base>.cpu.pprof) and heap (<base>.heap.pprof) profiles")
+		zones     = fs.String("zones", "", "comma-separated zone counts (e.g. 1,4,16): run the sharded-ingest throughput benchmark instead of the filter stage bench")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *zones != "" {
+		counts, err := parseZoneCounts(*zones)
+		if err != nil {
+			return err
+		}
+		w, closeFn, err := (&commonFlags{out: *out}).open(stdout)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = closeFn() }()
+		return benchZones(counts, *particles, *sensors, *steps, *seed, w)
 	}
 
 	sc := scenarioForSensors(*sensors)

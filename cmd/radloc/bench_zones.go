@@ -1,0 +1,194 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"radloc/internal/fusion"
+	"radloc/internal/rng"
+	"radloc/internal/sim"
+	"radloc/internal/zone"
+)
+
+// zoneBenchResult is one row of the sharded-ingest benchmark: the
+// same workload driven two ways — through one shared engine with
+// every feeder contending on its lock (the pre-sharding daemon), and
+// through N single-writer zones with one feeder each (the zone
+// manager). Speedup is sharded over baseline throughput.
+type zoneBenchResult struct {
+	Zones                  int     `json:"zones"`
+	Feeders                int     `json:"feeders"`
+	Readings               int     `json:"readings"`
+	BaselineSeconds        float64 `json:"baselineSeconds"`
+	BaselineReadingsPerSec float64 `json:"baselineReadingsPerSec"`
+	ShardedSeconds         float64 `json:"shardedSeconds"`
+	ShardedReadingsPerSec  float64 `json:"shardedReadingsPerSec"`
+	Speedup                float64 `json:"speedup"`
+}
+
+// zoneBenchReport is the whole benchmark run. CPUs matters when
+// reading the numbers: the sharded speedup comes from zones applying
+// batches in parallel, so it scales with cores — on a single-core
+// host baseline and sharded serialize onto the same CPU and speedup
+// sits near 1× regardless of zone count.
+type zoneBenchReport struct {
+	Particles int               `json:"particles"`
+	Sensors   int               `json:"sensors"`
+	Steps     int               `json:"steps"`
+	CPUs      int               `json:"cpus"`
+	Results   []zoneBenchResult `json:"results"`
+}
+
+// parseZoneCounts parses the -zones flag: comma-separated positive
+// zone counts, e.g. "1,4,16".
+func parseZoneCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bench: bad -zones entry %q (want positive integers, e.g. 1,4,16)", part)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
+
+// benchZones runs the sharded-ingest throughput comparison for each
+// zone count and writes the report as indented JSON.
+func benchZones(counts []int, particles, sensors, steps int, seed uint64, w io.Writer) error {
+	sc := scenarioForSensors(sensors)
+	sc.Params.NumParticles = particles
+	build := func() (*fusion.Engine, error) {
+		cfg := fusion.Config{Localizer: sim.LocalizerConfig(sc), Sensors: sc.Sensors}
+		cfg.Localizer.Seed = seed
+		return fusion.NewEngine(cfg)
+	}
+
+	// One precomputed batch stream, shared by every feeder: the
+	// benchmark times ingest, not measurement synthesis. Readings are
+	// unsequenced (seq 0) so both sides take the direct filter path.
+	stream := rng.NewNamed(seed, "bench/zones")
+	const batchSize = 16
+	var batches [][]fusion.Meas
+	var cur []fusion.Meas
+	for step := 0; step < steps; step++ {
+		for _, sen := range sc.Sensors {
+			m := sen.Measure(stream, sc.Sources, sc.Obstacles, step)
+			cur = append(cur, fusion.Meas{SensorID: sen.ID, CPM: m.CPM, Step: step})
+			if len(cur) == batchSize {
+				batches = append(batches, cur)
+				cur = nil
+			}
+		}
+	}
+	if len(cur) > 0 {
+		batches = append(batches, cur)
+	}
+	perFeeder := steps * len(sc.Sensors)
+
+	report := zoneBenchReport{
+		Particles: particles, Sensors: len(sc.Sensors), Steps: steps,
+		CPUs: runtime.NumCPU(),
+	}
+	for _, n := range counts {
+		shared, err := build()
+		if err != nil {
+			return err
+		}
+		baseline := feedSharedEngine(shared, n, batches)
+
+		man, err := zone.NewManager(zone.Options{
+			Factory: func(name string) (zone.Resources, error) {
+				e, err := build()
+				if err != nil {
+					return zone.Resources{}, err
+				}
+				return zone.Resources{Engine: e}, nil
+			},
+			MaxZones: n,
+			Mailbox:  64,
+		})
+		if err != nil {
+			return err
+		}
+		sharded, err := feedZonedEngines(man, n, batches)
+		if cerr := man.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+
+		total := n * perFeeder
+		r := zoneBenchResult{
+			Zones:           n,
+			Feeders:         n,
+			Readings:        total,
+			BaselineSeconds: baseline.Seconds(),
+			ShardedSeconds:  sharded.Seconds(),
+		}
+		r.BaselineReadingsPerSec = float64(total) / baseline.Seconds()
+		r.ShardedReadingsPerSec = float64(total) / sharded.Seconds()
+		r.Speedup = r.ShardedReadingsPerSec / r.BaselineReadingsPerSec
+		report.Results = append(report.Results, r)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// feedSharedEngine is the single-mutex baseline: feeders goroutines
+// all submit their batch stream to one engine, contending on its lock.
+func feedSharedEngine(e *fusion.Engine, feeders int, batches [][]fusion.Meas) time.Duration {
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for f := 0; f < feeders; f++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, b := range batches {
+				_, _ = e.Submit(ctx, b)
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(t0)
+}
+
+// feedZonedEngines is the sharded run: one feeder per zone, each
+// submitting the same batch stream through the manager to its own
+// single-writer zone. Submission is synchronous (one batch in flight
+// per feeder), so the mailboxes never backpressure and the measured
+// cost is the event-loop hop plus the uncontended engine work.
+func feedZonedEngines(man *zone.Manager, feeders int, batches [][]fusion.Meas) (time.Duration, error) {
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, feeders)
+	t0 := time.Now()
+	for f := 0; f < feeders; f++ {
+		name := fmt.Sprintf("z%d", f)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, b := range batches {
+				if _, err := man.Submit(ctx, name, b); err != nil {
+					errs <- fmt.Errorf("zone %s: %w", name, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	close(errs)
+	return elapsed, <-errs
+}

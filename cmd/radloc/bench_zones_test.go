@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestParseZoneCounts(t *testing.T) {
+	got, err := parseZoneCounts("1, 4,16")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 16 {
+		t.Fatalf("parseZoneCounts = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "-1", "two", "4,"} {
+		if _, err := parseZoneCounts(bad); err == nil {
+			t.Errorf("parseZoneCounts(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBenchZonesReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := benchCmd([]string{"-zones", "1,2", "-particles", "200", "-steps", "1", "-sensors", "16"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep zoneBenchReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bench -zones did not emit JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Results) != 2 || rep.Results[0].Zones != 1 || rep.Results[1].Zones != 2 {
+		t.Fatalf("results = %+v", rep.Results)
+	}
+	for _, r := range rep.Results {
+		if r.Readings != r.Zones*rep.Steps*rep.Sensors {
+			t.Errorf("zones=%d readings = %d, want %d", r.Zones, r.Readings, r.Zones*rep.Steps*rep.Sensors)
+		}
+		if r.BaselineReadingsPerSec <= 0 || r.ShardedReadingsPerSec <= 0 {
+			t.Errorf("zones=%d non-positive throughput: %+v", r.Zones, r)
+		}
+	}
+}

@@ -18,6 +18,17 @@
 // GET /snapshot, GET /sensors (per-sensor health), GET /healthz
 // (liveness) and GET /readyz (readiness).
 //
+// Both modes are sharded into named zones, each a fusion engine of its
+// own behind a single-writer event loop: POST /zones/{zone}/
+// measurements (or a "zone" field on a pipe-mode record) routes a
+// reading, GET /zones lists the live zones, and GET /zones/{zone}/
+// {snapshot,stats,sensors,statez} read one zone. The classic unnamed
+// routes alias the always-live default zone, so a pre-zone deployment
+// keeps its exact behavior — including its WAL layout: the default
+// zone's log stays at -wal-dir itself, named zones get
+// -wal-dir/zones/<name>, and boot recovery replays every zone found
+// on disk.
+//
 // SIGINT/SIGTERM shut either mode down gracefully: the pipe flushes a
 // final snapshot line, the HTTP server drains in-flight requests and
 // logs a final snapshot.
@@ -73,6 +84,9 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		writeTO     = fs.Duration("write-timeout", 30*time.Second, "HTTP mode: server write timeout")
 		idleTO      = fs.Duration("idle-timeout", 2*time.Minute, "HTTP mode: keep-alive idle connection timeout")
 		pprofOn     = fs.Bool("pprof", false, "HTTP mode: serve net/http/pprof profiles under /debug/pprof/ (off by default)")
+		maxZones    = fs.Int("max-zones", 64, "cap on concurrently live fusion zones; creating one more is refused (HTTP 503)")
+		zoneMail    = fs.Int("zone-mailbox", 64, "per-zone mailbox depth in batches; a full mailbox sheds with 429 + Retry-After")
+		zoneIdle    = fs.Duration("zone-idle", 0, "evict a named zone idle this long, after a final checkpoint (0 = never; the default zone is never evicted)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,42 +111,58 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 	reg := obs.NewRegistry()
 	obs.RegisterProcessMetrics(reg, time.Now())
 
-	build := func(j fusion.Journal) (*fusion.Engine, error) {
+	// build constructs one zone's engine. Every zone shares the
+	// deployment, the seed and the feature flags; met is that zone's
+	// labeled view of the process registry.
+	build := func(j fusion.Journal, met *obs.Registry) (*fusion.Engine, error) {
 		fcfg := fusion.Config{
 			Localizer: sim.LocalizerConfig(sc),
 			Sensors:   sc.Sensors,
 			Health:    fusion.HealthConfig{Disabled: *noHealth},
 			Journal:   j,
-			Metrics:   reg,
+			Metrics:   met,
 		}
 		fcfg.Localizer.Seed = *seed
-		fcfg.Localizer.Metrics = reg
+		fcfg.Localizer.Metrics = met
 		if *withTracks {
 			fcfg.Tracking = &track.Config{}
 		}
 		return fusion.NewEngine(fcfg)
 	}
 
-	var engine *fusion.Engine
-	var d *durable
+	pol := wal.FsyncNever
 	if *walDir != "" {
-		pol, err := wal.ParseFsyncPolicy(*fsyncMode)
-		if err != nil {
+		if pol, err = wal.ParseFsyncPolicy(*fsyncMode); err != nil {
 			return err
 		}
-		// Recovery at boot: newest valid checkpoint + WAL suffix replay
-		// through the live ingest path. Logged to stderr — stdout is
-		// the data channel in pipe mode.
-		engine, d, err = openDurable(*walDir, pol, *ckptEvery, build, reg, os.Stderr)
-		if err != nil {
-			return err
-		}
-	} else if engine, err = build(nil); err != nil {
+	}
+	zs, err := newZoneSet(zoneSetOptions{
+		WalRoot: *walDir, Fsync: pol, CkptEvery: *ckptEvery,
+		MaxZones: *maxZones, Mailbox: *zoneMail, IdleAfter: *zoneIdle,
+		Metrics: reg, Log: os.Stderr, Build: build,
+	})
+	if err != nil {
 		return err
+	}
+	// Recovery at boot: the default zone plus every named zone with
+	// state on disk, each from its own WAL directory — newest valid
+	// checkpoint plus WAL suffix replay through the live ingest path.
+	// Logged to stderr — stdout is the data channel in pipe mode.
+	if err := zs.recoverZones(); err != nil {
+		return err
+	}
+	def := zs.defaultZone()
+	engine, d := def.Engine(), zoneDurable(def)
+	if *zoneIdle > 0 {
+		interval := *zoneIdle / 4
+		if interval < time.Second {
+			interval = time.Second
+		}
+		go zs.manager.Janitor(ctx, interval)
 	}
 
 	if *listen != "" {
-		ing := newIngest(engine, d, httpingest.Options{
+		ing := newZonedIngest(zs.manager, httpingest.Options{
 			QueueDepth: *httpQueue,
 			MaxBody:    *maxBody,
 			RetryAfter: *retryAfter,
@@ -141,7 +171,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 			Metrics:    reg,
 		})
 		err = serveHTTP(ctx, *listen, serveConfig{
-			Engine: engine, Durable: d, Ingest: ing,
+			Engine: engine, Durable: d, Ingest: ing, Zones: zs,
 			Timeouts: httpTimeouts{Read: *readTO, Write: *writeTO, Idle: *idleTO},
 			Metrics:  reg, Pprof: *pprofOn,
 		}, stdout)
@@ -150,11 +180,12 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		if every <= 0 {
 			every = len(sc.Sensors)
 		}
-		err = servePipe(ctx, engine, d, stdin, stdout, every, *queueCap)
+		err = servePipe(ctx, zs, stdin, stdout, every, *queueCap)
 	}
-	// Final checkpoint + WAL sync/close, even on a serve error: what
-	// the engine applied is what the next boot recovers.
-	if cerr := d.close(); err == nil {
+	// Final checkpoints + WAL sync/close for every zone, even on a
+	// serve error: what each engine applied is what the next boot
+	// recovers.
+	if cerr := zs.close(); err == nil {
 		err = cerr
 	}
 	return err

@@ -18,6 +18,7 @@ import (
 	"radloc/internal/fusion"
 	"radloc/internal/httpingest"
 	"radloc/internal/obs"
+	"radloc/internal/zone"
 )
 
 // measurementJSON is the wire form of one reading, shared with the
@@ -34,10 +35,11 @@ type snapshotJSON struct {
 	Rejected    uint64                `json:"rejected"`
 	Refreshes   uint64                `json:"refreshes"`
 	Quarantined int                   `json:"quarantined"`
-	Malformed   uint64                `json:"malformed,omitempty"` // pipe mode: unparseable lines skipped
-	Shed        uint64                `json:"shed,omitempty"`      // pipe mode: readings shed by the bounded queue
-	Journaled   uint64                `json:"journaled,omitempty"` // WAL offset (durability on)
-	Delivery    *fusion.DeliveryStats `json:"delivery,omitempty"`  // dedup/reorder gate counters
+	Malformed   uint64                `json:"malformed,omitempty"`   // pipe mode: unparseable lines skipped
+	Shed        uint64                `json:"shed,omitempty"`        // pipe mode: readings shed by the bounded queue
+	ZoneRefused uint64                `json:"zoneRefused,omitempty"` // pipe mode: readings refused at the zone boundary (bad name, zone limit)
+	Journaled   uint64                `json:"journaled,omitempty"`   // WAL offset (durability on)
+	Delivery    *fusion.DeliveryStats `json:"delivery,omitempty"`    // dedup/reorder gate counters
 	Estimates   []estimateJSON        `json:"estimates"`
 	Tracks      []trackJSON           `json:"tracks,omitempty"`
 }
@@ -112,15 +114,22 @@ func snapshotToJSON(s fusion.Snapshot) snapshotJSON {
 	return out
 }
 
+// queuedMeas is one pipe-mode queue entry: the reading plus the zone
+// it routes to.
+type queuedMeas struct {
+	zone string
+	m    fusion.Meas
+}
+
 // shedQueue is the pipe mode's bounded ingest queue. When full, a
-// push sheds the oldest queued reading from the same sensor (losing
-// one stale reading from a chatty sensor beats losing fresh data from
-// a quiet one), falling back to the globally oldest, and counts the
-// drop.
+// push sheds the oldest queued reading from the same (zone, sensor)
+// pair (losing one stale reading from a chatty sensor beats losing
+// fresh data from a quiet one), falling back to the globally oldest,
+// and counts the drop.
 type shedQueue struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	buf     []fusion.Meas
+	buf     []queuedMeas
 	cap     int
 	closed  bool // no more pushes (EOF); drain what remains
 	aborted bool // shutdown; pop stops immediately
@@ -136,7 +145,7 @@ func newShedQueue(capacity int) *shedQueue {
 	return q
 }
 
-func (q *shedQueue) push(m fusion.Meas) {
+func (q *shedQueue) push(qm queuedMeas) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed || q.aborted {
@@ -145,7 +154,7 @@ func (q *shedQueue) push(m fusion.Meas) {
 	if len(q.buf) >= q.cap {
 		victim := 0
 		for i := range q.buf {
-			if q.buf[i].SensorID == m.SensorID {
+			if q.buf[i].m.SensorID == qm.m.SensorID && q.buf[i].zone == qm.zone {
 				victim = i
 				break
 			}
@@ -153,24 +162,24 @@ func (q *shedQueue) push(m fusion.Meas) {
 		q.buf = append(q.buf[:victim], q.buf[victim+1:]...)
 		q.dropped++
 	}
-	q.buf = append(q.buf, m)
+	q.buf = append(q.buf, qm)
 	q.cond.Signal()
 }
 
 // pop blocks for the next reading; false means drained-and-closed or
 // aborted.
-func (q *shedQueue) pop() (fusion.Meas, bool) {
+func (q *shedQueue) pop() (queuedMeas, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for len(q.buf) == 0 && !q.closed && !q.aborted {
 		q.cond.Wait()
 	}
 	if q.aborted || len(q.buf) == 0 {
-		return fusion.Meas{}, false
+		return queuedMeas{}, false
 	}
-	m := q.buf[0]
+	qm := q.buf[0]
 	q.buf = q.buf[1:]
-	return m, true
+	return qm, true
 }
 
 func (q *shedQueue) close() {
@@ -200,12 +209,19 @@ func (q *shedQueue) drops() uint64 {
 }
 
 // servePipe consumes NDJSON measurements from r through a bounded
-// shed queue, emitting a snapshot line every reportEvery measurements
-// and a final one at EOF or when ctx is cancelled (SIGINT/SIGTERM).
-// Malformed lines are counted and skipped — field data is messy and
-// one corrupt record must not kill the stream — as are unknown
-// sensors, duplicates and out-of-range readings.
-func servePipe(ctx context.Context, engine *fusion.Engine, d *durable, r io.Reader, w io.Writer, reportEvery, queueCap int) error {
+// shed queue, emitting a snapshot line (of the default zone — the
+// legacy wire format) every reportEvery measurements and a final one
+// at EOF or when ctx is cancelled (SIGINT/SIGTERM). A record's "zone"
+// field routes it to that zone; unstamped records land in the default
+// zone. Each reading goes through its zone's event loop as a
+// synchronous batch of one, so application order is queue order and
+// every zone's checkpoint cadence fires per reading, exactly as the
+// pre-sharding loop did. Malformed lines are counted and skipped —
+// field data is messy and one corrupt record must not kill the
+// stream — as are unknown sensors, duplicates, out-of-range readings
+// and readings for unroutable zones.
+func servePipe(ctx context.Context, zs *zoneSet, r io.Reader, w io.Writer, reportEvery, queueCap int) error {
+	engine := zs.defaultZone().Engine()
 	q := newShedQueue(queueCap)
 	var malformed atomic.Uint64
 	scanErr := make(chan error, 1)
@@ -227,7 +243,11 @@ func servePipe(ctx context.Context, engine *fusion.Engine, d *durable, r io.Read
 				malformed.Add(1)
 				continue
 			}
-			q.push(m.Meas())
+			zoneName := m.Zone
+			if zoneName == "" {
+				zoneName = zone.DefaultZone
+			}
+			q.push(queuedMeas{zone: zoneName, m: m.Meas()})
 		}
 		scanErr <- scanner.Err()
 	}()
@@ -238,44 +258,59 @@ func servePipe(ctx context.Context, engine *fusion.Engine, d *durable, r io.Read
 
 	enc := json.NewEncoder(w)
 	count := 0
+	var zoneRefused uint64
 	flush := func() error {
 		s := snapshotToJSON(engine.Snapshot())
 		s.Malformed = malformed.Load()
 		s.Shed = q.drops()
+		s.ZoneRefused = zoneRefused
 		return enc.Encode(s)
 	}
 	for {
-		m, ok := q.pop()
+		qm, ok := q.pop()
 		if !ok {
 			break
 		}
-		_, _ = engine.IngestSeq(m)
+		if _, err := zs.manager.Submit(ctx, qm.zone, []fusion.Meas{qm.m}); err != nil && ctx.Err() == nil {
+			// Bad zone name or zone limit: the reading has nowhere to
+			// go; count it and keep the stream moving.
+			zoneRefused++
+			continue
+		}
 		count++
 		if count%reportEvery == 0 {
 			if err := flush(); err != nil {
 				return err
 			}
 		}
-		d.maybeCheckpoint(os.Stderr)
 	}
 	if !q.wasAborted() {
 		if err := <-scanErr; err != nil {
 			return err
 		}
 	}
-	// Graceful end of stream: release the reorder gate's tail (the
-	// watermark will never advance again), journal it, and emit the
-	// final source picture. The caller writes the final checkpoint.
+	// Graceful end of stream: release the default zone's reorder-gate
+	// tail (the watermark will never advance again), journal it, and
+	// emit the final source picture. The caller's zoneSet.close does
+	// the same flush for named zones and writes every final checkpoint.
 	_, _ = engine.FlushPending()
 	engine.Refresh()
 	return flush()
 }
 
-// newIngest builds the admission-controlled /measurements handler,
-// wiring the daemon's checkpoint cadence into it. d may be nil.
+// newIngest builds the admission-controlled /measurements handler
+// over a single engine — the one-zone test configuration — wiring the
+// daemon's checkpoint cadence into it. d may be nil.
 func newIngest(engine *fusion.Engine, d *durable, opts httpingest.Options) *httpingest.Handler {
 	opts.AfterBatch = func() { d.maybeCheckpoint(os.Stderr) }
 	return httpingest.New(engine, opts)
+}
+
+// newZonedIngest builds the measurements handler over the zone
+// manager — the sharded deployment. No AfterBatch here: each zone's
+// checkpoint cadence is wired into its own event loop by the factory.
+func newZonedIngest(m *zone.Manager, opts httpingest.Options) *httpingest.Handler {
+	return httpingest.NewZoned(httpingest.ManagerResolver(m), opts)
 }
 
 // serveConfig assembles the HTTP mode's moving parts. Durable may be
@@ -287,12 +322,55 @@ type serveConfig struct {
 	Durable  *durable
 	Ingest   *httpingest.Handler
 	Timeouts httpTimeouts
+	// Zones, when non-nil, mounts the zone-scoped API (/zones and
+	// /zones/{zone}/...). Engine and Durable must then be the default
+	// zone's — the unnamed routes alias it.
+	Zones *zoneSet
 	// Metrics is served on GET /metrics in Prometheus text format.
 	Metrics *obs.Registry
 	// Pprof mounts net/http/pprof under /debug/pprof/ when true. Off
 	// by default: the profile endpoints expose heap contents and must
 	// be opted into on trusted networks only.
 	Pprof bool
+}
+
+// zoneGET wraps a per-zone read endpoint: GET only, the zone must
+// already be live (reads never conjure zones into being — a name
+// without a zone is a 404), and the render result is written as JSON.
+func zoneGET(man *zone.Manager, render func(*zone.Zone) any) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		name := r.PathValue("zone")
+		if err := zone.ValidateName(name); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		z, ok := man.Lookup(name)
+		if !ok {
+			http.Error(w, fmt.Sprintf("no such zone %q", name), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(render(z))
+	}
+}
+
+// statsToJSON is the /stats payload for one engine.
+func statsToJSON(engine *fusion.Engine, started time.Time) map[string]any {
+	s := engine.Snapshot()
+	return map[string]any{
+		"uptimeSeconds": time.Since(started).Seconds(),
+		"sensors":       engine.Sensors(),
+		"ingested":      s.Ingested,
+		"rejected":      s.Rejected,
+		"refreshes":     s.Refreshes,
+		"quarantined":   s.Quarantined,
+		"estimates":     len(s.Estimates),
+		"tracks":        len(s.Tracks),
+	}
 }
 
 // newMux builds the HTTP API.
@@ -358,18 +436,8 @@ func newMux(cfg serveConfig) *http.ServeMux {
 			http.Error(w, "GET only", http.StatusMethodNotAllowed)
 			return
 		}
-		s := engine.Snapshot()
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(map[string]any{
-			"uptimeSeconds": time.Since(started).Seconds(),
-			"sensors":       engine.Sensors(),
-			"ingested":      s.Ingested,
-			"rejected":      s.Rejected,
-			"refreshes":     s.Refreshes,
-			"quarantined":   s.Quarantined,
-			"estimates":     len(s.Estimates),
-			"tracks":        len(s.Tracks),
-		})
+		_ = json.NewEncoder(w).Encode(statsToJSON(engine, started))
 	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -385,6 +453,39 @@ func newMux(cfg serveConfig) *http.ServeMux {
 	// handler sheds with 429 + Retry-After under overload — see
 	// internal/httpingest.
 	mux.Handle("/measurements", ing)
+	if cfg.Zones != nil {
+		man := cfg.Zones.manager
+		// Zone registry: the live zone names, sorted.
+		mux.HandleFunc("/zones", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet {
+				http.Error(w, "GET only", http.StatusMethodNotAllowed)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]any{"zones": man.Names()})
+		})
+		// The zone-scoped write route shares the admission handler with
+		// the legacy route; the {zone} path value picks the engine (and
+		// creates the zone on its first batch).
+		mux.Handle("/zones/{zone}/measurements", ing)
+		// Zone-scoped reads mirror the unnamed routes one-to-one; the
+		// unnamed routes themselves alias the default zone.
+		mux.HandleFunc("/zones/{zone}/snapshot", zoneGET(man, func(z *zone.Zone) any {
+			return snapshotToJSON(z.Engine().Snapshot())
+		}))
+		mux.HandleFunc("/zones/{zone}/sensors", zoneGET(man, func(z *zone.Zone) any {
+			return healthToJSON(z.Engine().Snapshot().Health)
+		}))
+		mux.HandleFunc("/zones/{zone}/stats", zoneGET(man, func(z *zone.Zone) any {
+			return statsToJSON(z.Engine(), started)
+		}))
+		mux.HandleFunc("/zones/{zone}/statez", zoneGET(man, func(z *zone.Zone) any {
+			// Ingress (admission) counters are handler-global, shared by
+			// every zone, so the per-zone view reports durability and
+			// delivery only.
+			return statez(z.Engine(), zoneDurable(z), nil)
+		}))
+	}
 	return mux
 }
 
@@ -437,7 +538,7 @@ func serveHTTP(ctx context.Context, addr string, cfg serveConfig, logw io.Writer
 	if cfg.Pprof {
 		extra = " /debug/pprof/"
 	}
-	fmt.Fprintf(logw, "radlocd: serving on http://%s (POST /measurements, GET /snapshot /sensors /statez /metrics /healthz /readyz%s)\n", ln.Addr(), extra)
+	fmt.Fprintf(logw, "radlocd: serving on http://%s (POST /measurements /zones/{z}/measurements, GET /snapshot /sensors /statez /zones /metrics /healthz /readyz%s)\n", ln.Addr(), extra)
 	srv := newHTTPServer(newMux(cfg), cfg.Timeouts)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()

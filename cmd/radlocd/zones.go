@@ -1,0 +1,205 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"radloc/internal/fusion"
+	"radloc/internal/obs"
+	"radloc/internal/wal"
+	"radloc/internal/zone"
+)
+
+// zoneSet owns the daemon's sharded runtime: the zone manager plus the
+// per-zone durability behind its factory. Every zone gets its own
+// fusion engine (built by Build against a zone-labeled metrics view),
+// its own WAL directory and checkpoint namespace, and — through
+// zone.Resources — its own checkpoint cadence and final-checkpoint
+// close hook, all driven from the zone's single-writer event loop.
+//
+// WAL layout: the default zone lives at the WAL root itself — the
+// exact pre-sharding layout, so an existing deployment's state
+// recovers in place — and each named zone under <root>/zones/<name>.
+// Zone names pass the wire grammar (no path separators, no dots, no
+// "..") before they ever touch the filesystem.
+type zoneSet struct {
+	manager *zone.Manager
+	walRoot string // "" = durability off
+	fsync   wal.FsyncPolicy
+	every   int
+	reg     *obs.Registry
+	logw    io.Writer
+	build   func(j fusion.Journal, met *obs.Registry) (*fusion.Engine, error)
+}
+
+// zoneSetOptions configures newZoneSet.
+type zoneSetOptions struct {
+	// WalRoot is the durability root directory; empty disables
+	// durability for every zone.
+	WalRoot string
+	// Fsync and CkptEvery mirror -fsync and -checkpoint-every; they
+	// apply uniformly to every zone's WAL.
+	Fsync     wal.FsyncPolicy
+	CkptEvery int
+	// MaxZones, Mailbox and IdleAfter mirror -max-zones, -zone-mailbox
+	// and -zone-idle; see zone.Options.
+	MaxZones  int
+	Mailbox   int
+	IdleAfter time.Duration
+	// Metrics is the process registry; each zone's engine, WAL and
+	// checkpointer register on Metrics.With("zone", name), so the
+	// existing families gain a zone label instead of new names. nil
+	// gets a private registry.
+	Metrics *obs.Registry
+	// Log receives recovery and checkpoint-failure lines (stderr in the
+	// daemon — stdout is the data channel in pipe mode).
+	Log io.Writer
+	// Build constructs one zone's engine against the given journal and
+	// zone-labeled metrics view. Required.
+	Build func(j fusion.Journal, met *obs.Registry) (*fusion.Engine, error)
+}
+
+// newZoneSet builds the sharded runtime. No zones exist until
+// recoverZones or the first routed batch creates them.
+func newZoneSet(o zoneSetOptions) (*zoneSet, error) {
+	if o.Build == nil {
+		return nil, errors.New("zoneSet: Build is required")
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+	}
+	if o.Log == nil {
+		o.Log = io.Discard
+	}
+	zs := &zoneSet{
+		walRoot: o.WalRoot, fsync: o.Fsync, every: o.CkptEvery,
+		reg: o.Metrics, logw: o.Log, build: o.Build,
+	}
+	m, err := zone.NewManager(zone.Options{
+		Factory:   zs.factory,
+		MaxZones:  o.MaxZones,
+		Mailbox:   o.Mailbox,
+		IdleAfter: o.IdleAfter,
+		Metrics:   o.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	zs.manager = m
+	return zs, nil
+}
+
+// zoneWalDir maps a zone name to its durability directory.
+func (zs *zoneSet) zoneWalDir(name string) string {
+	if name == zone.DefaultZone {
+		return zs.walRoot
+	}
+	return filepath.Join(zs.walRoot, "zones", name)
+}
+
+// factory builds one zone's resources: a fresh engine on a
+// zone-labeled metrics view, recovered from the zone's own WAL
+// directory when durability is on, with the checkpoint cadence and
+// the final checkpoint wired into the zone's event loop. It runs both
+// at boot (recoverZones) and lazily when a batch names a novel zone —
+// including a zone recreated after idle eviction, which recovers from
+// its final checkpoint as if the process had restarted.
+func (zs *zoneSet) factory(name string) (zone.Resources, error) {
+	met := zs.reg.With("zone", name)
+	if zs.walRoot == "" {
+		engine, err := zs.build(nil, met)
+		if err != nil {
+			return zone.Resources{}, err
+		}
+		return zone.Resources{Engine: engine}, nil
+	}
+	dir := zs.zoneWalDir(name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return zone.Resources{}, err
+	}
+	engine, d, err := openDurable(dir, zs.fsync, zs.every,
+		func(j fusion.Journal) (*fusion.Engine, error) { return zs.build(j, met) },
+		met, zs.logw)
+	if err != nil {
+		return zone.Resources{}, err
+	}
+	return zone.Resources{
+		Engine:     engine,
+		AfterBatch: func() { d.maybeCheckpoint(zs.logw) },
+		Close:      d.close,
+		Aux:        d,
+	}, nil
+}
+
+// recoverZones brings up the default zone plus every named zone with
+// state on disk, so boot replays all recorded zones instead of
+// leaving their recovery to first contact. A zone directory past the
+// live cap is left on disk with a note — its factory recovers it on
+// first contact once other zones have been evicted.
+func (zs *zoneSet) recoverZones() error {
+	if _, err := zs.manager.Get(zone.DefaultZone); err != nil {
+		return err
+	}
+	if zs.walRoot == "" {
+		return nil
+	}
+	entries, err := os.ReadDir(filepath.Join(zs.walRoot, "zones"))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if zone.ValidateName(name) != nil || name == zone.DefaultZone {
+			fmt.Fprintf(zs.logw, "radlocd: ignoring zone directory %q (not a usable zone name)\n", name)
+			continue
+		}
+		if _, err := zs.manager.Get(name); err != nil {
+			if errors.Is(err, zone.ErrZoneLimit) {
+				fmt.Fprintf(zs.logw, "radlocd: zone %q left on disk (over -max-zones); it recovers on first contact\n", name)
+				continue
+			}
+			return fmt.Errorf("recover zone %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// defaultZone returns the always-live default zone. recoverZones runs
+// before anything can ask for it, so absence is a programming error.
+func (zs *zoneSet) defaultZone() *zone.Zone {
+	z, ok := zs.manager.Lookup(zone.DefaultZone)
+	if !ok {
+		panic("radlocd: default zone missing (recoverZones not run)")
+	}
+	return z
+}
+
+// close shuts every zone down: mailboxes drained, reorder-gate tails
+// flushed, final checkpoints written, WALs closed.
+func (zs *zoneSet) close() error {
+	if zs == nil {
+		return nil
+	}
+	return zs.manager.Close()
+}
+
+// zoneDurable unwraps the durability handle a zone's factory attached;
+// nil when durability is off.
+func zoneDurable(z *zone.Zone) *durable {
+	d, _ := z.Aux().(*durable)
+	return d
+}

@@ -35,6 +35,7 @@ func main() {
 	pos := radloc.V(5, 95) // surveyor starts in the far corner
 
 	fmt.Println("step  surveyor position   best estimate error")
+	var cloud []radloc.Particle // reused across steps — see AppendParticles
 	for step := 0; step < 25; step++ {
 		for _, sen := range fixed {
 			m := sen.Measure(stream, truth, nil, step)
@@ -43,7 +44,8 @@ func main() {
 		surveyor := radloc.Sensor{ID: 100, Pos: pos, Efficiency: 1e-4, Background: 5}
 		m := surveyor.Measure(stream, truth, nil, step)
 		loc.Ingest(surveyor, m.CPM)
-		pos = planner.Next(pos, loc.Particles())
+		cloud = loc.AppendParticles(cloud[:0])
+		pos = planner.Next(pos, cloud)
 
 		best := math.Inf(1)
 		for _, e := range loc.Estimates() {

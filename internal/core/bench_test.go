@@ -71,6 +71,17 @@ func BenchmarkParticlesSnapshot(b *testing.B) {
 	}
 }
 
+func BenchmarkAppendParticles(b *testing.B) {
+	l, _, _, _ := warmLocalizer(b, 15000)
+	var buf []Particle
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = l.AppendParticles(buf[:0])
+	}
+	_ = buf
+}
+
 func benchName(particles int) string {
 	if particles >= 1000 {
 		return "p" + itoa(particles/1000) + "k"

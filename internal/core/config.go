@@ -35,7 +35,9 @@ type Config struct {
 	// DisableFusionRange to recover the classic single-population
 	// particle filter the paper's Fig. 2 shows failing with multiple
 	// sources.
-	FusionRange        float64
+	FusionRange float64
+	// DisableFusionRange turns the range gate off: every measurement
+	// updates the whole population (the single-population baseline).
 	DisableFusionRange bool
 	// FusionRangeFor optionally overrides FusionRange per sensor ID
 	// (e.g. for irregular deployments); return ≤ 0 to fall back to
@@ -54,14 +56,18 @@ type Config struct {
 	// appearing in depleted areas (default 0.05).
 	InjectionFrac float64
 
-	// StrengthMin/StrengthMax bound the strength prior in µCi
-	// (defaults 0.1 and 200).
+	// StrengthMin is the lower bound of the strength prior in µCi
+	// (default 0.1).
 	StrengthMin float64
+	// StrengthMax is the upper bound of the strength prior in µCi
+	// (default 200).
 	StrengthMax float64
 
-	// BandwidthXY and BandwidthStr are the mean-shift kernel bandwidths
-	// for the position and strength coordinates (defaults 4 and 30).
-	BandwidthXY  float64
+	// BandwidthXY is the mean-shift kernel bandwidth for the position
+	// coordinates (default 4).
+	BandwidthXY float64
+	// BandwidthStr is the mean-shift kernel bandwidth for the strength
+	// coordinate (default 30).
 	BandwidthStr float64
 	// ModeMassMin is the minimum fraction of total particle mass a
 	// density mode must capture to be reported as a source (default

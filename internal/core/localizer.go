@@ -16,17 +16,17 @@ import (
 
 // Particle is one hypothesis about a single source's parameters.
 type Particle struct {
-	Pos      geometry.Vec
-	Strength float64
-	Weight   float64
+	Pos      geometry.Vec // hypothesized source position
+	Strength float64      // hypothesized source strength, µCi
+	Weight   float64      // normalized importance weight
 }
 
 // Estimate is one recovered source: a mode of the particle density.
 type Estimate struct {
-	Pos      geometry.Vec
-	Strength float64 // µCi
-	Mass     float64 // fraction of total particle mass attributed to this mode
-	Starts   int     // mean-shift starts that converged here (diagnostic)
+	Pos      geometry.Vec // estimated source position
+	Strength float64      // µCi
+	Mass     float64      // fraction of total particle mass attributed to this mode
+	Starts   int          // mean-shift starts that converged here (diagnostic)
 }
 
 // String implements fmt.Stringer.
@@ -113,17 +113,28 @@ func (l *Localizer) Config() Config { return l.cfg }
 // Iterations returns the number of measurements ingested so far.
 func (l *Localizer) Iterations() int { return l.iter }
 
-// Particles returns a copy of the current particle population.
+// Particles returns a copy of the current particle population. Hot
+// loops that read the population every step should use AppendParticles
+// with a reused buffer instead — this convenience form allocates a
+// fresh slice per call.
 func (l *Localizer) Particles() []Particle {
-	out := make([]Particle, len(l.xs))
-	for i := range out {
-		out[i] = Particle{
+	return l.AppendParticles(make([]Particle, 0, len(l.xs)))
+}
+
+// AppendParticles appends the current particle population to dst and
+// returns the extended slice — the allocation-free way to sample the
+// population every step: pass the previous call's result re-sliced to
+// zero length (buf = l.AppendParticles(buf[:0])) and the buffer is
+// reused once it has grown to the population size.
+func (l *Localizer) AppendParticles(dst []Particle) []Particle {
+	for i := range l.xs {
+		dst = append(dst, Particle{
 			Pos:      geometry.V(l.xs[i], l.ys[i]),
 			Strength: l.ss[i],
 			Weight:   l.ws[i],
-		}
+		})
 	}
-	return out
+	return dst
 }
 
 // Ingest performs one filter iteration with a single measurement

@@ -356,3 +356,45 @@ func TestIterationsCount(t *testing.T) {
 		t.Errorf("Iterations = %d, want 7", l.Iterations())
 	}
 }
+
+func TestAppendParticlesReuse(t *testing.T) {
+	l, err := NewLocalizer(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sen := sensor.Sensor{ID: 0, Pos: geometry.V(50, 50), Efficiency: 1e-4, Background: 5}
+	for i := 0; i < 5; i++ {
+		l.Ingest(sen, 40)
+	}
+
+	want := l.Particles()
+	buf := l.AppendParticles(nil)
+	if len(buf) != len(want) {
+		t.Fatalf("AppendParticles len = %d, want %d", len(buf), len(want))
+	}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("particle %d differs: %+v vs %+v", i, buf[i], want[i])
+		}
+	}
+
+	// Re-slicing to zero length reuses the grown buffer: no new backing
+	// array, identical contents.
+	before := &buf[0]
+	buf = l.AppendParticles(buf[:0])
+	if &buf[0] != before {
+		t.Error("AppendParticles reallocated a buffer that was already large enough")
+	}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("reused buffer particle %d differs", i)
+		}
+	}
+
+	// Appending preserves an existing prefix.
+	prefix := []Particle{{Strength: -1}}
+	out := l.AppendParticles(prefix)
+	if len(out) != 1+len(want) || out[0].Strength != -1 {
+		t.Fatalf("prefix not preserved: len=%d first=%+v", len(out), out[0])
+	}
+}

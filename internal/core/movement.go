@@ -31,7 +31,7 @@ func (f MovementFunc) Move(pos geometry.Vec, strength float64, stream *rng.Strea
 // given per-iteration standard deviation. Strength is left unchanged
 // (radioactive decay is negligible on surveillance time scales).
 type RandomWalk struct {
-	Sigma float64
+	Sigma float64 // per-iteration position jitter σ; ≤ 0 disables movement
 }
 
 var _ MovementModel = RandomWalk{}
@@ -51,8 +51,8 @@ func (r RandomWalk) Move(pos geometry.Vec, strength float64, stream *rng.Stream)
 // usable when the transport direction of a source (e.g. a vehicle on a
 // known road) is approximately known — plus optional diffusion.
 type ConstantVelocity struct {
-	V     geometry.Vec
-	Sigma float64
+	V     geometry.Vec // drift per iteration
+	Sigma float64      // optional diffusion σ on top of the drift
 }
 
 var _ MovementModel = ConstantVelocity{}

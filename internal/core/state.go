@@ -15,15 +15,15 @@ import (
 // state — the importing localizer must be built with the same Config,
 // which ImportState cross-checks where it can.
 type State struct {
-	Iter        int       `json:"iter"`
-	Xs          []float64 `json:"xs"`
-	Ys          []float64 `json:"ys"`
-	Ss          []float64 `json:"ss"`
-	Ws          []float64 `json:"ws"`
-	RNG         []byte    `json:"rng"`
-	LastSubset  int       `json:"lastSubset"`
-	SubsetTotal int64     `json:"subsetTotal"`
-	EmptyIters  int       `json:"emptyIters"`
+	Iter        int       `json:"iter"`        // completed filter iterations
+	Xs          []float64 `json:"xs"`          // particle x coordinates
+	Ys          []float64 `json:"ys"`          // particle y coordinates
+	Ss          []float64 `json:"ss"`          // particle strengths, µCi
+	Ws          []float64 `json:"ws"`          // particle importance weights
+	RNG         []byte    `json:"rng"`         // serialized RNG position
+	LastSubset  int       `json:"lastSubset"`  // in-range subset size of the last iteration
+	SubsetTotal int64     `json:"subsetTotal"` // cumulative in-range subset size across iterations
+	EmptyIters  int       `json:"emptyIters"`  // iterations whose fusion-range subset was empty
 	// SensorPos lists the sensors heard from, sorted by ID, for the
 	// MaxSensorGap observability filter.
 	SensorPos []SensorPos `json:"sensorPos,omitempty"`
@@ -31,9 +31,9 @@ type State struct {
 
 // SensorPos is one heard-from sensor's position.
 type SensorPos struct {
-	ID int     `json:"id"`
-	X  float64 `json:"x"`
-	Y  float64 `json:"y"`
+	ID int     `json:"id"` // sensor ID
+	X  float64 `json:"x"`  // sensor x coordinate
+	Y  float64 `json:"y"`  // sensor y coordinate
 }
 
 // ExportState captures the localizer's resumable state.

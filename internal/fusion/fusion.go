@@ -54,8 +54,16 @@ type Config struct {
 	// the engine's accounting — Snapshot and ExportState read them —
 	// so /metrics and /statez can never disagree. nil gets a private
 	// registry; the localizer's stage timings are configured separately
-	// via Localizer.Metrics.
+	// via Localizer.Metrics. Pass a zone-labeled view
+	// (Registry.With("zone", name)) to distinguish engines sharing one
+	// process.
 	Metrics *obs.Registry
+	// MaxSensors bounds the sensor registry and with it every per-sensor
+	// map the engine keeps (health records, dedup cursors): one engine's
+	// memory stays O(MaxSensors) no matter what IDs show up on the wire.
+	// 0 means DefaultMaxSensors; registering more sensors fails with
+	// ErrSensorLimit.
+	MaxSensors int
 }
 
 // Engine is the fusion center. All methods are safe for concurrent
@@ -99,15 +107,32 @@ var ErrBadMeasurement = errors.New("fusion: bad measurement")
 // probation) but not folded into the filter.
 var ErrQuarantined = errors.New("fusion: sensor quarantined")
 
+// ErrSensorLimit is returned when a configuration registers more
+// sensors than Config.MaxSensors allows — the typed signal that the
+// engine's per-sensor bookkeeping cap was hit.
+var ErrSensorLimit = errors.New("fusion: sensor limit exceeded")
+
 // MaxCPM is the physical ceiling on a single reading. Geiger–Müller
 // counters saturate orders of magnitude below this; anything larger is
 // a corrupt or spoofed record, not a measurement.
 const MaxCPM = 10_000_000
 
+// DefaultMaxSensors is the sensor-registry cap applied when
+// Config.MaxSensors is 0 — generous for any deployment in the paper
+// (Scenario B uses 196) while keeping a zone's per-sensor maps bounded.
+const DefaultMaxSensors = 4096
+
 // NewEngine builds the engine.
 func NewEngine(cfg Config) (*Engine, error) {
 	if len(cfg.Sensors) == 0 {
 		return nil, errors.New("fusion: no sensors registered")
+	}
+	maxSensors := cfg.MaxSensors
+	if maxSensors <= 0 {
+		maxSensors = DefaultMaxSensors
+	}
+	if len(cfg.Sensors) > maxSensors {
+		return nil, fmt.Errorf("%w: %d sensors registered, cap %d", ErrSensorLimit, len(cfg.Sensors), maxSensors)
 	}
 	loc, err := core.NewLocalizer(cfg.Localizer)
 	if err != nil {
@@ -228,12 +253,12 @@ func (e *Engine) Refresh() {
 
 // Snapshot is the engine's externally visible state.
 type Snapshot struct {
-	Ingested  uint64
-	Rejected  uint64
-	Refreshes uint64 // estimate recomputations so far (readiness signal)
-	Estimates []core.Estimate
-	Tracks    []track.Track  // confirmed tracks; nil without tracking
-	Health    []SensorHealth // per-sensor health, sorted by sensor ID
+	Ingested  uint64          // readings folded into the filter
+	Rejected  uint64          // readings refused (unknown sensor, quarantine, journal veto)
+	Refreshes uint64          // estimate recomputations so far (readiness signal)
+	Estimates []core.Estimate // current source estimates
+	Tracks    []track.Track   // confirmed tracks; nil without tracking
+	Health    []SensorHealth  // per-sensor health, sorted by sensor ID
 	// Quarantined counts the sensors currently quarantined.
 	Quarantined int
 	// Delivery reports the sequence gate's dedup/reorder counters.

@@ -102,12 +102,12 @@ type sensorHealth struct {
 
 // SensorHealth is the externally visible form of one sensor's health.
 type SensorHealth struct {
-	SensorID    int
-	Status      HealthStatus
-	LastZ       float64 // NaN until the monitor has scored a reading
-	Seen        uint64
-	Dropped     uint64
-	Quarantines int
+	SensorID    int          // sensor this record describes
+	Status      HealthStatus // current health verdict
+	LastZ       float64      // NaN until the monitor has scored a reading
+	Seen        uint64       // readings received (any outcome)
+	Dropped     uint64       // readings withheld from the filter while quarantined
+	Quarantines int          // times the sensor entered quarantine
 }
 
 // admitLocked scores one reading and reports whether it should be

@@ -1,7 +1,9 @@
 package fusion
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sort"
 )
 
@@ -11,8 +13,8 @@ import (
 // reading of every sensor carries Seq k); 0 means "unsequenced" and
 // bypasses the dedup/reorder gate entirely.
 type Meas struct {
-	SensorID int
-	CPM      int
+	SensorID int    // reporting sensor's ID
+	CPM      int    // measured counts per minute
 	Step     int    // emission time step (0 when unknown)
 	Seq      uint64 // per-sensor monotone sequence; 0 = unsequenced
 }
@@ -22,6 +24,7 @@ type Meas struct {
 // engine lock held, so appends are totally ordered exactly as the
 // filter applies them; an error vetoes the application.
 type Journal interface {
+	// Append durably records one accepted reading before it is applied.
 	Append(Meas) error
 }
 
@@ -138,6 +141,15 @@ func (e *Engine) IngestSeq(m Meas) (int, error) {
 		}
 		_, err := e.applyLocked(m)
 		return 1, err
+	}
+	// Unknown sensors are refused before any gate state is touched: a
+	// spoofed sensor ID must not grow the dedup cursor map or park
+	// readings in the reorder buffer — that is the one per-sensor
+	// surface an attacker controls, and it stays bounded by the
+	// registry (see Config.MaxSensors).
+	if _, ok := e.sensors[m.SensorID]; !ok {
+		e.met.rejected.Inc()
+		return 0, fmt.Errorf("%w: id %d", ErrUnknownSensor, m.SensorID)
 	}
 	g := e.gate
 	if m.Seq < g.maxSeq {
@@ -272,6 +284,53 @@ func (e *Engine) applyReleasedLocked(m Meas) (uint64, error) {
 		e.gate.cursor[m.SensorID] = m.Seq
 	}
 	return e.applyLocked(m)
+}
+
+// BatchResult classifies the readings of one submitted batch by
+// outcome. It is the unit of acknowledgement shared by the HTTP ingest
+// boundary, the zone mailbox and the engine itself, so every layer
+// reports delivery identically.
+type BatchResult struct {
+	// Accepted counts readings the engine took: applied to the filter
+	// or buffered in the reorder gate pending their round's release.
+	Accepted int `json:"accepted"`
+	// Duplicate counts readings the sequence gate suppressed as
+	// at-least-once redelivery.
+	Duplicate int `json:"duplicate"`
+	// Rejected counts readings refused for cause (unknown sensor,
+	// impossible CPM, quarantine).
+	Rejected int `json:"rejected"`
+}
+
+// Add accumulates another batch's outcome counts into r.
+func (r *BatchResult) Add(o BatchResult) {
+	r.Accepted += o.Accepted
+	r.Duplicate += o.Duplicate
+	r.Rejected += o.Rejected
+}
+
+// Submit feeds a batch of measurements through the sequenced ingest
+// path, classifying each reading's outcome. It is the synchronous
+// batch face of IngestSeq — the zone event loop and single-engine
+// callers (tests, the legacy daemon path) share it, so a zone's
+// single-writer application order is exactly the batch order. ctx is
+// checked between readings; a cancellation returns the partial result.
+func (e *Engine) Submit(ctx context.Context, ms []Meas) (BatchResult, error) {
+	var res BatchResult
+	for _, m := range ms {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		switch _, err := e.IngestSeq(m); {
+		case err == nil:
+			res.Accepted++
+		case errors.Is(err, ErrDuplicate):
+			res.Duplicate++
+		default:
+			res.Rejected++
+		}
+	}
+	return res, nil
 }
 
 // FlushPending releases every held round in canonical order — for

@@ -192,25 +192,44 @@ func TestIngestSeqWatermarkRelease(t *testing.T) {
 	}
 }
 
-// TestIngestSeqOverflowBackstop: a flood of held readings (here: many
-// unregistered sensor IDs in one future round) cannot grow the buffer
-// without bound — the gate force-flushes ahead of the watermark.
-func TestIngestSeqOverflowBackstop(t *testing.T) {
+// TestIngestSeqSpoofedFlood: a flood of unregistered sensor IDs is
+// refused at the gate's door — it must not park readings in the
+// reorder buffer, grow the dedup-cursor map, or touch the filter. This
+// is the memory bound that lets one process host many zones: a zone's
+// per-sensor state is O(registered sensors) no matter what the wire
+// carries.
+func TestIngestSeqSpoofedFlood(t *testing.T) {
 	e, sc := seqEngine(t, 4)
-	limit := (4 + 1) * (len(sc.Sensors) + 1)
-	for i := 0; i < limit+10; i++ {
-		_, _ = e.IngestSeq(Meas{SensorID: 10_000 + i, CPM: 5, Seq: 2})
+	flood := (4 + 1) * (len(sc.Sensors) + 1) * 3
+	for i := 0; i < flood; i++ {
+		n, err := e.IngestSeq(Meas{SensorID: 10_000 + i, CPM: 5, Seq: uint64(2 + i)})
+		if n != 0 || !errors.Is(err, ErrUnknownSensor) {
+			t.Fatalf("spoofed reading %d: n=%d err=%v, want 0, ErrUnknownSensor", i, n, err)
+		}
 	}
 	s := e.Snapshot()
-	if s.Delivery.ForcedFlushes == 0 {
-		t.Fatal("no forced flush despite flood")
+	if s.Delivery.Pending != 0 || s.Delivery.Buffered != 0 {
+		t.Errorf("spoofed flood reached the reorder buffer: %+v", s.Delivery)
 	}
-	if s.Delivery.Pending > limit {
-		t.Errorf("pending %d exceeds cap %d", s.Delivery.Pending, limit)
+	if len(e.gate.cursor) != 0 {
+		t.Errorf("cursor map grew to %d entries from spoofed IDs", len(e.gate.cursor))
 	}
-	// The flood was unregistered garbage: rejected, not ingested.
-	if s.Ingested != 0 || s.Rejected == 0 {
-		t.Errorf("flood leaked into the filter: %+v", s)
+	if s.Ingested != 0 || s.Rejected != uint64(flood) {
+		t.Errorf("flood accounting: ingested=%d rejected=%d, want 0, %d", s.Ingested, s.Rejected, flood)
+	}
+}
+
+// TestMaxSensors: registering past Config.MaxSensors fails with the
+// typed ErrSensorLimit.
+func TestMaxSensors(t *testing.T) {
+	sc := scenario.A(50, false)
+	cfg := Config{Localizer: sim.LocalizerConfig(sc), Sensors: sc.Sensors, MaxSensors: len(sc.Sensors) - 1}
+	if _, err := NewEngine(cfg); !errors.Is(err, ErrSensorLimit) {
+		t.Fatalf("NewEngine over cap: err=%v, want ErrSensorLimit", err)
+	}
+	cfg.MaxSensors = len(sc.Sensors)
+	if _, err := NewEngine(cfg); err != nil {
+		t.Fatalf("NewEngine at cap: %v", err)
 	}
 }
 

@@ -19,44 +19,44 @@ import (
 // buffered reading has not been journaled yet, so it is not durable —
 // the at-least-once transport redelivers it after recovery.
 type EngineState struct {
-	Ingested  uint64 `json:"ingested"`
-	Rejected  uint64 `json:"rejected"`
-	Refreshes uint64 `json:"refreshes"`
-	SinceEst  int    `json:"sinceEst"`
-	TrackStep int    `json:"trackStep"`
+	Ingested  uint64 `json:"ingested"`  // readings folded into the filter
+	Rejected  uint64 `json:"rejected"`  // readings refused
+	Refreshes uint64 `json:"refreshes"` // estimate recomputations so far
+	SinceEst  int    `json:"sinceEst"`  // readings ingested since the last refresh
+	TrackStep int    `json:"trackStep"` // tracker time steps advanced
 	// Journaled is the WAL offset this state corresponds to: every
 	// journaled record with index < Journaled is folded in, every
 	// record ≥ Journaled must be replayed on recovery.
 	Journaled uint64          `json:"journaled"`
-	Estimates []core.Estimate `json:"estimates,omitempty"`
-	Localizer core.State      `json:"localizer"`
-	Health    []HealthState   `json:"health,omitempty"`
-	Tracker   *track.State    `json:"tracker,omitempty"`
-	Seqs      []SeqCursor     `json:"seqs,omitempty"`
+	Estimates []core.Estimate `json:"estimates,omitempty"` // last published source estimates
+	Localizer core.State      `json:"localizer"`           // particle filter state (incl. RNG position)
+	Health    []HealthState   `json:"health,omitempty"`    // per-sensor health records, sorted by ID
+	Tracker   *track.State    `json:"tracker,omitempty"`   // source tracker state; nil without tracking
+	Seqs      []SeqCursor     `json:"seqs,omitempty"`      // sequence gate dedup cursors, sorted by ID
 	// GateReleased is the reorder gate's release watermark: rounds ≤
 	// it have been applied in canonical order.
 	GateReleased uint64        `json:"gateReleased,omitempty"`
-	Delivery     DeliveryStats `json:"delivery"`
+	Delivery     DeliveryStats `json:"delivery"` // dedup/reorder gate counters
 }
 
 // HealthState is the serializable form of one sensor's full health
 // record (the streaks included — SensorHealth omits them).
 type HealthState struct {
-	SensorID    int      `json:"sensorId"`
-	Status      int      `json:"status"`
-	BadStreak   int      `json:"badStreak,omitempty"`
-	GoodStreak  int      `json:"goodStreak,omitempty"`
-	LastZ       *float64 `json:"lastZ,omitempty"` // nil encodes NaN (never scored)
-	Seen        uint64   `json:"seen"`
-	Dropped     uint64   `json:"dropped,omitempty"`
-	Quarantines int      `json:"quarantines,omitempty"`
+	SensorID    int      `json:"sensorId"`              // sensor this record describes
+	Status      int      `json:"status"`                // HealthStatus as an integer
+	BadStreak   int      `json:"badStreak,omitempty"`   // consecutive suspect readings
+	GoodStreak  int      `json:"goodStreak,omitempty"`  // consecutive clean readings while quarantined
+	LastZ       *float64 `json:"lastZ,omitempty"`       // nil encodes NaN (never scored)
+	Seen        uint64   `json:"seen"`                  // readings received (any outcome)
+	Dropped     uint64   `json:"dropped,omitempty"`     // readings withheld while quarantined
+	Quarantines int      `json:"quarantines,omitempty"` // times the sensor entered quarantine
 }
 
 // SeqCursor is one sensor's dedup cursor: the highest sequence number
 // consumed from it.
 type SeqCursor struct {
-	SensorID int    `json:"sensorId"`
-	Applied  uint64 `json:"applied"`
+	SensorID int    `json:"sensorId"` // sensor the cursor belongs to
+	Applied  uint64 `json:"applied"`  // highest sequence number consumed
 }
 
 // ExportState captures the engine's resumable state. The reorder

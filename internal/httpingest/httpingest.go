@@ -1,9 +1,11 @@
 // Package httpingest is the fusion center's HTTP ingest boundary with
-// backpressure: a handler for POST /measurements that bounds request
-// bodies (413), refuses non-JSON payloads (415), sheds load with 429 +
+// backpressure: a handler for POST /measurements (and its zone-scoped
+// form POST /zones/{zone}/measurements) that bounds request bodies
+// (413), refuses non-JSON payloads (415), sheds load with 429 +
 // Retry-After when its admission queue is full, rate-limits chatty
-// sensors with per-sensor token buckets, and feeds everything admitted
-// through the engine's idempotent sequenced ingest.
+// sensors with per-(zone, sensor) token buckets, and feeds everything
+// admitted through a Sink — a single fusion engine's idempotent
+// sequenced ingest, or a zone manager routing to sharded engines.
 //
 // It lives in its own package (rather than inside cmd/radlocd) so the
 // daemon, the transport ablation and the chaos tests all exercise the
@@ -11,6 +13,8 @@
 package httpingest
 
 import (
+	"container/list"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -24,6 +28,7 @@ import (
 	"radloc/internal/clock"
 	"radloc/internal/fusion"
 	"radloc/internal/obs"
+	"radloc/internal/zone"
 )
 
 // Measurement is the wire form of one reading — a single object or an
@@ -34,6 +39,49 @@ type Measurement struct {
 	CPM      int    `json:"cpm"`            // Geiger counts per minute for this interval
 	Step     int    `json:"step,omitempty"` // discrete time step of the reading
 	Seq      uint64 `json:"seq,omitempty"`  // per-sensor monotone sequence number; 0 = unsequenced
+	// Zone names the zone this reading belongs to ("" = the default
+	// zone). On the zone-scoped HTTP route it must match the route's
+	// zone or the request is a 400; in pipe mode it routes the record.
+	Zone string `json:"zone,omitempty"`
+}
+
+// Sink is where admitted batches go: a *fusion.Engine (its Submit
+// method satisfies this directly) or a zone's mailbox. The handler
+// resolves one Sink per request from the request's zone.
+type Sink interface {
+	// Submit applies one batch, classifying each reading's outcome.
+	Submit(ctx context.Context, ms []fusion.Meas) (fusion.BatchResult, error)
+}
+
+// Resolver maps a validated zone name to its Sink. Returning an error
+// refuses the request: ErrNoSuchZone maps to 404, zone.ErrZoneLimit
+// to 503, zone.ErrBadName to 400; anything else is a 500.
+type Resolver func(zoneName string) (Sink, error)
+
+// ErrNoSuchZone is returned by a Resolver that serves a fixed zone
+// set (the single-engine deployment) for any other name — HTTP 404.
+var ErrNoSuchZone = errors.New("httpingest: no such zone")
+
+// managerSink binds one zone name to a manager, deferring zone
+// creation to the first submitted batch.
+type managerSink struct {
+	m    *zone.Manager
+	name string
+}
+
+// Submit routes the batch through the manager, which creates or
+// recreates the zone as needed.
+func (s managerSink) Submit(ctx context.Context, ms []fusion.Meas) (fusion.BatchResult, error) {
+	return s.m.Submit(ctx, s.name, ms)
+}
+
+// ManagerResolver adapts a zone manager into a Resolver: every valid
+// zone name resolves, and the zone itself is created lazily when its
+// first batch arrives.
+func ManagerResolver(m *zone.Manager) Resolver {
+	return func(name string) (Sink, error) {
+		return managerSink{m: m, name: name}, nil
+	}
 }
 
 // Meas converts to the engine's ingest type.
@@ -53,12 +101,17 @@ type Options struct {
 	// rounded up to whole seconds on the wire).
 	RetryAfter time.Duration
 	// RatePerSec, when positive, caps each sensor's sustained reading
-	// rate with a token bucket of Burst capacity. 0 disables rate
-	// limiting.
+	// rate with a token bucket of Burst capacity, kept per (zone,
+	// sensor) so one zone's chatter cannot starve another's quota. 0
+	// disables rate limiting.
 	RatePerSec float64
 	// Burst is the token bucket capacity (default 4× RatePerSec,
 	// minimum 1).
 	Burst float64
+	// MaxBuckets caps the live (zone, sensor) token buckets; the least
+	// recently used is evicted past it (default 16384), so spoofed IDs
+	// cannot grow the map without bound.
+	MaxBuckets int
 	// Clock drives the token buckets (default wall clock).
 	Clock clock.Clock
 	// AfterBatch, when non-nil, runs after each admitted batch — the
@@ -87,14 +140,26 @@ func (o Options) withDefaults() Options {
 	if o.Burst < 1 {
 		o.Burst = 1
 	}
+	if o.MaxBuckets <= 0 {
+		o.MaxBuckets = 16384
+	}
 	if o.Clock == nil {
 		o.Clock = clock.Real{}
 	}
 	return o
 }
 
-// bucket is one sensor's token bucket.
+// bucketKey identifies one token bucket: rate limits are scoped per
+// zone so sensor IDs reused across zones stay independent.
+type bucketKey struct {
+	zone   string
+	sensor int
+}
+
+// bucket is one (zone, sensor) pair's token bucket, threaded on the
+// handler's LRU list.
 type bucket struct {
+	key    bucketKey
 	tokens float64
 	last   time.Time
 }
@@ -141,27 +206,42 @@ func newIngestMetrics(r *obs.Registry) *ingestMetrics {
 	}
 }
 
-// Handler serves POST /measurements with admission control. Safe for
-// concurrent use.
+// Handler serves POST /measurements (and the zone-scoped route) with
+// admission control. Safe for concurrent use.
 type Handler struct {
-	engine *fusion.Engine
-	opts   Options
-	slots  chan struct{}
-	met    *ingestMetrics
+	resolve Resolver
+	opts    Options
+	slots   chan struct{}
+	met     *ingestMetrics
 
 	mu      sync.Mutex
-	buckets map[int]*bucket
+	buckets map[bucketKey]*list.Element
+	order   *list.List // LRU order: front = most recently used bucket
 }
 
-// New builds the ingest handler over engine.
+// New builds the ingest handler over a single engine: the classic
+// one-zone deployment, where only the default zone exists and any
+// other zone name is a 404.
 func New(engine *fusion.Engine, opts Options) *Handler {
+	return NewZoned(func(name string) (Sink, error) {
+		if name != zone.DefaultZone {
+			return nil, fmt.Errorf("%w: %q (single-zone deployment)", ErrNoSuchZone, name)
+		}
+		return engine, nil
+	}, opts)
+}
+
+// NewZoned builds the ingest handler over a zone resolver — the
+// sharded deployment, where the request's zone picks the engine.
+func NewZoned(resolve Resolver, opts Options) *Handler {
 	opts = opts.withDefaults()
 	return &Handler{
-		engine:  engine,
+		resolve: resolve,
 		opts:    opts,
 		slots:   make(chan struct{}, opts.QueueDepth),
 		met:     newIngestMetrics(opts.Metrics),
-		buckets: make(map[int]*bucket),
+		buckets: make(map[bucketKey]*list.Element),
+		order:   list.New(),
 	}
 }
 
@@ -182,20 +262,34 @@ func (h *Handler) Stats() fusion.IngressStats {
 	}
 }
 
-// allow takes one token from the sensor's bucket, refilling by
+// bucketFor returns the key's bucket, creating it (and evicting the
+// least recently used one past MaxBuckets) as needed, and marks it
+// most recently used. Callers hold h.mu.
+func (h *Handler) bucketFor(key bucketKey, now time.Time) *bucket {
+	if el, ok := h.buckets[key]; ok {
+		h.order.MoveToFront(el)
+		return el.Value.(*bucket)
+	}
+	if len(h.buckets) >= h.opts.MaxBuckets {
+		oldest := h.order.Back()
+		h.order.Remove(oldest)
+		delete(h.buckets, oldest.Value.(*bucket).key)
+	}
+	b := &bucket{key: key, tokens: h.opts.Burst, last: now}
+	h.buckets[key] = h.order.PushFront(b)
+	return b
+}
+
+// allow takes one token from the (zone, sensor) bucket, refilling by
 // elapsed time first. Rate limiting off ⇒ always true.
-func (h *Handler) allow(sensorID int) bool {
+func (h *Handler) allow(zoneName string, sensorID int) bool {
 	if h.opts.RatePerSec <= 0 {
 		return true
 	}
 	now := h.opts.Clock.Now()
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	b := h.buckets[sensorID]
-	if b == nil {
-		b = &bucket{tokens: h.opts.Burst, last: now}
-		h.buckets[sensorID] = b
-	}
+	b := h.bucketFor(bucketKey{zone: zoneName, sensor: sensorID}, now)
 	if dt := now.Sub(b.last).Seconds(); dt > 0 {
 		b.tokens += dt * h.opts.RatePerSec
 		if b.tokens > h.opts.Burst {
@@ -210,18 +304,20 @@ func (h *Handler) allow(sensorID int) bool {
 	return true
 }
 
-// refund returns one token to the sensor's bucket — used when a
+// refund returns one token to the (zone, sensor) bucket — used when a
 // reading turns out to be dedup-suppressed redelivery, so retrying a
 // partially-applied batch converges instead of burning its budget on
 // the already-applied prefix.
-func (h *Handler) refund(sensorID int) {
+func (h *Handler) refund(zoneName string, sensorID int) {
 	if h.opts.RatePerSec <= 0 {
 		return
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if b := h.buckets[sensorID]; b != nil && b.tokens < h.opts.Burst {
-		b.tokens++
+	if el, ok := h.buckets[bucketKey{zone: zoneName, sensor: sensorID}]; ok {
+		if b := el.Value.(*bucket); b.tokens < h.opts.Burst {
+			b.tokens++
+		}
 	}
 }
 
@@ -253,11 +349,40 @@ func jsonContentType(ct string) bool {
 	return mt == "application/json"
 }
 
-// ServeHTTP implements the POST /measurements contract:
+// requestZone extracts the request's zone: the {zone} path value on
+// the zone-scoped route, the default zone on the legacy one.
+func requestZone(r *http.Request) string {
+	if z := r.PathValue("zone"); z != "" {
+		return z
+	}
+	return zone.DefaultZone
+}
+
+// sinkStatus maps a Resolver/Sink error to its HTTP status.
+func sinkStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrNoSuchZone):
+		return http.StatusNotFound
+	case errors.Is(err, zone.ErrBadName):
+		return http.StatusBadRequest
+	case errors.Is(err, zone.ErrMailboxFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, zone.ErrZoneLimit), errors.Is(err, zone.ErrManagerClosed), errors.Is(err, zone.ErrZoneClosed):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// ServeHTTP implements the POST /measurements contract, identically
+// on the legacy route and the zone-scoped POST /zones/{zone}/
+// measurements form (the legacy route IS the default zone):
 //
 //	405 non-POST · 415 non-JSON Content-Type · 429+Retry-After queue
-//	full or sensor rate-limited · 413 body over MaxBody · 400 parse
-//	failure · 200 {"accepted","duplicate","rejected"}
+//	full, zone mailbox full, or sensor rate-limited · 413 body over
+//	MaxBody · 400 parse failure, bad zone name, or a reading whose
+//	zone field contradicts the route · 404 unknown zone (fixed-zone
+//	deployments) · 503 zone limit reached or shutting down ·
+//	200 {"accepted","duplicate","rejected"}
 //
 // On 429 nothing before the refusing reading is rolled back; the
 // client retries the whole batch and the engine's sequence gate
@@ -271,6 +396,12 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if !jsonContentType(r.Header.Get("Content-Type")) {
 		h.met.badContentType.Inc()
 		http.Error(w, "Content-Type must be application/json", http.StatusUnsupportedMediaType)
+		return
+	}
+	zoneName := requestZone(r)
+	if err := zone.ValidateName(zoneName); err != nil {
+		h.met.malformed.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	select {
@@ -310,43 +441,103 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		batch = []Measurement{one}
 	}
-
-	accepted, duplicate, rejected := 0, 0, 0
-	for i, m := range batch {
-		if !h.allow(m.SensorID) {
-			// Stop at the first rate-limited reading: the client
-			// retries the whole batch and dedup absorbs the replayed
-			// prefix. Count every reading not admitted.
-			h.met.rateLimited.Add(uint64(len(batch) - i))
-			h.met.accepted.Add(uint64(accepted))
-			h.met.duplicates.Add(uint64(duplicate))
-			h.met.rejected.Add(uint64(rejected))
-			if h.opts.AfterBatch != nil && accepted > 0 {
-				h.opts.AfterBatch()
-			}
-			h.shed(w, fmt.Sprintf("sensor %d over rate limit", m.SensorID))
+	for _, m := range batch {
+		// A reading stamped for another zone must not be silently
+		// folded into this one: refuse the whole batch before any of
+		// it is applied.
+		if m.Zone != "" && m.Zone != zoneName {
+			h.met.malformed.Inc()
+			http.Error(w, fmt.Sprintf("measurement zone %q contradicts request zone %q", m.Zone, zoneName),
+				http.StatusBadRequest)
 			return
 		}
-		switch _, err := h.engine.IngestSeq(m.Meas()); {
-		case err == nil:
-			accepted++
-		case errors.Is(err, fusion.ErrDuplicate):
-			duplicate++
-			h.refund(m.SensorID)
-		default:
-			rejected++
+	}
+	sink, err := h.resolve(zoneName)
+	if err != nil {
+		code := sinkStatus(err)
+		if code == http.StatusTooManyRequests {
+			h.shed(w, err.Error())
+			return
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+
+	var res fusion.BatchResult
+	if h.opts.RatePerSec > 0 {
+		var handled bool
+		res, handled = h.submitRateLimited(w, r.Context(), sink, zoneName, batch)
+		if handled {
+			return // response already written
+		}
+	} else {
+		ms := make([]fusion.Meas, len(batch))
+		for i, m := range batch {
+			ms[i] = m.Meas()
+		}
+		res, err = sink.Submit(r.Context(), ms)
+		if err != nil {
+			h.record(res)
+			code := sinkStatus(err)
+			if code == http.StatusTooManyRequests {
+				h.shed(w, err.Error())
+				return
+			}
+			http.Error(w, err.Error(), code)
+			return
 		}
 	}
-	h.met.accepted.Add(uint64(accepted))
-	h.met.duplicates.Add(uint64(duplicate))
-	h.met.rejected.Add(uint64(rejected))
+	h.record(res)
 	if h.opts.AfterBatch != nil {
 		h.opts.AfterBatch()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(map[string]int{
-		"accepted":  accepted,
-		"duplicate": duplicate,
-		"rejected":  rejected,
+		"accepted":  res.Accepted,
+		"duplicate": res.Duplicate,
+		"rejected":  res.Rejected,
 	})
+}
+
+// record folds one batch outcome into the admission counters.
+func (h *Handler) record(res fusion.BatchResult) {
+	h.met.accepted.Add(uint64(res.Accepted))
+	h.met.duplicates.Add(uint64(res.Duplicate))
+	h.met.rejected.Add(uint64(res.Rejected))
+}
+
+// submitRateLimited is the rate-limited submission path: each reading
+// pays a (zone, sensor) token before it is offered, readings are
+// submitted one at a time so a duplicate can refund its exact bucket,
+// and the first refused reading sheds the remainder with 429 (the
+// client retries the whole batch; dedup absorbs the replayed prefix).
+// handled=true means the response was already written.
+func (h *Handler) submitRateLimited(w http.ResponseWriter, ctx context.Context, sink Sink, zoneName string, batch []Measurement) (res fusion.BatchResult, handled bool) {
+	for i, m := range batch {
+		if !h.allow(zoneName, m.SensorID) {
+			h.met.rateLimited.Add(uint64(len(batch) - i))
+			h.record(res)
+			if h.opts.AfterBatch != nil && res.Accepted > 0 {
+				h.opts.AfterBatch()
+			}
+			h.shed(w, fmt.Sprintf("sensor %d over rate limit", m.SensorID))
+			return res, true
+		}
+		one, err := sink.Submit(ctx, []fusion.Meas{m.Meas()})
+		if err != nil {
+			h.record(res)
+			code := sinkStatus(err)
+			if code == http.StatusTooManyRequests {
+				h.shed(w, err.Error())
+			} else {
+				http.Error(w, err.Error(), code)
+			}
+			return res, true
+		}
+		if one.Duplicate > 0 {
+			h.refund(zoneName, m.SensorID)
+		}
+		res.Add(one)
+	}
+	return res, false
 }

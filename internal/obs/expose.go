@@ -31,11 +31,23 @@ func (r *Registry) WriteText(w io.Writer) error {
 			writeHistogram(bw, v, "")
 		case *CounterFamily:
 			v.each(func(key string, c metric) {
-				fmt.Fprintf(bw, "%s{%s} %d\n", v.name, key, c.(*Counter).Value())
+				// Children are plain counters, or callback counters when a
+				// labeled view registered a CounterFunc.
+				switch cc := c.(type) {
+				case *Counter:
+					fmt.Fprintf(bw, "%s{%s} %d\n", v.name, key, cc.Value())
+				case *funcCounter:
+					fmt.Fprintf(bw, "%s{%s} %d\n", v.name, key, cc.value())
+				}
 			})
 		case *GaugeFamily:
 			v.each(func(key string, g metric) {
-				fmt.Fprintf(bw, "%s{%s} %s\n", v.name, key, formatFloat(g.(*Gauge).Value()))
+				switch gg := g.(type) {
+				case *Gauge:
+					fmt.Fprintf(bw, "%s{%s} %s\n", v.name, key, formatFloat(gg.Value()))
+				case *funcGauge:
+					fmt.Fprintf(bw, "%s{%s} %s\n", v.name, key, formatFloat(gg.value()))
+				}
 			})
 		case *HistogramFamily:
 			v.each(func(key string, h metric) {

@@ -98,17 +98,29 @@ func escapeLabel(v string) string {
 	return b.String()
 }
 
+// withBound prepends a handle's preset label values (from a labeled
+// registry view) to the values supplied at the With call site.
+func withBound(bound, values []string) []string {
+	if len(bound) == 0 {
+		return values
+	}
+	return append(append(make([]string, 0, len(bound)+len(values)), bound...), values...)
+}
+
 // CounterFamily is a set of counters distinguished by label values
 // (e.g. one counter per HTTP status class). Obtain families from a
-// Registry; children are created on first use and live forever.
+// Registry; children are created on first use and live forever. A
+// family obtained through a labeled view carries the view's label
+// values pre-bound, so With supplies only the trailing values.
 type CounterFamily struct {
 	*family
+	bound []string // preset leading label values (labeled views)
 }
 
 // With returns the child counter for the given label values (in the
 // family's label-name order).
 func (f *CounterFamily) With(values ...string) *Counter {
-	return f.child(values, func() metric { return &Counter{name: f.name} }).(*Counter)
+	return f.child(withBound(f.bound, values), func() metric { return &Counter{name: f.name} }).(*Counter)
 }
 
 func (f *CounterFamily) metricType() string { return "counter" }
@@ -116,11 +128,12 @@ func (f *CounterFamily) metricType() string { return "counter" }
 // GaugeFamily is a set of gauges distinguished by label values.
 type GaugeFamily struct {
 	*family
+	bound []string // preset leading label values (labeled views)
 }
 
 // With returns the child gauge for the given label values.
 func (f *GaugeFamily) With(values ...string) *Gauge {
-	return f.child(values, func() metric { return &Gauge{name: f.name} }).(*Gauge)
+	return f.child(withBound(f.bound, values), func() metric { return &Gauge{name: f.name} }).(*Gauge)
 }
 
 func (f *GaugeFamily) metricType() string { return "gauge" }
@@ -130,11 +143,12 @@ func (f *GaugeFamily) metricType() string { return "gauge" }
 type HistogramFamily struct {
 	*family
 	buckets []float64
+	bound   []string // preset leading label values (labeled views)
 }
 
 // With returns the child histogram for the given label values.
 func (f *HistogramFamily) With(values ...string) *Histogram {
-	return f.child(values, func() metric { return newHistogram(f.name, f.help, f.buckets) }).(*Histogram)
+	return f.child(withBound(f.bound, values), func() metric { return newHistogram(f.name, f.help, f.buckets) }).(*Histogram)
 }
 
 func (f *HistogramFamily) metricType() string { return "histogram" }

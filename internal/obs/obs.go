@@ -41,15 +41,49 @@ type metric interface {
 // Registry holds named metrics and renders them in Prometheus text
 // format. The zero value is not usable; call NewRegistry. All methods
 // are safe for concurrent use.
+//
+// A Registry obtained from With is a labeled *view*: registrations on
+// it land on the root registry as labeled families carrying the view's
+// preset label values, so a component written against plain Counter/
+// Gauge/Histogram calls gains labels (e.g. zone="east") without
+// changing a line. Exposition always renders the root's full contents.
 type Registry struct {
 	mu      sync.Mutex
 	metrics map[string]metric
 	names   []string // registration order; sorted at exposition
+
+	// View state: non-nil base marks this Registry as a labeled view of
+	// base, with labelNames/labelValues preset on every registration.
+	base        *Registry
+	labelNames  []string
+	labelValues []string
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{metrics: make(map[string]metric)}
+}
+
+// With returns a labeled view of the registry: every collector
+// registered through the view becomes a child of a labeled family on
+// the root registry, carrying label=value (plus any labels already
+// preset on r, so views chain). Components that take a *Registry can
+// therefore be instantiated once per shard/zone, each landing on the
+// same families distinguished by label — the multi-zone daemon builds
+// each zone's engine on reg.With("zone", name).
+func (r *Registry) With(label, value string) *Registry {
+	root := r
+	var names, values []string
+	if r.base != nil {
+		root = r.base
+		names = append(names, r.labelNames...)
+		values = append(values, r.labelValues...)
+	}
+	return &Registry{
+		base:        root,
+		labelNames:  append(names, label),
+		labelValues: append(values, value),
+	}
 }
 
 // lookup returns the existing metric under name after checking its
@@ -71,16 +105,24 @@ func (r *Registry) lookup(name, kind string, mk func() metric) metric {
 }
 
 // Counter returns the counter registered under name, creating it on
-// first use.
+// first use. On a labeled view it is the view-labeled child of a
+// counter family on the root.
 func (r *Registry) Counter(name, help string) *Counter {
+	if r.base != nil {
+		return r.base.CounterFamily(name, help, r.labelNames...).With(r.labelValues...)
+	}
 	return r.lookup(name, "counter", func() metric {
 		return &Counter{name: name, help: help}
 	}).(*Counter)
 }
 
 // Gauge returns the gauge registered under name, creating it on first
-// use.
+// use. On a labeled view it is the view-labeled child of a gauge
+// family on the root.
 func (r *Registry) Gauge(name, help string) *Gauge {
+	if r.base != nil {
+		return r.base.GaugeFamily(name, help, r.labelNames...).With(r.labelValues...)
+	}
 	return r.lookup(name, "gauge", func() metric {
 		return &Gauge{name: name, help: help}
 	}).(*Gauge)
@@ -91,9 +133,15 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 // (queue depths, uptime, runtime stats). fn must be safe to call from
 // any goroutine. Re-registering the same name replaces the function.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
-	m := r.lookup(name, "gauge", func() metric {
-		return &funcGauge{name: name, help: help}
-	})
+	var m metric
+	if r.base != nil {
+		f := r.base.GaugeFamily(name, help, r.labelNames...)
+		m = f.child(r.labelValues, func() metric { return &funcGauge{name: name, help: help} })
+	} else {
+		m = r.lookup(name, "gauge", func() metric {
+			return &funcGauge{name: name, help: help}
+		})
+	}
 	fg, ok := m.(*funcGauge)
 	if !ok {
 		panic(fmt.Sprintf("obs: %q already registered as a plain gauge, not a gauge func", name))
@@ -109,9 +157,15 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 // call from any goroutine and must never decrease. Re-registering the
 // same name replaces the function.
 func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
-	m := r.lookup(name, "counter", func() metric {
-		return &funcCounter{name: name, help: help}
-	})
+	var m metric
+	if r.base != nil {
+		f := r.base.CounterFamily(name, help, r.labelNames...)
+		m = f.child(r.labelValues, func() metric { return &funcCounter{name: name, help: help} })
+	} else {
+		m = r.lookup(name, "counter", func() metric {
+			return &funcCounter{name: name, help: help}
+		})
+	}
 	fc, ok := m.(*funcCounter)
 	if !ok {
 		panic(fmt.Sprintf("obs: %q already registered as a plain counter, not a counter func", name))
@@ -124,24 +178,39 @@ func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
 // Histogram returns the histogram registered under name, creating it
 // with the given bucket upper bounds on first use (a final +Inf bucket
 // is implicit; pass nil for DefBuckets). Buckets must be sorted
-// ascending.
+// ascending. On a labeled view it is the view-labeled child of a
+// histogram family on the root.
 func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r.base != nil {
+		return r.base.HistogramFamily(name, help, buckets, r.labelNames...).With(r.labelValues...)
+	}
 	return r.lookup(name, "histogram", func() metric {
 		return newHistogram(name, help, buckets)
 	}).(*Histogram)
 }
 
 // CounterFamily returns the labeled counter family registered under
-// name, creating it on first use with the given label names.
+// name, creating it on first use with the given label names. On a
+// labeled view the view's labels are prepended to the family's and
+// With supplies only the trailing (family-local) values.
 func (r *Registry) CounterFamily(name, help string, labels ...string) *CounterFamily {
+	if r.base != nil {
+		f := r.base.CounterFamily(name, help, append(append([]string{}, r.labelNames...), labels...)...)
+		return &CounterFamily{family: f.family, bound: r.labelValues}
+	}
 	return r.lookup(name, "counter", func() metric {
 		return &CounterFamily{family: newFamily(name, help, labels)}
 	}).(*CounterFamily)
 }
 
 // GaugeFamily returns the labeled gauge family registered under name,
-// creating it on first use with the given label names.
+// creating it on first use with the given label names. Views prepend
+// their labels as for CounterFamily.
 func (r *Registry) GaugeFamily(name, help string, labels ...string) *GaugeFamily {
+	if r.base != nil {
+		f := r.base.GaugeFamily(name, help, append(append([]string{}, r.labelNames...), labels...)...)
+		return &GaugeFamily{family: f.family, bound: r.labelValues}
+	}
 	return r.lookup(name, "gauge", func() metric {
 		return &GaugeFamily{family: newFamily(name, help, labels)}
 	}).(*GaugeFamily)
@@ -149,15 +218,23 @@ func (r *Registry) GaugeFamily(name, help string, labels ...string) *GaugeFamily
 
 // HistogramFamily returns the labeled histogram family registered
 // under name, creating it on first use with the given buckets and
-// label names.
+// label names. Views prepend their labels as for CounterFamily.
 func (r *Registry) HistogramFamily(name, help string, buckets []float64, labels ...string) *HistogramFamily {
+	if r.base != nil {
+		f := r.base.HistogramFamily(name, help, buckets, append(append([]string{}, r.labelNames...), labels...)...)
+		return &HistogramFamily{family: f.family, buckets: f.buckets, bound: r.labelValues}
+	}
 	return r.lookup(name, "histogram", func() metric {
 		return &HistogramFamily{family: newFamily(name, help, labels), buckets: buckets}
 	}).(*HistogramFamily)
 }
 
-// snapshot returns the registered metrics sorted by name.
+// snapshot returns the registered metrics sorted by name. A view
+// snapshots its root: exposition always covers the whole process.
 func (r *Registry) snapshot() []metric {
+	if r.base != nil {
+		return r.base.snapshot()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	names := append([]string(nil), r.names...)

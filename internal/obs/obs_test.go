@@ -201,3 +201,68 @@ func TestFuncMetrics(t *testing.T) {
 		}
 	}
 }
+
+// TestLabeledView exercises Registry.With: plain registrations on a
+// view must land as labeled family children on the root, two views of
+// the same name must stay distinct, and exposition from the view must
+// render the root's full contents with the view labels attached.
+func TestLabeledView(t *testing.T) {
+	r := NewRegistry()
+	east := r.With("zone", "east")
+	west := r.With("zone", "west")
+
+	ce := east.Counter("radloc_view_ingested_total", "per-zone ingest")
+	cw := west.Counter("radloc_view_ingested_total", "per-zone ingest")
+	if ce == cw {
+		t.Fatal("distinct zones must get distinct counters")
+	}
+	ce.Add(3)
+	cw.Add(5)
+	// Re-registration through the view returns the same child.
+	if again := east.Counter("radloc_view_ingested_total", "per-zone ingest"); again != ce {
+		t.Fatal("view registration should be get-or-create")
+	}
+
+	east.Gauge("radloc_view_depth", "mailbox depth").Set(7)
+	east.Histogram("radloc_view_seconds", "latency", []float64{0.1, 1}).Observe(0.05)
+	east.GaugeFunc("radloc_view_uptime", "uptime", func() float64 { return 42 })
+	east.CounterFunc("radloc_view_ticks_total", "ticks", func() uint64 { return 9 })
+
+	// A family obtained through a view prepends the view labels.
+	sf := east.HistogramFamily("radloc_view_stage_seconds", "stage timing", []float64{0.1, 1}, "stage")
+	sf.With("select").Observe(0.2)
+
+	var b strings.Builder
+	if err := east.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		`radloc_view_ingested_total{zone="east"} 3`,
+		`radloc_view_ingested_total{zone="west"} 5`,
+		`radloc_view_depth{zone="east"} 7`,
+		`radloc_view_seconds_count{zone="east"} 1`,
+		`radloc_view_uptime{zone="east"} 42`,
+		`radloc_view_ticks_total{zone="east"} 9`,
+		`radloc_view_stage_seconds_count{zone="east",stage="select"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+}
+
+// TestViewChaining asserts With composes: a view of a view carries
+// both label pairs in order.
+func TestViewChaining(t *testing.T) {
+	r := NewRegistry()
+	c := r.With("region", "eu").With("zone", "a").Counter("radloc_chain_total", "chained")
+	c.Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if want := `radloc_chain_total{region="eu",zone="a"} 1`; !strings.Contains(b.String(), want) {
+		t.Fatalf("missing %q in\n%s", want, b.String())
+	}
+}

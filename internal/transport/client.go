@@ -16,13 +16,19 @@ import (
 	"radloc/internal/clock"
 	"radloc/internal/obs"
 	"radloc/internal/rng"
+	"radloc/internal/zone"
 )
 
 // Options assembles a Client.
 type Options struct {
 	// URL is the radlocd base URL (e.g. http://127.0.0.1:8080); the
-	// client posts to URL + "/measurements". Required.
+	// client posts to URL + "/measurements", or the zone-scoped route
+	// when Zone is set. Required.
 	URL string
+	// Zone, when non-empty, addresses a named fusion zone: batches
+	// post to URL + "/zones/" + Zone + "/measurements". Empty keeps
+	// the legacy route, which the server treats as the default zone.
+	Zone string
 	// HTTP performs the requests (default http.DefaultTransport).
 	// Inject a netchaos.RoundTripper to test the failure paths.
 	HTTP http.RoundTripper
@@ -106,9 +112,10 @@ var ErrRefused = errors.New("transport: server refused batch")
 // calls is then unspecified — the agent delivers sequentially so the
 // reorder gate sees an in-order stream.
 type Client struct {
-	opts    Options
-	breaker *Breaker
-	met     *clientMetrics
+	opts     Options
+	endpoint string // resolved measurements URL (zone-scoped when Options.Zone is set)
+	breaker  *Breaker
+	met      *clientMetrics
 
 	mu  sync.Mutex // guards rng draws
 	rng *rng.Stream
@@ -138,12 +145,20 @@ func NewClient(opts Options) (*Client, error) {
 		opts.MaxRetryAfter = 30 * time.Second
 	}
 	opts.URL = strings.TrimSuffix(opts.URL, "/")
+	endpoint := opts.URL + "/measurements"
+	if opts.Zone != "" {
+		if err := zone.ValidateName(opts.Zone); err != nil {
+			return nil, fmt.Errorf("transport: %w", err)
+		}
+		endpoint = opts.URL + "/zones/" + opts.Zone + "/measurements"
+	}
 	breaker := NewBreaker(opts.Breaker, opts.Clock)
 	return &Client{
-		opts:    opts,
-		breaker: breaker,
-		met:     newClientMetrics(opts.Metrics, breaker),
-		rng:     opts.RNG,
+		opts:     opts,
+		endpoint: endpoint,
+		breaker:  breaker,
+		met:      newClientMetrics(opts.Metrics, breaker),
+		rng:      opts.RNG,
 	}, nil
 }
 
@@ -284,7 +299,7 @@ func (c *Client) attempt(ctx context.Context, batch []Reading) attemptResult {
 	}
 	actx, cancel := c.opts.Clock.WithTimeout(ctx, c.opts.AttemptTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.opts.URL+"/measurements", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.endpoint, bytes.NewReader(body))
 	if err != nil {
 		return attemptResult{permanent: true, err: err}
 	}

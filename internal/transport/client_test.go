@@ -20,11 +20,12 @@ import (
 // is exhausted every request succeeds. A step is either an HTTP status
 // (with optional Retry-After) or a transport error.
 type scriptRT struct {
-	mu      sync.Mutex
-	script  []rtStep
-	got     []int // readings per request actually received
-	served  int
-	lastHdr http.Header
+	mu       sync.Mutex
+	script   []rtStep
+	got      []int // readings per request actually received
+	served   int
+	lastHdr  http.Header
+	lastPath string
 }
 
 type rtStep struct {
@@ -41,6 +42,7 @@ func (s *scriptRT) RoundTrip(req *http.Request) (*http.Response, error) {
 	_ = json.Unmarshal(body, &batch)
 	s.got = append(s.got, len(batch))
 	s.lastHdr = req.Header.Clone()
+	s.lastPath = req.URL.Path
 	step := rtStep{status: http.StatusOK}
 	if s.served < len(s.script) {
 		step = s.script[s.served]
@@ -311,5 +313,32 @@ func TestClientDrainSpool(t *testing.T) {
 	}
 	if st := c.Stats(); st.Delivered != 10 {
 		t.Errorf("delivered = %d", st.Delivered)
+	}
+}
+
+func TestClientZoneRoute(t *testing.T) {
+	rt := &scriptRT{}
+	c, _ := newTestClient(t, rt, nil)
+	if err := c.Send(context.Background(), batchOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if rt.lastPath != "/measurements" {
+		t.Fatalf("default path = %q, want /measurements", rt.lastPath)
+	}
+
+	rt = &scriptRT{}
+	c, _ = newTestClient(t, rt, func(o *Options) { o.Zone = "east-7" })
+	if err := c.Send(context.Background(), batchOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if rt.lastPath != "/zones/east-7/measurements" {
+		t.Fatalf("zoned path = %q, want /zones/east-7/measurements", rt.lastPath)
+	}
+
+	if _, err := NewClient(Options{
+		URL: "http://fusion.test", Zone: "Bad Zone",
+		Clock: clock.NewFake(time.Unix(0, 0)), RNG: rng.NewNamed(1, "zone-test"),
+	}); err == nil {
+		t.Fatal("bad zone name accepted")
 	}
 }
