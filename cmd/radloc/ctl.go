@@ -1,0 +1,270 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// ctlCmd is the cluster operator's tool: status, promote, drain,
+// demote, and the full migrate sequence against radlocd's /cluster
+// endpoints.
+func ctlCmd(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: radloc ctl <status|promote|drain|demote|migrate> [flags]")
+	}
+	verb, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("ctl "+verb, flag.ContinueOnError)
+	var (
+		urlFlag = fs.String("url", "http://127.0.0.1:8080", "node base URL the verb acts on")
+		zone    = fs.String("zone", "default", "zone the verb acts on")
+		token   = fs.String("token", "", "cluster bearer token")
+		from    = fs.String("from", "", "migrate: the zone's current primary base URL")
+		to      = fs.String("to", "", "migrate: the node taking the zone over")
+		epoch   = fs.Uint64("epoch", 0, "demote: the epoch the demotion carries (must be >= the zone's current)")
+		primary = fs.String("primary", "", "demote: primary URL the demoted node replicates from")
+		timeout = fs.Duration("timeout", time.Minute, "bound on the whole operation")
+		off     = fs.Bool("off", false, "drain: lift the drain instead of setting it")
+	)
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	c := &ctlClient{http: http.DefaultClient, token: *token, deadline: time.Now().Add(*timeout)}
+
+	switch verb {
+	case "status":
+		return c.status(stdout, *urlFlag)
+	case "promote":
+		var out struct {
+			Epoch uint64 `json:"epoch"`
+		}
+		if err := c.post(*urlFlag, "/cluster/promote/"+url.PathEscape(*zone), nil, &out); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "promoted %s on %s at epoch %d\n", *zone, *urlFlag, out.Epoch)
+		return nil
+	case "drain":
+		body := map[string]bool{"draining": !*off}
+		var out struct {
+			Draining bool   `json:"draining"`
+			Head     uint64 `json:"head"`
+		}
+		if err := c.post(*urlFlag, "/cluster/drain/"+url.PathEscape(*zone), body, &out); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "zone %s on %s draining=%v head=%d\n", *zone, *urlFlag, out.Draining, out.Head)
+		return nil
+	case "demote":
+		if *epoch == 0 {
+			return fmt.Errorf("ctl demote: -epoch is required (and must be >= the zone's current epoch)")
+		}
+		body := map[string]any{"epoch": *epoch, "primary": *primary}
+		if err := c.post(*urlFlag, "/cluster/demote/"+url.PathEscape(*zone), body, nil); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "demoted %s on %s to epoch %d\n", *zone, *urlFlag, *epoch)
+		return nil
+	case "migrate":
+		if *from == "" || *to == "" {
+			return fmt.Errorf("ctl migrate: -from and -to are required")
+		}
+		return c.migrate(stdout, *zone, *from, *to)
+	default:
+		return fmt.Errorf("ctl: unknown verb %q (want status, promote, drain, demote or migrate)", verb)
+	}
+}
+
+// ctlClient wraps the /cluster HTTP calls with the token and a
+// deadline shared across a multi-step operation.
+type ctlClient struct {
+	http     *http.Client
+	token    string
+	deadline time.Time
+}
+
+func (c *ctlClient) do(req *http.Request, out any) error {
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("%s %s: HTTP %d: %s", req.Method, req.URL, resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	if out == nil || len(raw) == 0 {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+func (c *ctlClient) get(base, path string, out any) error {
+	req, err := http.NewRequest(http.MethodGet, strings.TrimSuffix(base, "/")+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *ctlClient) post(base, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(blob)
+	} else {
+		rd = strings.NewReader("{}")
+	}
+	req, err := http.NewRequest(http.MethodPost, strings.TrimSuffix(base, "/")+path, rd)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+// ctlStatus mirrors the /cluster/status payload.
+type ctlStatus struct {
+	Self  string `json:"self"`
+	Zones []struct {
+		Zone       string  `json:"zone"`
+		Role       string  `json:"role"`
+		Epoch      uint64  `json:"epoch"`
+		Draining   bool    `json:"draining"`
+		Primary    string  `json:"primary"`
+		Head       uint64  `json:"head"`
+		Applied    uint64  `json:"applied"`
+		Acked      uint64  `json:"acked"`
+		LagRecords uint64  `json:"lagRecords"`
+		LagSeconds float64 `json:"lagSeconds"`
+		CaughtUp   bool    `json:"caughtUp"`
+		LastError  string  `json:"lastError"`
+	} `json:"zones"`
+}
+
+// status pretty-prints one node's per-zone replication posture.
+func (c *ctlClient) status(w io.Writer, base string) error {
+	var st ctlStatus
+	if err := c.get(base, "/cluster/status", &st); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "node %s\n", st.Self)
+	fmt.Fprintf(w, "%-16s %-8s %6s %6s %9s %9s %6s %s\n", "ZONE", "ROLE", "EPOCH", "DRAIN", "HEAD", "LAG", "SYNCED", "NOTE")
+	for _, z := range st.Zones {
+		drain := "-"
+		if z.Draining {
+			drain = "yes"
+		}
+		lag := fmt.Sprintf("%d", z.LagRecords)
+		if z.Role == "standby" && z.LagSeconds > 0 {
+			lag = fmt.Sprintf("%d/%.1fs", z.LagRecords, z.LagSeconds)
+		}
+		synced := "-"
+		if z.Role == "standby" {
+			synced = fmt.Sprintf("%v", z.CaughtUp)
+		}
+		note := z.LastError
+		if note == "" && z.Primary != "" {
+			note = "primary=" + z.Primary
+		}
+		fmt.Fprintf(w, "%-16s %-8s %6d %6s %9d %9s %6s %s\n",
+			z.Zone, z.Role, z.Epoch, drain, z.Head, lag, synced, note)
+	}
+	return nil
+}
+
+// zoneOn fetches one zone's status row from a node.
+func (c *ctlClient) zoneOn(base, zone string) (*ctlStatus, int, error) {
+	var st ctlStatus
+	if err := c.get(base, "/cluster/status", &st); err != nil {
+		return nil, -1, err
+	}
+	for i, z := range st.Zones {
+		if z.Zone == zone {
+			return &st, i, nil
+		}
+	}
+	return &st, -1, nil
+}
+
+// migrate runs the live-migration sequence: replicate to the target,
+// wait for catch-up, drain the source, wait for the final records,
+// promote the target, release the source. The source staying up
+// through the drain is the happy path; if it dies mid-sequence the
+// operator promotes the target by hand (`radloc ctl promote`) — the
+// epoch bump fences the dead node out either way.
+func (c *ctlClient) migrate(w io.Writer, zone, from, to string) error {
+	fmt.Fprintf(w, "migrate %s: %s -> %s\n", zone, from, to)
+	if err := c.post(to, "/cluster/replicate/"+url.PathEscape(zone), map[string]string{"from": from}, nil); err != nil {
+		return fmt.Errorf("replicate: %w", err)
+	}
+	fmt.Fprintf(w, "  replicating; waiting for catch-up\n")
+	if err := c.waitSynced(zone, to); err != nil {
+		return err
+	}
+	var dr struct {
+		Head uint64 `json:"head"`
+	}
+	if err := c.post(from, "/cluster/drain/"+url.PathEscape(zone), map[string]bool{"draining": true}, &dr); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintf(w, "  source draining at head %d; waiting for the tail\n", dr.Head)
+	if err := c.waitApplied(zone, to, dr.Head); err != nil {
+		return err
+	}
+	var pr struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := c.post(to, "/cluster/promote/"+url.PathEscape(zone), nil, &pr); err != nil {
+		return fmt.Errorf("promote: %w", err)
+	}
+	fmt.Fprintf(w, "  target promoted at epoch %d\n", pr.Epoch)
+	// Best-effort: the old owner may already be gone; promotion has
+	// fenced it regardless.
+	if err := c.post(from, "/cluster/release/"+url.PathEscape(zone), map[string]string{"to": to}, nil); err != nil {
+		fmt.Fprintf(w, "  release on %s failed (safe to ignore if the node is down): %v\n", from, err)
+	} else {
+		fmt.Fprintf(w, "  source released\n")
+	}
+	fmt.Fprintf(w, "migrated %s to %s\n", zone, to)
+	return nil
+}
+
+// waitSynced polls the target until the zone reports caught-up.
+func (c *ctlClient) waitSynced(zone, on string) error {
+	for {
+		st, i, err := c.zoneOn(on, zone)
+		if err == nil && i >= 0 && st.Zones[i].CaughtUp {
+			return nil
+		}
+		if time.Now().After(c.deadline) {
+			return fmt.Errorf("timed out waiting for %s on %s to catch up", zone, on)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// waitApplied polls the target until its applied offset reaches head.
+func (c *ctlClient) waitApplied(zone, on string, head uint64) error {
+	for {
+		st, i, err := c.zoneOn(on, zone)
+		if err == nil && i >= 0 && st.Zones[i].Applied >= head {
+			return nil
+		}
+		if time.Now().After(c.deadline) {
+			return fmt.Errorf("timed out waiting for %s on %s to reach offset %d", zone, on, head)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}

@@ -77,6 +77,8 @@ func run(args []string, stdout io.Writer) error {
 		return recordCmd(args[1:], stdout)
 	case "agent":
 		return agentCmd(args[1:], stdout)
+	case "ctl":
+		return ctlCmd(args[1:], stdout)
 	case "bench":
 		return benchCmd(args[1:], stdout)
 	case "help", "-h", "--help":
@@ -99,6 +101,7 @@ const usage = `usage:
   radloc diagnose [-scenario A -obstacles] [flags]  posterior-predictive check
   radloc record [-scenario A | -config FILE] [flags]  NDJSON stream for radlocd
   radloc agent -url URL [-in FILE] [-spool DIR] [flags]  deliver NDJSON to radlocd with retries
+  radloc ctl <status|promote|drain|demote|migrate> [flags]  operate a radlocd cluster (failover, live migration)
   radloc bench [-particles N -sensors N -steps T -profile] [flags]  stage-latency profile (CSV + pprof)
 flags: -reps N  -seed S  -steps T  -out FILE`
 

@@ -1,0 +1,225 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"radloc/internal/cluster"
+	"radloc/internal/fusion"
+	"radloc/internal/wal"
+	"radloc/internal/zone"
+)
+
+// zoneBackend implements cluster.Backend over one zone's engine and
+// durability plumbing. Each cluster operation resolves a fresh
+// backend through clusterBackend, so an evicted-and-recreated zone is
+// always addressed through its live incarnation.
+type zoneBackend struct {
+	zs *zoneSet
+	z  *zone.Zone
+}
+
+// clusterBackend is the cluster.BackendResolver: it routes through
+// the zone manager, so a replication target instantiates (and
+// recovers from its own WAL) exactly like a write target would.
+func (zs *zoneSet) clusterBackend(name string) (cluster.Backend, error) {
+	z, err := zs.manager.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return &zoneBackend{zs: zs, z: z}, nil
+}
+
+// Offset implements cluster.Backend: the WAL head when durability is
+// on, the engine's journal counter otherwise (they advance in
+// lockstep; without a log the counter is all there is).
+func (b *zoneBackend) Offset() uint64 {
+	if d := zoneDurable(b.z); d != nil {
+		d.j.mu.Lock()
+		defer d.j.mu.Unlock()
+		return d.j.log.Offset()
+	}
+	return b.z.Engine().Snapshot().Journaled
+}
+
+// Oldest implements cluster.Backend. Without a log nothing historical
+// is servable, so Oldest equals the head and any lagging replica is
+// pushed onto the snapshot-bootstrap path.
+func (b *zoneBackend) Oldest() uint64 {
+	if d := zoneDurable(b.z); d != nil {
+		d.j.mu.Lock()
+		defer d.j.mu.Unlock()
+		return d.j.log.Oldest()
+	}
+	return b.z.Engine().Snapshot().Journaled
+}
+
+// errStopRead is the sentinel ReadWAL uses to stop Replay at max
+// records; it never escapes.
+var errStopRead = fmt.Errorf("stop")
+
+// ReadWAL implements cluster.Backend by streaming the zone's log.
+func (b *zoneBackend) ReadWAL(from uint64, max int, fn func(off uint64, rec wal.Record) error) error {
+	d := zoneDurable(b.z)
+	if d == nil {
+		if from >= b.Offset() {
+			return nil
+		}
+		return cluster.ErrPruned
+	}
+	d.j.mu.Lock()
+	defer d.j.mu.Unlock()
+	if from < d.j.log.Oldest() {
+		return cluster.ErrPruned
+	}
+	n := 0
+	err := d.j.log.Replay(from, func(off uint64, rec wal.Record) error {
+		if n >= max {
+			return errStopRead
+		}
+		n++
+		return fn(off, rec)
+	})
+	if err == errStopRead {
+		return nil
+	}
+	return err
+}
+
+// SetRetainFloor implements cluster.Backend; a no-op without a log.
+func (b *zoneBackend) SetRetainFloor(off uint64) {
+	if d := zoneDurable(b.z); d != nil {
+		d.j.mu.Lock()
+		d.j.log.SetRetain(off)
+		d.j.mu.Unlock()
+	}
+}
+
+// ApplyRecords implements cluster.Backend: each replicated record is
+// journaled (WAL order stays application order, same as the live
+// write path) and then applied through the engine's replay entry —
+// the exact code path boot recovery uses, which is what makes a
+// caught-up standby bit-identical to its primary.
+func (b *zoneBackend) ApplyRecords(recs []cluster.RecordAt) error {
+	d := zoneDurable(b.z)
+	eng := b.z.Engine()
+	for _, ra := range recs {
+		if cur := b.Offset(); ra.Off != cur {
+			return fmt.Errorf("replication offset gap: got %d, local head %d", ra.Off, cur)
+		}
+		if d != nil {
+			d.j.mu.Lock()
+			_, err := d.j.log.Append(ra.Rec)
+			d.j.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+		eng.Replay(fusion.Meas{SensorID: ra.Rec.SensorID, CPM: ra.Rec.CPM, Step: ra.Rec.Step, Seq: ra.Rec.Seq})
+	}
+	if d != nil {
+		d.maybeCheckpoint(b.zs.logw)
+	}
+	return nil
+}
+
+// ExportState implements cluster.Backend.
+func (b *zoneBackend) ExportState() (json.RawMessage, uint64, error) {
+	st, err := b.z.Engine().ExportState()
+	if err != nil {
+		return nil, 0, err
+	}
+	blob, err := json.Marshal(st)
+	if err != nil {
+		return nil, 0, err
+	}
+	return blob, st.Journaled, nil
+}
+
+// Bootstrap implements cluster.Backend: import the shipped state,
+// fast-forward the local log to the offset it covers, and checkpoint
+// immediately so a crash right after recovers into the snapshot, not
+// an empty zone.
+func (b *zoneBackend) Bootstrap(state json.RawMessage, applied uint64) error {
+	var st fusion.EngineState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return fmt.Errorf("bootstrap state: %w", err)
+	}
+	eng := b.z.Engine()
+	if err := eng.ImportState(st); err != nil {
+		return err
+	}
+	d := zoneDurable(b.z)
+	if d == nil {
+		return nil
+	}
+	d.j.mu.Lock()
+	err := d.j.log.AlignTo(applied)
+	d.j.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return d.checkpoint()
+}
+
+// Checkpoint implements cluster.Backend; a no-op without durability.
+func (b *zoneBackend) Checkpoint() error {
+	if d := zoneDurable(b.z); d != nil {
+		return d.checkpoint()
+	}
+	return nil
+}
+
+// epochFileName holds a zone's fencing epoch next to its WAL.
+const epochFileName = "cluster-epoch.json"
+
+// fileEpochStore persists per-zone fencing epochs in each zone's WAL
+// directory, written atomically (tmp + rename) like checkpoints are.
+// A node that was demoted and then restarts must not come back
+// believing its old epoch.
+type fileEpochStore struct {
+	zs *zoneSet
+}
+
+// Load implements cluster.EpochStore; a missing file is epoch 0.
+func (s *fileEpochStore) Load(zone string) (uint64, error) {
+	raw, err := os.ReadFile(filepath.Join(s.zs.zoneWalDir(zone), epochFileName))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var v struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.Unmarshal(raw, &v); err != nil {
+		// A torn epoch file must not block boot; treating it as epoch 0
+		// is safe — the node rejoins humbly and adopts the cluster's
+		// current epoch on first contact.
+		fmt.Fprintf(s.zs.logw, "radlocd: ignoring corrupt %s for zone %q: %v\n", epochFileName, zone, err)
+		return 0, nil
+	}
+	return v.Epoch, nil
+}
+
+// Save implements cluster.EpochStore.
+func (s *fileEpochStore) Save(zone string, epoch uint64) error {
+	dir := s.zs.zoneWalDir(zone)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	blob, err := json.Marshal(struct {
+		Epoch uint64 `json:"epoch"`
+	}{epoch})
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, epochFileName+".tmp")
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, epochFileName))
+}

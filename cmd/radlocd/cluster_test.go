@@ -1,0 +1,522 @@
+package main
+
+// Cluster failover integration tests: two full daemon stacks (zone
+// manager, per-zone WAL, fusion engines, /cluster endpoints, write
+// fencing) wired over an in-process network. The headline criterion
+// mirrors the single-node durability one: kill the primary without
+// any shutdown flush, promote the standby, redeliver the stream
+// at-least-once, and the promoted node's state must be bit-identical
+// to a never-clustered, never-interrupted run.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"radloc/internal/clock"
+	"radloc/internal/cluster"
+	"radloc/internal/fusion"
+	"radloc/internal/httpingest"
+	"radloc/internal/obs"
+	"radloc/internal/rng"
+	"radloc/internal/scenario"
+	"radloc/internal/sim"
+	"radloc/internal/transport"
+	"radloc/internal/wal"
+)
+
+// clusterFabric maps in-process hosts to their daemon muxes.
+type clusterFabric struct {
+	mu    sync.Mutex
+	hosts map[string]http.Handler
+}
+
+func newClusterFabric() *clusterFabric {
+	return &clusterFabric{hosts: make(map[string]http.Handler)}
+}
+
+func (f *clusterFabric) add(host string, h http.Handler) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hosts[host] = h
+}
+
+func (f *clusterFabric) handler(host string) http.Handler {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hosts[host]
+}
+
+// fabricLink is one participant's view of the network: its own cut
+// set, so a replication path can be severed while client traffic to
+// the same host keeps flowing (and vice versa).
+type fabricLink struct {
+	f    *clusterFabric
+	mu   sync.Mutex
+	down map[string]bool
+}
+
+func (f *clusterFabric) link() *fabricLink {
+	return &fabricLink{f: f, down: make(map[string]bool)}
+}
+
+func (l *fabricLink) cut(host string, v bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.down[host] = v
+}
+
+func (l *fabricLink) RoundTrip(req *http.Request) (*http.Response, error) {
+	l.mu.Lock()
+	down := l.down[req.URL.Host]
+	l.mu.Unlock()
+	h := l.f.handler(req.URL.Host)
+	if h == nil || down {
+		return nil, fmt.Errorf("fabric: host %q unreachable", req.URL.Host)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Result(), nil
+}
+
+// clusterTestNode is one daemon's full stack. node is nil for the
+// standalone (non-clustered) reference deployment.
+type clusterTestNode struct {
+	zs   *zoneSet
+	node *cluster.Node
+	mux  *http.ServeMux
+	reg  *obs.Registry
+	link *fabricLink
+}
+
+// newClusterTestNode assembles the stack exactly as run() does:
+// durable zone set, recovery, cluster node on the zone-set backend,
+// fenced mux. Every node builds identical engines (same scenario,
+// same seed), so state comparisons across nodes are meaningful.
+func newClusterTestNode(t *testing.T, fab *clusterFabric, host string, routes *cluster.Routes) *clusterTestNode {
+	t.Helper()
+	reg := obs.NewRegistry()
+	sc := scenario.A(50, false)
+	build := func(j fusion.Journal, met *obs.Registry) (*fusion.Engine, error) {
+		fcfg := fusion.Config{Localizer: sim.LocalizerConfig(sc), Sensors: sc.Sensors, Journal: j, Metrics: met}
+		fcfg.Localizer.Seed = 3
+		// A one-round reorder window keeps the WAL advancing as each
+		// round lands, so replication lag and retention are exercised
+		// with a 6-round stream (the default window of 4 would hold
+		// most of it in the gate, journaling almost nothing).
+		fcfg.ReorderWindow = 1
+		return fusion.NewEngine(fcfg)
+	}
+	zs, err := newZoneSet(zoneSetOptions{
+		WalRoot: t.TempDir(), Fsync: wal.FsyncNever, CkptEvery: 50,
+		MaxZones: 8, Mailbox: 64, Metrics: reg, Log: io.Discard, Build: build,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = zs.close() })
+	if err := zs.recoverZones(); err != nil {
+		t.Fatal(err)
+	}
+
+	n := &clusterTestNode{zs: zs, reg: reg, link: fab.link()}
+	if routes != nil {
+		n.node, err = cluster.NewNode(cluster.Options{
+			Self:         "http://" + host,
+			Resolver:     zs.clusterBackend,
+			Epochs:       &fileEpochStore{zs: zs},
+			HTTP:         n.link,
+			PullInterval: time.Millisecond,
+			Drop:         zs.manager.Drop,
+			Metrics:      reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(n.node.Close)
+		if err := n.node.SetRoutes(*routes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	def := zs.defaultZone()
+	n.mux = newMux(serveConfig{
+		Engine: def.Engine(), Durable: zoneDurable(def), Zones: zs,
+		Ingest:  newZonedIngest(zs.manager, httpingest.Options{QueueDepth: 256, Metrics: reg}),
+		Metrics: reg, Cluster: n.node,
+		Ready: func() bool { return n.node == nil || n.node.Ready() },
+	})
+	fab.add(host, n.mux)
+	return n
+}
+
+// backend resolves the node's default-zone cluster backend.
+func (n *clusterTestNode) backend(t *testing.T, zone string) cluster.Backend {
+	t.Helper()
+	b, err := n.zs.clusterBackend(zone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// status fetches one zone's replication status row.
+func (n *clusterTestNode) status(zone string) (cluster.ZoneStatus, bool) {
+	for _, st := range n.node.Status() {
+		if st.Zone == zone {
+			return st, true
+		}
+	}
+	return cluster.ZoneStatus{}, false
+}
+
+// newClusterClient builds a delivery agent aimed at url over its own
+// fabric link, with redirect following live.
+func newClusterClient(t *testing.T, fab *clusterFabric, url, name, zone string) *transport.Client {
+	t.Helper()
+	c, err := transport.NewClient(transport.Options{
+		URL: url, Zone: zone, HTTP: fab.link(), Clock: clock.Real{},
+		RNG:     rng.NewNamed(7, "cluster-test/"+name),
+		Backoff: transport.Backoff{Base: time.Millisecond, Cap: 10 * time.Millisecond},
+		Breaker: transport.BreakerConfig{FailureThreshold: 3, Cooldown: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// sendRounds delivers readings one sensor-round per request.
+func sendRounds(t *testing.T, c *transport.Client, readings []transport.Reading, perRound int) {
+	t.Helper()
+	for i := 0; i < len(readings); i += perRound {
+		end := i + perRound
+		if end > len(readings) {
+			end = len(readings)
+		}
+		if err := c.Send(context.Background(), readings[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// normalizedState releases the engine's reorder-gate tail, refreshes,
+// and renders the snapshot and health with the delivery counters
+// zeroed — the bit-identical comparison form the chaos tests use.
+func normalizedState(t *testing.T, eng *fusion.Engine) ([]byte, []byte) {
+	t.Helper()
+	if _, err := eng.FlushPending(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Refresh()
+	s := eng.Snapshot()
+	s.Delivery = fusion.DeliveryStats{}
+	snap, err := json.Marshal(snapshotToJSON(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	health, err := json.Marshal(healthToJSON(s.Health))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap, health
+}
+
+// httpStatus issues one request against a mux and returns the code.
+func httpStatus(mux *http.ServeMux, method, url, body string) (*httptest.ResponseRecorder, int) {
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, url, rd)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	return rec, rec.Code
+}
+
+// TestClusterFailoverBitIdentical is the headline cluster criterion:
+// half the stream lands on the primary, the primary is killed with no
+// shutdown flush of any kind, the standby is promoted, and the whole
+// stream is redelivered to it at-least-once. The promoted node must
+// end bit-identical to a standalone daemon that consumed the stream
+// uninterrupted — replication plus the dedup gate lose nothing and
+// double-apply nothing across a failover.
+func TestClusterFailoverBitIdentical(t *testing.T) {
+	fab := newClusterFabric()
+	routes := cluster.Routes{Zones: map[string]cluster.Route{
+		"default": {Primary: "http://a", Standby: "http://b"},
+	}}
+	a := newClusterTestNode(t, fab, "a", &routes)
+	b := newClusterTestNode(t, fab, "b", &routes)
+	clean := newClusterTestNode(t, fab, "c", nil)
+
+	sensors := len(scenario.A(50, false).Sensors)
+	readings := chaosReadings(sensors)
+	half := (len(readings) / (2 * sensors)) * sensors // whole-round boundary
+
+	// Reference: the same stream, one node, no interruptions.
+	sendRounds(t, newClusterClient(t, fab, "http://c", "clean", ""), readings, sensors)
+	wantSnap, wantHealth := normalizedState(t, clean.zs.defaultZone().Engine())
+
+	// Primary takes the first half; the standby replicates it.
+	sendRounds(t, newClusterClient(t, fab, "http://a", "pre-kill", ""), readings[:half], sensors)
+	aBack := a.backend(t, "default")
+	waitUntil(t, "standby catch-up before the kill", func() bool {
+		st, ok := b.status("default")
+		return ok && st.CaughtUp && b.backend(t, "default").Offset() == aBack.Offset()
+	})
+
+	// Kill the primary: sever it and abandon its zone set — no final
+	// checkpoint, no gate flush, no WAL sync. Observationally SIGKILL.
+	b.link.cut("a", true)
+
+	epoch, err := b.node.Promote("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 2 {
+		t.Fatalf("promote epoch = %d, want 2", epoch)
+	}
+	if _, code := httpStatus(b.mux, http.MethodGet, "http://b/readyz", ""); code != http.StatusOK {
+		t.Fatalf("promoted node /readyz = %d, want 200", code)
+	}
+
+	// At-least-once redelivery of the whole stream to the new primary:
+	// the sequence gate absorbs everything replication already applied.
+	sendRounds(t, newClusterClient(t, fab, "http://b", "post-kill", ""), readings, sensors)
+
+	gotSnap, gotHealth := normalizedState(t, b.zs.defaultZone().Engine())
+	if !bytes.Equal(wantSnap, gotSnap) {
+		t.Errorf("promoted standby diverged from clean run:\nclean:    %s\npromoted: %s", wantSnap, gotSnap)
+	}
+	if !bytes.Equal(wantHealth, gotHealth) {
+		t.Errorf("promoted standby health diverged:\nclean:    %s\npromoted: %s", wantHealth, gotHealth)
+	}
+
+	// The dead primary stays fenced: a pull carrying the new epoch gets
+	// 409 and forces it to step down, even if it limps back.
+	b.link.cut("a", false)
+	rec, code := httpStatus(a.mux, http.MethodGet, "http://a/cluster/wal/default?from=0&epoch=2", "")
+	if code != http.StatusConflict {
+		t.Fatalf("stale primary served a newer-epoch pull: HTTP %d: %s", code, rec.Body.String())
+	}
+	if _, code := httpStatus(a.mux, http.MethodPost, "http://a/measurements", `{"sensorId":0,"cpm":12}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("fenced old primary accepted a write: HTTP %d", code)
+	}
+}
+
+// TestClusterStandbyRedirectsWrites drives a full loop through the
+// routing layer: an agent aimed at the standby is 307'd to the
+// primary, follows the redirect through its normal retry machinery,
+// and the applied records replicate back to the very standby that
+// bounced them.
+func TestClusterStandbyRedirectsWrites(t *testing.T) {
+	fab := newClusterFabric()
+	routes := cluster.Routes{Zones: map[string]cluster.Route{
+		"default": {Primary: "http://a", Standby: "http://b"},
+	}}
+	a := newClusterTestNode(t, fab, "a", &routes)
+	b := newClusterTestNode(t, fab, "b", &routes)
+
+	// Raw request: the standby answers 307 with the primary's URL.
+	rec, code := httpStatus(b.mux, http.MethodPost, "http://b/measurements", `[{"sensorId":0,"cpm":12,"step":0,"seq":1}]`)
+	if code != http.StatusTemporaryRedirect {
+		t.Fatalf("standby write = HTTP %d, want 307", code)
+	}
+	if loc := rec.Header().Get("Location"); loc != "http://a/measurements" {
+		t.Fatalf("redirect Location = %q", loc)
+	}
+
+	// Agent aimed at the standby: delivery succeeds via the redirect.
+	sensors := len(scenario.A(50, false).Sensors)
+	readings := chaosReadings(sensors)
+	c := newClusterClient(t, fab, "http://b", "redirected", "")
+	sendRounds(t, c, readings, sensors)
+	st := c.Stats()
+	if st.Redirects != 1 || st.Delivered != uint64(len(readings)) {
+		t.Fatalf("client stats = %+v, want 1 redirect and full delivery", st)
+	}
+
+	aBack := a.backend(t, "default")
+	if aBack.Offset() == 0 {
+		t.Fatal("primary journaled nothing")
+	}
+	waitUntil(t, "replication back to the standby", func() bool {
+		return b.backend(t, "default").Offset() == aBack.Offset()
+	})
+}
+
+// scrapeGauge pulls one labeled gauge value off a node's /metrics.
+func scrapeGauge(t *testing.T, mux *http.ServeMux, name string) (float64, bool) {
+	t.Helper()
+	rec, code := httpStatus(mux, http.MethodGet, "http://x/metrics", "")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = HTTP %d", code)
+	}
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if strings.HasPrefix(line, name+" ") || strings.HasPrefix(line, name+"{") {
+			fields := strings.Fields(line)
+			v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+			if err != nil {
+				t.Fatalf("unparseable metric line %q", line)
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// TestClusterPartitionedStandbyDegrades pins the graceful-degradation
+// contract: a partitioned standby keeps serving reads, reports itself
+// unready and lagging (gauge and status), refuses writes (no split
+// brain), and catches up cleanly after the heal — while the primary
+// keeps accepting writes throughout.
+func TestClusterPartitionedStandbyDegrades(t *testing.T) {
+	fab := newClusterFabric()
+	routes := cluster.Routes{Zones: map[string]cluster.Route{
+		"default": {Primary: "http://a", Standby: "http://b"},
+	}}
+	a := newClusterTestNode(t, fab, "a", &routes)
+	b := newClusterTestNode(t, fab, "b", &routes)
+
+	sensors := len(scenario.A(50, false).Sensors)
+	readings := chaosReadings(sensors)
+	agent := newClusterClient(t, fab, "http://a", "partition", "")
+	sendRounds(t, agent, readings[:2*sensors], sensors)
+	aBack := a.backend(t, "default")
+	waitUntil(t, "initial catch-up", func() bool {
+		return aBack.Offset() > 0 && b.backend(t, "default").Offset() == aBack.Offset()
+	})
+	waitUntil(t, "initial readiness", func() bool {
+		_, code := httpStatus(b.mux, http.MethodGet, "http://b/readyz", "")
+		return code == http.StatusOK
+	})
+
+	// Partition the standby's replication path only.
+	offBefore := aBack.Offset()
+	b.link.cut("a", true)
+	waitUntil(t, "standby to notice the partition", func() bool {
+		st, ok := b.status("default")
+		return ok && !st.CaughtUp && st.LastError != ""
+	})
+
+	// Writes keep flowing to the primary through the partition.
+	sendRounds(t, agent, readings[2*sensors:4*sensors], sensors)
+	if got := aBack.Offset(); got <= offBefore {
+		t.Fatalf("primary stopped journaling under partition (offset %d, was %d)", got, offBefore)
+	}
+	// The standby degrades honestly: unready, lag gauge climbing,
+	// reads still served, writes still refused.
+	if _, code := httpStatus(b.mux, http.MethodGet, "http://b/readyz", ""); code != http.StatusServiceUnavailable {
+		t.Fatalf("partitioned standby /readyz = %d, want 503", code)
+	}
+	waitUntil(t, "lag gauge to rise", func() bool {
+		v, ok := scrapeGauge(t, b.mux, "radloc_repl_lag_seconds")
+		return ok && v > 0
+	})
+	if _, code := httpStatus(b.mux, http.MethodGet, "http://b/snapshot", ""); code != http.StatusOK {
+		t.Fatalf("partitioned standby stopped serving reads")
+	}
+	if _, code := httpStatus(b.mux, http.MethodPost, "http://b/measurements", `[{"sensorId":1,"cpm":14}]`); code != http.StatusTemporaryRedirect {
+		t.Fatalf("partitioned standby write = %d, want 307 (split brain guard)", code)
+	}
+
+	// Heal: the standby drains the backlog and is ready again.
+	b.link.cut("a", false)
+	waitUntil(t, "catch-up after heal", func() bool {
+		st, ok := b.status("default")
+		return ok && st.CaughtUp && b.backend(t, "default").Offset() == aBack.Offset()
+	})
+	waitUntil(t, "readiness after heal", func() bool {
+		_, code := httpStatus(b.mux, http.MethodGet, "http://b/readyz", "")
+		return code == http.StatusOK
+	})
+}
+
+// TestClusterLiveMigration walks the migrate sequence the ctl command
+// drives — replicate, catch up, drain, promote, release — for a named
+// zone, with the source node alive throughout.
+func TestClusterLiveMigration(t *testing.T) {
+	fab := newClusterFabric()
+	empty := cluster.Routes{}
+	a := newClusterTestNode(t, fab, "a", &empty)
+	b := newClusterTestNode(t, fab, "b", &empty)
+
+	sensors := len(scenario.A(50, false).Sensors)
+	readings := chaosReadings(sensors)
+	agent := newClusterClient(t, fab, "http://a", "migrate", "west")
+	sendRounds(t, agent, readings[:3*sensors], sensors)
+	aBack := a.backend(t, "west")
+	if aBack.Offset() == 0 {
+		t.Fatal("source journaled nothing")
+	}
+
+	// Step 1: target warms up against the live owner.
+	if err := b.node.Replicate("west", "http://a"); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "migration target catch-up", func() bool {
+		st, ok := b.status("west")
+		return ok && st.CaughtUp && b.backend(t, "west").Offset() == aBack.Offset()
+	})
+
+	// Step 2: drain the source; writes bounce with Retry-After so the
+	// agent's retry machinery holds them instead of losing them.
+	if err := a.node.SetDraining("west", true); err != nil {
+		t.Fatal(err)
+	}
+	rec, code := httpStatus(a.mux, http.MethodPost, "http://a/zones/west/measurements", `[{"sensorId":2,"cpm":13}]`)
+	if code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("draining write = HTTP %d (Retry-After %q), want 503 with hint", code, rec.Header().Get("Retry-After"))
+	}
+	head := aBack.Offset()
+	waitUntil(t, "final records to reach the target", func() bool {
+		return b.backend(t, "west").Offset() >= head
+	})
+
+	// Step 3: cut over.
+	if _, err := b.node.Promote("west"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.node.Release("west", "http://b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.zs.manager.Lookup("west"); ok {
+		t.Fatal("released zone still live on the source")
+	}
+
+	// The source now redirects the zone's writes to the new owner, and
+	// the agent follows without losing a reading.
+	rec, code = httpStatus(a.mux, http.MethodPost, "http://a/zones/west/measurements", `[{"sensorId":2,"cpm":13,"step":3,"seq":4}]`)
+	if code != http.StatusTemporaryRedirect || rec.Header().Get("Location") != "http://b/zones/west/measurements" {
+		t.Fatalf("post-release write = HTTP %d Location %q", code, rec.Header().Get("Location"))
+	}
+	before := b.backend(t, "west").Offset()
+	sendRounds(t, agent, readings[3*sensors:], sensors)
+	if st := agent.Stats(); st.Redirects == 0 {
+		t.Fatalf("agent never followed the migration redirect: %+v", st)
+	}
+	if got := b.backend(t, "west").Offset(); got <= before {
+		t.Fatalf("new owner journaled nothing after cutover (offset %d)", got)
+	}
+}

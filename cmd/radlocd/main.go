@@ -39,11 +39,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"radloc/internal/cluster"
 	"radloc/internal/config"
 	"radloc/internal/fusion"
 	"radloc/internal/httpingest"
@@ -87,6 +90,11 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		maxZones    = fs.Int("max-zones", 64, "cap on concurrently live fusion zones; creating one more is refused (HTTP 503)")
 		zoneMail    = fs.Int("zone-mailbox", 64, "per-zone mailbox depth in batches; a full mailbox sheds with 429 + Retry-After")
 		zoneIdle    = fs.Duration("zone-idle", 0, "evict a named zone idle this long, after a final checkpoint (0 = never; the default zone is never evicted)")
+		clusterSelf = fs.String("cluster-self", "", "this node's base URL as peers reach it (e.g. http://10.0.0.1:8080); enables cluster mode (requires -listen)")
+		clusterRts  = fs.String("cluster-routes", "", "JSON zone-to-node routing table; standby zones start replicating at boot")
+		clusterTok  = fs.String("cluster-token", "", "bearer token guarding the /cluster endpoints and attached to outgoing replication pulls")
+		replEvery   = fs.Duration("repl-interval", 500*time.Millisecond, "standby idle poll period between replication pulls")
+		replBatch   = fs.Int("repl-batch", 4096, "max WAL records per replication pull")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -148,11 +156,50 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 	// state on disk, each from its own WAL directory — newest valid
 	// checkpoint plus WAL suffix replay through the live ingest path.
 	// Logged to stderr — stdout is the data channel in pipe mode.
+	// /readyz stays 503 until this completes (and, in cluster mode,
+	// until every standby zone has caught up at least once).
+	var recovered atomic.Bool
 	if err := zs.recoverZones(); err != nil {
 		return err
 	}
+	recovered.Store(true)
 	def := zs.defaultZone()
 	engine, d := def.Engine(), zoneDurable(def)
+
+	var node *cluster.Node
+	if *clusterSelf != "" {
+		if *listen == "" {
+			return fmt.Errorf("-cluster-self requires -listen (replication is served over HTTP)")
+		}
+		var eps cluster.EpochStore = &cluster.MemEpochStore{}
+		if *walDir != "" {
+			eps = &fileEpochStore{zs: zs}
+		}
+		node, err = cluster.NewNode(cluster.Options{
+			Self:         *clusterSelf,
+			Token:        *clusterTok,
+			Resolver:     zs.clusterBackend,
+			Epochs:       eps,
+			PullInterval: *replEvery,
+			PullBatch:    *replBatch,
+			Drop:         zs.manager.Drop,
+			Metrics:      reg,
+			Log:          log.New(os.Stderr, "", log.LstdFlags),
+		})
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		if *clusterRts != "" {
+			rt, rerr := cluster.LoadRoutes(*clusterRts)
+			if rerr != nil {
+				return rerr
+			}
+			if err := node.SetRoutes(rt); err != nil {
+				return err
+			}
+		}
+	}
 	if *zoneIdle > 0 {
 		interval := *zoneIdle / 4
 		if interval < time.Second {
@@ -173,7 +220,10 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		err = serveHTTP(ctx, *listen, serveConfig{
 			Engine: engine, Durable: d, Ingest: ing, Zones: zs,
 			Timeouts: httpTimeouts{Read: *readTO, Write: *writeTO, Idle: *idleTO},
-			Metrics:  reg, Pprof: *pprofOn,
+			Metrics:  reg, Pprof: *pprofOn, Cluster: node,
+			Ready: func() bool {
+				return recovered.Load() && (node == nil || node.Ready())
+			},
 		}, stdout)
 	} else {
 		every := *reportEvery

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -15,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"radloc/internal/cluster"
 	"radloc/internal/fusion"
 	"radloc/internal/httpingest"
 	"radloc/internal/obs"
@@ -332,6 +334,43 @@ type serveConfig struct {
 	// by default: the profile endpoints expose heap contents and must
 	// be opted into on trusted networks only.
 	Pprof bool
+	// Cluster, when non-nil, mounts the /cluster endpoints and fences
+	// the write routes: a standby zone 307s writes to its primary (or
+	// 503s when the primary is unknown), a draining zone 503s with
+	// Retry-After.
+	Cluster *cluster.Node
+	// Ready, when non-nil, gates /readyz: false keeps it at 503 even
+	// after the first refresh — boot-time zone recovery or replication
+	// catch-up is still in progress.
+	Ready func() bool
+}
+
+// fenceWrites wraps a measurement route with the cluster's write
+// admission: only the zone's live primary applies writes. A standby
+// with a known primary answers 307 — the agent's transport follows it
+// and re-aims — and a draining or ownerless zone answers 503 so the
+// agent's retry/spool machinery holds the data instead of losing it.
+func fenceWrites(node *cluster.Node, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("zone")
+		if name == "" {
+			name = zone.DefaultZone
+		}
+		if err := node.AdmitWrite(name); err != nil {
+			var np *cluster.NotPrimaryError
+			switch {
+			case errors.As(err, &np) && np.Primary != "":
+				http.Redirect(w, r, np.Primary+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+			case errors.Is(err, cluster.ErrDraining):
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			default:
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			}
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // zoneGET wraps a per-zone read endpoint: GET only, the zone must
@@ -414,8 +453,21 @@ func newMux(cfg serveConfig) *http.ServeMux {
 	// liveness so orchestrators don't route traffic to a fusion center
 	// that has not yet seen a full sensor round.
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Ready != nil && !cfg.Ready() {
+			http.Error(w, "not ready: zone recovery or replication catch-up in progress",
+				http.StatusServiceUnavailable)
+			return
+		}
+		// A standby serves reads before its first refresh — its state
+		// comes from replication, not local ingest — so the refresh
+		// check applies only where this node owns the default zone.
+		standby := false
+		if cfg.Cluster != nil {
+			var np *cluster.NotPrimaryError
+			standby = errors.As(cfg.Cluster.AdmitWrite(zone.DefaultZone), &np)
+		}
 		s := engine.Snapshot()
-		if s.Refreshes == 0 {
+		if s.Refreshes == 0 && !standby {
 			http.Error(w, fmt.Sprintf("not ready: %d measurements ingested, no estimate refresh yet", s.Ingested),
 				http.StatusServiceUnavailable)
 			return
@@ -451,8 +503,14 @@ func newMux(cfg serveConfig) *http.ServeMux {
 	// reading counts as accepted: it will be applied when its round
 	// releases); seq-0 readings take the legacy direct path. The
 	// handler sheds with 429 + Retry-After under overload — see
-	// internal/httpingest.
-	mux.Handle("/measurements", ing)
+	// internal/httpingest. In cluster mode, writes are additionally
+	// fenced to the zone's live primary.
+	var writeRoute http.Handler = ing
+	if cfg.Cluster != nil {
+		writeRoute = fenceWrites(cfg.Cluster, ing)
+		cfg.Cluster.Mount(mux)
+	}
+	mux.Handle("/measurements", writeRoute)
 	if cfg.Zones != nil {
 		man := cfg.Zones.manager
 		// Zone registry: the live zone names, sorted.
@@ -467,7 +525,7 @@ func newMux(cfg serveConfig) *http.ServeMux {
 		// The zone-scoped write route shares the admission handler with
 		// the legacy route; the {zone} path value picks the engine (and
 		// creates the zone on its first batch).
-		mux.Handle("/zones/{zone}/measurements", ing)
+		mux.Handle("/zones/{zone}/measurements", writeRoute)
 		// Zone-scoped reads mirror the unnamed routes one-to-one; the
 		// unnamed routes themselves alias the default zone.
 		mux.HandleFunc("/zones/{zone}/snapshot", zoneGET(man, func(z *zone.Zone) any {

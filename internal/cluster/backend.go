@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+
+	"radloc/internal/wal"
+)
+
+// RecordAt pairs a WAL record with its global offset for transfer
+// between the stream decoder and the backend's apply path.
+type RecordAt struct {
+	// Off is the record's global WAL offset.
+	Off uint64
+	// Rec is the journaled measurement.
+	Rec wal.Record
+}
+
+// ErrPruned is returned by Backend.ReadWAL when the requested offset
+// has been pruned from disk — the replica is too far behind to catch
+// up from the log and must bootstrap from a state snapshot instead.
+// The HTTP boundary maps it to 410 Gone.
+var ErrPruned = errors.New("cluster: offset pruned from wal")
+
+// Backend is the per-zone durability surface the cluster layer
+// replicates through. cmd/radlocd implements it over the zone's WAL +
+// checkpoint machinery; tests implement it in memory. Implementations
+// must be safe for concurrent use — the node calls them from HTTP
+// handlers and replica goroutines.
+type Backend interface {
+	// Offset is the zone's WAL head: the offset the next accepted
+	// record will get. Everything below it has been applied.
+	Offset() uint64
+	// Oldest is the oldest offset still readable from the local log;
+	// ReadWAL below it fails with ErrPruned.
+	Oldest() uint64
+	// ReadWAL streams records [from, from+max) in offset order through
+	// fn, stopping early on fn error. from below Oldest fails with
+	// ErrPruned; from at or above the head streams nothing.
+	ReadWAL(from uint64, max int, fn func(off uint64, rec wal.Record) error) error
+	// SetRetainFloor parks the WAL pruning floor at off: records at or
+	// above it survive pruning for a lagging replica's benefit.
+	SetRetainFloor(off uint64)
+	// ApplyRecords journals and applies replicated records in order.
+	// Each record's offset must equal the local head — a gap means the
+	// stream and local state diverged, which is an error, never a
+	// silent skip.
+	ApplyRecords(recs []RecordAt) error
+	// ExportState serializes the engine state and the WAL offset it
+	// covers, for bootstrapping a replica that is beyond log repair.
+	ExportState() (state json.RawMessage, applied uint64, err error)
+	// Bootstrap replaces local state with a shipped snapshot and
+	// aligns the local log to applied, discarding whatever was there.
+	Bootstrap(state json.RawMessage, applied uint64) error
+	// Checkpoint forces a durable checkpoint now — promotion seals the
+	// takeover so a crash right after it recovers into the new role's
+	// state.
+	Checkpoint() error
+}
+
+// BackendResolver finds (creating if needed) the backend for a zone.
+// cmd/radlocd routes this through the zone manager so replication
+// targets lazily instantiate exactly like write targets do.
+type BackendResolver func(zone string) (Backend, error)
+
+// EpochStore persists per-zone epochs across restarts. Epochs fence
+// split-brain: a node that crashes and restarts must not forget it
+// was demoted.
+type EpochStore interface {
+	// Load returns the stored epoch for a zone, 0 if none.
+	Load(zone string) (uint64, error)
+	// Save durably records the zone's epoch.
+	Save(zone string, epoch uint64) error
+}
+
+// MemEpochStore is an in-memory EpochStore for tests and for nodes
+// running without durability (where a restart loses engine state
+// anyway, so losing the epoch with it is consistent).
+type MemEpochStore struct {
+	mu sync.Mutex
+	m  map[string]uint64
+}
+
+// Load implements EpochStore.
+func (s *MemEpochStore) Load(zone string) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[zone], nil
+}
+
+// Save implements EpochStore.
+func (s *MemEpochStore) Save(zone string, epoch uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[string]uint64)
+	}
+	s.m[zone] = epoch
+	return nil
+}

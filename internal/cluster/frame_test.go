@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"radloc/internal/wal"
+)
+
+func TestFrameRecordRoundTrip(t *testing.T) {
+	rec := wal.Record{SensorID: 7, CPM: 42, Step: 3, Seq: 9}
+	line, err := EncodeRecord(123, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(line, []byte("\n")) {
+		t.Fatalf("encoded frame not newline-terminated: %q", line)
+	}
+	f, err := DecodeFrame(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != FrameRecord || f.Off != 123 || f.Rec != rec {
+		t.Fatalf("round trip mangled frame: %+v", f)
+	}
+}
+
+func TestFrameControlRoundTrip(t *testing.T) {
+	for _, typ := range []string{FrameHello, FrameEnd} {
+		line, err := EncodeControl(typ, 5, 999)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := DecodeFrame(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type != typ || f.Epoch != 5 || f.Head != 999 {
+			t.Fatalf("%s round trip mangled frame: %+v", typ, f)
+		}
+	}
+	if _, err := EncodeControl("record", 1, 1); err == nil {
+		t.Fatal("EncodeControl accepted a non-control type")
+	}
+}
+
+func TestDecodeFrameRejectsGarbage(t *testing.T) {
+	good, _ := EncodeRecord(1, wal.Record{SensorID: 1, CPM: 10})
+	cases := map[string]string{
+		"empty":          "",
+		"whitespace":     "   ",
+		"not json":       "nonsense",
+		"wrong type":     `{"type":"gift","head":1}`,
+		"trailing data":  strings.TrimSuffix(string(good), "\n") + `{"x":1}`,
+		"no rec":         `{"off":1,"crc":0}`,
+		"control w/ rec": `{"type":"hello","epoch":1,"head":1,"off":2,"crc":3,"rec":{}}`,
+		"record w/ head": `{"off":1,"crc":0,"head":9,"rec":{"sensorId":1,"cpm":10}}`,
+		"unknown field":  `{"off":1,"crc":0,"rec":{"sensorId":1,"cpm":10},"extra":true}`,
+		"bad rec fields": `{"off":1,"crc":1405647756,"rec":{"sensorId":"one","cpm":10}}`,
+	}
+	for name, in := range cases {
+		if _, err := DecodeFrame([]byte(in)); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: want ErrBadFrame, got %v", name, err)
+		}
+	}
+}
+
+func TestDecodeFrameCatchesBitFlips(t *testing.T) {
+	line, err := EncodeRecord(55, wal.Record{SensorID: 3, CPM: 17, Seq: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the rec payload: the CRC must catch it.
+	idx := bytes.Index(line, []byte(`"cpm":17`))
+	if idx < 0 {
+		t.Fatalf("payload not found in %q", line)
+	}
+	mut := append([]byte(nil), line...)
+	mut[idx+7] = '9'
+	if _, err := DecodeFrame(mut); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bit flip not caught: %v", err)
+	}
+}
+
+func TestParseRoutes(t *testing.T) {
+	r, err := ParseRoutes([]byte(`{"zones":{"default":{"primary":"http://a:1","standby":"http://b:2"}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Zones["default"].Primary; got != "http://a:1" {
+		t.Fatalf("primary = %q", got)
+	}
+	if names := r.ZoneNames(); len(names) != 1 || names[0] != "default" {
+		t.Fatalf("ZoneNames = %v", names)
+	}
+	for name, in := range map[string]string{
+		"bad json":   `{`,
+		"bad zone":   `{"zones":{"NOT/valid":{"primary":"http://a"}}}`,
+		"no primary": `{"zones":{"ok":{"standby":"http://b"}}}`,
+	} {
+		if _, err := ParseRoutes([]byte(in)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package cluster
+
+import "radloc/internal/obs"
+
+// nodeMetrics instruments one Node. All methods are nil-receiver safe
+// so an unmetered node (Options.Metrics == nil) pays one branch.
+type nodeMetrics struct {
+	lagSeconds, lagRecords *obs.GaugeFamily
+	epoch, isPrimary       *obs.GaugeFamily
+	ackedOffset            *obs.GaugeFamily
+	pulls, pullErrors      *obs.Counter
+	shipped, applied       *obs.Counter
+	bootstraps             *obs.Counter
+	fencedPulls            *obs.Counter
+}
+
+// newNodeMetrics registers the node's collectors on r; nil r disables
+// instrumentation entirely (nil nodeMetrics).
+func newNodeMetrics(r *obs.Registry) *nodeMetrics {
+	if r == nil {
+		return nil
+	}
+	return &nodeMetrics{
+		lagSeconds: r.GaugeFamily("radloc_repl_lag_seconds",
+			"Seconds since this standby was last caught up to its primary's WAL head.", "zone"),
+		lagRecords: r.GaugeFamily("radloc_repl_lag_records",
+			"Records between the primary's WAL head and this standby's applied offset.", "zone"),
+		epoch: r.GaugeFamily("radloc_cluster_epoch",
+			"Monotonic per-zone fencing epoch; bumped by every promotion.", "zone"),
+		isPrimary: r.GaugeFamily("radloc_cluster_is_primary",
+			"1 when this node owns writes for the zone, 0 when standby.", "zone"),
+		ackedOffset: r.GaugeFamily("radloc_repl_acked_offset",
+			"Highest WAL offset the zone's replica has durably acknowledged.", "zone"),
+		pulls: r.Counter("radloc_repl_pulls_total",
+			"Replication pulls attempted by this node's standby zones."),
+		pullErrors: r.Counter("radloc_repl_pull_errors_total",
+			"Replication pulls that failed (network, decode, or fencing)."),
+		shipped: r.Counter("radloc_repl_shipped_records_total",
+			"WAL records streamed out to replicas by this node."),
+		applied: r.Counter("radloc_repl_applied_records_total",
+			"Replicated records journaled and applied by this node."),
+		bootstraps: r.Counter("radloc_repl_bootstraps_total",
+			"Full state-snapshot bootstraps performed because the needed WAL suffix was pruned."),
+		fencedPulls: r.Counter("radloc_repl_fenced_total",
+			"Replication requests refused because of a stale epoch (split-brain fence)."),
+	}
+}
+
+// roleChanged refreshes a zone's role and epoch gauges.
+func (m *nodeMetrics) roleChanged(zone string, primary bool, epoch uint64) {
+	if m == nil {
+		return
+	}
+	v := 0.0
+	if primary {
+		v = 1.0
+	}
+	m.isPrimary.With(zone).Set(v)
+	m.epoch.With(zone).Set(float64(epoch))
+}
+
+// lag refreshes a standby zone's lag gauges.
+func (m *nodeMetrics) lag(zone string, seconds float64, records uint64) {
+	if m == nil {
+		return
+	}
+	m.lagSeconds.With(zone).Set(seconds)
+	m.lagRecords.With(zone).Set(float64(records))
+}
+
+// acked refreshes the primary-side replica watermark gauge.
+func (m *nodeMetrics) acked(zone string, off uint64) {
+	if m == nil {
+		return
+	}
+	m.ackedOffset.With(zone).Set(float64(off))
+}
+
+// pulled accounts one pull attempt and n applied records.
+func (m *nodeMetrics) pulled(err bool, n uint64) {
+	if m == nil {
+		return
+	}
+	m.pulls.Inc()
+	if err {
+		m.pullErrors.Inc()
+	}
+	m.applied.Add(n)
+}
+
+// servedRecords accounts records streamed out to a replica.
+func (m *nodeMetrics) servedRecords(n uint64) {
+	if m == nil {
+		return
+	}
+	m.shipped.Add(n)
+}
+
+// bootstrapped accounts one full snapshot bootstrap.
+func (m *nodeMetrics) bootstrapped() {
+	if m == nil {
+		return
+	}
+	m.bootstraps.Inc()
+}
+
+// fenced accounts one epoch-fenced refusal.
+func (m *nodeMetrics) fenced() {
+	if m == nil {
+		return
+	}
+	m.fencedPulls.Inc()
+}

@@ -1,0 +1,482 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"radloc/internal/clock"
+	"radloc/internal/obs"
+)
+
+// Role is a zone's replication role on one node.
+type Role string
+
+const (
+	// RolePrimary accepts writes for the zone and serves its WAL to
+	// the standby.
+	RolePrimary Role = "primary"
+	// RoleStandby replicates from the primary and serves reads only.
+	RoleStandby Role = "standby"
+)
+
+// ErrDraining is returned by AdmitWrite while a zone is draining
+// ahead of a migration cutover: writes are refused (503 + Retry-After
+// at the HTTP boundary) so the standby can reach the final head.
+var ErrDraining = errors.New("cluster: zone draining")
+
+// ErrStaleEpoch is returned when a request carries an epoch below the
+// zone's current one — the sender was demoted (possibly without
+// knowing it) and must not be obeyed.
+var ErrStaleEpoch = errors.New("cluster: stale epoch")
+
+// NotPrimaryError is returned by AdmitWrite when this node is standby
+// for the zone. Primary, when known, is the base URL writes should be
+// redirected to (307); empty means refuse with 503.
+type NotPrimaryError struct {
+	// Zone is the zone the write was addressed to.
+	Zone string
+	// Primary is the current write owner's base URL, if known.
+	Primary string
+}
+
+// Error implements error.
+func (e *NotPrimaryError) Error() string {
+	if e.Primary == "" {
+		return fmt.Sprintf("cluster: not primary for zone %q", e.Zone)
+	}
+	return fmt.Sprintf("cluster: not primary for zone %q (primary %s)", e.Zone, e.Primary)
+}
+
+// Options configures a Node.
+type Options struct {
+	// Self is this node's own base URL as peers reach it
+	// ("http://host:port"). Used to recognize itself in the routing
+	// table. Required.
+	Self string
+	// Token, when non-empty, is the bearer token required on every
+	// /cluster endpoint and attached to every outgoing pull.
+	Token string
+	// Resolver finds the backend for a zone. Required.
+	Resolver BackendResolver
+	// Epochs persists per-zone fencing epochs (default MemEpochStore).
+	Epochs EpochStore
+	// HTTP performs the standby's pulls (default http.DefaultTransport).
+	HTTP http.RoundTripper
+	// Clock times replication lag (default the wall clock).
+	Clock clock.Clock
+	// PullInterval is the standby's idle poll period (default 500ms).
+	// A pull that learns it is still behind loops again immediately.
+	PullInterval time.Duration
+	// PullBatch caps records per pull (default 4096).
+	PullBatch int
+	// Drop, when non-nil, releases a zone's local resources after its
+	// ownership migrates away (the daemon closes the zone's engine).
+	Drop func(zone string) error
+	// Metrics, when non-nil, receives the node's radloc_repl_* and
+	// radloc_cluster_* collectors.
+	Metrics *obs.Registry
+	// Log, when non-nil, receives role transitions and replication
+	// errors.
+	Log *log.Logger
+}
+
+// zoneState is one zone's replication state on this node. All fields
+// are guarded by Node.mu.
+type zoneState struct {
+	name     string
+	role     Role
+	epoch    uint64
+	draining bool
+
+	// primaryURL is where writes should go when role is standby.
+	primaryURL string
+
+	// acked is the highest offset the replica has durably applied —
+	// primary-side, learned from the from= of each pull.
+	acked uint64
+
+	// Standby-side pull progress.
+	applied      uint64 // local WAL head after the last apply
+	head         uint64 // primary's WAL head from the last hello/end
+	caughtUp     bool
+	lastCaughtUp time.Time
+	lastErr      string
+
+	cancel context.CancelFunc // stops the replica loop; nil when none runs
+}
+
+// Node is one radlocd's membership in the cluster: the set of zones
+// it is primary or standby for, their epochs, and the replica
+// goroutines pulling WAL for its standby zones. All methods are safe
+// for concurrent use.
+type Node struct {
+	opts Options
+	met  *nodeMetrics
+
+	mu     sync.Mutex
+	routes Routes
+	zones  map[string]*zoneState
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewNode builds a node. Replication starts when SetRoutes assigns it
+// a standby role for some zone.
+func NewNode(opts Options) (*Node, error) {
+	if opts.Self == "" {
+		return nil, errors.New("cluster: Options.Self is required")
+	}
+	if opts.Resolver == nil {
+		return nil, errors.New("cluster: Options.Resolver is required")
+	}
+	if opts.Epochs == nil {
+		opts.Epochs = &MemEpochStore{}
+	}
+	if opts.HTTP == nil {
+		opts.HTTP = http.DefaultTransport
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.Real{}
+	}
+	if opts.PullInterval <= 0 {
+		opts.PullInterval = 500 * time.Millisecond
+	}
+	if opts.PullBatch <= 0 {
+		opts.PullBatch = 4096
+	}
+	return &Node{
+		opts:  opts,
+		met:   newNodeMetrics(opts.Metrics),
+		zones: make(map[string]*zoneState),
+	}, nil
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.opts.Log != nil {
+		n.opts.Log.Printf(format, args...)
+	}
+}
+
+// zoneFor returns (creating if needed) the zone's state. The routing
+// table decides the initial role: primary when the route names Self
+// (or there is no route — standalone zones are owned locally),
+// standby when the route names another node. Caller must hold n.mu.
+func (n *Node) zoneFor(name string) (*zoneState, error) {
+	if zs, ok := n.zones[name]; ok {
+		return zs, nil
+	}
+	epoch, err := n.opts.Epochs.Load(name)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: load epoch for %q: %w", name, err)
+	}
+	if epoch == 0 {
+		epoch = 1
+	}
+	zs := &zoneState{name: name, role: RolePrimary, epoch: epoch}
+	if rt, ok := n.routes.Zones[name]; ok && rt.Primary != n.opts.Self {
+		zs.role = RoleStandby
+		zs.primaryURL = rt.Primary
+		zs.lastCaughtUp = n.opts.Clock.Now()
+	}
+	n.zones[name] = zs
+	n.met.roleChanged(name, zs.role == RolePrimary, zs.epoch)
+	if zs.role == RoleStandby {
+		n.startReplicaLocked(zs)
+	}
+	return zs, nil
+}
+
+// SetRoutes installs the routing table and instantiates state for
+// every routed zone: standby zones start their replica loops
+// immediately so they are warm before the first failover. Roles of
+// zones that already exist locally are left alone — routes seed
+// roles, they never demote a live primary (that is Demote's job, with
+// its epoch check).
+func (n *Node) SetRoutes(r Routes) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return errors.New("cluster: node closed")
+	}
+	n.routes = r
+	for _, name := range r.ZoneNames() {
+		if _, err := n.zoneFor(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Routes returns the current routing table.
+func (n *Node) Routes() Routes {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	cp := Routes{Zones: make(map[string]Route, len(n.routes.Zones))}
+	for k, v := range n.routes.Zones {
+		cp.Zones[k] = v
+	}
+	return cp
+}
+
+// AdmitWrite decides whether this node may accept a write for the
+// zone right now: nil for a live primary, ErrDraining mid-cutover,
+// NotPrimaryError (with redirect target when known) for a standby.
+func (n *Node) AdmitWrite(zone string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	zs, err := n.zoneFor(zone)
+	if err != nil {
+		return err
+	}
+	if zs.role != RolePrimary {
+		return &NotPrimaryError{Zone: zone, Primary: zs.primaryURL}
+	}
+	if zs.draining {
+		return ErrDraining
+	}
+	return nil
+}
+
+// Promote makes this node primary for the zone: the replica loop (if
+// any) stops, the epoch is bumped and persisted — fencing out the old
+// primary — and a checkpoint seals the takeover. Idempotent on an
+// already-primary zone (no epoch bump).
+func (n *Node) Promote(zone string) (uint64, error) {
+	n.mu.Lock()
+	zs, err := n.zoneFor(zone)
+	if err != nil {
+		n.mu.Unlock()
+		return 0, err
+	}
+	if zs.role == RolePrimary {
+		epoch := zs.epoch
+		n.mu.Unlock()
+		return epoch, nil
+	}
+	if zs.cancel != nil {
+		zs.cancel()
+		zs.cancel = nil
+	}
+	zs.role = RolePrimary
+	zs.draining = false
+	zs.primaryURL = ""
+	zs.epoch++
+	epoch := zs.epoch
+	n.met.roleChanged(zone, true, epoch)
+	n.mu.Unlock()
+
+	if err := n.opts.Epochs.Save(zone, epoch); err != nil {
+		return epoch, fmt.Errorf("cluster: persist epoch for %q: %w", zone, err)
+	}
+	b, err := n.opts.Resolver(zone)
+	if err != nil {
+		return epoch, err
+	}
+	if err := b.Checkpoint(); err != nil {
+		n.logf("cluster: checkpoint after promoting %q: %v", zone, err)
+	}
+	n.logf("cluster: promoted to primary for zone %q at epoch %d", zone, epoch)
+	return epoch, nil
+}
+
+// Demote makes this node standby for the zone at the given epoch,
+// replicating from primaryURL (when non-empty). An epoch below the
+// zone's current one is refused with ErrStaleEpoch — a partitioned
+// old primary cannot talk this node out of a newer promotion.
+func (n *Node) Demote(zone string, epoch uint64, primaryURL string) error {
+	n.mu.Lock()
+	zs, err := n.zoneFor(zone)
+	if err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	if epoch < zs.epoch {
+		n.mu.Unlock()
+		n.met.fenced()
+		return fmt.Errorf("%w: zone %q at epoch %d, demote carries %d", ErrStaleEpoch, zone, zs.epoch, epoch)
+	}
+	zs.role = RoleStandby
+	zs.draining = false
+	zs.epoch = epoch
+	zs.primaryURL = primaryURL
+	zs.lastCaughtUp = n.opts.Clock.Now()
+	zs.caughtUp = false
+	n.met.roleChanged(zone, false, epoch)
+	if primaryURL != "" && zs.cancel == nil {
+		n.startReplicaLocked(zs)
+	}
+	n.mu.Unlock()
+	if err := n.opts.Epochs.Save(zone, epoch); err != nil {
+		return fmt.Errorf("cluster: persist epoch for %q: %w", zone, err)
+	}
+	n.logf("cluster: demoted to standby for zone %q at epoch %d (primary %q)", zone, epoch, primaryURL)
+	return nil
+}
+
+// SetDraining marks a primary zone as draining (writes refused with
+// Retry-After) or lifts the mark. Draining a standby is an error.
+func (n *Node) SetDraining(zone string, draining bool) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	zs, err := n.zoneFor(zone)
+	if err != nil {
+		return err
+	}
+	if zs.role != RolePrimary {
+		return &NotPrimaryError{Zone: zone, Primary: zs.primaryURL}
+	}
+	zs.draining = draining
+	n.logf("cluster: zone %q draining=%v", zone, draining)
+	return nil
+}
+
+// Release completes a migration on the old primary: the zone becomes
+// standby pointing at its new owner and local resources are dropped
+// via Options.Drop. Safe to skip when the old primary is dead — the
+// standby's promotion already fenced it out.
+func (n *Node) Release(zone string, to string) error {
+	n.mu.Lock()
+	zs, err := n.zoneFor(zone)
+	if err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	if zs.cancel != nil {
+		zs.cancel()
+		zs.cancel = nil
+	}
+	zs.role = RoleStandby
+	zs.draining = false
+	zs.primaryURL = to
+	zs.caughtUp = false
+	n.met.roleChanged(zone, false, zs.epoch)
+	n.mu.Unlock()
+	n.logf("cluster: released zone %q to %q", zone, to)
+	if n.opts.Drop != nil {
+		return n.opts.Drop(zone)
+	}
+	return nil
+}
+
+// recordAck notes the replica's durable watermark from a pull's from=
+// parameter and parks the WAL retention floor there.
+func (n *Node) recordAck(zone string, b Backend, from uint64) {
+	n.mu.Lock()
+	zs, err := n.zoneFor(zone)
+	if err == nil && from > zs.acked {
+		zs.acked = from
+	}
+	n.mu.Unlock()
+	if err == nil {
+		n.met.acked(zone, from)
+		b.SetRetainFloor(from)
+	}
+}
+
+// ZoneStatus is one zone's replication status as reported by Status
+// and the /cluster/status endpoint.
+type ZoneStatus struct {
+	// Zone is the zone name.
+	Zone string `json:"zone"`
+	// Role is primary or standby.
+	Role Role `json:"role"`
+	// Epoch is the zone's current fencing epoch.
+	Epoch uint64 `json:"epoch"`
+	// Draining reports a primary refusing writes ahead of cutover.
+	Draining bool `json:"draining,omitempty"`
+	// Primary is the write owner's URL when this node is standby.
+	Primary string `json:"primary,omitempty"`
+	// Head is the local WAL head (primary) or the remote head as of
+	// the last pull (standby).
+	Head uint64 `json:"head"`
+	// Applied is the standby's local WAL head.
+	Applied uint64 `json:"applied,omitempty"`
+	// Acked is the replica's durable watermark as seen by a primary.
+	Acked uint64 `json:"acked,omitempty"`
+	// LagRecords is head - applied on a standby.
+	LagRecords uint64 `json:"lagRecords,omitempty"`
+	// LagSeconds is how long the standby has been behind.
+	LagSeconds float64 `json:"lagSeconds,omitempty"`
+	// CaughtUp reports applied == head as of the last pull.
+	CaughtUp bool `json:"caughtUp"`
+	// LastError is the most recent pull failure, cleared on success.
+	LastError string `json:"lastError,omitempty"`
+}
+
+// Status reports every known zone's replication state, sorted by
+// zone name.
+func (n *Node) Status() []ZoneStatus {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := n.opts.Clock.Now()
+	out := make([]ZoneStatus, 0, len(n.zones))
+	for _, zs := range n.zones {
+		st := ZoneStatus{
+			Zone:      zs.name,
+			Role:      zs.role,
+			Epoch:     zs.epoch,
+			Draining:  zs.draining,
+			Primary:   zs.primaryURL,
+			CaughtUp:  zs.role == RolePrimary || zs.caughtUp,
+			LastError: zs.lastErr,
+		}
+		if zs.role == RolePrimary {
+			st.Acked = zs.acked
+			if b, err := n.opts.Resolver(zs.name); err == nil {
+				st.Head = b.Offset()
+			}
+		} else {
+			st.Head = zs.head
+			st.Applied = zs.applied
+			if zs.head > zs.applied {
+				st.LagRecords = zs.head - zs.applied
+			}
+			if !zs.caughtUp {
+				st.LagSeconds = now.Sub(zs.lastCaughtUp).Seconds()
+			}
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Zone < out[b].Zone })
+	return out
+}
+
+// Ready reports whether every standby zone with a live replica loop
+// has caught up to its primary at least once — the readiness gate
+// /readyz consults, so a freshly booted standby is not marked ready
+// while it is still replaying a backlog.
+func (n *Node) Ready() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, zs := range n.zones {
+		if zs.role == RoleStandby && zs.cancel != nil && !zs.caughtUp {
+			return false
+		}
+	}
+	return true
+}
+
+// Close stops every replica loop and waits for them to exit.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	for _, zs := range n.zones {
+		if zs.cancel != nil {
+			zs.cancel()
+			zs.cancel = nil
+		}
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+}

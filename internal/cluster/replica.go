@@ -1,0 +1,339 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+)
+
+// applyChunk is how many decoded records are buffered before they are
+// handed to the backend — bounds memory while keeping the stream's
+// prefix-safety: records applied in earlier chunks survive a torn
+// frame later in the same response.
+const applyChunk = 512
+
+// startReplicaLocked spawns the zone's pull loop. Caller holds n.mu.
+func (n *Node) startReplicaLocked(zs *zoneState) {
+	if zs.cancel != nil || n.closed {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	zs.cancel = cancel
+	n.wg.Add(1)
+	go n.replicaLoop(ctx, zs.name)
+	n.logf("cluster: replicating zone %q from %q", zs.name, zs.primaryURL)
+}
+
+// Replicate makes this node a standby for the zone, pulling from the
+// given primary URL. Unlike Demote it leaves the epoch alone — it is
+// the first step of a migration, where the target warms up against
+// the still-live owner.
+func (n *Node) Replicate(zone, from string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	zs, err := n.zoneFor(zone)
+	if err != nil {
+		return err
+	}
+	zs.role = RoleStandby
+	zs.draining = false
+	zs.primaryURL = from
+	zs.caughtUp = false
+	zs.lastCaughtUp = n.opts.Clock.Now()
+	n.met.roleChanged(zone, false, zs.epoch)
+	n.startReplicaLocked(zs)
+	return nil
+}
+
+// replicaLoop pulls WAL for one standby zone until cancelled. A pull
+// that learns it is still behind loops again immediately; a caught-up
+// or failed pull sleeps PullInterval first.
+func (n *Node) replicaLoop(ctx context.Context, zone string) {
+	defer n.wg.Done()
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		behind := n.pullOnce(ctx, zone)
+		if ctx.Err() != nil {
+			return
+		}
+		if !behind {
+			n.opts.Clock.Sleep(n.opts.PullInterval)
+		}
+	}
+}
+
+// pullOnce performs one replication pull for the zone and reports
+// whether the standby is still behind (caller should loop without
+// sleeping). All lag bookkeeping — success or failure — happens here.
+func (n *Node) pullOnce(ctx context.Context, zone string) bool {
+	n.mu.Lock()
+	zs, ok := n.zones[zone]
+	if !ok || zs.role != RoleStandby || zs.primaryURL == "" {
+		n.mu.Unlock()
+		return false
+	}
+	primary := zs.primaryURL
+	epoch := zs.epoch
+	n.mu.Unlock()
+
+	b, err := n.opts.Resolver(zone)
+	if err != nil {
+		n.finishPull(zone, 0, 0, 0, err)
+		return false
+	}
+	from := b.Offset()
+
+	u := fmt.Sprintf("%s/cluster/wal/%s?from=%d&epoch=%d&max=%d",
+		primary, url.PathEscape(zone), from, epoch, n.opts.PullBatch)
+	resp, err := n.get(ctx, u)
+	if err != nil {
+		n.finishPull(zone, 0, from, 0, err)
+		return false
+	}
+	defer resp.Body.Close()
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		// The suffix we need was pruned: bootstrap from a snapshot,
+		// then report behind so the next pull resumes from the new
+		// offset immediately.
+		io.Copy(io.Discard, resp.Body)
+		if err := n.bootstrap(ctx, zone, b, primary); err != nil {
+			n.finishPull(zone, 0, from, 0, err)
+			return false
+		}
+		n.finishPull(zone, 0, b.Offset(), b.Offset(), nil)
+		return true
+	case http.StatusConflict:
+		io.Copy(io.Discard, resp.Body)
+		n.met.fenced()
+		n.finishPull(zone, 0, from, 0, fmt.Errorf("%w: primary refused pull at epoch %d", ErrStaleEpoch, epoch))
+		return false
+	default:
+		io.Copy(io.Discard, resp.Body)
+		n.finishPull(zone, 0, from, 0, fmt.Errorf("cluster: pull %s: status %d", zone, resp.StatusCode))
+		return false
+	}
+
+	applied, head, err := n.applyStream(zone, b, epoch, resp.Body)
+	n.finishPull(zone, applied, b.Offset(), head, err)
+	return err == nil && b.Offset() < head
+}
+
+// get issues one authenticated GET through the node's transport.
+func (n *Node) get(ctx context.Context, u string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	if n.opts.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+n.opts.Token)
+	}
+	return n.opts.HTTP.RoundTrip(req)
+}
+
+// applyStream decodes one pull response and applies its records in
+// offset order. It is prefix-safe: a torn or corrupt frame stops the
+// stream with an error, but every chunk applied before it is kept —
+// exactly the discipline WAL-tail recovery uses. Returns the number
+// of records applied and the primary's head.
+func (n *Node) applyStream(zone string, b Backend, epoch uint64, body io.Reader) (applied uint64, head uint64, err error) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	if !sc.Scan() {
+		return 0, 0, fmt.Errorf("%w: stream ended before hello", ErrBadFrame)
+	}
+	hello, err := DecodeFrame(sc.Bytes())
+	if err != nil {
+		return 0, 0, err
+	}
+	if hello.Type != FrameHello {
+		return 0, 0, fmt.Errorf("%w: first frame is %q, want hello", ErrBadFrame, hello.Type)
+	}
+	if hello.Epoch < epoch {
+		n.met.fenced()
+		return 0, 0, fmt.Errorf("%w: hello at epoch %d, zone at %d", ErrStaleEpoch, hello.Epoch, epoch)
+	}
+	if hello.Epoch > epoch {
+		n.adoptEpoch(zone, hello.Epoch)
+	}
+	head = hello.Head
+
+	var chunk []RecordAt
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		if err := b.ApplyRecords(chunk); err != nil {
+			return err
+		}
+		applied += uint64(len(chunk))
+		chunk = chunk[:0]
+		return nil
+	}
+	want := b.Offset()
+	for sc.Scan() {
+		f, err := DecodeFrame(sc.Bytes())
+		if err != nil {
+			ferr := flush()
+			if ferr != nil {
+				return applied, head, ferr
+			}
+			return applied, head, err
+		}
+		switch f.Type {
+		case FrameRecord:
+			if f.Off != want {
+				ferr := flush()
+				if ferr != nil {
+					return applied, head, ferr
+				}
+				return applied, head, fmt.Errorf("%w: offset gap: got %d, want %d", ErrBadFrame, f.Off, want)
+			}
+			want++
+			chunk = append(chunk, RecordAt{Off: f.Off, Rec: f.Rec})
+			if len(chunk) >= applyChunk {
+				if err := flush(); err != nil {
+					return applied, head, err
+				}
+			}
+		case FrameEnd:
+			if err := flush(); err != nil {
+				return applied, head, err
+			}
+			if f.Head > head {
+				head = f.Head
+			}
+			return applied, head, nil
+		default:
+			ferr := flush()
+			if ferr != nil {
+				return applied, head, ferr
+			}
+			return applied, head, fmt.Errorf("%w: unexpected %q frame mid-stream", ErrBadFrame, f.Type)
+		}
+	}
+	if err := flush(); err != nil {
+		return applied, head, err
+	}
+	if scerr := sc.Err(); scerr != nil {
+		return applied, head, scerr
+	}
+	return applied, head, fmt.Errorf("%w: stream ended without end frame", ErrBadFrame)
+}
+
+// bootstrap replaces the zone's local state with a snapshot fetched
+// from the primary — the catch-up path when the needed WAL suffix has
+// been pruned.
+func (n *Node) bootstrap(ctx context.Context, zone string, b Backend, primary string) error {
+	resp, err := n.get(ctx, primary+"/cluster/state/"+url.PathEscape(zone))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("cluster: bootstrap %s: status %d", zone, resp.StatusCode)
+	}
+	var snap stateSnapshot
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&snap); err != nil {
+		return fmt.Errorf("cluster: bootstrap %s: %w", zone, err)
+	}
+	n.mu.Lock()
+	epoch := uint64(0)
+	if zs, ok := n.zones[zone]; ok {
+		epoch = zs.epoch
+	}
+	n.mu.Unlock()
+	if snap.Epoch < epoch {
+		n.met.fenced()
+		return fmt.Errorf("%w: snapshot at epoch %d, zone at %d", ErrStaleEpoch, snap.Epoch, epoch)
+	}
+	if snap.Epoch > epoch {
+		n.adoptEpoch(zone, snap.Epoch)
+	}
+	if err := b.Bootstrap(snap.State, snap.Applied); err != nil {
+		return err
+	}
+	n.met.bootstrapped()
+	n.logf("cluster: bootstrapped zone %q from %q at offset %d", zone, primary, snap.Applied)
+	return nil
+}
+
+// adoptEpoch raises the zone's epoch to a higher one observed from
+// its primary and persists it.
+func (n *Node) adoptEpoch(zone string, epoch uint64) {
+	n.mu.Lock()
+	zs, ok := n.zones[zone]
+	if ok && epoch > zs.epoch {
+		zs.epoch = epoch
+		n.met.roleChanged(zone, zs.role == RolePrimary, epoch)
+	}
+	n.mu.Unlock()
+	if err := n.opts.Epochs.Save(zone, epoch); err != nil {
+		n.logf("cluster: persist adopted epoch for %q: %v", zone, err)
+	}
+}
+
+// finishPull folds one pull's outcome into the zone's lag state and
+// gauges. applied counts records journaled this pull; local is the
+// local head afterwards; head is the primary's head (0 when unknown).
+func (n *Node) finishPull(zone string, applied, local, head uint64, err error) {
+	now := n.opts.Clock.Now()
+	n.mu.Lock()
+	zs, ok := n.zones[zone]
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
+	zs.applied = local
+	if head > 0 || err == nil {
+		zs.head = head
+	}
+	if err != nil {
+		zs.lastErr = err.Error()
+		zs.caughtUp = false
+	} else {
+		zs.lastErr = ""
+		if local >= zs.head {
+			zs.caughtUp = true
+			zs.lastCaughtUp = now
+		} else {
+			zs.caughtUp = false
+		}
+	}
+	var lagSec float64
+	if !zs.caughtUp {
+		lagSec = now.Sub(zs.lastCaughtUp).Seconds()
+	}
+	var lagRec uint64
+	if zs.head > local {
+		lagRec = zs.head - local
+	}
+	n.mu.Unlock()
+	n.met.lag(zone, lagSec, lagRec)
+	n.met.pulled(err != nil, applied)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		n.logf("cluster: pull %q: %v", zone, err)
+	}
+}
+
+// stateSnapshot is the /cluster/state/{zone} payload: a serialized
+// engine state, the WAL offset it covers, and the owner's epoch.
+type stateSnapshot struct {
+	// Applied is the WAL offset the state covers.
+	Applied uint64 `json:"applied"`
+	// Epoch is the exporting node's zone epoch.
+	Epoch uint64 `json:"epoch"`
+	// State is the fusion engine's serialized state.
+	State json.RawMessage `json:"state"`
+}

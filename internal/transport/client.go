@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -97,7 +98,14 @@ type Stats struct {
 	// Oversized413 counts 413 responses (the client halves and
 	// re-sends).
 	Oversized413 uint64 `json:"oversized413"`
+	// Redirects counts 307/308 responses followed to a new endpoint —
+	// a cluster moved the zone and the client re-aimed itself.
+	Redirects uint64 `json:"redirects"`
 }
+
+// maxRedirects bounds how many 307/308 hops one Send follows before
+// declaring a routing loop.
+const maxRedirects = 8
 
 // ErrGaveUp is returned when MaxAttempts is exhausted for a batch.
 var ErrGaveUp = errors.New("transport: delivery attempts exhausted")
@@ -112,13 +120,13 @@ var ErrRefused = errors.New("transport: server refused batch")
 // calls is then unspecified — the agent delivers sequentially so the
 // reorder gate sees an in-order stream.
 type Client struct {
-	opts     Options
-	endpoint string // resolved measurements URL (zone-scoped when Options.Zone is set)
-	breaker  *Breaker
-	met      *clientMetrics
+	opts    Options
+	breaker *Breaker
+	met     *clientMetrics
 
-	mu  sync.Mutex // guards rng draws
-	rng *rng.Stream
+	mu       sync.Mutex // guards rng draws and the endpoint
+	rng      *rng.Stream
+	endpoint string // resolved measurements URL; sticky across redirects
 }
 
 // NewClient validates opts and builds a Client.
@@ -162,6 +170,31 @@ func NewClient(opts Options) (*Client, error) {
 	}, nil
 }
 
+// Endpoint returns the URL batches currently post to — the configured
+// one until a 307/308 re-aims the client at a new zone owner.
+func (c *Client) Endpoint() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.endpoint
+}
+
+// setEndpoint re-aims the client after a redirect, resolving loc
+// against the current endpoint (relative Locations work).
+func (c *Client) setEndpoint(loc string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	base, err := url.Parse(c.endpoint)
+	if err != nil {
+		return err
+	}
+	ref, err := url.Parse(loc)
+	if err != nil {
+		return err
+	}
+	c.endpoint = base.ResolveReference(ref).String()
+	return nil
+}
+
 // Stats assembles the wire-format delivery counters from the registry
 // collectors — the same numbers a scrape of Options.Metrics renders.
 func (c *Client) Stats() Stats {
@@ -181,6 +214,7 @@ func (c *Client) Stats() Stats {
 		BreakerOpens:         c.breaker.Opens(),
 		BreakerShortCircuits: m.breakerShortCircuits.Value(),
 		Oversized413:         m.oversized413.Value(),
+		Redirects:            m.redirects.Value(),
 	}
 }
 
@@ -205,6 +239,7 @@ type attemptResult struct {
 	status     int
 	ack        ack
 	err        error
+	redirect   string // 307/308 Location: the zone's new owner
 }
 
 // Send delivers one batch, blocking through retries until the server
@@ -216,7 +251,7 @@ func (c *Client) Send(ctx context.Context, batch []Reading) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	attempts := 0
+	attempts, redirects := 0, 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -234,6 +269,24 @@ func (c *Client) Send(ctx context.Context, batch []Reading) error {
 		c.met.attempts.Inc()
 		if attempts > 1 {
 			c.met.retries.Inc()
+		}
+		if res.redirect != "" {
+			// The zone's ownership moved (migration or failover): re-aim
+			// the endpoint and retry immediately — sticky, so the whole
+			// rest of the stream goes straight to the new owner. Bounded
+			// in case two nodes misconfigured into pointing at each other.
+			c.breaker.Success()
+			redirects++
+			if redirects > maxRedirects {
+				c.met.dropped.Add(uint64(len(batch)))
+				return fmt.Errorf("%w: redirect loop (%d redirects)", ErrRefused, redirects)
+			}
+			if err := c.setEndpoint(res.redirect); err != nil {
+				c.met.dropped.Add(uint64(len(batch)))
+				return fmt.Errorf("%w: bad redirect %q: %v", ErrRefused, res.redirect, err)
+			}
+			c.met.redirects.Inc()
+			continue
 		}
 		switch {
 		case res.ok:
@@ -299,7 +352,7 @@ func (c *Client) attempt(ctx context.Context, batch []Reading) attemptResult {
 	}
 	actx, cancel := c.opts.Clock.WithTimeout(ctx, c.opts.AttemptTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.endpoint, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.Endpoint(), bytes.NewReader(body))
 	if err != nil {
 		return attemptResult{permanent: true, err: err}
 	}
@@ -322,6 +375,12 @@ func (c *Client) attempt(ctx context.Context, batch []Reading) attemptResult {
 		res.retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), c.opts.Clock.Now())
 	case resp.StatusCode == http.StatusRequestEntityTooLarge:
 		res.oversized = true
+	case resp.StatusCode == http.StatusTemporaryRedirect || resp.StatusCode == http.StatusPermanentRedirect:
+		if loc := resp.Header.Get("Location"); loc != "" {
+			res.redirect = loc
+		} else {
+			res.permanent = true
+		}
 	case resp.StatusCode == http.StatusServiceUnavailable:
 		// 503 is retryable; honor Retry-After when present but treat
 		// it as a failure for the breaker (the server is not serving).

@@ -19,6 +19,7 @@ type clientMetrics struct {
 	backpressure429, retryAfterHonored  *obs.Counter
 	serverErrors, netErrors             *obs.Counter
 	breakerShortCircuits, oversized413  *obs.Counter
+	redirects                           *obs.Counter
 	attemptSeconds                      *obs.Histogram
 }
 
@@ -59,6 +60,8 @@ func newClientMetrics(r *obs.Registry, breaker *Breaker) *clientMetrics {
 			"Delivery attempts refused locally while the breaker was open."),
 		oversized413: r.Counter("radloc_agent_oversized_413_total",
 			"413 responses received (client halves the batch and re-sends)."),
+		redirects: r.Counter("radloc_agent_redirects_total",
+			"307/308 responses followed to a new endpoint (zone ownership moved)."),
 		attemptSeconds: r.Histogram("radloc_agent_attempt_seconds",
 			"Wall-clock seconds per HTTP delivery attempt, success or not.", nil),
 	}

@@ -1,0 +1,119 @@
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// hopRT answers 307 with a Location for URLs in loc (keyed by the
+// full request URL) and accepts everything else.
+type hopRT struct {
+	mu   sync.Mutex
+	urls []string
+	loc  map[string]string
+}
+
+func (h *hopRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	u := req.URL.String()
+	h.urls = append(h.urls, u)
+	if loc, ok := h.loc[u]; ok {
+		hdr := http.Header{}
+		hdr.Set("Location", loc)
+		return &http.Response{
+			StatusCode: http.StatusTemporaryRedirect,
+			Header:     hdr,
+			Body:       io.NopCloser(strings.NewReader("")),
+		}, nil
+	}
+	var batch []Reading
+	body, _ := io.ReadAll(req.Body)
+	_ = json.Unmarshal(body, &batch)
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Header:     http.Header{},
+		Body:       io.NopCloser(strings.NewReader(fmt.Sprintf(`{"accepted":%d}`, len(batch)))),
+	}, nil
+}
+
+func (h *hopRT) seen() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.urls...)
+}
+
+func TestClientFollowsRedirectSticky(t *testing.T) {
+	rt := &hopRT{loc: map[string]string{
+		"http://old.test/measurements": "http://new.test/measurements",
+	}}
+	c, clk := newTestClient(t, rt, func(o *Options) { o.URL = "http://old.test" })
+	if err := c.Send(context.Background(), batchOf(3)); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Redirects != 1 || st.Delivered != 3 || st.Attempts != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(clk.Slept()) != 0 {
+		t.Fatalf("redirect slept instead of retrying immediately: %v", clk.Slept())
+	}
+	if got := c.Endpoint(); got != "http://new.test/measurements" {
+		t.Fatalf("endpoint = %q", got)
+	}
+
+	// Sticky: the next batch goes straight to the new owner.
+	if err := c.Send(context.Background(), batchOf(2)); err != nil {
+		t.Fatal(err)
+	}
+	urls := rt.seen()
+	if urls[len(urls)-1] != "http://new.test/measurements" {
+		t.Fatalf("second batch posted to %q", urls[len(urls)-1])
+	}
+	if st := c.Stats(); st.Redirects != 1 {
+		t.Fatalf("second batch redirected again: %+v", st)
+	}
+}
+
+func TestClientResolvesRelativeRedirect(t *testing.T) {
+	rt := &hopRT{loc: map[string]string{
+		"http://old.test/measurements": "/zones/z2/measurements",
+	}}
+	c, _ := newTestClient(t, rt, func(o *Options) { o.URL = "http://old.test" })
+	if err := c.Send(context.Background(), batchOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Endpoint(); got != "http://old.test/zones/z2/measurements" {
+		t.Fatalf("endpoint = %q", got)
+	}
+}
+
+func TestClientRedirectLoopRefused(t *testing.T) {
+	rt := &hopRT{loc: map[string]string{
+		"http://a.test/measurements": "http://b.test/measurements",
+		"http://b.test/measurements": "http://a.test/measurements",
+	}}
+	c, _ := newTestClient(t, rt, func(o *Options) { o.URL = "http://a.test" })
+	err := c.Send(context.Background(), batchOf(4))
+	if !errors.Is(err, ErrRefused) || !strings.Contains(err.Error(), "redirect loop") {
+		t.Fatalf("err = %v, want redirect-loop ErrRefused", err)
+	}
+	if st := c.Stats(); st.Dropped != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestClientRedirectWithoutLocationRefused(t *testing.T) {
+	rt := &scriptRT{script: []rtStep{{status: http.StatusTemporaryRedirect}}}
+	c, _ := newTestClient(t, rt, nil)
+	if err := c.Send(context.Background(), batchOf(2)); !errors.Is(err, ErrRefused) {
+		t.Fatalf("err = %v, want ErrRefused", err)
+	}
+}

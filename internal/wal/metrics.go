@@ -18,6 +18,7 @@ type walMetrics struct {
 	fsyncSeconds               *obs.Histogram
 	replaySeconds              *obs.Histogram
 	offset, segments           *obs.Gauge
+	retainedSegments           *obs.Gauge
 }
 
 // newWALMetrics registers the log's collectors on r; nil r disables
@@ -49,6 +50,8 @@ func newWALMetrics(r *obs.Registry) *walMetrics {
 			"Global record index the next append will receive."),
 		segments: r.Gauge("radloc_wal_segments",
 			"Live segment files, including the active tail."),
+		retainedSegments: r.Gauge("radloc_wal_retained_segments",
+			"Segments held past the checkpoint watermark because a lagging replica still needs them."),
 	}
 }
 
@@ -94,6 +97,14 @@ func (m *walMetrics) layout(segments int, next uint64) {
 	}
 	m.segments.Set(float64(segments))
 	m.offset.Set(float64(next))
+}
+
+// retained refreshes the replica-retention gauge after a Prune pass.
+func (m *walMetrics) retained(n int) {
+	if m == nil {
+		return
+	}
+	m.retainedSegments.Set(float64(n))
 }
 
 // recovered folds one Open's recovery stats into the counters.

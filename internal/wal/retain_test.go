@@ -1,0 +1,54 @@
+package wal
+
+import (
+	"testing"
+)
+
+func TestRetainFloorBlocksPrune(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncNever, SegmentRecords: 5})
+	appendN(t, l, 0, 17)
+
+	// A replica acked through offset 7: pruning to the checkpoint at 15
+	// may only drop segments wholly below 7 — the lagging replica still
+	// needs [5,15).
+	l.SetRetain(7)
+	if err := l.Prune(15); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Oldest(); got != 5 {
+		t.Fatalf("oldest after retained prune = %d, want 5", got)
+	}
+	if got := replayAll(t, l, 5); len(got) != 12 {
+		t.Fatalf("replay after retained prune: %d records, want 12", len(got))
+	}
+
+	// The replica catches up: the floor lifts and the same prune now
+	// takes effect in full.
+	l.SetRetain(17)
+	if err := l.Prune(15); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Oldest(); got != 15 {
+		t.Fatalf("oldest after lifted floor = %d, want 15", got)
+	}
+	if got := replayAll(t, l, 15); len(got) != 2 {
+		t.Fatalf("replay after full prune: %d records, want 2", len(got))
+	}
+	l.Close()
+}
+
+func TestRetainDefaultsUnbounded(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncNever, SegmentRecords: 5})
+	appendN(t, l, 0, 12)
+	// No replica registered: pruning behaves exactly as before the
+	// retention floor existed.
+	if err := l.Prune(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Oldest(); got != 10 {
+		t.Fatalf("oldest = %d, want 10", got)
+	}
+	l.Close()
+}

@@ -130,6 +130,7 @@ type Log struct {
 	opts     Options
 	segments []segment // sorted by start; last one is the active tail
 	next     uint64    // offset the next appended record will get
+	retain   uint64    // Prune floor: records ≥ retain survive (replication)
 	f        *os.File  // active tail segment, opened for append
 	w        *bufio.Writer
 	dirty    bool        // unsynced appends outstanding
@@ -167,7 +168,7 @@ func Open(dir string, opts Options) (*Log, RecoveryStats, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, RecoveryStats{}, err
 	}
-	l := &Log{dir: dir, opts: opts, met: newWALMetrics(opts.Metrics)}
+	l := &Log{dir: dir, opts: opts, retain: ^uint64(0), met: newWALMetrics(opts.Metrics)}
 	stats, err := l.recover()
 	if err != nil {
 		return nil, stats, err
@@ -344,6 +345,23 @@ func (l *Log) openTail() error {
 // recovery truncation).
 func (l *Log) Offset() uint64 { return l.next }
 
+// Oldest is the offset of the oldest record still on disk — the floor
+// of what Replay can stream. A replica asking for anything below it
+// must bootstrap from a checkpoint instead.
+func (l *Log) Oldest() uint64 {
+	if len(l.segments) == 0 {
+		return l.next
+	}
+	return l.segments[0].start
+}
+
+// SetRetain installs a pruning floor: segments holding any record with
+// offset ≥ off survive Prune regardless of the checkpoint watermark.
+// The replication layer parks the floor at the shipped-and-acked
+// replica watermark so a lagging standby never loses the suffix it
+// still needs; ^uint64(0) (the initial value) disables the floor.
+func (l *Log) SetRetain(off uint64) { l.retain = off }
+
 // Append journals one record, making it durable per the fsync policy,
 // and returns its offset.
 func (l *Log) Append(rec Record) (uint64, error) {
@@ -513,21 +531,33 @@ func (l *Log) Replay(from uint64, fn func(off uint64, rec Record) error) error {
 
 // Prune removes whole segments every record of which sits below
 // keepFrom (they are covered by a checkpoint and will never be
-// replayed). The active tail always survives.
+// replayed) AND below the SetRetain floor (a replica may still need
+// them). The active tail always survives. Segments a checkpoint has
+// covered but the retain floor holds back are counted on the
+// radloc_wal_retained_segments gauge.
 func (l *Log) Prune(keepFrom uint64) error {
+	effective := keepFrom
+	if l.retain < effective {
+		effective = l.retain
+	}
+	retained := 0
 	kept := l.segments[:0]
 	for i, seg := range l.segments {
 		last := i == len(l.segments)-1
-		if !last && seg.start+seg.count <= keepFrom {
+		if !last && seg.start+seg.count <= effective {
 			if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) {
 				return err
 			}
 			continue
 		}
+		if !last && seg.start+seg.count <= keepFrom {
+			retained++
+		}
 		kept = append(kept, seg)
 	}
 	l.segments = kept
 	l.met.layout(len(l.segments), l.next)
+	l.met.retained(retained)
 	return nil
 }
 

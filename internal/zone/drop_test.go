@@ -1,0 +1,44 @@
+package zone
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestManagerDrop(t *testing.T) {
+	m := testManager(t, Options{})
+	if err := m.Drop(DefaultZone); err == nil {
+		t.Fatal("Drop accepted the default zone")
+	}
+
+	if _, err := m.Get("east"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Drop("east"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Lookup("east"); ok {
+		t.Fatal("dropped zone still resolvable")
+	}
+	for _, name := range m.Names() {
+		if name == "east" {
+			t.Fatal("dropped zone still listed")
+		}
+	}
+
+	// Dropping a zone that is not live is a no-op, and a later Get
+	// recreates it from scratch.
+	if err := m.Drop("east"); err != nil {
+		t.Fatalf("re-drop: %v", err)
+	}
+	if _, err := m.Get("east"); err != nil {
+		t.Fatalf("recreate after drop: %v", err)
+	}
+
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Drop("east"); !errors.Is(err, ErrManagerClosed) {
+		t.Fatalf("Drop after Close = %v, want ErrManagerClosed", err)
+	}
+}

@@ -217,6 +217,39 @@ func (m *Manager) Submit(ctx context.Context, name string, ms []fusion.Meas) (fu
 	}
 }
 
+// Drop closes and removes one named zone regardless of idle time —
+// mailbox drained, gate tail flushed, owner's Close hook run — used
+// when a zone's ownership migrates to another node. The default zone
+// is refused (legacy clients depend on it); a name that is not live
+// is a no-op. The zone can be recreated by a later Get.
+func (m *Manager) Drop(name string) error {
+	if name == DefaultZone {
+		return fmt.Errorf("zone: cannot drop %q", DefaultZone)
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrManagerClosed
+	}
+	z, ok := m.zones[name]
+	if !ok {
+		m.mu.Unlock()
+		return nil
+	}
+	delete(m.zones, name)
+	m.pending[name] = make(chan struct{})
+	m.mu.Unlock()
+
+	err := z.close()
+	m.mu.Lock()
+	ch := m.pending[name]
+	delete(m.pending, name)
+	m.mu.Unlock()
+	close(ch)
+	m.evicted.Inc()
+	return err
+}
+
 // SweepIdle evicts every zone (except the default zone, whose
 // reorder-gate state legacy clients depend on) that has been idle for
 // Options.IdleAfter or longer, as measured at now: each victim is
