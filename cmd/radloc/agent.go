@@ -10,6 +10,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -57,6 +58,7 @@ func agentCmd(args []string, stdout io.Writer) error {
 		base      = fs.Duration("backoff-base", 200*time.Millisecond, "retry backoff base delay")
 		cap_      = fs.Duration("backoff-cap", 10*time.Second, "retry backoff ceiling")
 		seed      = fs.Uint64("seed", 1, "backoff jitter seed")
+		alts      = fs.String("alt-urls", "", "comma-separated alternate cluster node base URLs; when the endpoint stops answering, their /cluster/routes tables re-aim the agent at the zone's new primary")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,6 +81,7 @@ func agentCmd(args []string, stdout io.Writer) error {
 		MaxAttempts:    *attempts,
 		Backoff:        transport.Backoff{Base: *base, Cap: *cap_},
 		Metrics:        reg,
+		AltURLs:        splitCSV(*alts),
 	})
 	if err != nil {
 		return err
@@ -136,6 +139,17 @@ func agentCmd(args []string, stdout io.Writer) error {
 		err = nil
 	}
 	return err
+}
+
+// splitCSV parses a comma-separated flag value, tolerating blanks.
+func splitCSV(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // pumpAgent runs the read→deliver loop. With a spool every reading is

@@ -8,16 +8,17 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"sort"
 	"strings"
 	"time"
 )
 
-// ctlCmd is the cluster operator's tool: status, promote, drain,
-// demote, and the full migrate sequence against radlocd's /cluster
-// endpoints.
+// ctlCmd is the cluster operator's tool: status, routes, promote,
+// drain, demote, and the full migrate sequence against radlocd's
+// /cluster endpoints.
 func ctlCmd(args []string, stdout io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: radloc ctl <status|promote|drain|demote|migrate> [flags]")
+		return fmt.Errorf("usage: radloc ctl <status|routes|promote|drain|demote|migrate> [flags]")
 	}
 	verb, rest := args[0], args[1:]
 	fs := flag.NewFlagSet("ctl "+verb, flag.ContinueOnError)
@@ -25,7 +26,7 @@ func ctlCmd(args []string, stdout io.Writer) error {
 		urlFlag = fs.String("url", "http://127.0.0.1:8080", "node base URL the verb acts on")
 		zone    = fs.String("zone", "default", "zone the verb acts on")
 		token   = fs.String("token", "", "cluster bearer token")
-		from    = fs.String("from", "", "migrate: the zone's current primary base URL")
+		from    = fs.String("from", "", "migrate: the zone's current primary base URL (default: discovered from the target's routing table)")
 		to      = fs.String("to", "", "migrate: the node taking the zone over")
 		epoch   = fs.Uint64("epoch", 0, "demote: the epoch the demotion carries (must be >= the zone's current)")
 		primary = fs.String("primary", "", "demote: primary URL the demoted node replicates from")
@@ -40,6 +41,8 @@ func ctlCmd(args []string, stdout io.Writer) error {
 	switch verb {
 	case "status":
 		return c.status(stdout, *urlFlag)
+	case "routes":
+		return c.routes(stdout, *urlFlag)
 	case "promote":
 		var out struct {
 			Epoch uint64 `json:"epoch"`
@@ -71,12 +74,25 @@ func ctlCmd(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "demoted %s on %s to epoch %d\n", *zone, *urlFlag, *epoch)
 		return nil
 	case "migrate":
-		if *from == "" || *to == "" {
-			return fmt.Errorf("ctl migrate: -from and -to are required")
+		if *to == "" {
+			return fmt.Errorf("ctl migrate: -to is required (the node taking the zone over)")
 		}
-		return c.migrate(stdout, *zone, *from, *to)
+		src := *from
+		if src == "" {
+			// The learned routing table knows the zone's current owner;
+			// asking the target saves the operator a lookup.
+			var err error
+			if src, err = c.discoverPrimary(*to, *zone); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "migrate: discovered primary %s for zone %s from %s\n", src, *zone, *to)
+		}
+		if src == *to {
+			return fmt.Errorf("ctl migrate: zone %q is already owned by %s", *zone, *to)
+		}
+		return c.migrate(stdout, *zone, src, *to)
 	default:
-		return fmt.Errorf("ctl: unknown verb %q (want status, promote, drain, demote or migrate)", verb)
+		return fmt.Errorf("ctl: unknown verb %q (want status, routes, promote, drain, demote or migrate)", verb)
 	}
 }
 
@@ -184,6 +200,52 @@ func (c *ctlClient) status(w io.Writer, base string) error {
 	return nil
 }
 
+// ctlRoutes mirrors the /cluster/routes payload.
+type ctlRoutes struct {
+	Zones map[string]struct {
+		Primary string `json:"primary"`
+		Standby string `json:"standby"`
+		Epoch   uint64 `json:"epoch"`
+	} `json:"zones"`
+}
+
+// routes prints one node's learned routing table: who it believes owns
+// each zone, at which fencing epoch.
+func (c *ctlClient) routes(w io.Writer, base string) error {
+	var r ctlRoutes
+	if err := c.get(base, "/cluster/routes", &r); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(r.Zones))
+	for name := range r.Zones {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-16s %6s %-28s %s\n", "ZONE", "EPOCH", "PRIMARY", "STANDBY")
+	for _, name := range names {
+		rt := r.Zones[name]
+		standby := rt.Standby
+		if standby == "" {
+			standby = "-"
+		}
+		fmt.Fprintf(w, "%-16s %6d %-28s %s\n", name, rt.Epoch, rt.Primary, standby)
+	}
+	return nil
+}
+
+// discoverPrimary asks a node's routing table who owns the zone.
+func (c *ctlClient) discoverPrimary(base, zone string) (string, error) {
+	var r ctlRoutes
+	if err := c.get(base, "/cluster/routes", &r); err != nil {
+		return "", fmt.Errorf("ctl migrate: discovering the primary for %q: %w", zone, err)
+	}
+	rt, ok := r.Zones[zone]
+	if !ok || rt.Primary == "" {
+		return "", fmt.Errorf("ctl migrate: node %s does not know zone %q; pass -from explicitly", base, zone)
+	}
+	return rt.Primary, nil
+}
+
 // zoneOn fetches one zone's status row from a node.
 func (c *ctlClient) zoneOn(base, zone string) (*ctlStatus, int, error) {
 	var st ctlStatus
@@ -203,7 +265,9 @@ func (c *ctlClient) zoneOn(base, zone string) (*ctlStatus, int, error) {
 // promote the target, release the source. The source staying up
 // through the drain is the happy path; if it dies mid-sequence the
 // operator promotes the target by hand (`radloc ctl promote`) — the
-// epoch bump fences the dead node out either way.
+// epoch bump fences the dead node out either way. A failure between
+// the drain and the cutover rolls the drain back, so a botched
+// migration leaves the source serving writes instead of stuck at 503.
 func (c *ctlClient) migrate(w io.Writer, zone, from, to string) error {
 	fmt.Fprintf(w, "migrate %s: %s -> %s\n", zone, from, to)
 	if err := c.post(to, "/cluster/replicate/"+url.PathEscape(zone), map[string]string{"from": from}, nil); err != nil {
@@ -219,14 +283,24 @@ func (c *ctlClient) migrate(w io.Writer, zone, from, to string) error {
 	if err := c.post(from, "/cluster/drain/"+url.PathEscape(zone), map[string]bool{"draining": true}, &dr); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
+	undrain := func() {
+		if err := c.post(from, "/cluster/drain/"+url.PathEscape(zone), map[string]bool{"draining": false}, nil); err != nil {
+			fmt.Fprintf(w, "  rollback: lifting the drain on %s FAILED: %v\n    the zone refuses writes until `radloc ctl drain -off -url %s -zone %s` succeeds\n",
+				from, err, from, zone)
+			return
+		}
+		fmt.Fprintf(w, "  rollback: drain lifted on %s, writes flow to the old primary again\n", from)
+	}
 	fmt.Fprintf(w, "  source draining at head %d; waiting for the tail\n", dr.Head)
 	if err := c.waitApplied(zone, to, dr.Head); err != nil {
+		undrain()
 		return err
 	}
 	var pr struct {
 		Epoch uint64 `json:"epoch"`
 	}
 	if err := c.post(to, "/cluster/promote/"+url.PathEscape(zone), nil, &pr); err != nil {
+		undrain()
 		return fmt.Errorf("promote: %w", err)
 	}
 	fmt.Fprintf(w, "  target promoted at epoch %d\n", pr.Epoch)

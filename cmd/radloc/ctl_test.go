@@ -1,0 +1,267 @@
+package main
+
+// ctl command tests: the migrate sequence's drain rollback (a botched
+// cutover must not leave the source stuck at 503), -from discovery
+// through the routing table, and the operator-facing error paths —
+// every failure must be one actionable line, not a stack of JSON.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fakeCtlNode fakes one radlocd node's /cluster surface with
+// injectable failures and a drain-transition log.
+type fakeCtlNode struct {
+	mu            sync.Mutex
+	self          string
+	token         string // enforced on mutating verbs when non-empty
+	draining      bool
+	drainLog      []bool // every drain value received, in order
+	promoteStatus int    // non-zero: promote fails with this HTTP status
+	head          uint64
+	applied       uint64
+	caughtUp      bool
+	routes        map[string]map[string]any
+	released      bool
+	srv           *httptest.Server
+}
+
+func newFakeCtlNode(t *testing.T, self string) *fakeCtlNode {
+	t.Helper()
+	n := &fakeCtlNode{self: self, routes: map[string]map[string]any{}}
+	mux := http.NewServeMux()
+	auth := func(w http.ResponseWriter, r *http.Request) bool {
+		n.mu.Lock()
+		tok := n.token
+		n.mu.Unlock()
+		if tok != "" && r.Header.Get("Authorization") != "Bearer "+tok {
+			http.Error(w, "unauthorized", http.StatusUnauthorized)
+			return false
+		}
+		return true
+	}
+	mux.HandleFunc("GET /cluster/status", func(w http.ResponseWriter, r *http.Request) {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		fmt.Fprintf(w, `{"self":%q,"zones":[{"zone":"west","role":"standby","epoch":1,"draining":%v,"head":%d,"applied":%d,"caughtUp":%v}]}`,
+			n.self, n.draining, n.head, n.applied, n.caughtUp)
+	})
+	mux.HandleFunc("GET /cluster/routes", func(w http.ResponseWriter, r *http.Request) {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		json.NewEncoder(w).Encode(map[string]any{"zones": n.routes})
+	})
+	mux.HandleFunc("POST /cluster/replicate/{zone}", func(w http.ResponseWriter, r *http.Request) {
+		if !auth(w, r) {
+			return
+		}
+		fmt.Fprint(w, "{}")
+	})
+	mux.HandleFunc("POST /cluster/drain/{zone}", func(w http.ResponseWriter, r *http.Request) {
+		if !auth(w, r) {
+			return
+		}
+		var body struct {
+			Draining bool `json:"draining"`
+		}
+		json.NewDecoder(r.Body).Decode(&body)
+		n.mu.Lock()
+		n.draining = body.Draining
+		n.drainLog = append(n.drainLog, body.Draining)
+		head := n.head
+		n.mu.Unlock()
+		fmt.Fprintf(w, `{"draining":%v,"head":%d}`, body.Draining, head)
+	})
+	mux.HandleFunc("POST /cluster/promote/{zone}", func(w http.ResponseWriter, r *http.Request) {
+		if !auth(w, r) {
+			return
+		}
+		n.mu.Lock()
+		status := n.promoteStatus
+		n.mu.Unlock()
+		if status != 0 {
+			http.Error(w, "promote refused (injected)", status)
+			return
+		}
+		fmt.Fprint(w, `{"epoch":2}`)
+	})
+	mux.HandleFunc("POST /cluster/release/{zone}", func(w http.ResponseWriter, r *http.Request) {
+		if !auth(w, r) {
+			return
+		}
+		n.mu.Lock()
+		n.released = true
+		n.mu.Unlock()
+		fmt.Fprint(w, "{}")
+	})
+	n.srv = httptest.NewServer(mux)
+	t.Cleanup(n.srv.Close)
+	return n
+}
+
+func (n *fakeCtlNode) drainHistory() []bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]bool(nil), n.drainLog...)
+}
+
+// TestCtlMigrateRollsBackDrainOnPromoteFailure is the failure-injection
+// regression: the cutover fails after the source is already draining,
+// and the drain must be lifted so the source keeps accepting writes.
+func TestCtlMigrateRollsBackDrainOnPromoteFailure(t *testing.T) {
+	src := newFakeCtlNode(t, "src")
+	dst := newFakeCtlNode(t, "dst")
+	src.head, dst.applied, dst.caughtUp = 10, 10, true
+	dst.promoteStatus = http.StatusConflict // a newer epoch beat us to it
+
+	var out strings.Builder
+	err := ctlCmd([]string{"migrate", "-zone", "west",
+		"-from", src.srv.URL, "-to", dst.srv.URL, "-timeout", "5s"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "promote") {
+		t.Fatalf("err = %v, want a promote failure", err)
+	}
+	if got := src.drainHistory(); len(got) != 2 || !got[0] || got[1] {
+		t.Fatalf("drain transitions = %v, want [true false] (set, then rolled back)", got)
+	}
+	if src.draining {
+		t.Fatal("source left draining after the failed cutover")
+	}
+	if !strings.Contains(out.String(), "rollback: drain lifted") {
+		t.Fatalf("no rollback notice in output:\n%s", out.String())
+	}
+}
+
+// TestCtlMigrateRollsBackDrainOnTailTimeout pins the other failure
+// window: the target never reaches the drain head, the wait times out,
+// and the drain still rolls back.
+func TestCtlMigrateRollsBackDrainOnTailTimeout(t *testing.T) {
+	src := newFakeCtlNode(t, "src")
+	dst := newFakeCtlNode(t, "dst")
+	src.head, dst.applied, dst.caughtUp = 10, 3, true // stuck short of the head
+
+	var out strings.Builder
+	err := ctlCmd([]string{"migrate", "-zone", "west",
+		"-from", src.srv.URL, "-to", dst.srv.URL, "-timeout", "600ms"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v, want a tail-wait timeout", err)
+	}
+	if got := src.drainHistory(); len(got) != 2 || !got[0] || got[1] {
+		t.Fatalf("drain transitions = %v, want [true false]", got)
+	}
+}
+
+// TestCtlMigrateDiscoversPrimary runs the happy path with -from
+// omitted: the source is learned from the target's routing table.
+func TestCtlMigrateDiscoversPrimary(t *testing.T) {
+	src := newFakeCtlNode(t, "src")
+	dst := newFakeCtlNode(t, "dst")
+	src.head, dst.applied, dst.caughtUp = 10, 10, true
+	dst.routes["west"] = map[string]any{"primary": src.srv.URL, "epoch": 1}
+
+	var out strings.Builder
+	err := ctlCmd([]string{"migrate", "-zone", "west", "-to", dst.srv.URL, "-timeout", "5s"}, &out)
+	if err != nil {
+		t.Fatalf("migrate failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "discovered primary "+src.srv.URL) {
+		t.Fatalf("no discovery notice:\n%s", out.String())
+	}
+	if !src.released {
+		t.Fatal("source never released the zone")
+	}
+	if src.draining != true {
+		t.Fatal("source drain lifted on a successful cutover (release owns the hand-off)")
+	}
+}
+
+// TestCtlErrorPaths pins the operator experience when things are
+// misconfigured: every error is non-nil (non-zero exit through main)
+// and a single actionable line.
+func TestCtlErrorPaths(t *testing.T) {
+	oneLine := func(t *testing.T, err error) {
+		t.Helper()
+		if err == nil {
+			t.Fatal("expected an error")
+		}
+		if strings.Contains(err.Error(), "\n") {
+			t.Fatalf("multi-line error: %q", err.Error())
+		}
+	}
+
+	t.Run("unreachable node", func(t *testing.T) {
+		dead := newFakeCtlNode(t, "dead")
+		deadURL := dead.srv.URL
+		dead.srv.Close()
+		err := ctlCmd([]string{"status", "-url", deadURL}, &strings.Builder{})
+		oneLine(t, err)
+		if !strings.Contains(err.Error(), "refused") && !strings.Contains(err.Error(), "connect") {
+			t.Fatalf("err = %v, want a connection failure", err)
+		}
+	})
+
+	t.Run("wrong token", func(t *testing.T) {
+		n := newFakeCtlNode(t, "guarded")
+		n.token = "secret"
+		err := ctlCmd([]string{"promote", "-zone", "west", "-url", n.srv.URL, "-token", "nope"}, &strings.Builder{})
+		oneLine(t, err)
+		if !strings.Contains(err.Error(), "401") {
+			t.Fatalf("err = %v, want HTTP 401", err)
+		}
+	})
+
+	t.Run("unknown zone on migrate discovery", func(t *testing.T) {
+		dst := newFakeCtlNode(t, "dst") // empty routing table
+		err := ctlCmd([]string{"migrate", "-zone", "nowhere", "-to", dst.srv.URL}, &strings.Builder{})
+		oneLine(t, err)
+		if !strings.Contains(err.Error(), `does not know zone "nowhere"`) ||
+			!strings.Contains(err.Error(), "-from") {
+			t.Fatalf("err = %v, want the pass--from hint", err)
+		}
+	})
+
+	t.Run("unknown verb", func(t *testing.T) {
+		err := ctlCmd([]string{"explode"}, &strings.Builder{})
+		oneLine(t, err)
+		if !strings.Contains(err.Error(), "routes") {
+			t.Fatalf("err = %v, want the verb list including routes", err)
+		}
+	})
+
+	t.Run("migrate to self", func(t *testing.T) {
+		n := newFakeCtlNode(t, "n")
+		n.routes["west"] = map[string]any{"primary": n.srv.URL, "epoch": 1}
+		err := ctlCmd([]string{"migrate", "-zone", "west", "-to", n.srv.URL}, &strings.Builder{})
+		oneLine(t, err)
+		if !strings.Contains(err.Error(), "already owned") {
+			t.Fatalf("err = %v, want already-owned refusal", err)
+		}
+	})
+}
+
+// TestCtlRoutesPrintsTable covers the routes verb end to end.
+func TestCtlRoutesPrintsTable(t *testing.T) {
+	n := newFakeCtlNode(t, "n")
+	n.routes["west"] = map[string]any{"primary": "http://a", "standby": "http://b", "epoch": 3}
+	n.routes["east"] = map[string]any{"primary": "http://b", "epoch": 1}
+
+	var out strings.Builder
+	if err := ctlCmd([]string{"routes", "-url", n.srv.URL}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"ZONE", "EPOCH", "west", "http://a", "http://b", "east", "3", "1"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("routes output missing %q:\n%s", want, got)
+		}
+	}
+	// Sorted by zone: east before west.
+	if strings.Index(got, "east") > strings.Index(got, "west") {
+		t.Fatalf("routes not sorted:\n%s", got)
+	}
+}

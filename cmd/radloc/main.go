@@ -101,7 +101,7 @@ const usage = `usage:
   radloc diagnose [-scenario A -obstacles] [flags]  posterior-predictive check
   radloc record [-scenario A | -config FILE] [flags]  NDJSON stream for radlocd
   radloc agent -url URL [-in FILE] [-spool DIR] [flags]  deliver NDJSON to radlocd with retries
-  radloc ctl <status|promote|drain|demote|migrate> [flags]  operate a radlocd cluster (failover, live migration)
+  radloc ctl <status|routes|promote|drain|demote|migrate> [flags]  operate a radlocd cluster (failover, live migration)
   radloc bench [-particles N -sensors N -steps T -profile] [flags]  stage-latency profile (CSV + pprof)
 flags: -reps N  -seed S  -steps T  -out FILE`
 

@@ -3,8 +3,10 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"radloc/internal/cluster"
 	"radloc/internal/fusion"
@@ -172,6 +174,85 @@ func (b *zoneBackend) Checkpoint() error {
 	return nil
 }
 
+// divergedDirName is where divergence repair parks the quarantined WAL
+// suffix and any checkpoints that cover it, inside the zone's WAL
+// directory.
+const divergedDirName = "diverged"
+
+// QuarantineDiverged implements cluster.Backend: the WAL suffix at or
+// above floor is moved into <wal-dir>/diverged/ together with every
+// checkpoint whose state already includes those records, and the log
+// is truncated so the snapshot bootstrap that follows re-seeds from a
+// clean prefix. Nothing is deleted — the quarantined files are the
+// operator's evidence of what the old primary accepted after losing
+// ownership (see the diverged/ runbook in the README). Without
+// durability there is nothing on disk to preserve; the engine's
+// journal counter is rewound and the bootstrap replaces its state.
+func (b *zoneBackend) QuarantineDiverged(floor uint64) (uint64, error) {
+	d := zoneDurable(b.z)
+	if d == nil {
+		cur := b.z.Engine().Snapshot().Journaled
+		if cur <= floor {
+			return 0, nil
+		}
+		b.z.Engine().SetJournalOffset(floor)
+		return cur - floor, nil
+	}
+	divDir := filepath.Join(d.dir, divergedDirName)
+	d.j.mu.Lock()
+	moved, err := d.j.log.QuarantineSuffix(floor, divDir)
+	d.j.mu.Unlock()
+	if err != nil {
+		return moved, err
+	}
+	movedCkpts, err := wal.MoveCheckpoints(d.dir, floor, divDir)
+	if err != nil {
+		return moved, err
+	}
+	// Forget checkpoint bookkeeping above the floor, so the next
+	// checkpoint's prune floor cannot outrun the truncated log.
+	d.mu.Lock()
+	if d.lastApplied > floor {
+		d.lastApplied = 0
+	}
+	if d.prevApplied > floor {
+		d.prevApplied = 0
+	}
+	d.mu.Unlock()
+	if moved > 0 || movedCkpts > 0 {
+		writeDivergedNote(divDir, floor, moved, movedCkpts)
+		fmt.Fprintf(b.zs.logw, "radlocd: zone %q quarantined %d diverged WAL records and %d checkpoints into %s (floor %d)\n",
+			b.z.Name(), moved, movedCkpts, divDir, floor)
+	}
+	return moved, nil
+}
+
+// writeDivergedNote drops a marker file next to the quarantined data
+// so an operator finding the directory later knows when the repair
+// ran, where the live log resumed, and how much was set aside.
+// Best-effort: a failed note never fails the repair itself.
+func writeDivergedNote(divDir string, floor, records uint64, ckpts int) {
+	note := struct {
+		Floor       uint64    `json:"floor"`
+		Records     uint64    `json:"records"`
+		Checkpoints int       `json:"checkpoints,omitempty"`
+		At          time.Time `json:"at"`
+	}{floor, records, ckpts, time.Now().UTC()}
+	blob, err := json.MarshalIndent(note, "", "  ")
+	if err != nil {
+		return
+	}
+	name := fmt.Sprintf("DIVERGED-%016x.json", floor)
+	path := filepath.Join(divDir, name)
+	for i := 1; i < 1000; i++ {
+		if _, err := os.Lstat(path); os.IsNotExist(err) {
+			break
+		}
+		path = filepath.Join(divDir, fmt.Sprintf("%s.%d", name, i))
+	}
+	_ = os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
 // epochFileName holds a zone's fencing epoch next to its WAL.
 const epochFileName = "cluster-epoch.json"
 
@@ -183,37 +264,43 @@ type fileEpochStore struct {
 	zs *zoneSet
 }
 
-// Load implements cluster.EpochStore; a missing file is epoch 0.
-func (s *fileEpochStore) Load(zone string) (uint64, error) {
-	raw, err := os.ReadFile(filepath.Join(s.zs.zoneWalDir(zone), epochFileName))
+// Load implements cluster.EpochStore; a missing file is a zero meta
+// (the cluster layer treats that as epoch 1 with no history). A file
+// from before epoch-start history — bare {"epoch":N} — parses fine,
+// and the cluster layer anchors its history conservatively at 0.
+func (s *fileEpochStore) Load(zone string) (cluster.EpochMeta, error) {
+	path := filepath.Join(s.zs.zoneWalDir(zone), epochFileName)
+	raw, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return 0, nil
+		return cluster.EpochMeta{}, nil
 	}
 	if err != nil {
-		return 0, err
+		return cluster.EpochMeta{}, err
 	}
-	var v struct {
-		Epoch uint64 `json:"epoch"`
-	}
-	if err := json.Unmarshal(raw, &v); err != nil {
-		// A torn epoch file must not block boot; treating it as epoch 0
-		// is safe — the node rejoins humbly and adopts the cluster's
+	var meta cluster.EpochMeta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		// A torn or truncated epoch file must not block boot, but it must
+		// not be silently destroyed either: quarantine it aside and start
+		// at epoch 0 — the node rejoins humbly and adopts the cluster's
 		// current epoch on first contact.
-		fmt.Fprintf(s.zs.logw, "radlocd: ignoring corrupt %s for zone %q: %v\n", epochFileName, zone, err)
-		return 0, nil
+		bad := path + ".bad"
+		if rerr := os.Rename(path, bad); rerr != nil {
+			bad = fmt.Sprintf("nowhere (rename failed: %v)", rerr)
+		}
+		fmt.Fprintf(s.zs.logw, "radlocd: corrupt %s for zone %q moved to %s, starting at epoch 0: %v\n",
+			epochFileName, zone, bad, err)
+		return cluster.EpochMeta{}, nil
 	}
-	return v.Epoch, nil
+	return meta, nil
 }
 
 // Save implements cluster.EpochStore.
-func (s *fileEpochStore) Save(zone string, epoch uint64) error {
+func (s *fileEpochStore) Save(zone string, meta cluster.EpochMeta) error {
 	dir := s.zs.zoneWalDir(zone)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	blob, err := json.Marshal(struct {
-		Epoch uint64 `json:"epoch"`
-	}{epoch})
+	blob, err := json.Marshal(meta)
 	if err != nil {
 		return err
 	}
@@ -222,4 +309,55 @@ func (s *fileEpochStore) Save(zone string, epoch uint64) error {
 		return err
 	}
 	return os.Rename(tmp, filepath.Join(dir, epochFileName))
+}
+
+// routesFileName persists the learned routing table at the WAL root.
+// The static -cluster-routes file is only the seed; ownership moves
+// learned from peers must survive a restart, or a rebooted node would
+// come back believing a stale topology.
+const routesFileName = "cluster-routes.json"
+
+// fileRouteStore persists the learned routing table in one directory
+// (the WAL root), written atomically like the epoch file.
+type fileRouteStore struct {
+	dir  string
+	logw io.Writer
+}
+
+// Load implements cluster.RouteStore; a missing file is an empty
+// table. A corrupt file is quarantined to .bad and treated as empty —
+// the table is re-learned from peers, so losing the cache is safe.
+func (s *fileRouteStore) Load() (cluster.Routes, error) {
+	path := filepath.Join(s.dir, routesFileName)
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return cluster.Routes{}, nil
+	}
+	if err != nil {
+		return cluster.Routes{}, err
+	}
+	var r cluster.Routes
+	if err := json.Unmarshal(raw, &r); err != nil {
+		_ = os.Rename(path, path+".bad")
+		fmt.Fprintf(s.logw, "radlocd: corrupt %s moved to %s.bad, relearning routes from peers: %v\n",
+			routesFileName, path, err)
+		return cluster.Routes{}, nil
+	}
+	return r, nil
+}
+
+// Save implements cluster.RouteStore.
+func (s *fileRouteStore) Save(r cluster.Routes) error {
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return err
+	}
+	blob, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.dir, routesFileName+".tmp")
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(s.dir, routesFileName))
 }

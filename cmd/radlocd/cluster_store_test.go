@@ -1,0 +1,153 @@
+package main
+
+// Regression tests for the on-disk cluster stores: a corrupt or
+// truncated epoch file must never stop the daemon from booting — it
+// is quarantined to .bad and the zone starts at epoch 0 — and the
+// learned-routes cache behaves the same way.
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"radloc/internal/cluster"
+	"radloc/internal/fusion"
+	"radloc/internal/obs"
+	"radloc/internal/scenario"
+	"radloc/internal/sim"
+	"radloc/internal/wal"
+)
+
+// newStoreZoneSet builds a minimal durable zone set rooted at dir.
+func newStoreZoneSet(t *testing.T, dir string, logw io.Writer) *zoneSet {
+	t.Helper()
+	sc := scenario.A(50, false)
+	build := func(j fusion.Journal, met *obs.Registry) (*fusion.Engine, error) {
+		fcfg := fusion.Config{Localizer: sim.LocalizerConfig(sc), Sensors: sc.Sensors, Journal: j, Metrics: met}
+		fcfg.Localizer.Seed = 3
+		return fusion.NewEngine(fcfg)
+	}
+	zs, err := newZoneSet(zoneSetOptions{
+		WalRoot: dir, Fsync: wal.FsyncNever, CkptEvery: 50,
+		MaxZones: 8, Mailbox: 64, Metrics: obs.NewRegistry(), Log: logw, Build: build,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = zs.close() })
+	return zs
+}
+
+func TestFileEpochStoreCorruptFileQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	var logbuf strings.Builder
+	zs := newStoreZoneSet(t, dir, &logbuf)
+	s := &fileEpochStore{zs: zs}
+
+	path := filepath.Join(zs.zoneWalDir("default"), epochFileName)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(`{"epoch": 7, "sta`), 0o644); err != nil {
+		t.Fatal(err) // a truncated write, as a crash mid-rename could leave
+	}
+
+	meta, err := s.Load("default")
+	if err != nil {
+		t.Fatalf("corrupt epoch file failed the load: %v", err)
+	}
+	if meta.Epoch != 0 || len(meta.Starts) != 0 {
+		t.Fatalf("corrupt epoch file yielded meta %+v, want zero", meta)
+	}
+	if !strings.Contains(logbuf.String(), "corrupt "+epochFileName) {
+		t.Fatalf("no warning logged, got: %q", logbuf.String())
+	}
+	// The evidence survives as .bad and the live name is free again.
+	if _, err := os.Stat(path + ".bad"); err != nil {
+		t.Fatalf("bad epoch file not quarantined: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt epoch file still in place under its live name")
+	}
+	// A second load (file now missing) is a clean epoch 0, no error.
+	if meta, err := s.Load("default"); err != nil || meta.Epoch != 0 {
+		t.Fatalf("load after quarantine: meta %+v, err %v", meta, err)
+	}
+}
+
+func TestFileEpochStoreLegacyAndRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	zs := newStoreZoneSet(t, dir, io.Discard)
+	s := &fileEpochStore{zs: zs}
+
+	// Legacy format: a bare {"epoch":N} from before start history.
+	path := filepath.Join(zs.zoneWalDir("default"), epochFileName)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(`{"epoch":3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := s.Load("default")
+	if err != nil || meta.Epoch != 3 || len(meta.Starts) != 0 {
+		t.Fatalf("legacy epoch file: meta %+v, err %v", meta, err)
+	}
+
+	// Full round-trip with start history.
+	want := cluster.EpochMeta{Epoch: 5, Starts: []cluster.EpochStart{{Epoch: 4, Start: 10}, {Epoch: 5, Start: 42}}}
+	if err := s.Save("default", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(want)
+	gotJSON, _ := json.Marshal(got)
+	if string(wantJSON) != string(gotJSON) {
+		t.Fatalf("epoch meta round-trip: got %s, want %s", gotJSON, wantJSON)
+	}
+}
+
+func TestFileRouteStoreRoundTripAndCorruption(t *testing.T) {
+	dir := t.TempDir()
+	var logbuf strings.Builder
+	s := &fileRouteStore{dir: dir, logw: &logbuf}
+
+	// Missing file: empty table, no error.
+	if r, err := s.Load(); err != nil || len(r.Zones) != 0 {
+		t.Fatalf("missing routes file: %+v, err %v", r, err)
+	}
+
+	want := cluster.Routes{Zones: map[string]cluster.Route{
+		"west": {Primary: "http://a", Standby: "http://b", Epoch: 4},
+	}}
+	if err := s.Save(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt := got.Zones["west"]; rt != want.Zones["west"] {
+		t.Fatalf("routes round-trip: got %+v, want %+v", rt, want.Zones["west"])
+	}
+
+	// Corruption: quarantined to .bad, empty table returned.
+	path := filepath.Join(dir, routesFileName)
+	if err := os.WriteFile(path, []byte(`{"zones": nope`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if r, err := s.Load(); err != nil || len(r.Zones) != 0 {
+		t.Fatalf("corrupt routes file: %+v, err %v", r, err)
+	}
+	if _, err := os.Stat(path + ".bad"); err != nil {
+		t.Fatalf("bad routes file not quarantined: %v", err)
+	}
+	if !strings.Contains(logbuf.String(), "corrupt "+routesFileName) {
+		t.Fatalf("no warning logged, got: %q", logbuf.String())
+	}
+}

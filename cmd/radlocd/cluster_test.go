@@ -104,6 +104,14 @@ type clusterTestNode struct {
 // same seed), so state comparisons across nodes are meaningful.
 func newClusterTestNode(t *testing.T, fab *clusterFabric, host string, routes *cluster.Routes) *clusterTestNode {
 	t.Helper()
+	return newClusterTestNodeAt(t, fab, host, routes, t.TempDir(), nil)
+}
+
+// newClusterTestNodeAt is newClusterTestNode with the WAL root and
+// route store exposed, so a killed node can be resurrected over its
+// own surviving state — the divergence-repair scenario.
+func newClusterTestNodeAt(t *testing.T, fab *clusterFabric, host string, routes *cluster.Routes, walRoot string, rstore cluster.RouteStore) *clusterTestNode {
+	t.Helper()
 	reg := obs.NewRegistry()
 	sc := scenario.A(50, false)
 	build := func(j fusion.Journal, met *obs.Registry) (*fusion.Engine, error) {
@@ -117,7 +125,7 @@ func newClusterTestNode(t *testing.T, fab *clusterFabric, host string, routes *c
 		return fusion.NewEngine(fcfg)
 	}
 	zs, err := newZoneSet(zoneSetOptions{
-		WalRoot: t.TempDir(), Fsync: wal.FsyncNever, CkptEvery: 50,
+		WalRoot: walRoot, Fsync: wal.FsyncNever, CkptEvery: 50,
 		MaxZones: 8, Mailbox: 64, Metrics: reg, Log: io.Discard, Build: build,
 	})
 	if err != nil {
@@ -134,6 +142,7 @@ func newClusterTestNode(t *testing.T, fab *clusterFabric, host string, routes *c
 			Self:         "http://" + host,
 			Resolver:     zs.clusterBackend,
 			Epochs:       &fileEpochStore{zs: zs},
+			RouteStore:   rstore,
 			HTTP:         n.link,
 			PullInterval: time.Millisecond,
 			Drop:         zs.manager.Drop,

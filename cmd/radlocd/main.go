@@ -42,12 +42,14 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"radloc/internal/cluster"
 	"radloc/internal/config"
+	"radloc/internal/failover"
 	"radloc/internal/fusion"
 	"radloc/internal/httpingest"
 	"radloc/internal/obs"
@@ -95,6 +97,12 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		clusterTok  = fs.String("cluster-token", "", "bearer token guarding the /cluster endpoints and attached to outgoing replication pulls")
 		replEvery   = fs.Duration("repl-interval", 500*time.Millisecond, "standby idle poll period between replication pulls")
 		replBatch   = fs.Int("repl-batch", 4096, "max WAL records per replication pull")
+		failoverOn  = fs.Bool("failover", false, "probe -cluster-peers and self-promote standby zones when their primary dies (requires -cluster-self)")
+		peersCSV    = fs.String("cluster-peers", "", "comma-separated peer base URLs the failure detector probes")
+		probeEvery  = fs.Duration("probe-interval", 2*time.Second, "failover: base peer probe period (jittered ±20%)")
+		suspectN    = fs.Int("suspect-misses", 3, "failover: consecutive probe misses before a peer is suspected")
+		holdDown    = fs.Duration("holddown", 10*time.Second, "failover: how long a suspected peer must stay unreachable before it is declared dead (flap damping)")
+		maxPromLag  = fs.Uint64("max-promote-lag", 0, "failover: refuse unattended promotion when replication lag exceeds this many records (0 = must be fully caught up)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -172,14 +180,17 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 			return fmt.Errorf("-cluster-self requires -listen (replication is served over HTTP)")
 		}
 		var eps cluster.EpochStore = &cluster.MemEpochStore{}
+		var rstore cluster.RouteStore
 		if *walDir != "" {
 			eps = &fileEpochStore{zs: zs}
+			rstore = &fileRouteStore{dir: *walDir, logw: os.Stderr}
 		}
 		node, err = cluster.NewNode(cluster.Options{
 			Self:         *clusterSelf,
 			Token:        *clusterTok,
 			Resolver:     zs.clusterBackend,
 			Epochs:       eps,
+			RouteStore:   rstore,
 			PullInterval: *replEvery,
 			PullBatch:    *replBatch,
 			Drop:         zs.manager.Drop,
@@ -199,6 +210,45 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 				return err
 			}
 		}
+		// The persisted learned table is applied after the static seed:
+		// its entries carry epochs, so anything this node learned before
+		// its last shutdown overrides a stale seed (highest epoch wins),
+		// while a fresh seed for a brand-new zone still lands.
+		if rstore != nil {
+			learned, lerr := rstore.Load()
+			if lerr != nil {
+				return lerr
+			}
+			if len(learned.Zones) > 0 {
+				node.LearnRoutes(learned)
+			}
+		}
+	}
+	if *failoverOn {
+		if node == nil {
+			return fmt.Errorf("-failover requires -cluster-self (the failure detector acts on the cluster layer)")
+		}
+		peers := splitPeers(*peersCSV)
+		if len(peers) == 0 {
+			return fmt.Errorf("-failover requires -cluster-peers (who to probe)")
+		}
+		prom, perr := failover.New(failover.Options{
+			Node:          node,
+			Self:          *clusterSelf,
+			Peers:         peers,
+			Token:         *clusterTok,
+			Interval:      *probeEvery,
+			Suspect:       *suspectN,
+			HoldDown:      *holdDown,
+			MaxPromoteLag: *maxPromLag,
+			Metrics:       reg,
+			Log:           log.New(os.Stderr, "", log.LstdFlags),
+		})
+		if perr != nil {
+			return perr
+		}
+		prom.Start()
+		defer prom.Close()
 	}
 	if *zoneIdle > 0 {
 		interval := *zoneIdle / 4
@@ -239,4 +289,16 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		err = cerr
 	}
 	return err
+}
+
+// splitPeers parses the -cluster-peers list: comma-separated base
+// URLs, blanks tolerated.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

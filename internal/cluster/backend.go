@@ -57,6 +57,14 @@ type Backend interface {
 	// takeover so a crash right after it recovers into the new role's
 	// state.
 	Checkpoint() error
+	// QuarantineDiverged moves every local WAL record at or above
+	// floor — plus any checkpoint covering them — into a diverged/
+	// directory instead of deleting it, and truncates the local log to
+	// floor. It is the repair path for a resurrected primary whose
+	// unshipped suffix conflicts with the new primary's history: the
+	// data is preserved for operator inspection, never silently
+	// dropped. Returns the number of records quarantined.
+	QuarantineDiverged(floor uint64) (uint64, error)
 }
 
 // BackendResolver finds (creating if needed) the backend for a zone.
@@ -64,14 +72,41 @@ type Backend interface {
 // targets lazily instantiate exactly like write targets do.
 type BackendResolver func(zone string) (Backend, error)
 
-// EpochStore persists per-zone epochs across restarts. Epochs fence
-// split-brain: a node that crashes and restarts must not forget it
-// was demoted.
+// EpochStart records the first WAL offset that can hold data written
+// under an epoch. The list of starts a node has witnessed is what lets
+// a primary compute the divergence floor for a resurrected node stuck
+// at an older epoch: everything the old node holds at or above
+// min(Start of newer epochs) was never shipped and conflicts with the
+// new history.
+type EpochStart struct {
+	// Epoch is the fencing epoch the start belongs to.
+	Epoch uint64 `json:"epoch"`
+	// Start is the lowest WAL offset that may carry this epoch's
+	// writes. A conservative (lower) value is always safe — it only
+	// widens the quarantined suffix.
+	Start uint64 `json:"start"`
+}
+
+// EpochMeta is everything the epoch store persists for one zone: the
+// current fencing epoch plus the known epoch-start history used for
+// divergence floors. Legacy stores that only recorded the epoch load
+// with an empty Starts list, which degrades to a conservative floor
+// of zero (full re-seed) — safe, just less surgical.
+type EpochMeta struct {
+	// Epoch is the zone's current fencing epoch.
+	Epoch uint64 `json:"epoch"`
+	// Starts is the known epoch-start history, ascending by epoch.
+	Starts []EpochStart `json:"starts,omitempty"`
+}
+
+// EpochStore persists per-zone epoch metadata across restarts. Epochs
+// fence split-brain: a node that crashes and restarts must not forget
+// it was demoted, nor the offsets at which newer epochs began.
 type EpochStore interface {
-	// Load returns the stored epoch for a zone, 0 if none.
-	Load(zone string) (uint64, error)
-	// Save durably records the zone's epoch.
-	Save(zone string, epoch uint64) error
+	// Load returns the stored metadata for a zone, zero if none.
+	Load(zone string) (EpochMeta, error)
+	// Save durably records the zone's epoch metadata.
+	Save(zone string, meta EpochMeta) error
 }
 
 // MemEpochStore is an in-memory EpochStore for tests and for nodes
@@ -79,23 +114,25 @@ type EpochStore interface {
 // anyway, so losing the epoch with it is consistent).
 type MemEpochStore struct {
 	mu sync.Mutex
-	m  map[string]uint64
+	m  map[string]EpochMeta
 }
 
 // Load implements EpochStore.
-func (s *MemEpochStore) Load(zone string) (uint64, error) {
+func (s *MemEpochStore) Load(zone string) (EpochMeta, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.m[zone], nil
 }
 
 // Save implements EpochStore.
-func (s *MemEpochStore) Save(zone string, epoch uint64) error {
+func (s *MemEpochStore) Save(zone string, meta EpochMeta) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.m == nil {
-		s.m = make(map[string]uint64)
+		s.m = make(map[string]EpochMeta)
 	}
-	s.m[zone] = epoch
+	cp := meta
+	cp.Starts = append([]EpochStart(nil), meta.Starts...)
+	s.m[zone] = cp
 	return nil
 }

@@ -50,6 +50,12 @@ type Frame struct {
 	// Head is the sender's WAL head — the offset the next append
 	// will get (hello and end frames).
 	Head uint64
+	// Start is the divergence floor for the puller's epoch (hello
+	// frames only): the lowest WAL offset that may carry writes from
+	// an epoch newer than the one the puller asked with. A standby
+	// holding records at or above it under an older epoch has a
+	// diverged suffix that must be quarantined, not replayed over.
+	Start uint64
 	// Rec is the journaled measurement (record frames only).
 	Rec wal.Record
 }
@@ -60,6 +66,7 @@ type wireFrame struct {
 	Type  string          `json:"type,omitempty"`
 	Epoch uint64          `json:"epoch,omitempty"`
 	Head  uint64          `json:"head"`
+	Start uint64          `json:"start,omitempty"`
 	Off   uint64          `json:"off"`
 	CRC   uint32          `json:"crc"`
 	Rec   json.RawMessage `json:"rec,omitempty"`
@@ -88,11 +95,16 @@ func EncodeRecord(off uint64, rec wal.Record) ([]byte, error) {
 }
 
 // EncodeControl encodes a hello or end frame, newline-terminated.
-func EncodeControl(typ string, epoch, head uint64) ([]byte, error) {
+// start is the divergence floor a hello carries; end frames must pass
+// zero.
+func EncodeControl(typ string, epoch, head, start uint64) ([]byte, error) {
 	if typ != FrameHello && typ != FrameEnd {
 		return nil, fmt.Errorf("cluster: not a control frame type: %q", typ)
 	}
-	line, err := json.Marshal(wireFrame{Type: typ, Epoch: epoch, Head: head})
+	if typ == FrameEnd && start != 0 {
+		return nil, fmt.Errorf("cluster: end frame cannot carry a start offset")
+	}
+	line, err := json.Marshal(wireFrame{Type: typ, Epoch: epoch, Head: head, Start: start})
 	if err != nil {
 		return nil, err
 	}
@@ -122,12 +134,15 @@ func DecodeFrame(line []byte) (Frame, error) {
 		if wf.Rec != nil || wf.CRC != 0 || wf.Off != 0 {
 			return Frame{}, fmt.Errorf("%w: control frame with record fields", ErrBadFrame)
 		}
-		return Frame{Type: wf.Type, Epoch: wf.Epoch, Head: wf.Head}, nil
+		if wf.Type == FrameEnd && wf.Start != 0 {
+			return Frame{}, fmt.Errorf("%w: end frame with start offset", ErrBadFrame)
+		}
+		return Frame{Type: wf.Type, Epoch: wf.Epoch, Head: wf.Head, Start: wf.Start}, nil
 	case "":
 		if wf.Rec == nil {
 			return Frame{}, fmt.Errorf("%w: record frame without rec", ErrBadFrame)
 		}
-		if wf.Epoch != 0 || wf.Head != 0 {
+		if wf.Epoch != 0 || wf.Head != 0 || wf.Start != 0 {
 			return Frame{}, fmt.Errorf("%w: record frame with control fields", ErrBadFrame)
 		}
 		if crc32.ChecksumIEEE(wf.Rec) != wf.CRC {

@@ -29,7 +29,11 @@ func TestFrameRecordRoundTrip(t *testing.T) {
 
 func TestFrameControlRoundTrip(t *testing.T) {
 	for _, typ := range []string{FrameHello, FrameEnd} {
-		line, err := EncodeControl(typ, 5, 999)
+		start := uint64(0)
+		if typ == FrameHello {
+			start = 7
+		}
+		line, err := EncodeControl(typ, 5, 999, start)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -37,12 +41,15 @@ func TestFrameControlRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if f.Type != typ || f.Epoch != 5 || f.Head != 999 {
+		if f.Type != typ || f.Epoch != 5 || f.Head != 999 || f.Start != start {
 			t.Fatalf("%s round trip mangled frame: %+v", typ, f)
 		}
 	}
-	if _, err := EncodeControl("record", 1, 1); err == nil {
+	if _, err := EncodeControl("record", 1, 1, 0); err == nil {
 		t.Fatal("EncodeControl accepted a non-control type")
+	}
+	if _, err := EncodeControl(FrameEnd, 1, 1, 9); err == nil {
+		t.Fatal("EncodeControl accepted an end frame with a start offset")
 	}
 }
 

@@ -14,8 +14,8 @@ import (
 // stream that fails mid-way must leave the backend with a valid
 // contiguous prefix only (memBackend.ApplyRecords rejects gaps).
 func FuzzReplicationFrame(f *testing.F) {
-	hello, _ := EncodeControl(FrameHello, 1, 3)
-	end, _ := EncodeControl(FrameEnd, 1, 3)
+	hello, _ := EncodeControl(FrameHello, 1, 3, 0)
+	end, _ := EncodeControl(FrameEnd, 1, 3, 0)
 	var recs []byte
 	for off := uint64(0); off < 3; off++ {
 		line, _ := EncodeRecord(off, wal.Record{SensorID: int(off), CPM: 10 + int(off), Seq: off})
@@ -40,7 +40,7 @@ func FuzzReplicationFrame(f *testing.F) {
 			case FrameRecord:
 				line, eerr = EncodeRecord(fr.Off, fr.Rec)
 			case FrameHello, FrameEnd:
-				line, eerr = EncodeControl(fr.Type, fr.Epoch, fr.Head)
+				line, eerr = EncodeControl(fr.Type, fr.Epoch, fr.Head, fr.Start)
 			default:
 				t.Fatalf("decoder produced unknown frame type %q", fr.Type)
 			}

@@ -97,9 +97,10 @@ func (n *Node) handleWAL(w http.ResponseWriter, r *http.Request) {
 
 	n.mu.Lock()
 	zs, zerr := n.zoneFor(name)
-	var epoch uint64
+	var epoch, floor uint64
 	if zerr == nil {
 		epoch = zs.epoch
+		floor = n.divergenceFloorLocked(zs, reqEpoch)
 	}
 	n.mu.Unlock()
 	if zerr != nil {
@@ -107,13 +108,14 @@ func (n *Node) handleWAL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if reqEpoch > epoch {
-		// The puller was promoted past us: we are the stale side.
-		// Step down so we stop accepting writes, and refuse the pull —
-		// the new primary has nothing to learn from us.
+		// The puller was promoted past us: we are the stale side. Step
+		// down so we stop accepting writes — keeping our old epoch, so
+		// our own next pull carries it and the new primary's
+		// divergence floor gets to judge whatever we wrote while
+		// isolated — and refuse the pull: the new primary has nothing
+		// to learn from us.
 		n.met.fenced()
-		if err := n.Demote(name, reqEpoch, ""); err != nil {
-			n.logf("cluster: self-demote %q: %v", name, err)
-		}
+		n.stepDown(name, "")
 		http.Error(w, "stale primary epoch", http.StatusConflict)
 		return
 	}
@@ -131,7 +133,7 @@ func (n *Node) handleWAL(w http.ResponseWriter, r *http.Request) {
 
 	head := b.Offset()
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	line, err := EncodeControl(FrameHello, epoch, head)
+	line, err := EncodeControl(FrameHello, epoch, head, floor)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -158,7 +160,7 @@ func (n *Node) handleWAL(w http.ResponseWriter, r *http.Request) {
 		n.logf("cluster: serve wal %q: %v", name, err)
 		return
 	}
-	if line, err := EncodeControl(FrameEnd, epoch, head); err == nil {
+	if line, err := EncodeControl(FrameEnd, epoch, head, 0); err == nil {
 		w.Write(line)
 	}
 }

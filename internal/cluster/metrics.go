@@ -12,6 +12,8 @@ type nodeMetrics struct {
 	shipped, applied       *obs.Counter
 	bootstraps             *obs.Counter
 	fencedPulls            *obs.Counter
+	divergenceRepairs      *obs.Counter
+	divergedRecords        *obs.Counter
 }
 
 // newNodeMetrics registers the node's collectors on r; nil r disables
@@ -43,6 +45,10 @@ func newNodeMetrics(r *obs.Registry) *nodeMetrics {
 			"Full state-snapshot bootstraps performed because the needed WAL suffix was pruned."),
 		fencedPulls: r.Counter("radloc_repl_fenced_total",
 			"Replication requests refused because of a stale epoch (split-brain fence)."),
+		divergenceRepairs: r.Counter("radloc_repl_divergence_repairs_total",
+			"Divergence repairs: a resurrected node quarantined an unshipped WAL suffix and re-seeded."),
+		divergedRecords: r.Counter("radloc_repl_diverged_records_total",
+			"WAL records moved to diverged/ quarantine during divergence repairs."),
 	}
 }
 
@@ -102,6 +108,15 @@ func (m *nodeMetrics) bootstrapped() {
 		return
 	}
 	m.bootstraps.Inc()
+}
+
+// diverged accounts one divergence repair and its quarantined records.
+func (m *nodeMetrics) diverged(records uint64) {
+	if m == nil {
+		return
+	}
+	m.divergenceRepairs.Inc()
+	m.divergedRecords.Add(records)
 }
 
 // fenced accounts one epoch-fenced refusal.

@@ -66,6 +66,9 @@ type Options struct {
 	Resolver BackendResolver
 	// Epochs persists per-zone fencing epochs (default MemEpochStore).
 	Epochs EpochStore
+	// RouteStore, when non-nil, persists the learned routing table so
+	// a rebooted node remembers zone ownership without re-probing.
+	RouteStore RouteStore
 	// HTTP performs the standby's pulls (default http.DefaultTransport).
 	HTTP http.RoundTripper
 	// Clock times replication lag (default the wall clock).
@@ -93,6 +96,12 @@ type zoneState struct {
 	role     Role
 	epoch    uint64
 	draining bool
+
+	// starts is the known epoch-start history (ascending by epoch),
+	// used to compute divergence floors for pullers at older epochs.
+	// Every entry is at or below the true first offset of its epoch,
+	// so floors derived from it only ever widen the quarantine.
+	starts []EpochStart
 
 	// primaryURL is where writes should go when role is standby.
 	primaryURL string
@@ -172,14 +181,21 @@ func (n *Node) zoneFor(name string) (*zoneState, error) {
 	if zs, ok := n.zones[name]; ok {
 		return zs, nil
 	}
-	epoch, err := n.opts.Epochs.Load(name)
+	meta, err := n.opts.Epochs.Load(name)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: load epoch for %q: %w", name, err)
 	}
-	if epoch == 0 {
-		epoch = 1
+	if meta.Epoch == 0 {
+		meta.Epoch = 1
 	}
-	zs := &zoneState{name: name, role: RolePrimary, epoch: epoch}
+	zs := &zoneState{name: name, role: RolePrimary, epoch: meta.Epoch, starts: meta.Starts}
+	if meta.Epoch > 1 && !hasStart(zs.starts, meta.Epoch) {
+		// Legacy store without start history: anchor the current epoch
+		// at offset 0 so divergence floors stay conservative (a puller
+		// at an older epoch gets floor 0, i.e. a full re-seed) rather
+		// than silently under-quarantining.
+		zs.starts = recordStart(zs.starts, EpochStart{Epoch: meta.Epoch, Start: 0})
+	}
 	if rt, ok := n.routes.Zones[name]; ok && rt.Primary != n.opts.Self {
 		zs.role = RoleStandby
 		zs.primaryURL = rt.Primary
@@ -191,6 +207,81 @@ func (n *Node) zoneFor(name string) (*zoneState, error) {
 		n.startReplicaLocked(zs)
 	}
 	return zs, nil
+}
+
+// maxEpochStarts bounds the persisted epoch-start history. When the
+// list would grow past it, the two oldest entries merge into one
+// carrying the lower start — floors for very old pullers stay
+// conservative instead of losing coverage.
+const maxEpochStarts = 16
+
+// hasStart reports whether the history has an entry for epoch.
+func hasStart(starts []EpochStart, epoch uint64) bool {
+	for _, s := range starts {
+		if s.Epoch == epoch {
+			return true
+		}
+	}
+	return false
+}
+
+// recordStart inserts an epoch-start entry, keeping the list sorted
+// and unique by epoch. An existing entry is only ever lowered — a
+// lower start is always at least as safe. Overflow merges the two
+// oldest entries into the higher epoch with the lower start.
+func recordStart(starts []EpochStart, e EpochStart) []EpochStart {
+	for i, s := range starts {
+		if s.Epoch == e.Epoch {
+			if e.Start < s.Start {
+				starts[i].Start = e.Start
+			}
+			return starts
+		}
+	}
+	starts = append(starts, e)
+	sort.Slice(starts, func(a, b int) bool { return starts[a].Epoch < starts[b].Epoch })
+	for len(starts) > maxEpochStarts {
+		if starts[1].Start > starts[0].Start {
+			starts[1].Start = starts[0].Start
+		}
+		starts = starts[1:]
+	}
+	return starts
+}
+
+// divergenceFloorLocked computes the lowest offset that may carry
+// writes from an epoch newer than reqEpoch. A puller still holding
+// records at or above it has a diverged suffix. Unknown history
+// degrades to floor 0 (full re-seed). Caller holds n.mu.
+func (n *Node) divergenceFloorLocked(zs *zoneState, reqEpoch uint64) uint64 {
+	if zs.epoch <= reqEpoch {
+		return 0
+	}
+	floor, found := uint64(0), false
+	for _, s := range zs.starts {
+		if s.Epoch > reqEpoch && (!found || s.Start < floor) {
+			floor, found = s.Start, true
+		}
+	}
+	return floor
+}
+
+// epochMetaLocked snapshots a zone's persistable epoch state. Caller
+// holds n.mu.
+func epochMetaLocked(zs *zoneState) EpochMeta {
+	return EpochMeta{Epoch: zs.epoch, Starts: append([]EpochStart(nil), zs.starts...)}
+}
+
+// saveRoutes persists the routing table snapshot when a store is
+// configured. Failures are logged, not fatal — the table is
+// re-learnable from peers.
+func (n *Node) saveRoutes(r Routes) {
+	if n.opts.RouteStore == nil {
+		return
+	}
+	if err := n.opts.RouteStore.Save(r); err != nil {
+		n.logf("cluster: persist routes: %v", err)
+	}
 }
 
 // SetRoutes installs the routing table and instantiates state for
@@ -205,7 +296,9 @@ func (n *Node) SetRoutes(r Routes) error {
 	if n.closed {
 		return errors.New("cluster: node closed")
 	}
-	n.routes = r
+	// Deep-copy: the node mutates its table on promotion and route
+	// learning, and the caller's map must not see (or cause) that.
+	n.routes = r.Clone()
 	for _, name := range r.ZoneNames() {
 		if _, err := n.zoneFor(name); err != nil {
 			return err
@@ -214,13 +307,36 @@ func (n *Node) SetRoutes(r Routes) error {
 	return nil
 }
 
-// Routes returns the current routing table.
+// Routes returns the current routing table, with this node's live
+// primary zones asserted at their current epochs — so peers probing
+// /cluster/routes learn ownership even for zones the static table
+// never mentioned, and every promotion's epoch bump propagates.
 func (n *Node) Routes() Routes {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	cp := Routes{Zones: make(map[string]Route, len(n.routes.Zones))}
-	for k, v := range n.routes.Zones {
-		cp.Zones[k] = v
+	cp := n.routes.Clone()
+	for name, zs := range n.zones {
+		if zs.role != RolePrimary {
+			continue
+		}
+		cur, ok := cp.Zones[name]
+		if ok && cur.Epoch >= zs.epoch && cur.Primary == n.opts.Self {
+			continue
+		}
+		if ok && cur.Epoch >= zs.epoch {
+			// A newer assertion names someone else; report the table's
+			// view — this node is a stale primary about to be fenced.
+			continue
+		}
+		st := ""
+		if ok {
+			if cur.Standby != "" && cur.Standby != n.opts.Self {
+				st = cur.Standby
+			} else if cur.Primary != n.opts.Self {
+				st = cur.Primary
+			}
+		}
+		cp.Zones[name] = Route{Primary: n.opts.Self, Standby: st, Epoch: zs.epoch}
 	}
 	return cp
 }
@@ -246,9 +362,13 @@ func (n *Node) AdmitWrite(zone string) error {
 
 // Promote makes this node primary for the zone: the replica loop (if
 // any) stops, the epoch is bumped and persisted — fencing out the old
-// primary — and a checkpoint seals the takeover. Idempotent on an
-// already-primary zone (no epoch bump).
+// primary — the new epoch's WAL start offset is recorded for future
+// divergence floors, the routing table asserts the new ownership, and
+// a checkpoint seals the takeover. Idempotent on an already-primary
+// zone (no epoch bump).
 func (n *Node) Promote(zone string) (uint64, error) {
+	b, berr := n.opts.Resolver(zone)
+
 	n.mu.Lock()
 	zs, err := n.zoneFor(zone)
 	if err != nil {
@@ -264,20 +384,35 @@ func (n *Node) Promote(zone string) (uint64, error) {
 		zs.cancel()
 		zs.cancel = nil
 	}
+	former := zs.primaryURL
 	zs.role = RolePrimary
 	zs.draining = false
 	zs.primaryURL = ""
 	zs.epoch++
 	epoch := zs.epoch
+	if berr == nil {
+		// The local head at promotion is the first offset that can
+		// carry this epoch's writes: everything below it replicated
+		// from the old primary, everything at or above is new history.
+		zs.starts = recordStart(zs.starts, EpochStart{Epoch: epoch, Start: b.Offset()})
+	} else {
+		zs.starts = recordStart(zs.starts, EpochStart{Epoch: epoch, Start: 0})
+	}
+	meta := epochMetaLocked(zs)
+	if n.routes.Zones == nil {
+		n.routes.Zones = make(map[string]Route)
+	}
+	n.routes.Zones[zone] = Route{Primary: n.opts.Self, Standby: former, Epoch: epoch}
+	routesCp := n.routes.Clone()
 	n.met.roleChanged(zone, true, epoch)
 	n.mu.Unlock()
 
-	if err := n.opts.Epochs.Save(zone, epoch); err != nil {
+	n.saveRoutes(routesCp)
+	if err := n.opts.Epochs.Save(zone, meta); err != nil {
 		return epoch, fmt.Errorf("cluster: persist epoch for %q: %w", zone, err)
 	}
-	b, err := n.opts.Resolver(zone)
-	if err != nil {
-		return epoch, err
+	if berr != nil {
+		return epoch, berr
 	}
 	if err := b.Checkpoint(); err != nil {
 		n.logf("cluster: checkpoint after promoting %q: %v", zone, err)
@@ -289,7 +424,10 @@ func (n *Node) Promote(zone string) (uint64, error) {
 // Demote makes this node standby for the zone at the given epoch,
 // replicating from primaryURL (when non-empty). An epoch below the
 // zone's current one is refused with ErrStaleEpoch — a partitioned
-// old primary cannot talk this node out of a newer promotion.
+// old primary cannot talk this node out of a newer promotion. An
+// epoch above the current one is adopted with a conservative start of
+// 0 (the operator vouched for it; the node has not verified where the
+// new history began).
 func (n *Node) Demote(zone string, epoch uint64, primaryURL string) error {
 	n.mu.Lock()
 	zs, err := n.zoneFor(zone)
@@ -304,20 +442,134 @@ func (n *Node) Demote(zone string, epoch uint64, primaryURL string) error {
 	}
 	zs.role = RoleStandby
 	zs.draining = false
+	if epoch > zs.epoch {
+		zs.starts = recordStart(zs.starts, EpochStart{Epoch: epoch, Start: 0})
+	}
 	zs.epoch = epoch
 	zs.primaryURL = primaryURL
 	zs.lastCaughtUp = n.opts.Clock.Now()
 	zs.caughtUp = false
+	meta := epochMetaLocked(zs)
+	var routesCp Routes
+	if primaryURL != "" {
+		if n.routes.Zones == nil {
+			n.routes.Zones = make(map[string]Route)
+		}
+		n.routes.Zones[zone] = Route{Primary: primaryURL, Standby: n.opts.Self, Epoch: epoch}
+		routesCp = n.routes.Clone()
+	}
 	n.met.roleChanged(zone, false, epoch)
 	if primaryURL != "" && zs.cancel == nil {
 		n.startReplicaLocked(zs)
 	}
 	n.mu.Unlock()
-	if err := n.opts.Epochs.Save(zone, epoch); err != nil {
+	if routesCp.Zones != nil {
+		n.saveRoutes(routesCp)
+	}
+	if err := n.opts.Epochs.Save(zone, meta); err != nil {
 		return fmt.Errorf("cluster: persist epoch for %q: %w", zone, err)
 	}
 	n.logf("cluster: demoted to standby for zone %q at epoch %d (primary %q)", zone, epoch, primaryURL)
 	return nil
+}
+
+// stepDownLocked turns a primary into a standby without touching its
+// epoch. This is the fencing path for a node that just learned it was
+// superseded (a newer-epoch pull, a higher-epoch route assertion):
+// the epoch must stay at its old value so the next pull still carries
+// it and the new primary's divergence floor applies to whatever this
+// node wrote while isolated. Caller holds n.mu.
+func (n *Node) stepDownLocked(zs *zoneState, primaryURL string) {
+	if zs.cancel != nil {
+		zs.cancel()
+		zs.cancel = nil
+	}
+	zs.role = RoleStandby
+	zs.draining = false
+	zs.primaryURL = primaryURL
+	zs.caughtUp = false
+	zs.lastCaughtUp = n.opts.Clock.Now()
+	n.met.roleChanged(zs.name, false, zs.epoch)
+	if primaryURL != "" {
+		n.startReplicaLocked(zs)
+	}
+}
+
+// stepDown is stepDownLocked for callers not holding n.mu.
+func (n *Node) stepDown(zone, primaryURL string) {
+	n.mu.Lock()
+	zs, err := n.zoneFor(zone)
+	if err != nil {
+		n.mu.Unlock()
+		n.logf("cluster: step down %q: %v", zone, err)
+		return
+	}
+	if zs.role == RolePrimary {
+		n.stepDownLocked(zs, primaryURL)
+	} else if primaryURL != "" && zs.primaryURL != primaryURL {
+		zs.primaryURL = primaryURL
+		if zs.cancel == nil {
+			n.startReplicaLocked(zs)
+		}
+	}
+	epoch := zs.epoch
+	n.mu.Unlock()
+	n.logf("cluster: stepped down for zone %q at epoch %d", zone, epoch)
+}
+
+// LearnRoutes merges per-zone route assertions into the node's table:
+// for each zone, the assertion with the higher epoch wins (ties keep
+// the current entry, so tables converge instead of thrashing). A
+// learned entry naming another node as primary at a higher epoch than
+// this node's own makes a local primary step down — keeping its epoch,
+// so the divergence check runs before it adopts the new history — and
+// re-aims a local standby's replica loop. Self-assertions never
+// promote: promotion only happens through Promote's fencing path.
+// Returns whether the table changed; changes are persisted.
+func (n *Node) LearnRoutes(r Routes) bool {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return false
+	}
+	changed := false
+	for name, rt := range r.Zones {
+		if rt.Primary == "" {
+			continue
+		}
+		if n.routes.Zones == nil {
+			n.routes.Zones = make(map[string]Route)
+		}
+		cur, ok := n.routes.Zones[name]
+		if ok && rt.Epoch <= cur.Epoch {
+			continue
+		}
+		n.routes.Zones[name] = rt
+		changed = true
+		zs, live := n.zones[name]
+		if !live || rt.Primary == n.opts.Self {
+			continue
+		}
+		if zs.role == RolePrimary && rt.Epoch > zs.epoch {
+			n.logf("cluster: zone %q superseded at epoch %d by %s (local epoch %d); stepping down",
+				name, rt.Epoch, rt.Primary, zs.epoch)
+			n.stepDownLocked(zs, rt.Primary)
+		} else if zs.role == RoleStandby && zs.primaryURL != rt.Primary {
+			zs.primaryURL = rt.Primary
+			if zs.cancel == nil {
+				n.startReplicaLocked(zs)
+			}
+		}
+	}
+	var routesCp Routes
+	if changed {
+		routesCp = n.routes.Clone()
+	}
+	n.mu.Unlock()
+	if changed {
+		n.saveRoutes(routesCp)
+	}
+	return changed
 }
 
 // SetDraining marks a primary zone as draining (writes refused with
@@ -357,7 +609,18 @@ func (n *Node) Release(zone string, to string) error {
 	zs.primaryURL = to
 	zs.caughtUp = false
 	n.met.roleChanged(zone, false, zs.epoch)
+	var routesCp Routes
+	if to != "" {
+		if n.routes.Zones == nil {
+			n.routes.Zones = make(map[string]Route)
+		}
+		n.routes.Zones[zone] = Route{Primary: to, Standby: n.opts.Self, Epoch: zs.epoch}
+		routesCp = n.routes.Clone()
+	}
 	n.mu.Unlock()
+	if routesCp.Zones != nil {
+		n.saveRoutes(routesCp)
+	}
 	n.logf("cluster: released zone %q to %q", zone, to)
 	if n.opts.Drop != nil {
 		return n.opts.Drop(zone)

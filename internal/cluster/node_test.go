@@ -21,9 +21,10 @@ type memBackend struct {
 	mu     sync.Mutex
 	base   uint64 // offset of recs[0]
 	recs   []wal.Record
-	retain uint64
-	boots  int
-	ckpts  int
+	retain   uint64
+	boots    int
+	ckpts    int
+	diverged []wal.Record
 }
 
 func newMemBackend(n int) *memBackend {
@@ -137,6 +138,29 @@ func (b *memBackend) Checkpoint() error {
 	defer b.mu.Unlock()
 	b.ckpts++
 	return nil
+}
+
+func (b *memBackend) QuarantineDiverged(floor uint64) (uint64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	head := b.base + uint64(len(b.recs))
+	if floor >= head {
+		return 0, nil
+	}
+	if floor < b.base {
+		floor = b.base
+	}
+	moved := head - floor
+	b.diverged = append(b.diverged, b.recs[floor-b.base:]...)
+	b.recs = b.recs[:floor-b.base]
+	return moved, nil
+}
+
+// divergedRecs returns a copy of the quarantined records.
+func (b *memBackend) divergedRecs() []wal.Record {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]wal.Record(nil), b.diverged...)
 }
 
 // records returns a copy of the live record window.
@@ -448,7 +472,7 @@ func TestApplyStreamGuards(t *testing.T) {
 		return string(line)
 	}
 	hello := func(epoch, head uint64) string {
-		line, _ := EncodeControl(FrameHello, epoch, head)
+		line, _ := EncodeControl(FrameHello, epoch, head, 0)
 		return string(line)
 	}
 
@@ -465,7 +489,7 @@ func TestApplyStreamGuards(t *testing.T) {
 
 	// A higher hello epoch is adopted.
 	b = newMemBackend(0)
-	end, _ := EncodeControl(FrameEnd, 3, 1)
+	end, _ := EncodeControl(FrameEnd, 3, 1, 0)
 	if _, _, err = n.applyStream("z", b, 2, strings.NewReader(hello(3, 1)+rec(0)+string(end))); err != nil {
 		t.Fatal(err)
 	}

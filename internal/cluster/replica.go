@@ -52,7 +52,8 @@ func (n *Node) Replicate(zone, from string) error {
 
 // replicaLoop pulls WAL for one standby zone until cancelled. A pull
 // that learns it is still behind loops again immediately; a caught-up
-// or failed pull sleeps PullInterval first.
+// or failed pull waits PullInterval first. The wait is context-aware —
+// Close must not block behind a long pull interval.
 func (n *Node) replicaLoop(ctx context.Context, zone string) {
 	defer n.wg.Done()
 	for {
@@ -64,7 +65,9 @@ func (n *Node) replicaLoop(ctx context.Context, zone string) {
 			return
 		}
 		if !behind {
-			n.opts.Clock.Sleep(n.opts.PullInterval)
+			wait, cancel := n.opts.Clock.WithTimeout(ctx, n.opts.PullInterval)
+			<-wait.Done()
+			cancel()
 		}
 	}
 }
@@ -124,8 +127,58 @@ func (n *Node) pullOnce(ctx context.Context, zone string) bool {
 	}
 
 	applied, head, err := n.applyStream(zone, b, epoch, resp.Body)
+	var div *divergedError
+	if errors.As(err, &div) {
+		if rerr := n.repairDivergence(ctx, zone, b, primary, div); rerr != nil {
+			n.finishPull(zone, applied, b.Offset(), head, rerr)
+			return false
+		}
+		n.finishPull(zone, applied, b.Offset(), b.Offset(), nil)
+		return true
+	}
 	n.finishPull(zone, applied, b.Offset(), head, err)
 	return err == nil && b.Offset() < head
+}
+
+// repairDivergence handles a resurrected node whose local WAL suffix
+// was never shipped before a newer epoch took over: the suffix (and
+// any checkpoint covering it) is quarantined to the backend's
+// diverged/ directory — preserved for inspection, never dropped —
+// then the node re-seeds from the current primary's snapshot and
+// rejoins as a clean standby.
+func (n *Node) repairDivergence(ctx context.Context, zone string, b Backend, primary string, div *divergedError) error {
+	n.logf("cluster: zone %q diverged: local head %d above floor %d of epoch %d; quarantining suffix",
+		zone, div.Local, div.Floor, div.Epoch)
+	moved, err := b.QuarantineDiverged(div.Floor)
+	if err != nil {
+		return fmt.Errorf("cluster: quarantine diverged suffix of %q: %w", zone, err)
+	}
+	n.met.diverged(moved)
+	n.logf("cluster: zone %q: quarantined %d diverged records", zone, moved)
+	if err := n.bootstrap(ctx, zone, b, primary); err != nil {
+		return err
+	}
+	return nil
+}
+
+// divergedError reports that the local WAL holds records above the
+// divergence floor of a newer epoch — an unshipped suffix that
+// conflicts with the cluster's current history.
+type divergedError struct {
+	// Zone is the diverged zone.
+	Zone string
+	// Floor is the lowest offset the newer history may occupy.
+	Floor uint64
+	// Local is this node's WAL head.
+	Local uint64
+	// Epoch is the newer epoch observed from the primary.
+	Epoch uint64
+}
+
+// Error implements error.
+func (e *divergedError) Error() string {
+	return fmt.Sprintf("cluster: zone %q diverged: local head %d above epoch-%d floor %d",
+		e.Zone, e.Local, e.Epoch, e.Floor)
 }
 
 // get issues one authenticated GET through the node's transport.
@@ -164,7 +217,16 @@ func (n *Node) applyStream(zone string, b Backend, epoch uint64, body io.Reader)
 		return 0, 0, fmt.Errorf("%w: hello at epoch %d, zone at %d", ErrStaleEpoch, hello.Epoch, epoch)
 	}
 	if hello.Epoch > epoch {
-		n.adoptEpoch(zone, hello.Epoch)
+		// The primary is ahead of us by at least one promotion. Before
+		// adopting its epoch, check the divergence floor it sent: any
+		// local records at or above it were written under our old
+		// epoch but never shipped — replaying the new history over
+		// them would silently fork state. Refuse the stream and let
+		// the pull loop quarantine + re-seed.
+		if local := b.Offset(); local > hello.Start {
+			return 0, 0, &divergedError{Zone: zone, Floor: hello.Start, Local: local, Epoch: hello.Epoch}
+		}
+		n.adoptEpoch(zone, hello.Epoch, hello.Start)
 	}
 	head = hello.Head
 
@@ -259,7 +321,9 @@ func (n *Node) bootstrap(ctx context.Context, zone string, b Backend, primary st
 		return fmt.Errorf("%w: snapshot at epoch %d, zone at %d", ErrStaleEpoch, snap.Epoch, epoch)
 	}
 	if snap.Epoch > epoch {
-		n.adoptEpoch(zone, snap.Epoch)
+		// Start 0 is conservative: the snapshot does not say where the
+		// new epoch's history began, only that it covers snap.Applied.
+		n.adoptEpoch(zone, snap.Epoch, 0)
 	}
 	if err := b.Bootstrap(snap.State, snap.Applied); err != nil {
 		return err
@@ -270,16 +334,26 @@ func (n *Node) bootstrap(ctx context.Context, zone string, b Backend, primary st
 }
 
 // adoptEpoch raises the zone's epoch to a higher one observed from
-// its primary and persists it.
-func (n *Node) adoptEpoch(zone string, epoch uint64) {
+// its primary — after the divergence check has cleared the local
+// prefix — and persists it. start is the lowest offset the new
+// history may occupy as reported by the primary; it seeds this node's
+// own floor computations should it be promoted later.
+func (n *Node) adoptEpoch(zone string, epoch, start uint64) {
 	n.mu.Lock()
 	zs, ok := n.zones[zone]
+	var meta EpochMeta
 	if ok && epoch > zs.epoch {
+		zs.starts = recordStart(zs.starts, EpochStart{Epoch: epoch, Start: start})
 		zs.epoch = epoch
 		n.met.roleChanged(zone, zs.role == RolePrimary, epoch)
 	}
+	if ok {
+		meta = epochMetaLocked(zs)
+	} else {
+		meta = EpochMeta{Epoch: epoch}
+	}
 	n.mu.Unlock()
-	if err := n.opts.Epochs.Save(zone, epoch); err != nil {
+	if err := n.opts.Epochs.Save(zone, meta); err != nil {
 		n.logf("cluster: persist adopted epoch for %q: %v", zone, err)
 	}
 }

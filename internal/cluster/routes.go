@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync"
 
 	"radloc/internal/zone"
 )
@@ -17,10 +18,17 @@ type Route struct {
 	Primary string `json:"primary"`
 	// Standby is the replica's base URL; empty means unreplicated.
 	Standby string `json:"standby,omitempty"`
+	// Epoch is the fencing epoch this assertion was made at. When two
+	// nodes disagree about a zone's primary, the higher epoch wins —
+	// it reflects the more recent promotion. Zero (static seed tables)
+	// loses to any learned assertion.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
-// Routes is the static zone→node routing table. Zones absent from the
-// table are owned by whichever node they first appear on (standalone
+// Routes is the zone→node routing table: seeded from a static file,
+// then kept current by exchanging per-zone {primary, epoch}
+// assertions between nodes (LearnRoutes). Zones absent from the table
+// are owned by whichever node they first appear on (standalone
 // behavior), so a single-node deployment needs no table at all.
 type Routes struct {
 	// Zones maps zone name to its route.
@@ -62,4 +70,46 @@ func (r Routes) ZoneNames() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Clone deep-copies the table so callers can mutate or persist it
+// without holding the node's lock.
+func (r Routes) Clone() Routes {
+	cp := Routes{Zones: make(map[string]Route, len(r.Zones))}
+	for k, v := range r.Zones {
+		cp.Zones[k] = v
+	}
+	return cp
+}
+
+// RouteStore persists the learned routing table across restarts, so a
+// rebooted node remembers who owns each zone without waiting for the
+// next probe round.
+type RouteStore interface {
+	// Load returns the stored table; an empty table if none was saved.
+	Load() (Routes, error)
+	// Save durably records the table.
+	Save(Routes) error
+}
+
+// MemRouteStore is an in-memory RouteStore for tests and for nodes
+// running without durability.
+type MemRouteStore struct {
+	mu sync.Mutex
+	r  Routes
+}
+
+// Load implements RouteStore.
+func (s *MemRouteStore) Load() (Routes, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Clone(), nil
+}
+
+// Save implements RouteStore.
+func (s *MemRouteStore) Save(r Routes) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.r = r.Clone()
+	return nil
 }

@@ -1,0 +1,342 @@
+// Package failover turns the cluster's primary/standby layer into an
+// unattended HA system. Each node runs a Promoter: a failure detector
+// that probes every peer's /readyz on a jittered interval and pulls
+// its /cluster/routes table so topology is learned, not configured.
+// A peer is suspected after N consecutive probe misses and declared
+// dead only once it has also been continuously unreachable for the
+// hold-down window — a flapping link refreshes the last-alive stamp
+// on every successful probe, so it never accumulates the hold-down
+// and never triggers a promotion (no epoch thrash). When a peer is
+// declared dead, the Promoter self-promotes the local standby for
+// each zone the dead peer owned — through the cluster layer's
+// existing epoch-fencing path — but only if local replication lag is
+// under a configurable bound; otherwise it refuses, raises a metric,
+// and retries on later ticks (the operator can still force the issue
+// with `radloc ctl promote`).
+package failover
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"radloc/internal/clock"
+	"radloc/internal/cluster"
+	"radloc/internal/obs"
+	"radloc/internal/rng"
+)
+
+// Options configures a Promoter.
+type Options struct {
+	// Node is the cluster membership the promoter acts on. Required.
+	Node *cluster.Node
+	// Self is this node's own base URL, used to recognize itself in
+	// learned routes. Required.
+	Self string
+	// Peers are the other nodes' base URLs to probe. A peer equal to
+	// Self is skipped.
+	Peers []string
+	// Token, when non-empty, is attached as a bearer token to every
+	// probe.
+	Token string
+	// HTTP performs the probes (default http.DefaultTransport).
+	HTTP http.RoundTripper
+	// Clock drives the probe schedule (default the wall clock).
+	Clock clock.Clock
+	// RNG jitters the probe interval; nil seeds a fixed stream from
+	// Self, so a deterministic test fabric sees a deterministic
+	// schedule.
+	RNG *rng.Stream
+	// Interval is the base probe period (default 2s).
+	Interval time.Duration
+	// Jitter is the ± fraction of Interval each tick is displaced by
+	// (default 0.2), so a fleet restarted together does not probe in
+	// lockstep.
+	Jitter float64
+	// Suspect is the consecutive probe misses before a peer is
+	// suspected (default 3).
+	Suspect int
+	// HoldDown is how long a suspected peer must be continuously
+	// unreachable before it is declared dead (default 10s). Any
+	// successful probe resets the window — the flapping defense.
+	HoldDown time.Duration
+	// ProbeTimeout bounds one probe round-trip (default Interval).
+	ProbeTimeout time.Duration
+	// MaxPromoteLag is the highest replication lag, in records, at
+	// which self-promotion is still safe (default 0: the standby must
+	// be fully caught up to the last head it saw). Above it the
+	// promoter refuses and raises radloc_failover_refusals_total.
+	MaxPromoteLag uint64
+	// Metrics, when non-nil, receives the radloc_failover_* collectors.
+	Metrics *obs.Registry
+	// Log, when non-nil, receives detection and promotion decisions.
+	Log *log.Logger
+}
+
+// peerState is the failure detector's view of one peer.
+type peerState struct {
+	url       string
+	misses    int       // consecutive failed probes
+	lastAlive time.Time // last time any probe got an HTTP response
+	dead      bool      // declared dead (suspect + hold-down elapsed)
+}
+
+// Promoter is the per-node failure detector and auto-promotion loop.
+type Promoter struct {
+	opts Options
+	met  *promoterMetrics
+
+	mu    sync.Mutex
+	peers []*peerState
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// New builds a Promoter. Call Start to begin probing.
+func New(opts Options) (*Promoter, error) {
+	if opts.Node == nil {
+		return nil, errors.New("failover: Options.Node is required")
+	}
+	if opts.Self == "" {
+		return nil, errors.New("failover: Options.Self is required")
+	}
+	if opts.HTTP == nil {
+		opts.HTTP = http.DefaultTransport
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.Real{}
+	}
+	if opts.RNG == nil {
+		opts.RNG = rng.NewNamed(0x0fa17, opts.Self)
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 2 * time.Second
+	}
+	if opts.Jitter < 0 || opts.Jitter >= 1 {
+		opts.Jitter = 0.2
+	}
+	if opts.Suspect <= 0 {
+		opts.Suspect = 3
+	}
+	if opts.HoldDown <= 0 {
+		opts.HoldDown = 10 * time.Second
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = opts.Interval
+	}
+	p := &Promoter{opts: opts, met: newPromoterMetrics(opts.Metrics)}
+	now := opts.Clock.Now()
+	for _, u := range opts.Peers {
+		if u == "" || u == opts.Self {
+			continue
+		}
+		p.peers = append(p.peers, &peerState{url: u, lastAlive: now})
+		p.met.peerUp(u, true)
+	}
+	return p, nil
+}
+
+func (p *Promoter) logf(format string, args ...any) {
+	if p.opts.Log != nil {
+		p.opts.Log.Printf(format, args...)
+	}
+}
+
+// Start launches the probe loop. Close stops it.
+func (p *Promoter) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cancel != nil {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p.cancel = cancel
+	p.wg.Add(1)
+	go p.loop(ctx)
+}
+
+// Close stops the probe loop and waits for it to exit.
+func (p *Promoter) Close() {
+	p.mu.Lock()
+	cancel := p.cancel
+	p.cancel = nil
+	p.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	p.wg.Wait()
+}
+
+// loop runs Tick on a jittered schedule until cancelled.
+func (p *Promoter) loop(ctx context.Context) {
+	defer p.wg.Done()
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		p.Tick(ctx)
+		if ctx.Err() != nil {
+			return
+		}
+		p.opts.Clock.Sleep(p.jitteredInterval())
+	}
+}
+
+// jitteredInterval displaces the base interval by ±Jitter.
+func (p *Promoter) jitteredInterval() time.Duration {
+	base := float64(p.opts.Interval)
+	f := 1 + p.opts.Jitter*(2*p.opts.RNG.Float64()-1)
+	return time.Duration(base * f)
+}
+
+// Tick runs one probe round: every peer's liveness is checked, its
+// routes are merged, death is (re)evaluated against the suspicion
+// threshold and hold-down window, and promotions are attempted for
+// zones owned by dead peers. Exposed so tests drive the detector
+// deterministically under a fake clock.
+func (p *Promoter) Tick(ctx context.Context) {
+	now := p.opts.Clock.Now()
+	for _, ps := range p.peers {
+		alive := p.probe(ctx, ps.url)
+		p.met.probed(!alive)
+		p.mu.Lock()
+		if alive {
+			if ps.dead {
+				p.logf("failover: peer %s is back", ps.url)
+			}
+			ps.misses = 0
+			ps.lastAlive = now
+			ps.dead = false
+			p.met.peerUp(ps.url, true)
+			p.mu.Unlock()
+			continue
+		}
+		ps.misses++
+		suspected := ps.misses >= p.opts.Suspect
+		heldDown := now.Sub(ps.lastAlive) >= p.opts.HoldDown
+		if suspected && heldDown && !ps.dead {
+			ps.dead = true
+			p.met.peerUp(ps.url, false)
+			p.met.died()
+			p.logf("failover: peer %s declared dead after %d misses and %s unreachable",
+				ps.url, ps.misses, now.Sub(ps.lastAlive))
+		}
+		dead := ps.dead
+		p.mu.Unlock()
+		if dead {
+			p.promoteZonesOf(ps.url)
+		}
+	}
+}
+
+// probe checks one peer: any HTTP response — including 503 from a
+// degraded-but-running daemon — counts as alive (a lagging node is
+// not a dead node), and its routes table is merged when readable.
+// Only a transport-level failure is a miss.
+func (p *Promoter) probe(ctx context.Context, peer string) bool {
+	ctx, cancel := p.opts.Clock.WithTimeout(ctx, p.opts.ProbeTimeout)
+	defer cancel()
+	resp, err := p.get(ctx, peer+"/readyz")
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	if rresp, err := p.get(ctx, peer+"/cluster/routes"); err == nil {
+		var routes cluster.Routes
+		if derr := json.NewDecoder(io.LimitReader(rresp.Body, 1<<20)).Decode(&routes); derr == nil {
+			if p.opts.Node.LearnRoutes(routes) {
+				p.logf("failover: learned routes from %s", peer)
+			}
+		}
+		io.Copy(io.Discard, rresp.Body)
+		rresp.Body.Close()
+	}
+	return true
+}
+
+// get issues one authenticated GET through the promoter's transport.
+func (p *Promoter) get(ctx context.Context, u string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	if p.opts.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+p.opts.Token)
+	}
+	return p.opts.HTTP.RoundTrip(req)
+}
+
+// promoteZonesOf promotes the local standby for every zone whose
+// primary is the dead peer, provided this node is the zone's standby
+// (designated in the routes table, or simply replicating it) and its
+// lag is under the bound.
+func (p *Promoter) promoteZonesOf(deadPeer string) {
+	routes := p.opts.Node.Routes()
+	for _, st := range p.opts.Node.Status() {
+		if st.Role != cluster.RoleStandby || st.Primary != deadPeer {
+			continue
+		}
+		if rt, ok := routes.Zones[st.Zone]; ok && rt.Standby != "" && rt.Standby != p.opts.Self {
+			// Another node is the designated standby; let it take over.
+			continue
+		}
+		if !st.CaughtUp && st.LagRecords > p.opts.MaxPromoteLag {
+			p.met.refused()
+			p.logf("failover: refusing to promote zone %q: lag %d records above bound %d",
+				st.Zone, st.LagRecords, p.opts.MaxPromoteLag)
+			continue
+		}
+		epoch, err := p.opts.Node.Promote(st.Zone)
+		if err != nil {
+			p.logf("failover: promote zone %q: %v", st.Zone, err)
+			continue
+		}
+		p.met.promoted()
+		p.logf("failover: promoted zone %q to epoch %d after death of %s", st.Zone, epoch, deadPeer)
+	}
+}
+
+// PeerStatus is one peer's detector state as reported by Peers.
+type PeerStatus struct {
+	// URL is the peer's base URL.
+	URL string `json:"url"`
+	// Up reports the peer answered its most recent probe.
+	Up bool `json:"up"`
+	// Misses is the current consecutive-miss count.
+	Misses int `json:"misses,omitempty"`
+	// Dead reports the peer is declared dead (suspicion threshold and
+	// hold-down window both exceeded).
+	Dead bool `json:"dead,omitempty"`
+	// DownFor is how long the peer has been unreachable, in seconds.
+	DownFor float64 `json:"downForSeconds,omitempty"`
+}
+
+// Peers reports the detector's current view, for status surfaces.
+func (p *Promoter) Peers() []PeerStatus {
+	now := p.opts.Clock.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PeerStatus, 0, len(p.peers))
+	for _, ps := range p.peers {
+		st := PeerStatus{URL: ps.url, Up: ps.misses == 0, Misses: ps.misses, Dead: ps.dead}
+		if ps.misses > 0 {
+			st.DownFor = now.Sub(ps.lastAlive).Seconds()
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// String identifies the promoter in logs.
+func (p *Promoter) String() string {
+	return fmt.Sprintf("failover.Promoter(%s, %d peers)", p.opts.Self, len(p.peers))
+}

@@ -1,0 +1,83 @@
+package failover
+
+import "radloc/internal/obs"
+
+// promoterMetrics instruments one Promoter. All methods are
+// nil-receiver safe so an unmetered promoter pays one branch.
+type promoterMetrics struct {
+	peerUpGauge *obs.GaugeFamily
+	probes      *obs.Counter
+	probeFails  *obs.Counter
+	deaths      *obs.Counter
+	promotions  *obs.Counter
+	refusals    *obs.Counter
+}
+
+// newPromoterMetrics registers the promoter's collectors on r; nil r
+// disables instrumentation entirely.
+func newPromoterMetrics(r *obs.Registry) *promoterMetrics {
+	if r == nil {
+		return nil
+	}
+	return &promoterMetrics{
+		peerUpGauge: r.GaugeFamily("radloc_failover_peer_up",
+			"1 while the peer answers probes (any HTTP response counts), 0 once declared dead.", "peer"),
+		probes: r.Counter("radloc_failover_probes_total",
+			"Failure-detector probes sent to peers."),
+		probeFails: r.Counter("radloc_failover_probe_failures_total",
+			"Probes that got no HTTP response at all (transport failure or timeout)."),
+		deaths: r.Counter("radloc_failover_peer_deaths_total",
+			"Peers declared dead: suspicion threshold and hold-down window both exceeded."),
+		promotions: r.Counter("radloc_failover_promotions_total",
+			"Unattended standby self-promotions performed after a peer death."),
+		refusals: r.Counter("radloc_failover_refusals_total",
+			"Promotions refused because replication lag exceeded the configured bound."),
+	}
+}
+
+// probed accounts one probe and whether it missed.
+func (m *promoterMetrics) probed(missed bool) {
+	if m == nil {
+		return
+	}
+	m.probes.Inc()
+	if missed {
+		m.probeFails.Inc()
+	}
+}
+
+// peerUp refreshes a peer's liveness gauge.
+func (m *promoterMetrics) peerUp(peer string, up bool) {
+	if m == nil {
+		return
+	}
+	v := 0.0
+	if up {
+		v = 1.0
+	}
+	m.peerUpGauge.With(peer).Set(v)
+}
+
+// died accounts one death declaration.
+func (m *promoterMetrics) died() {
+	if m == nil {
+		return
+	}
+	m.deaths.Inc()
+}
+
+// promoted accounts one unattended promotion.
+func (m *promoterMetrics) promoted() {
+	if m == nil {
+		return
+	}
+	m.promotions.Inc()
+}
+
+// refused accounts one lag-bound refusal.
+func (m *promoterMetrics) refused() {
+	if m == nil {
+		return
+	}
+	m.refusals.Inc()
+}

@@ -59,6 +59,15 @@ type Options struct {
 	// accounting — Stats() reads them — so every surface that reports
 	// delivery agrees. nil gets a private registry.
 	Metrics *obs.Registry
+	// AltURLs are alternate cluster-node base URLs consulted when the
+	// endpoint stops answering at the transport level: the client asks
+	// each one's /cluster/routes who owns its zone now and re-aims
+	// itself at the learned primary. A 307 can only come from a node
+	// that is alive; rediscovery covers the node that crashed instead.
+	AltURLs []string
+	// RediscoverAfter is how many consecutive transport-level failures
+	// trigger a routes lookup against AltURLs (default 3).
+	RediscoverAfter int
 }
 
 // Stats counts the client's delivery work. All fields are monotone.
@@ -101,6 +110,9 @@ type Stats struct {
 	// Redirects counts 307/308 responses followed to a new endpoint —
 	// a cluster moved the zone and the client re-aimed itself.
 	Redirects uint64 `json:"redirects"`
+	// Rediscoveries counts endpoint moves learned from an alternate
+	// node's routing table after the configured endpoint went dark.
+	Rediscoveries uint64 `json:"rediscoveries"`
 }
 
 // maxRedirects bounds how many 307/308 hops one Send follows before
@@ -124,9 +136,10 @@ type Client struct {
 	breaker *Breaker
 	met     *clientMetrics
 
-	mu       sync.Mutex // guards rng draws and the endpoint
+	mu       sync.Mutex // guards rng draws, the endpoint and netFails
 	rng      *rng.Stream
 	endpoint string // resolved measurements URL; sticky across redirects
+	netFails int    // consecutive transport-level failures, for rediscovery
 }
 
 // NewClient validates opts and builds a Client.
@@ -152,14 +165,16 @@ func NewClient(opts Options) (*Client, error) {
 	if opts.MaxRetryAfter <= 0 {
 		opts.MaxRetryAfter = 30 * time.Second
 	}
+	if opts.RediscoverAfter <= 0 {
+		opts.RediscoverAfter = defaultRediscoverAfter
+	}
 	opts.URL = strings.TrimSuffix(opts.URL, "/")
-	endpoint := opts.URL + "/measurements"
 	if opts.Zone != "" {
 		if err := zone.ValidateName(opts.Zone); err != nil {
 			return nil, fmt.Errorf("transport: %w", err)
 		}
-		endpoint = opts.URL + "/zones/" + opts.Zone + "/measurements"
 	}
+	endpoint := measurementsURL(opts.URL, opts.Zone)
 	breaker := NewBreaker(opts.Breaker, opts.Clock)
 	return &Client{
 		opts:     opts,
@@ -215,6 +230,7 @@ func (c *Client) Stats() Stats {
 		BreakerShortCircuits: m.breakerShortCircuits.Value(),
 		Oversized413:         m.oversized413.Value(),
 		Redirects:            m.redirects.Value(),
+		Rediscoveries:        m.rediscoveries.Value(),
 	}
 }
 
@@ -269,6 +285,9 @@ func (c *Client) Send(ctx context.Context, batch []Reading) error {
 		c.met.attempts.Inc()
 		if attempts > 1 {
 			c.met.retries.Inc()
+		}
+		if res.err == nil {
+			c.resetNetFailure() // any HTTP response means the endpoint lives
 		}
 		if res.redirect != "" {
 			// The zone's ownership moved (migration or failover): re-aim
@@ -332,6 +351,11 @@ func (c *Client) Send(ctx context.Context, batch []Reading) error {
 			c.breaker.Failure()
 			if res.err != nil {
 				c.met.netErrors.Inc()
+				if c.noteNetFailure() && c.rediscover(ctx) {
+					// The zone's owner moved while its old address is dark:
+					// go straight at the learned primary, no backoff.
+					continue
+				}
 			} else {
 				c.met.serverErrors.Inc()
 			}

@@ -19,7 +19,7 @@ type clientMetrics struct {
 	backpressure429, retryAfterHonored  *obs.Counter
 	serverErrors, netErrors             *obs.Counter
 	breakerShortCircuits, oversized413  *obs.Counter
-	redirects                           *obs.Counter
+	redirects, rediscoveries            *obs.Counter
 	attemptSeconds                      *obs.Histogram
 }
 
@@ -62,6 +62,8 @@ func newClientMetrics(r *obs.Registry, breaker *Breaker) *clientMetrics {
 			"413 responses received (client halves the batch and re-sends)."),
 		redirects: r.Counter("radloc_agent_redirects_total",
 			"307/308 responses followed to a new endpoint (zone ownership moved)."),
+		rediscoveries: r.Counter("radloc_agent_rediscoveries_total",
+			"Endpoint moves learned from an alternate node's routing table after the configured endpoint went dark."),
 		attemptSeconds: r.Histogram("radloc_agent_attempt_seconds",
 			"Wall-clock seconds per HTTP delivery attempt, success or not.", nil),
 	}

@@ -1,0 +1,116 @@
+package transport
+
+// Route rediscovery: 307 redirects re-aim the client when the node it
+// talks to is alive to send one, but a crashed primary sends nothing —
+// the agent would hammer a dead address forever. When the endpoint
+// stops answering at the transport level for RediscoverAfter
+// consecutive attempts, the client asks each alternate node's open
+// /cluster/routes endpoint who owns its zone now and re-aims itself at
+// the learned primary. The decode is a minimal local struct, not a
+// cluster-package import — the agent side stays dependency-light and
+// tolerant of fields it does not know.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// defaultRediscoverAfter is the consecutive transport-failure count
+// that triggers a routes lookup when Options.RediscoverAfter is unset.
+const defaultRediscoverAfter = 3
+
+// measurementsURL builds the ingest endpoint for a node base URL.
+func measurementsURL(base, zone string) string {
+	base = strings.TrimSuffix(base, "/")
+	if zone != "" {
+		return base + "/zones/" + zone + "/measurements"
+	}
+	return base + "/measurements"
+}
+
+// noteNetFailure counts one transport-level failure and reports
+// whether the rediscovery threshold was just crossed.
+func (c *Client) noteNetFailure() bool {
+	if len(c.opts.AltURLs) == 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.netFails++
+	return c.netFails >= c.opts.RediscoverAfter && c.netFails%c.opts.RediscoverAfter == 0
+}
+
+// resetNetFailure clears the consecutive-failure counter — any HTTP
+// response from the endpoint means it is not dead.
+func (c *Client) resetNetFailure() {
+	c.mu.Lock()
+	c.netFails = 0
+	c.mu.Unlock()
+}
+
+// rediscover queries the alternate nodes for the zone's current owner
+// and re-aims the endpoint at it. Returns true when the endpoint
+// actually moved; the caller retries immediately instead of backing
+// off against the dead address.
+func (c *Client) rediscover(ctx context.Context) bool {
+	zoneName := c.opts.Zone
+	if zoneName == "" {
+		zoneName = "default"
+	}
+	for _, alt := range c.opts.AltURLs {
+		primary, ok := c.fetchPrimary(ctx, alt, zoneName)
+		if !ok || primary == "" {
+			continue
+		}
+		next := measurementsURL(primary, c.opts.Zone)
+		c.mu.Lock()
+		moved := c.endpoint != next
+		if moved {
+			c.endpoint = next
+		}
+		c.netFails = 0
+		c.mu.Unlock()
+		if moved {
+			c.met.rediscoveries.Inc()
+		}
+		// First answering alt wins; its table is as learned as any.
+		return moved
+	}
+	return false
+}
+
+// fetchPrimary reads one node's routing table and returns the primary
+// it asserts for the zone.
+func (c *Client) fetchPrimary(ctx context.Context, alt, zoneName string) (string, bool) {
+	actx, cancel := c.opts.Clock.WithTimeout(ctx, c.opts.AttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet,
+		strings.TrimSuffix(alt, "/")+"/cluster/routes", nil)
+	if err != nil {
+		return "", false
+	}
+	resp, err := c.opts.HTTP.RoundTrip(req)
+	if err != nil {
+		return "", false
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return "", false
+	}
+	var table struct {
+		Zones map[string]struct {
+			Primary string `json:"primary"`
+		} `json:"zones"`
+	}
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&table) != nil {
+		return "", false
+	}
+	rt, ok := table.Zones[zoneName]
+	return rt.Primary, ok
+}

@@ -1,0 +1,137 @@
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// deadPrimaryRT models a crashed primary: requests to deadHost fail at
+// the transport level, the alt node serves a routing table naming
+// newHost as the zone's owner, and newHost accepts batches.
+type deadPrimaryRT struct {
+	mu       sync.Mutex
+	deadHost string
+	altHost  string
+	newHost  string
+	zone     string
+	routeGot int // /cluster/routes requests served
+	accepted int // readings accepted by the new primary
+}
+
+func (d *deadPrimaryRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch req.URL.Host {
+	case d.deadHost:
+		return nil, fmt.Errorf("dial %s: connection refused", d.deadHost)
+	case d.altHost:
+		if req.URL.Path != "/cluster/routes" {
+			return nil, fmt.Errorf("alt node got unexpected path %s", req.URL.Path)
+		}
+		d.routeGot++
+		body := fmt.Sprintf(`{"zones":{%q:{"primary":"http://%s","epoch":2}}}`, d.zone, d.newHost)
+		return &http.Response{
+			StatusCode: http.StatusOK,
+			Header:     http.Header{},
+			Body:       io.NopCloser(strings.NewReader(body)),
+		}, nil
+	case d.newHost:
+		var batch []Reading
+		raw, _ := io.ReadAll(req.Body)
+		_ = json.Unmarshal(raw, &batch)
+		d.accepted += len(batch)
+		return &http.Response{
+			StatusCode: http.StatusOK,
+			Header:     http.Header{},
+			Body:       io.NopCloser(strings.NewReader(fmt.Sprintf(`{"accepted":%d}`, len(batch)))),
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown host %q", req.URL.Host)
+}
+
+func TestClientRediscoversPrimaryAfterCrash(t *testing.T) {
+	rt := &deadPrimaryRT{deadHost: "a.test", altHost: "b.test", newHost: "c.test", zone: "default"}
+	c, clk := newTestClient(t, rt, func(o *Options) {
+		o.URL = "http://a.test"
+		o.AltURLs = []string{"http://b.test"}
+		o.RediscoverAfter = 3
+		// Keep the breaker out of the picture: this test pins the
+		// rediscovery schedule, not the trip interplay.
+		o.Breaker = BreakerConfig{FailureThreshold: 100, Cooldown: 0}
+	})
+
+	if err := c.Send(context.Background(), batchOf(4)); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Delivered != 4 || st.NetErrors != 3 || st.Rediscoveries != 1 {
+		t.Fatalf("stats = %+v, want 4 delivered after 3 net errors and 1 rediscovery", st)
+	}
+	if got := c.Endpoint(); got != "http://c.test/measurements" {
+		t.Fatalf("endpoint = %q, want the learned primary", got)
+	}
+	// The rediscovery retry is immediate — only the pre-threshold
+	// misses backed off.
+	if slept := clk.Slept(); len(slept) != 2 {
+		t.Fatalf("slept %d times (%v), want 2 (the first two misses)", len(slept), slept)
+	}
+
+	// Sticky: the next batch goes straight to the learned primary, no
+	// further lookups.
+	if err := c.Send(context.Background(), batchOf(2)); err != nil {
+		t.Fatal(err)
+	}
+	rt.mu.Lock()
+	routeGot, accepted := rt.routeGot, rt.accepted
+	rt.mu.Unlock()
+	if routeGot != 1 || accepted != 6 {
+		t.Fatalf("routes asked %d times, %d readings accepted; want 1 and 6", routeGot, accepted)
+	}
+}
+
+// TestClientRediscoverZoneScoped pins the zone-scoped path and the
+// "default" key used for the legacy route.
+func TestClientRediscoverZoneScoped(t *testing.T) {
+	rt := &deadPrimaryRT{deadHost: "a.test", altHost: "b.test", newHost: "c.test", zone: "west"}
+	c, _ := newTestClient(t, rt, func(o *Options) {
+		o.URL = "http://a.test"
+		o.Zone = "west"
+		o.AltURLs = []string{"http://b.test"}
+		o.RediscoverAfter = 2
+	})
+	if err := c.Send(context.Background(), batchOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Endpoint(); got != "http://c.test/zones/west/measurements" {
+		t.Fatalf("endpoint = %q, want the zone-scoped learned primary", got)
+	}
+}
+
+// TestClientRediscoverUnknownZoneKeepsTrying pins the failure mode: the
+// alt's table does not know the zone, so the endpoint stays put and
+// ordinary retries continue (here until MaxAttempts).
+func TestClientRediscoverUnknownZoneKeepsTrying(t *testing.T) {
+	rt := &deadPrimaryRT{deadHost: "a.test", altHost: "b.test", newHost: "c.test", zone: "other"}
+	c, _ := newTestClient(t, rt, func(o *Options) {
+		o.URL = "http://a.test"
+		o.Zone = "west" // not in the alt's table
+		o.AltURLs = []string{"http://b.test"}
+		o.RediscoverAfter = 2
+		o.MaxAttempts = 5
+	})
+	if err := c.Send(context.Background(), batchOf(1)); err == nil {
+		t.Fatal("delivery succeeded against a dead endpoint and an ignorant alt")
+	}
+	if got := c.Endpoint(); got != "http://a.test/zones/west/measurements" {
+		t.Fatalf("endpoint moved to %q on an ignorant alt", got)
+	}
+	if st := c.Stats(); st.Rediscoveries != 0 {
+		t.Fatalf("stats = %+v, want 0 rediscoveries", st)
+	}
+}

@@ -1,0 +1,241 @@
+package wal
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// QuarantineSuffix moves every record with offset ≥ floor out of the
+// live log and into dstDir, truncating the log so its head becomes
+// floor. The moved bytes keep their on-disk envelope format, so the
+// quarantined files replay with the same tools as live segments. This
+// is the divergence-repair primitive: a resurrected primary whose
+// unshipped suffix conflicts with a newer epoch's history must not
+// keep it in the replay path, but must not delete it either — an
+// operator may want to inspect or re-ingest it.
+//
+// Whole segments at or above floor are renamed into dstDir; a segment
+// straddling floor is split — its suffix copied into dstDir as a new
+// wal-%016x.ndjson named by floor, its prefix kept via an atomic
+// rewrite. Name collisions in dstDir get a numeric suffix, so repeated
+// quarantines never overwrite earlier evidence. Returns the number of
+// records moved.
+//
+// The caller is expected to re-seed state afterwards (Bootstrap /
+// AlignTo): the log itself only guarantees that replay now stops at
+// floor and new appends continue from it.
+func (l *Log) QuarantineSuffix(floor uint64, dstDir string) (uint64, error) {
+	if l.f == nil {
+		return 0, fmt.Errorf("wal: log closed")
+	}
+	if floor >= l.next {
+		return 0, nil
+	}
+	if err := l.syncTail(); err != nil {
+		return 0, err
+	}
+	if err := l.f.Close(); err != nil {
+		return 0, err
+	}
+	l.f, l.w = nil, nil
+	if err := os.MkdirAll(dstDir, 0o755); err != nil {
+		return 0, err
+	}
+
+	var moved uint64
+	var kept []segment
+	for _, seg := range l.segments {
+		end := seg.start + seg.count
+		switch {
+		case end <= floor:
+			kept = append(kept, seg)
+		case seg.start >= floor:
+			// Entirely above the floor: move the whole file.
+			dst, err := uniquePath(dstDir, filepath.Base(seg.path))
+			if err != nil {
+				return moved, err
+			}
+			if err := os.Rename(seg.path, dst); err != nil {
+				return moved, err
+			}
+			moved += seg.count
+		default:
+			// Straddles the floor: copy the suffix out, rewrite the
+			// prefix in place (tmp + rename, so a crash mid-split
+			// leaves either the old file or the new one, never a torn
+			// mix).
+			n, err := splitSegment(seg, floor, dstDir)
+			if err != nil {
+				return moved, err
+			}
+			moved += n
+			kept = append(kept, segment{start: seg.start, count: floor - seg.start, path: seg.path})
+		}
+	}
+	if l.opts.Fsync != FsyncNever {
+		if err := syncDir(dstDir); err != nil {
+			return moved, err
+		}
+		if err := syncDir(l.dir); err != nil {
+			return moved, err
+		}
+	}
+
+	l.segments = kept
+	if floor < l.next {
+		l.next = floor
+	}
+	if err := l.openTail(); err != nil {
+		return moved, err
+	}
+	l.met.layout(len(l.segments), l.next)
+	return moved, nil
+}
+
+// splitSegment copies the records of seg with offset ≥ floor into a
+// new segment file in dstDir and truncates seg's file to the prefix
+// below floor. Returns the number of records copied out.
+func splitSegment(seg segment, floor uint64, dstDir string) (uint64, error) {
+	src, err := os.Open(seg.path)
+	if err != nil {
+		return 0, err
+	}
+	defer src.Close()
+
+	dstName, err := uniquePath(dstDir, fmt.Sprintf("%s%016x%s", segPrefix, floor, segSuffix))
+	if err != nil {
+		return 0, err
+	}
+	dst, err := os.OpenFile(dstName, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	tmpName := seg.path + ".tmp"
+	tmp, err := os.OpenFile(tmpName, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		dst.Close()
+		return 0, err
+	}
+
+	r := bufio.NewReaderSize(src, 64<<10)
+	dw := bufio.NewWriterSize(dst, 64<<10)
+	tw := bufio.NewWriterSize(tmp, 64<<10)
+	var movedRecs uint64
+	fail := func(err error) (uint64, error) {
+		dst.Close()
+		tmp.Close()
+		os.Remove(tmpName)
+		return 0, err
+	}
+	for off := seg.start; off < seg.start+seg.count; off++ {
+		line, rerr := r.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return fail(rerr)
+		}
+		if len(line) == 0 {
+			return fail(fmt.Errorf("wal: segment %s short at offset %d", seg.path, off))
+		}
+		w := tw
+		if off >= floor {
+			w = dw
+			movedRecs++
+		}
+		if _, err := w.Write(line); err != nil {
+			return fail(err)
+		}
+	}
+	if err := dw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := dst.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := dst.Close(); err != nil {
+		return fail(err)
+	}
+	if err := tw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmpName, seg.path); err != nil {
+		return fail(err)
+	}
+	return movedRecs, nil
+}
+
+// MoveCheckpoints moves every checkpoint in dir whose applied offset
+// is above floor into dstDir and returns how many files moved. This is
+// the checkpoint half of divergence repair: after QuarantineSuffix
+// truncates the log to floor, any checkpoint covering more than floor
+// records describes state that includes the quarantined suffix, and
+// recovery must never re-seed from it. Like the quarantined segments,
+// the files are preserved (renamed, collision-safe), not deleted.
+func MoveCheckpoints(dir string, floor uint64, dstDir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	moved := 0
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+			continue
+		}
+		hexpart := strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix)
+		applied, perr := strconv.ParseUint(hexpart, 16, 64)
+		if perr != nil || applied <= floor {
+			continue
+		}
+		if moved == 0 {
+			if err := os.MkdirAll(dstDir, 0o755); err != nil {
+				return 0, err
+			}
+		}
+		dst, err := uniquePath(dstDir, name)
+		if err != nil {
+			return moved, err
+		}
+		if err := os.Rename(filepath.Join(dir, name), dst); err != nil {
+			return moved, err
+		}
+		moved++
+	}
+	if moved > 0 {
+		if err := syncDir(dstDir); err != nil {
+			return moved, err
+		}
+		if err := syncDir(dir); err != nil {
+			return moved, err
+		}
+	}
+	return moved, nil
+}
+
+// uniquePath returns a path in dir based on name that does not exist
+// yet, appending ".N" before giving up after 1000 tries.
+func uniquePath(dir, name string) (string, error) {
+	p := filepath.Join(dir, name)
+	if _, err := os.Lstat(p); os.IsNotExist(err) {
+		return p, nil
+	}
+	for i := 1; i < 1000; i++ {
+		q := fmt.Sprintf("%s.%d", p, i)
+		if _, err := os.Lstat(q); os.IsNotExist(err) {
+			return q, nil
+		}
+	}
+	return "", fmt.Errorf("wal: no free quarantine name for %s", p)
+}

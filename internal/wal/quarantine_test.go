@@ -1,0 +1,162 @@
+package wal
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// readQuarantined decodes every record in every segment file under
+// dir, in file order, asserting the envelope format survived the move.
+func readQuarantined(t *testing.T, dir string) []Record {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), segPrefix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var out []Record
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			rec, ok := decodeLine(append(sc.Bytes(), '\n'))
+			if !ok {
+				t.Fatalf("quarantined file %s has an undecodable line", name)
+			}
+			out = append(out, rec)
+		}
+		f.Close()
+	}
+	return out
+}
+
+func TestQuarantineSuffixMidSegment(t *testing.T) {
+	dir := t.TempDir()
+	div := filepath.Join(dir, "diverged")
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncNever, SegmentRecords: 4})
+	appendN(t, l, 0, 10) // segments: [0..3], [4..7], [8..9]
+
+	moved, err := l.QuarantineSuffix(6, div)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 4 {
+		t.Fatalf("moved = %d, want 4", moved)
+	}
+	if l.Offset() != 6 {
+		t.Fatalf("offset after quarantine = %d, want 6", l.Offset())
+	}
+
+	// Replay serves exactly the kept prefix.
+	recs := replayAll(t, l, 0)
+	if len(recs) != 6 {
+		t.Fatalf("replayed %d records, want 6", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.CPM != 30+i {
+			t.Fatalf("replayed record %d has cpm %d, want %d", i, rec.CPM, 30+i)
+		}
+	}
+
+	// The quarantined files hold exactly the moved suffix, decodable
+	// with the live envelope format.
+	qrecs := readQuarantined(t, div)
+	if len(qrecs) != 4 {
+		t.Fatalf("quarantined %d records, want 4", len(qrecs))
+	}
+	for i, rec := range qrecs {
+		if rec.CPM != 30+6+i {
+			t.Fatalf("quarantined record %d has cpm %d, want %d", i, rec.CPM, 30+6+i)
+		}
+	}
+
+	// Appends continue at the floor, and a reopen recovers cleanly.
+	off, err := l.Append(Record{SensorID: 1, CPM: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 6 {
+		t.Fatalf("append after quarantine got offset %d, want 6", off)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, stats := mustOpen(t, dir, Options{Fsync: FsyncNever, SegmentRecords: 4})
+	defer l2.Close()
+	if stats.TruncatedRecords != 0 || stats.DroppedSegments != 0 {
+		t.Fatalf("reopen after quarantine repaired something: %+v", stats)
+	}
+	if l2.Offset() != 7 {
+		t.Fatalf("reopened offset = %d, want 7", l2.Offset())
+	}
+	if got := replayAll(t, l2, 6); len(got) != 1 || got[0].CPM != 999 {
+		t.Fatalf("replay of post-quarantine append = %+v", got)
+	}
+}
+
+func TestQuarantineSuffixWholeLog(t *testing.T) {
+	dir := t.TempDir()
+	div := filepath.Join(dir, "diverged")
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncNever, SegmentRecords: 4})
+	defer l.Close()
+	appendN(t, l, 0, 6)
+
+	moved, err := l.QuarantineSuffix(0, div)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 6 {
+		t.Fatalf("moved = %d, want 6", moved)
+	}
+	if l.Offset() != 0 || l.Oldest() != 0 {
+		t.Fatalf("offsets after full quarantine: next %d oldest %d, want 0 0", l.Offset(), l.Oldest())
+	}
+	if got := replayAll(t, l, 0); len(got) != 0 {
+		t.Fatalf("replay after full quarantine returned %d records", len(got))
+	}
+	if got := readQuarantined(t, div); len(got) != 6 {
+		t.Fatalf("quarantined %d records, want 6", len(got))
+	}
+}
+
+func TestQuarantineSuffixNoopAndRepeats(t *testing.T) {
+	dir := t.TempDir()
+	div := filepath.Join(dir, "diverged")
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncNever, SegmentRecords: 4})
+	defer l.Close()
+	appendN(t, l, 0, 4)
+
+	// Floor at or above the head is a no-op.
+	if moved, err := l.QuarantineSuffix(4, div); err != nil || moved != 0 {
+		t.Fatalf("noop quarantine: moved %d, err %v", moved, err)
+	}
+	if _, err := os.Stat(div); !os.IsNotExist(err) {
+		t.Fatal("noop quarantine created the diverged directory")
+	}
+
+	// Two quarantines landing on the same destination name must not
+	// overwrite each other.
+	if moved, err := l.QuarantineSuffix(2, div); err != nil || moved != 2 {
+		t.Fatalf("first quarantine: moved %d, err %v", moved, err)
+	}
+	appendN(t, l, 2, 2)
+	if moved, err := l.QuarantineSuffix(2, div); err != nil || moved != 2 {
+		t.Fatalf("second quarantine: moved %d, err %v", moved, err)
+	}
+	if got := readQuarantined(t, div); len(got) != 4 {
+		t.Fatalf("after two quarantines dir holds %d records, want 4", len(got))
+	}
+}
