@@ -22,7 +22,7 @@ import (
 // (`radloc ablate <fusion-range|estimator|scale-k>`).
 func ablateCmd(args []string, stdout io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("ablate: want fusion-range, estimator, scale-k, faults, delivery or transport\n%s", usage)
+		return fmt.Errorf("ablate: want fusion-range, estimator, scale-k, faults, delivery, transport or storage\n%s", usage)
 	}
 	which := args[0]
 	fs := flag.NewFlagSet("ablate "+which, flag.ContinueOnError)
@@ -50,6 +50,8 @@ func ablateCmd(args []string, stdout io.Writer) error {
 		return ablateDelivery(w, cf)
 	case "transport":
 		return ablateTransport(w, cf)
+	case "storage":
+		return ablateStorage(w, cf)
 	default:
 		return fmt.Errorf("ablate: unknown experiment %q", which)
 	}

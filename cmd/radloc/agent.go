@@ -51,6 +51,7 @@ func agentCmd(args []string, stdout io.Writer) error {
 		in        = fs.String("in", "", "NDJSON input file (default stdin)")
 		spoolDir  = fs.String("spool", "", "store-and-forward spool directory (empty = in-memory only)")
 		spoolMax  = fs.Int("spool-max", 1<<20, "spool capacity in readings; overflow sheds the newest")
+		spoolMaxB = fs.Int64("max-spool-bytes", 0, "spool capacity in on-disk bytes (0 = unbounded); overflow sheds the OLDEST segments to protect the disk")
 		fsync     = fs.String("fsync", "batch", "spool fsync policy: always, batch or never")
 		batch     = fs.Int("batch", 64, "readings per POST")
 		attemptTO = fs.Duration("attempt-timeout", 5*time.Second, "per-attempt request deadline")
@@ -92,7 +93,7 @@ func agentCmd(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		sp, err = transport.OpenSpool(*spoolDir, transport.SpoolOptions{MaxPending: *spoolMax, Fsync: pol, Metrics: reg})
+		sp, err = transport.OpenSpool(*spoolDir, transport.SpoolOptions{MaxPending: *spoolMax, MaxBytes: *spoolMaxB, Fsync: pol, Metrics: reg})
 		if err != nil {
 			return err
 		}

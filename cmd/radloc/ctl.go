@@ -167,6 +167,15 @@ type ctlStatus struct {
 		CaughtUp   bool    `json:"caughtUp"`
 		LastError  string  `json:"lastError"`
 	} `json:"zones"`
+	Peers []struct {
+		URL               string  `json:"url"`
+		Up                bool    `json:"up"`
+		Misses            int     `json:"misses"`
+		Dead              bool    `json:"dead"`
+		LastProbe         string  `json:"lastProbe"`
+		DownFor           float64 `json:"downForSeconds"`
+		HoldDownRemaining float64 `json:"holdDownRemainingSeconds"`
+	} `json:"peers"`
 }
 
 // status pretty-prints one node's per-zone replication posture.
@@ -196,6 +205,30 @@ func (c *ctlClient) status(w io.Writer, base string) error {
 		}
 		fmt.Fprintf(w, "%-16s %-8s %6d %6s %9d %9s %6s %s\n",
 			z.Zone, z.Role, z.Epoch, drain, z.Head, lag, synced, note)
+	}
+	if len(st.Peers) > 0 {
+		fmt.Fprintf(w, "\n%-28s %-6s %6s %9s %9s %s\n", "PEER", "STATE", "MISSES", "DOWN", "HOLDDOWN", "LAST PROBE")
+		for _, p := range st.Peers {
+			state := "up"
+			switch {
+			case p.Dead:
+				state = "dead"
+			case !p.Up:
+				state = "down"
+			}
+			down, hold := "-", "-"
+			if p.DownFor > 0 {
+				down = fmt.Sprintf("%.1fs", p.DownFor)
+			}
+			if p.HoldDownRemaining > 0 {
+				hold = fmt.Sprintf("%.1fs", p.HoldDownRemaining)
+			}
+			probe := p.LastProbe
+			if probe == "" {
+				probe = "-"
+			}
+			fmt.Fprintf(w, "%-28s %-6s %6d %9s %9s %s\n", p.URL, state, p.Misses, down, hold, probe)
+		}
 	}
 	return nil
 }

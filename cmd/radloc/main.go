@@ -97,7 +97,7 @@ const usage = `usage:
   radloc config emit <A|A3|B|C> [flags]             emit a scenario as editable JSON
   radloc config check <file>                        validate a JSON scenario
   radloc plot <csv> [-x col -y col1,col2 -format gnuplot|markdown]
-  radloc ablate <fusion-range|estimator|scale-k|faults|delivery|transport> [flags]
+  radloc ablate <fusion-range|estimator|scale-k|faults|delivery|transport|storage> [flags]
   radloc diagnose [-scenario A -obstacles] [flags]  posterior-predictive check
   radloc record [-scenario A | -config FILE] [flags]  NDJSON stream for radlocd
   radloc agent -url URL [-in FILE] [-spool DIR] [flags]  deliver NDJSON to radlocd with retries

@@ -10,6 +10,7 @@ import (
 
 	"radloc/internal/cluster"
 	"radloc/internal/fusion"
+	"radloc/internal/vfs"
 	"radloc/internal/wal"
 	"radloc/internal/zone"
 )
@@ -220,7 +221,7 @@ func (b *zoneBackend) QuarantineDiverged(floor uint64) (uint64, error) {
 	}
 	d.mu.Unlock()
 	if moved > 0 || movedCkpts > 0 {
-		writeDivergedNote(divDir, floor, moved, movedCkpts)
+		writeDivergedNote(d.fs, divDir, floor, moved, movedCkpts)
 		fmt.Fprintf(b.zs.logw, "radlocd: zone %q quarantined %d diverged WAL records and %d checkpoints into %s (floor %d)\n",
 			b.z.Name(), moved, movedCkpts, divDir, floor)
 	}
@@ -231,7 +232,7 @@ func (b *zoneBackend) QuarantineDiverged(floor uint64) (uint64, error) {
 // so an operator finding the directory later knows when the repair
 // ran, where the live log resumed, and how much was set aside.
 // Best-effort: a failed note never fails the repair itself.
-func writeDivergedNote(divDir string, floor, records uint64, ckpts int) {
+func writeDivergedNote(fsys vfs.FS, divDir string, floor, records uint64, ckpts int) {
 	note := struct {
 		Floor       uint64    `json:"floor"`
 		Records     uint64    `json:"records"`
@@ -245,12 +246,12 @@ func writeDivergedNote(divDir string, floor, records uint64, ckpts int) {
 	name := fmt.Sprintf("DIVERGED-%016x.json", floor)
 	path := filepath.Join(divDir, name)
 	for i := 1; i < 1000; i++ {
-		if _, err := os.Lstat(path); os.IsNotExist(err) {
+		if _, err := fsys.Lstat(path); os.IsNotExist(err) {
 			break
 		}
 		path = filepath.Join(divDir, fmt.Sprintf("%s.%d", name, i))
 	}
-	_ = os.WriteFile(path, append(blob, '\n'), 0o644)
+	_ = vfs.WriteFile(fsys, path, append(blob, '\n'), 0o644)
 }
 
 // epochFileName holds a zone's fencing epoch next to its WAL.
@@ -270,7 +271,7 @@ type fileEpochStore struct {
 // and the cluster layer anchors its history conservatively at 0.
 func (s *fileEpochStore) Load(zone string) (cluster.EpochMeta, error) {
 	path := filepath.Join(s.zs.zoneWalDir(zone), epochFileName)
-	raw, err := os.ReadFile(path)
+	raw, err := s.zs.fs.ReadFile(path)
 	if os.IsNotExist(err) {
 		return cluster.EpochMeta{}, nil
 	}
@@ -284,7 +285,7 @@ func (s *fileEpochStore) Load(zone string) (cluster.EpochMeta, error) {
 		// at epoch 0 — the node rejoins humbly and adopts the cluster's
 		// current epoch on first contact.
 		bad := path + ".bad"
-		if rerr := os.Rename(path, bad); rerr != nil {
+		if rerr := s.zs.fs.Rename(path, bad); rerr != nil {
 			bad = fmt.Sprintf("nowhere (rename failed: %v)", rerr)
 		}
 		fmt.Fprintf(s.zs.logw, "radlocd: corrupt %s for zone %q moved to %s, starting at epoch 0: %v\n",
@@ -297,7 +298,7 @@ func (s *fileEpochStore) Load(zone string) (cluster.EpochMeta, error) {
 // Save implements cluster.EpochStore.
 func (s *fileEpochStore) Save(zone string, meta cluster.EpochMeta) error {
 	dir := s.zs.zoneWalDir(zone)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.zs.fs.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	blob, err := json.Marshal(meta)
@@ -305,10 +306,10 @@ func (s *fileEpochStore) Save(zone string, meta cluster.EpochMeta) error {
 		return err
 	}
 	tmp := filepath.Join(dir, epochFileName+".tmp")
-	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+	if err := vfs.WriteFile(s.zs.fs, tmp, blob, 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(dir, epochFileName))
+	return s.zs.fs.Rename(tmp, filepath.Join(dir, epochFileName))
 }
 
 // routesFileName persists the learned routing table at the WAL root.
@@ -321,6 +322,7 @@ const routesFileName = "cluster-routes.json"
 // (the WAL root), written atomically like the epoch file.
 type fileRouteStore struct {
 	dir  string
+	fs   vfs.FS
 	logw io.Writer
 }
 
@@ -329,7 +331,7 @@ type fileRouteStore struct {
 // the table is re-learned from peers, so losing the cache is safe.
 func (s *fileRouteStore) Load() (cluster.Routes, error) {
 	path := filepath.Join(s.dir, routesFileName)
-	raw, err := os.ReadFile(path)
+	raw, err := vfs.Or(s.fs).ReadFile(path)
 	if os.IsNotExist(err) {
 		return cluster.Routes{}, nil
 	}
@@ -338,7 +340,7 @@ func (s *fileRouteStore) Load() (cluster.Routes, error) {
 	}
 	var r cluster.Routes
 	if err := json.Unmarshal(raw, &r); err != nil {
-		_ = os.Rename(path, path+".bad")
+		_ = vfs.Or(s.fs).Rename(path, path+".bad")
 		fmt.Fprintf(s.logw, "radlocd: corrupt %s moved to %s.bad, relearning routes from peers: %v\n",
 			routesFileName, path, err)
 		return cluster.Routes{}, nil
@@ -348,7 +350,8 @@ func (s *fileRouteStore) Load() (cluster.Routes, error) {
 
 // Save implements cluster.RouteStore.
 func (s *fileRouteStore) Save(r cluster.Routes) error {
-	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+	fsys := vfs.Or(s.fs)
+	if err := fsys.MkdirAll(s.dir, 0o755); err != nil {
 		return err
 	}
 	blob, err := json.Marshal(r)
@@ -356,8 +359,8 @@ func (s *fileRouteStore) Save(r cluster.Routes) error {
 		return err
 	}
 	tmp := filepath.Join(s.dir, routesFileName+".tmp")
-	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+	if err := vfs.WriteFile(fsys, tmp, blob, 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(s.dir, routesFileName))
+	return fsys.Rename(tmp, filepath.Join(s.dir, routesFileName))
 }

@@ -98,6 +98,25 @@ type clusterTestNode struct {
 	link *fabricLink
 }
 
+// clusterTestBuild is the engine constructor every cluster-test node
+// shares — identical engines (same scenario, same seed) make state
+// comparisons across nodes meaningful, and a crash-restart over a
+// node's directory must use the same shape or checkpoints will not
+// import.
+func clusterTestBuild() func(fusion.Journal, *obs.Registry) (*fusion.Engine, error) {
+	sc := scenario.A(50, false)
+	return func(j fusion.Journal, met *obs.Registry) (*fusion.Engine, error) {
+		fcfg := fusion.Config{Localizer: sim.LocalizerConfig(sc), Sensors: sc.Sensors, Journal: j, Metrics: met}
+		fcfg.Localizer.Seed = 3
+		// A one-round reorder window keeps the WAL advancing as each
+		// round lands, so replication lag and retention are exercised
+		// with a 6-round stream (the default window of 4 would hold
+		// most of it in the gate, journaling almost nothing).
+		fcfg.ReorderWindow = 1
+		return fusion.NewEngine(fcfg)
+	}
+}
+
 // newClusterTestNode assembles the stack exactly as run() does:
 // durable zone set, recovery, cluster node on the zone-set backend,
 // fenced mux. Every node builds identical engines (same scenario,
@@ -113,19 +132,9 @@ func newClusterTestNode(t *testing.T, fab *clusterFabric, host string, routes *c
 func newClusterTestNodeAt(t *testing.T, fab *clusterFabric, host string, routes *cluster.Routes, walRoot string, rstore cluster.RouteStore) *clusterTestNode {
 	t.Helper()
 	reg := obs.NewRegistry()
-	sc := scenario.A(50, false)
-	build := func(j fusion.Journal, met *obs.Registry) (*fusion.Engine, error) {
-		fcfg := fusion.Config{Localizer: sim.LocalizerConfig(sc), Sensors: sc.Sensors, Journal: j, Metrics: met}
-		fcfg.Localizer.Seed = 3
-		// A one-round reorder window keeps the WAL advancing as each
-		// round lands, so replication lag and retention are exercised
-		// with a 6-round stream (the default window of 4 would hold
-		// most of it in the gate, journaling almost nothing).
-		fcfg.ReorderWindow = 1
-		return fusion.NewEngine(fcfg)
-	}
+	build := clusterTestBuild()
 	zs, err := newZoneSet(zoneSetOptions{
-		WalRoot: walRoot, Fsync: wal.FsyncNever, CkptEvery: 50,
+		WalRoot: walRoot, Fsync: wal.FsyncNever, CkptEvery: 50, SegmentRecords: 16,
 		MaxZones: 8, Mailbox: 64, Metrics: reg, Log: io.Discard, Build: build,
 	})
 	if err != nil {
@@ -152,6 +161,9 @@ func newClusterTestNodeAt(t *testing.T, fab *clusterFabric, host string, routes 
 			t.Fatal(err)
 		}
 		t.Cleanup(n.node.Close)
+		// Same late wiring as run(): the scrubber's repair-from-replica
+		// path reaches the cluster through the zone set.
+		zs.clusterNode = n.node
 		if err := n.node.SetRoutes(*routes); err != nil {
 			t.Fatal(err)
 		}

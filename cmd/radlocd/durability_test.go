@@ -177,7 +177,7 @@ func TestCorruptTailRecovery(t *testing.T) {
 		return fusion.NewEngine(fcfg)
 	}
 	dir := t.TempDir()
-	engine, d, err := openDurable(dir, wal.FsyncNever, 50, build, nil, io.Discard)
+	engine, d, err := openDurable(dir, nil, wal.FsyncNever, 50, 0, build, nil, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +229,7 @@ func TestCorruptTailRecovery(t *testing.T) {
 		os.Remove(ck)
 	}
 
-	engine2, d2, err := openDurable(dir, wal.FsyncNever, 50, build, nil, io.Discard)
+	engine2, d2, err := openDurable(dir, nil, wal.FsyncNever, 50, 0, build, nil, io.Discard)
 	if err != nil {
 		t.Fatalf("recovery must repair, not fail: %v", err)
 	}

@@ -10,23 +10,30 @@ import (
 	"radloc/internal/fusion"
 	"radloc/internal/httpingest"
 	"radloc/internal/obs"
+	"radloc/internal/vfs"
 	"radloc/internal/wal"
 )
 
 // walJournal bridges the fusion engine's write-ahead hook to the WAL.
 // Append runs with the engine lock held, so WAL order is exactly the
 // filter's application order; mu additionally serializes the log
-// against the checkpointer's Sync/Prune. Lock order is always
-// engine.mu → walJournal.mu, never the reverse.
+// against the checkpointer's Sync/Prune and the scrubber's cold reads.
+// Lock order is always engine.mu → walJournal.mu, never the reverse.
 type walJournal struct {
 	mu  sync.Mutex
 	log *wal.Log
+	// onResult, when set, observes every append outcome (outside mu) —
+	// the degraded-mode tracker's entry and exit signal.
+	onResult func(error)
 }
 
 func (j *walJournal) Append(m fusion.Meas) error {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	_, err := j.log.Append(wal.Record{SensorID: m.SensorID, CPM: m.CPM, Step: m.Step, Seq: m.Seq})
+	j.mu.Unlock()
+	if j.onResult != nil {
+		j.onResult(err)
+	}
 	return err
 }
 
@@ -49,13 +56,16 @@ type recoveryJSON struct {
 }
 
 // durable owns radlocd's durability plumbing: the WAL, the checkpoint
-// cadence, and the recovery report.
+// cadence, the recovery report, and the zone's storage-health state
+// (see storage.go for the degraded-mode machinery).
 type durable struct {
 	dir    string
+	fs     vfs.FS
 	fsync  wal.FsyncPolicy
 	every  int // checkpoint every N journaled records; 0 = shutdown only
 	engine *fusion.Engine
 	j      *walJournal
+	logw   io.Writer
 
 	// met holds the checkpoint counters and timing — the registry
 	// collectors are the source of truth; statez reads them.
@@ -66,6 +76,13 @@ type durable struct {
 	lastApplied uint64 // newest checkpoint's WAL offset
 	prevApplied uint64 // second-newest — segments below it are prunable
 	recovery    recoveryJSON
+
+	// Degraded read-only mode: set on the first failed journal append,
+	// cleared by the first success (organic traffic or the probe loop).
+	degraded       bool
+	degradedSince  time.Time
+	lastStorageErr string
+	degradedTotal  uint64 // times this zone entered degraded mode
 }
 
 // openDurable opens (or cold-starts) the durability directory and
@@ -75,10 +92,11 @@ type durable struct {
 // must come up. build constructs a fresh engine wired to the given
 // journal; it may be called twice if a checkpoint turns out to be
 // unusable.
-func openDurable(dir string, pol wal.FsyncPolicy, every int,
+func openDurable(dir string, fsys vfs.FS, pol wal.FsyncPolicy, every, segRecords int,
 	build func(fusion.Journal) (*fusion.Engine, error), reg *obs.Registry, logw io.Writer) (*fusion.Engine, *durable, error) {
 
-	l, stats, err := wal.Open(dir, wal.Options{Fsync: pol, Metrics: reg})
+	fsys = vfs.Or(fsys)
+	l, stats, err := wal.Open(dir, wal.Options{Fsync: pol, Metrics: reg, FS: fsys, SegmentRecords: segRecords})
 	if err != nil {
 		return nil, nil, fmt.Errorf("open WAL %s: %w", dir, err)
 	}
@@ -88,7 +106,18 @@ func openDurable(dir string, pol wal.FsyncPolicy, every int,
 		l.Close()
 		return nil, nil, err
 	}
-	d := &durable{dir: dir, fsync: pol, every: every, engine: engine, j: j, met: newDurableMetrics(reg)}
+	d := &durable{dir: dir, fs: fsys, fsync: pol, every: every, engine: engine, j: j, logw: logw, met: newDurableMetrics(reg)}
+	j.onResult = d.noteAppend
+	if reg != nil {
+		reg.GaugeFunc("radloc_storage_degraded",
+			"1 while the zone's WAL is unwritable and ingest answers 507 (read-only mode).",
+			func() float64 {
+				if d.storageDegraded() {
+					return 1
+				}
+				return 0
+			})
+	}
 	d.recovery = recoveryJSON{
 		WalRecords:       stats.Records,
 		WalSegments:      stats.Segments,
@@ -98,7 +127,7 @@ func openDurable(dir string, pol wal.FsyncPolicy, every int,
 	}
 
 	replayFrom := uint64(0)
-	if ck, ok, lerr := wal.LoadCheckpoint(dir); lerr != nil {
+	if ck, ok, lerr := wal.LoadCheckpointFS(fsys, dir); lerr != nil {
 		l.Close()
 		return nil, nil, lerr
 	} else if ok {
@@ -198,10 +227,10 @@ func (d *durable) checkpoint() (err error) {
 	if err != nil {
 		return err
 	}
-	if err := wal.WriteCheckpoint(d.dir, wal.Checkpoint{Applied: st.Journaled, State: blob}); err != nil {
+	if err := wal.WriteCheckpointFS(d.fs, d.dir, wal.Checkpoint{Applied: st.Journaled, State: blob}); err != nil {
 		return err
 	}
-	_ = wal.PruneCheckpoints(d.dir, 2)
+	_ = wal.PruneCheckpointsFS(d.fs, d.dir, 2)
 	d.mu.Lock()
 	if st.Journaled != d.lastApplied {
 		d.prevApplied = d.lastApplied
@@ -249,6 +278,15 @@ type durabilityJSON struct {
 	Checkpoints    uint64        `json:"checkpoints"`
 	LastCheckpoint uint64        `json:"lastCheckpoint"`
 	Recovery       *recoveryJSON `json:"recovery,omitempty"`
+	// Degraded is true while the zone's WAL is unwritable: ingest
+	// answers 507 + Retry-After (agents spool) until a write or probe
+	// succeeds again.
+	Degraded       bool      `json:"degraded,omitempty"`
+	DegradedSince  time.Time `json:"degradedSince,omitempty"`
+	LastStorageErr string    `json:"lastStorageErr,omitempty"`
+	// DegradedTotal counts how many times this zone has entered
+	// degraded mode over the process lifetime.
+	DegradedTotal uint64 `json:"degradedTotal,omitempty"`
 }
 
 // statez assembles the /statez payload; d may be nil (durability
@@ -275,6 +313,12 @@ func statez(engine *fusion.Engine, d *durable, ing *httpingest.Handler) statezJS
 		Checkpoints:    d.met.checkpoints.Value(),
 		LastCheckpoint: d.lastApplied,
 		Recovery:       &rec,
+		Degraded:       d.degraded,
+		DegradedTotal:  d.degradedTotal,
+		LastStorageErr: d.lastStorageErr,
+	}
+	if d.degraded {
+		out.Durability.DegradedSince = d.degradedSince
 	}
 	d.mu.Unlock()
 	return out

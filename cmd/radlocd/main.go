@@ -53,8 +53,11 @@ import (
 	"radloc/internal/fusion"
 	"radloc/internal/httpingest"
 	"radloc/internal/obs"
+	"radloc/internal/rng"
+	"radloc/internal/scrub"
 	"radloc/internal/sim"
 	"radloc/internal/track"
+	"radloc/internal/vfs"
 	"radloc/internal/wal"
 )
 
@@ -79,6 +82,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		walDir      = fs.String("wal-dir", "", "durability directory for the write-ahead log and checkpoints; empty = durability off")
 		fsyncMode   = fs.String("fsync", "batch", "WAL fsync policy: always (sync per record), batch (sync at checkpoints/shutdown) or never")
 		ckptEvery   = fs.Int("checkpoint-every", 1000, "checkpoint the engine state every N journaled records (0 = only at shutdown)")
+		walSegment  = fs.Int("wal-segment", 0, "rotate WAL segments after this many records (0 = the WAL's default); smaller segments scrub and prune in finer grain")
 		queueCap    = fs.Int("queue", 4096, "pipe mode: bounded ingest queue capacity; overflow sheds the oldest reading per sensor")
 		httpQueue   = fs.Int("http-queue", 64, "HTTP mode: admission queue depth; requests beyond it are shed with 429 + Retry-After")
 		maxBody     = fs.Int64("max-body", 1<<20, "HTTP mode: request body byte bound (413 over it)")
@@ -92,6 +96,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		maxZones    = fs.Int("max-zones", 64, "cap on concurrently live fusion zones; creating one more is refused (HTTP 503)")
 		zoneMail    = fs.Int("zone-mailbox", 64, "per-zone mailbox depth in batches; a full mailbox sheds with 429 + Retry-After")
 		zoneIdle    = fs.Duration("zone-idle", 0, "evict a named zone idle this long, after a final checkpoint (0 = never; the default zone is never evicted)")
+		probeStor   = fs.Duration("storage-probe", time.Second, "how often a degraded zone re-tests its WAL for recovery (jittered ±20%; 0 = never, only organic writes recover)")
+		scrubEvery  = fs.Duration("scrub-interval", 15*time.Minute, "integrity scrubber pacing: one cold WAL segment or checkpoint sweep per zone per interval (0 = scrubbing off)")
 		clusterSelf = fs.String("cluster-self", "", "this node's base URL as peers reach it (e.g. http://10.0.0.1:8080); enables cluster mode (requires -listen)")
 		clusterRts  = fs.String("cluster-routes", "", "JSON zone-to-node routing table; standby zones start replicating at boot")
 		clusterTok  = fs.String("cluster-token", "", "bearer token guarding the /cluster endpoints and attached to outgoing replication pulls")
@@ -152,13 +158,23 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 			return err
 		}
 	}
+	// All durability I/O goes through the observed filesystem, so real
+	// disk faults (ENOSPC, EIO) land on radloc_storage_faults_total
+	// exactly like injected ones do in the chaos tests.
 	zs, err := newZoneSet(zoneSetOptions{
-		WalRoot: *walDir, Fsync: pol, CkptEvery: *ckptEvery,
-		MaxZones: *maxZones, Mailbox: *zoneMail, IdleAfter: *zoneIdle,
+		WalRoot: *walDir, FS: vfs.Observe(vfs.OS{}, reg), Fsync: pol, CkptEvery: *ckptEvery,
+		SegmentRecords: *walSegment,
+		MaxZones:       *maxZones, Mailbox: *zoneMail, IdleAfter: *zoneIdle,
 		Metrics: reg, Log: os.Stderr, Build: build,
 	})
 	if err != nil {
 		return err
+	}
+	if *walDir != "" && *probeStor > 0 {
+		// Degraded zones re-test their WAL on a jittered cadence so the
+		// node exits read-only mode on its own once space frees, even
+		// with every agent backed off.
+		go zs.storageProbeLoop(ctx, *probeStor, *seed)
 	}
 	// Recovery at boot: the default zone plus every named zone with
 	// state on disk, each from its own WAL directory — newest valid
@@ -183,7 +199,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		var rstore cluster.RouteStore
 		if *walDir != "" {
 			eps = &fileEpochStore{zs: zs}
-			rstore = &fileRouteStore{dir: *walDir, logw: os.Stderr}
+			rstore = &fileRouteStore{dir: *walDir, fs: zs.fs, logw: os.Stderr}
 		}
 		node, err = cluster.NewNode(cluster.Options{
 			Self:         *clusterSelf,
@@ -223,6 +239,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 				node.LearnRoutes(learned)
 			}
 		}
+		// The scrubber's repair-from-replica path goes through the node.
+		zs.clusterNode = node
 	}
 	if *failoverOn {
 		if node == nil {
@@ -249,6 +267,24 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		}
 		prom.Start()
 		defer prom.Close()
+		// Publish the detector's world-view on /cluster/status, so an
+		// operator reads suspicion state instead of inferring it from
+		// logs.
+		node.SetPeersFunc(prom.PeerViews)
+	}
+	if *walDir != "" && *scrubEvery > 0 {
+		scr, serr := scrub.New(scrub.Options{
+			Targets:  zs.scrubTargets,
+			Interval: *scrubEvery,
+			RNG:      rng.NewNamed(uint64(*seed), "scrub"),
+			Metrics:  reg,
+			Log:      log.New(os.Stderr, "", log.LstdFlags),
+		})
+		if serr != nil {
+			return serr
+		}
+		scr.Start()
+		defer scr.Close()
 	}
 	if *zoneIdle > 0 {
 		interval := *zoneIdle / 4

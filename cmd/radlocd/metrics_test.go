@@ -231,7 +231,7 @@ func TestMetricsEndpointAgreesWithStatez(t *testing.T) {
 		fcfg.Localizer.Metrics = reg
 		return fusion.NewEngine(fcfg)
 	}
-	engine, d, err := openDurable(t.TempDir(), wal.FsyncNever, 50, build, reg, io.Discard)
+	engine, d, err := openDurable(t.TempDir(), nil, wal.FsyncNever, 50, 0, build, reg, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}

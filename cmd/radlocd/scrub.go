@@ -1,0 +1,200 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"radloc/internal/fusion"
+	"radloc/internal/scrub"
+	"radloc/internal/wal"
+)
+
+// corruptDirName is where the scrubber parks artifacts that failed
+// cold re-verification, inside the zone's WAL directory. Like
+// diverged/, nothing in it is ever deleted — it is the operator's
+// evidence of what the disk silently lost.
+const corruptDirName = "corrupt"
+
+// scrubStore adapts one zone's durability plumbing to scrub.Store.
+// Every method serializes against the zone's journal lock, the same
+// discipline the checkpointer uses.
+type scrubStore struct {
+	zs   *zoneSet
+	zone string
+	d    *durable
+}
+
+// Segments implements scrub.Store.
+func (s *scrubStore) Segments() []wal.SegmentInfo {
+	s.d.j.mu.Lock()
+	defer s.d.j.mu.Unlock()
+	return s.d.j.log.SegmentInfos()
+}
+
+// VerifySegment implements scrub.Store. It holds the journal lock for
+// the whole re-read: a prune or quarantine racing the read would
+// otherwise yield spurious missing-file errors. Segments are bounded
+// (-wal-segment records), so the stall is the same order as a
+// checkpoint's.
+func (s *scrubStore) VerifySegment(start uint64) error {
+	s.d.j.mu.Lock()
+	defer s.d.j.mu.Unlock()
+	return s.d.j.log.VerifySegment(start)
+}
+
+// QuarantineSegment implements scrub.Store, parking the segment in
+// <wal-dir>/corrupt/.
+func (s *scrubStore) QuarantineSegment(start uint64) (uint64, error) {
+	dst := filepath.Join(s.d.dir, corruptDirName)
+	s.d.j.mu.Lock()
+	removed, err := s.d.j.log.QuarantineSegment(start, dst)
+	s.d.j.mu.Unlock()
+	return removed, err
+}
+
+// VerifyCheckpoints implements scrub.Store.
+func (s *scrubStore) VerifyCheckpoints() ([]uint64, error) {
+	return wal.VerifyCheckpoints(s.d.fs, s.d.dir)
+}
+
+// QuarantineCheckpoint implements scrub.Store.
+func (s *scrubStore) QuarantineCheckpoint(applied uint64) error {
+	if err := wal.QuarantineCheckpoint(s.d.fs, s.d.dir, applied); err != nil {
+		return err
+	}
+	s.d.forgetCheckpoint(applied)
+	return nil
+}
+
+// Repair implements scrub.Store: re-anchor recovery past the
+// quarantined range with a checkpoint whose applied offset is >= to —
+// seeded from a caught-up replica's exported state when the cluster
+// has one (an independent copy, immune to whatever corrupted the
+// local disk), and otherwise from the local in-memory engine, which
+// is still correct: the corruption was cold, every lost record was
+// applied when it was first written and the engine never forgot it.
+func (s *scrubStore) Repair(ctx context.Context, from, to uint64) (string, error) {
+	if src, ok := s.zs.repairFromReplica(ctx, s.zone, s.d, to); ok {
+		return src, nil
+	}
+	return "local", s.d.adoptLocalCheckpoint()
+}
+
+// repairFromReplica tries the replica path of a scrub repair: a
+// caught-up standby (acked at least through the hole's end) exports
+// its state, and that snapshot becomes the new recovery anchor.
+// ok=false means the caller should fall back to local state; the
+// reason is logged, never fatal.
+func (zs *zoneSet) repairFromReplica(ctx context.Context, zoneName string, d *durable, to uint64) (string, bool) {
+	n := zs.clusterNode
+	if n == nil {
+		return "", false
+	}
+	peer, acked, ok := n.RepairSource(zoneName)
+	if !ok || acked < to {
+		return "", false
+	}
+	ctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	applied, _, state, err := n.FetchState(ctx, peer, zoneName)
+	if err != nil {
+		fmt.Fprintf(zs.logw, "radlocd: zone %q: scrub repair fetch from %s failed, using local state: %v\n",
+			zoneName, peer, err)
+		return "", false
+	}
+	if applied < to {
+		return "", false
+	}
+	// The snapshot must at least decode before it becomes the recovery
+	// anchor; boot tolerates an unusable checkpoint only by falling
+	// back to a full replay, which the quarantine just made impossible.
+	var st fusion.EngineState
+	if err := json.Unmarshal(state, &st); err != nil {
+		fmt.Fprintf(zs.logw, "radlocd: zone %q: replica %s state does not decode, using local state: %v\n",
+			zoneName, peer, err)
+		return "", false
+	}
+	if err := d.adoptCheckpoint(wal.Checkpoint{Applied: applied, State: state}); err != nil {
+		fmt.Fprintf(zs.logw, "radlocd: zone %q: persisting replica checkpoint failed, using local state: %v\n",
+			zoneName, err)
+		return "", false
+	}
+	return peer, true
+}
+
+// adoptLocalCheckpoint re-anchors recovery from the local in-memory
+// engine — the scrubber's fallback when no caught-up replica exists.
+func (d *durable) adoptLocalCheckpoint() error {
+	st, err := d.engine.ExportState()
+	if err != nil {
+		return err
+	}
+	blob, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	return d.adoptCheckpoint(wal.Checkpoint{Applied: st.Journaled, State: blob})
+}
+
+// adoptCheckpoint persists an externally assembled checkpoint and
+// folds it into the cadence bookkeeping. The WAL is synced first so
+// the checkpoint never refers past the durable log; the WAL itself is
+// not pruned here — the next cadence checkpoint advances the floor on
+// its own schedule.
+func (d *durable) adoptCheckpoint(ck wal.Checkpoint) error {
+	d.j.mu.Lock()
+	err := d.j.log.Sync()
+	d.j.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := wal.WriteCheckpointFS(d.fs, d.dir, ck); err != nil {
+		return err
+	}
+	_ = wal.PruneCheckpointsFS(d.fs, d.dir, 2)
+	d.mu.Lock()
+	if ck.Applied > d.lastApplied {
+		d.prevApplied = d.lastApplied
+		d.lastApplied = ck.Applied
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// forgetCheckpoint clears bookkeeping that referred to a quarantined
+// checkpoint, so the next cadence checkpoint fires promptly and the
+// prune floor cannot rest on a file that no longer exists.
+func (d *durable) forgetCheckpoint(applied uint64) {
+	d.mu.Lock()
+	if d.lastApplied == applied {
+		d.lastApplied = d.prevApplied
+	}
+	if d.prevApplied == applied {
+		d.prevApplied = 0
+	}
+	d.mu.Unlock()
+}
+
+// scrubTargets enumerates the currently-live durable zones for the
+// scrubber. Degraded zones are skipped — a disk that cannot accept
+// writes cannot accept a repair either; the storage probe loop owns
+// that state — and so are zones idled out of memory: their next
+// recovery validates them anyway.
+func (zs *zoneSet) scrubTargets() []scrub.Target {
+	var out []scrub.Target
+	for _, name := range zs.manager.Names() {
+		z, ok := zs.manager.Lookup(name)
+		if !ok {
+			continue
+		}
+		d := zoneDurable(z)
+		if d == nil || d.storageDegraded() {
+			continue
+		}
+		out = append(out, scrub.Target{Zone: name, Store: &scrubStore{zs: zs, zone: name, d: d}})
+	}
+	return out
+}

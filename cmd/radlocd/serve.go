@@ -458,6 +458,19 @@ func newMux(cfg serveConfig) *http.ServeMux {
 				http.StatusServiceUnavailable)
 			return
 		}
+		// Degraded storage keeps the node out of rotation for writes:
+		// reads still work (snapshots, metrics), but an orchestrator or
+		// the failure detector reading /readyz should treat this node as
+		// impaired. The header names the cause so the failover prober
+		// can count it as a miss without parsing the body.
+		if cfg.Zones != nil {
+			if degraded := cfg.Zones.degradedZones(); len(degraded) > 0 {
+				w.Header().Set("X-Radloc-Storage", "degraded")
+				http.Error(w, fmt.Sprintf("not ready: storage degraded in zones %v (ingest read-only, answering 507)", degraded),
+					http.StatusServiceUnavailable)
+				return
+			}
+		}
 		// A standby serves reads before its first refresh — its state
 		// comes from replication, not local ingest — so the refresh
 		// check applies only where this node owns the default zone.

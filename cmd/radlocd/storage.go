@@ -1,0 +1,120 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"radloc/internal/rng"
+)
+
+// Degraded read-only mode.
+//
+// When a zone's WAL append fails (disk full, I/O error), radlocd does
+// not crash and does not silently drop data: the failed append already
+// vetoed the reading (durability before visibility), the fusion
+// engine surfaced it as a JournalError, and the HTTP boundary answered
+// 507 + Retry-After so the agent keeps its spooled copy. What this
+// file adds is the state around that contract: each zone tracks
+// whether its storage is currently degraded, /readyz and /statez
+// surface it (with an X-Radloc-Storage: degraded header the failure
+// detector reads), and a jittered background probe keeps re-testing
+// the WAL so the zone exits degraded mode on its own once space frees
+// — even when every agent has backed off and no organic write arrives
+// to discover the recovery.
+
+// noteAppend observes one journal append outcome — the degraded-mode
+// entry and exit edge detector. Called outside every other durable
+// lock.
+func (d *durable) noteAppend(err error) {
+	d.mu.Lock()
+	if err != nil {
+		d.lastStorageErr = err.Error()
+		if !d.degraded {
+			d.degraded = true
+			d.degradedSince = time.Now()
+			d.degradedTotal++
+			d.mu.Unlock()
+			fmt.Fprintf(d.logw, "radlocd: storage degraded (%s): %v — ingest read-only (507), probing for recovery\n", d.dir, err)
+			return
+		}
+		d.mu.Unlock()
+		return
+	}
+	if d.degraded {
+		d.degraded = false
+		since := d.degradedSince
+		d.mu.Unlock()
+		fmt.Fprintf(d.logw, "radlocd: storage recovered (%s) after %s — ingest writable again\n", d.dir, time.Since(since).Round(time.Millisecond))
+		return
+	}
+	d.mu.Unlock()
+}
+
+// storageDegraded reports whether the zone is currently read-only.
+func (d *durable) storageDegraded() bool {
+	if d == nil {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.degraded
+}
+
+// probeStorage re-tests the WAL (tail repair + scratch write + sync)
+// and feeds the outcome through the same edge detector as organic
+// appends. Returns true when the zone is healthy afterwards.
+func (d *durable) probeStorage() bool {
+	d.j.mu.Lock()
+	err := d.j.log.Probe()
+	d.j.mu.Unlock()
+	d.noteAppend(err)
+	return err == nil
+}
+
+// degradedZones lists the zones currently in degraded read-only mode,
+// sorted — the /readyz and /statez surface.
+func (zs *zoneSet) degradedZones() []string {
+	var out []string
+	for _, name := range zs.manager.Names() {
+		z, ok := zs.manager.Lookup(name)
+		if !ok {
+			continue
+		}
+		if zoneDurable(z).storageDegraded() {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// storageProbeLoop re-probes every degraded zone's WAL on a jittered
+// cadence until ctx is done. Jitter (±20%) keeps a fleet of nodes that
+// all hit the same full volume from retrying in lockstep.
+func (zs *zoneSet) storageProbeLoop(ctx context.Context, interval time.Duration, seed uint64) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	strm := rng.NewNamed(seed, "radlocd/storage-probe")
+	for {
+		d := time.Duration(float64(interval) * (0.8 + 0.4*strm.Float64()))
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		for _, name := range zs.manager.Names() {
+			z, ok := zs.manager.Lookup(name)
+			if !ok {
+				continue
+			}
+			if dur := zoneDurable(z); dur.storageDegraded() {
+				dur.probeStorage()
+			}
+		}
+	}
+}

@@ -1,0 +1,488 @@
+package main
+
+// Storage fault-tolerance integration tests: the acceptance criteria
+// of the disk-fault work. An ENOSPC window mid-delivery must cost the
+// pipeline nothing but 507 round-trips (agents spool through it and
+// the final state is bit-identical to an undisturbed run), and a byte
+// flipped in cold WAL storage must be detected, quarantined and
+// repaired — from a caught-up replica when the cluster has one, from
+// the local engine otherwise — with zero acknowledged-durable records
+// lost across a crash-restart.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"radloc/internal/clock"
+	"radloc/internal/cluster"
+	"radloc/internal/fusion"
+	"radloc/internal/httpingest"
+	"radloc/internal/obs"
+	"radloc/internal/rng"
+	"radloc/internal/scenario"
+	"radloc/internal/scrub"
+	"radloc/internal/transport"
+	"radloc/internal/vfs"
+	"radloc/internal/wal"
+	"radloc/internal/zone"
+)
+
+// enospcWindowRT aligns a disk-fault injector with a virtual-time
+// window on every request, and on the first 507 it observes probes
+// /readyz mid-outage — the only moment the degraded surface is
+// visible from outside.
+type enospcWindowRT struct {
+	inner    http.Handler
+	clk      *clock.Fake
+	faulty   *vfs.Faulty
+	from, to time.Time
+
+	sawReadyzCode   int
+	sawReadyzHeader string
+}
+
+func (w *enospcWindowRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	now := w.clk.Now()
+	if w.to.After(w.from) && !now.Before(w.from) && now.Before(w.to) {
+		w.faulty.FailWrites(syscall.ENOSPC, false)
+		w.faulty.FailSyncs(syscall.ENOSPC)
+	} else {
+		w.faulty.Heal()
+	}
+	rec := httptest.NewRecorder()
+	w.inner.ServeHTTP(rec, req)
+	if rec.Code == http.StatusInsufficientStorage && w.sawReadyzCode == 0 {
+		rr := httptest.NewRecorder()
+		w.inner.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "http://fusion/readyz", nil))
+		w.sawReadyzCode = rr.Code
+		w.sawReadyzHeader = rr.Header().Get("X-Radloc-Storage")
+	}
+	return rec.Result(), nil
+}
+
+// runENOSPCDelivery pushes the chaos workload through a full durable
+// zone stack (spool → client → ingest → engine → WAL on an injected
+// filesystem) with an ENOSPC window of the given length opening at
+// t=0, and returns the normalized final state plus the WAL directory
+// for post-mortem recovery checks.
+func runENOSPCDelivery(t *testing.T, window time.Duration) (snap, health []byte, walDir string, ing *httpingest.Handler, dur *durable, rt *enospcWindowRT) {
+	t.Helper()
+	clk := clock.NewFake(time.Unix(1_700_000_000, 0))
+	faulty := vfs.NewFaulty(nil, vfs.FaultConfig{Seed: 11, Clock: clk})
+	walDir = t.TempDir()
+	zs, err := newZoneSet(zoneSetOptions{
+		WalRoot: walDir, FS: faulty, Fsync: wal.FsyncNever, CkptEvery: 50,
+		Metrics: obs.NewRegistry(), Log: io.Discard, Build: testZoneBuild(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := zs.recoverZones(); err != nil {
+		t.Fatal(err)
+	}
+	dur = zoneDurable(zs.defaultZone())
+
+	ing = newZonedIngest(zs.manager, httpingest.Options{
+		QueueDepth: 256, Clock: clk, RetryAfter: time.Second,
+	})
+	mux := newMux(serveConfig{
+		Engine: zs.defaultZone().Engine(), Durable: dur, Ingest: ing, Zones: zs,
+	})
+	start := clk.Now()
+	rt = &enospcWindowRT{inner: mux, clk: clk, faulty: faulty, from: start, to: start.Add(window)}
+	client, err := transport.NewClient(transport.Options{
+		URL: "http://fusion", HTTP: rt, Clock: clk,
+		RNG:       rng.NewNamed(7, "storage-chaos/jitter"),
+		BatchSize: chaosBatch,
+		Backoff:   transport.Backoff{Base: 100 * time.Millisecond, Cap: 2 * time.Second},
+		Breaker:   transport.BreakerConfig{FailureThreshold: 4, Cooldown: 2 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sp, err := transport.OpenSpool(t.TempDir(), transport.SpoolOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings := chaosReadings(len(scenario.A(50, false).Sensors))
+	for _, m := range readings {
+		if _, err := sp.Append(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client.Drain(context.Background(), sp); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Pending() != 0 {
+		t.Fatalf("spool not drained: %d pending", sp.Pending())
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := client.Stats(); st.Delivered != uint64(len(readings)) {
+		t.Fatalf("client delivered %d of %d", st.Delivered, len(readings))
+	}
+	snap, health = normalizedState(t, zs.defaultZone().Engine())
+
+	// /readyz is clean again after the heal: the exit edge fired on the
+	// first post-window append.
+	if rec, code := httpStatus(mux, http.MethodGet, "http://fusion/readyz", ""); code != http.StatusOK {
+		t.Fatalf("post-heal /readyz = %d: %s", code, rec.Body.String())
+	}
+	// Close every zone cleanly so the WAL directory is a complete
+	// crash-restart image (the injector is healed; the close succeeds).
+	if err := zs.close(); err != nil {
+		t.Fatal(err)
+	}
+	return snap, health, walDir, ing, dur, rt
+}
+
+// TestStorageChaosENOSPCBitIdentical is the headline disk-fault
+// criterion: a 30-second disk-full window opens mid-delivery, every
+// admission during it is refused with 507 + Retry-After, the agent
+// rides it out on its spool — and once space frees, the final fused
+// state is bit-identical to a run whose disk never failed, and a
+// crash-restart on the WAL finds every acknowledged record.
+func TestStorageChaosENOSPCBitIdentical(t *testing.T) {
+	cleanSnap, cleanHealth, _, cleanIng, _, _ := runENOSPCDelivery(t, 0)
+	chaosSnap, chaosHealth, chaosDir, chaosIng, dur, rt := runENOSPCDelivery(t, 30*time.Second)
+
+	if !bytes.Equal(cleanSnap, chaosSnap) {
+		t.Errorf("post-heal snapshot differs from undisturbed run:\nclean: %s\nchaos: %s", cleanSnap, chaosSnap)
+	}
+	if !bytes.Equal(cleanHealth, chaosHealth) {
+		t.Errorf("sensor health differs from undisturbed run:\nclean: %s\nchaos: %s", cleanHealth, chaosHealth)
+	}
+
+	// The outage actually bit, and only the chaos run felt it.
+	if got := chaosIng.Stats().Shed507; got == 0 {
+		t.Error("no 507s shed — the ENOSPC window never fired")
+	}
+	if got := cleanIng.Stats().Shed507; got != 0 {
+		t.Errorf("clean run shed %d 507s", got)
+	}
+	// Degraded mode engaged during the window and exited after it.
+	dur.mu.Lock()
+	degradedTotal, stillDegraded := dur.degradedTotal, dur.degraded
+	dur.mu.Unlock()
+	if degradedTotal == 0 {
+		t.Error("zone never entered degraded mode")
+	}
+	if stillDegraded {
+		t.Error("zone still degraded after the heal")
+	}
+	// Mid-outage, /readyz advertised the impairment with the header the
+	// failure detector keys on.
+	if rt.sawReadyzCode != http.StatusServiceUnavailable || rt.sawReadyzHeader != "degraded" {
+		t.Errorf("mid-outage /readyz = %d header %q, want 503 %q", rt.sawReadyzCode, rt.sawReadyzHeader, "degraded")
+	}
+
+	// Crash-restart on the chaos WAL: replay + checkpoint recover every
+	// acknowledged record (the journaled count of the bit-identical
+	// snapshot), so the 507 window provably lost nothing durable.
+	zs2, err := newZoneSet(zoneSetOptions{
+		WalRoot: chaosDir, Fsync: wal.FsyncNever, CkptEvery: 50,
+		Metrics: obs.NewRegistry(), Log: io.Discard, Build: testZoneBuild(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer zs2.close()
+	if err := zs2.recoverZones(); err != nil {
+		t.Fatal(err)
+	}
+	var want snapshotJSON
+	if err := json.Unmarshal(chaosSnap, &want); err != nil {
+		t.Fatal(err)
+	}
+	if got := zs2.defaultZone().Engine().Snapshot().Journaled; got != want.Journaled {
+		t.Fatalf("recovered journaled = %d, want %d — acknowledged records lost", got, want.Journaled)
+	}
+}
+
+// copyDirFiles snapshots a directory's regular files into dst — the
+// observational equivalent of SIGKILL followed by inspecting the disk,
+// without disturbing the live zone set.
+func copyDirFiles(t *testing.T, src, dst string) {
+	t.Helper()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		blob, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// flipByteInOldestSegment corrupts one byte in the middle of the
+// oldest WAL segment file — cold corruption, after every write was
+// validated and acknowledged.
+func flipByteInOldestSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.ndjson"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments in %s: %v", dir, err)
+	}
+	sort.Strings(segs)
+	blob, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0x20
+	if err := os.WriteFile(segs[0], blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return segs[0]
+}
+
+// TestScrubRepairsLocalCold is the standalone-node scrub criterion:
+// a byte flips in a cold sealed segment, the scrubber's next tick
+// detects it, quarantines the segment into corrupt/, re-anchors
+// recovery with a checkpoint from the local engine — and a simulated
+// crash-restart on the damaged directory recovers every acknowledged
+// record.
+func TestScrubRepairsLocalCold(t *testing.T) {
+	walRoot := t.TempDir()
+	reg := obs.NewRegistry()
+	zs, err := newZoneSet(zoneSetOptions{
+		// Checkpoint only at shutdown, 8-record segments: the stream
+		// below leaves several sealed segments and no checkpoint, so
+		// recovery would need the corrupted segment — the scrub repair is
+		// what saves it.
+		WalRoot: walRoot, Fsync: wal.FsyncNever, CkptEvery: 0, SegmentRecords: 8,
+		Metrics: reg, Log: io.Discard, Build: testZoneBuild(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer zs.close()
+	if err := zs.recoverZones(); err != nil {
+		t.Fatal(err)
+	}
+	readings := chaosReadings(len(scenario.A(50, false).Sensors))
+	for i := 0; i < len(readings); i += chaosBatch {
+		end := i + chaosBatch
+		if end > len(readings) {
+			end = len(readings)
+		}
+		batch := make([]fusion.Meas, 0, chaosBatch)
+		for _, m := range readings[i:end] {
+			batch = append(batch, fusion.Meas{SensorID: m.SensorID, CPM: m.CPM, Step: m.Step, Seq: m.Seq})
+		}
+		if _, err := zs.manager.Submit(context.Background(), zone.DefaultZone, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := zoneDurable(zs.defaultZone())
+	d.j.mu.Lock()
+	journaled := d.j.log.Offset()
+	if err := d.j.log.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	d.j.mu.Unlock()
+	if journaled < 24 {
+		t.Fatalf("stream journaled only %d records — not enough sealed segments", journaled)
+	}
+
+	flipByteInOldestSegment(t, walRoot)
+	scr, err := scrub.New(scrub.Options{Targets: zs.scrubTargets, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr.Tick(context.Background())
+
+	// Detection + quarantine: the corrupt segment moved into corrupt/.
+	parked, err := filepath.Glob(filepath.Join(walRoot, corruptDirName, "wal-*.ndjson"))
+	if err != nil || len(parked) != 1 {
+		t.Fatalf("quarantined segments = %v (err %v), want exactly 1", parked, err)
+	}
+	// Repair: a local checkpoint now anchors recovery past the hole.
+	ck, ok, err := wal.LoadCheckpoint(walRoot)
+	if err != nil || !ok {
+		t.Fatalf("no repair checkpoint: ok=%v err=%v", ok, err)
+	}
+	if ck.Applied != journaled {
+		t.Fatalf("repair checkpoint applied=%d, want %d (local engine head)", ck.Applied, journaled)
+	}
+
+	// Crash-restart on a copy of the damaged directory (no shutdown
+	// flush): the repair checkpoint must carry recovery over the hole
+	// with zero acknowledged-durable records lost.
+	crashDir := t.TempDir()
+	copyDirFiles(t, walRoot, crashDir)
+	engine2, d2, err := openDurable(crashDir, nil, wal.FsyncNever, 0, 8, testZoneBuildJournalOnly(t), nil, io.Discard)
+	if err != nil {
+		t.Fatalf("recovery after scrub repair failed: %v", err)
+	}
+	defer d2.close()
+	if !d2.recovery.CheckpointUsed || d2.recovery.CheckpointApplied != journaled {
+		t.Fatalf("recovery did not use the repair checkpoint: %+v", d2.recovery)
+	}
+	if got := engine2.Snapshot().Journaled; got != journaled {
+		t.Fatalf("recovered journaled = %d, want %d — acknowledged records lost", got, journaled)
+	}
+	// Scrub accounting went where it should.
+	mux := newMux(serveConfig{Engine: zs.defaultZone().Engine(), Metrics: reg, Zones: zs})
+	if v, ok := scrapeGauge(t, mux, `radloc_scrub_corruptions_total{kind="segment"}`); !ok || v != 1 {
+		t.Errorf("radloc_scrub_corruptions_total{kind=segment} = %v (ok=%v), want 1", v, ok)
+	}
+	if v, ok := scrapeGauge(t, mux, `radloc_scrub_repairs_total{source="local"}`); !ok || v != 1 {
+		t.Errorf("radloc_scrub_repairs_total{source=local} = %v (ok=%v), want 1", v, ok)
+	}
+}
+
+// testZoneBuildJournalOnly is testZoneBuild's shape for direct
+// openDurable calls (journal only, no per-zone metrics view).
+func testZoneBuildJournalOnly(t *testing.T) func(fusion.Journal) (*fusion.Engine, error) {
+	t.Helper()
+	build := testZoneBuild(t)
+	return func(j fusion.Journal) (*fusion.Engine, error) { return build(j, nil) }
+}
+
+// TestScrubRepairsFromReplica is the clustered scrub criterion: the
+// primary's cold segment corrupts, and the repair checkpoint comes
+// from the caught-up standby — an independent copy, immune to
+// whatever ate the local disk — fetched over the same authenticated
+// wire replication uses.
+func TestScrubRepairsFromReplica(t *testing.T) {
+	fab := newClusterFabric()
+	routes := cluster.Routes{Zones: map[string]cluster.Route{
+		"default": {Primary: "http://a", Standby: "http://b"},
+	}}
+	a := newClusterTestNodeAt(t, fab, "a", &routes, t.TempDir(), nil)
+	b := newClusterTestNode(t, fab, "b", &routes)
+
+	sensors := len(scenario.A(50, false).Sensors)
+	readings := chaosReadings(sensors)
+	sendRounds(t, newClusterClient(t, fab, "http://a", "scrub-repl", ""), readings, sensors)
+	aBack := a.backend(t, "default")
+	waitUntil(t, "standby catch-up", func() bool {
+		st, ok := b.status("default")
+		return ok && st.CaughtUp && b.backend(t, "default").Offset() == aBack.Offset()
+	})
+	journaled := aBack.Offset()
+	if journaled == 0 {
+		t.Fatal("primary journaled nothing")
+	}
+
+	// Cold-corrupt the primary's oldest sealed segment, then scrub.
+	walRoot := a.zs.walRoot
+	flipByteInOldestSegment(t, walRoot)
+	scr, err := scrub.New(scrub.Options{Targets: a.zs.scrubTargets, Metrics: a.reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr.Tick(context.Background())
+
+	parked, err := filepath.Glob(filepath.Join(walRoot, corruptDirName, "wal-*.ndjson"))
+	if err != nil || len(parked) != 1 {
+		t.Fatalf("quarantined segments = %v (err %v), want exactly 1", parked, err)
+	}
+	if v, ok := scrapeGauge(t, a.mux, `radloc_scrub_repairs_total{source="replica"}`); !ok || v != 1 {
+		t.Fatalf("radloc_scrub_repairs_total{source=replica} = %v (ok=%v), want 1 — repair did not come from the standby", v, ok)
+	}
+	ck, ok, err := wal.LoadCheckpoint(walRoot)
+	if err != nil || !ok {
+		t.Fatalf("no repair checkpoint: ok=%v err=%v", ok, err)
+	}
+	if ck.Applied < journaled {
+		t.Fatalf("replica checkpoint applied=%d, want >= %d (standby was caught up)", ck.Applied, journaled)
+	}
+
+	// Crash-restart the primary's directory: the replica-sourced
+	// checkpoint carries recovery over the hole, zero records lost.
+	crashDir := t.TempDir()
+	copyDirFiles(t, walRoot, crashDir)
+	build := clusterTestBuild()
+	engine2, d2, err := openDurable(crashDir, nil, wal.FsyncNever, 0, 16,
+		func(j fusion.Journal) (*fusion.Engine, error) { return build(j, nil) }, nil, io.Discard)
+	if err != nil {
+		t.Fatalf("recovery after replica repair failed: %v", err)
+	}
+	defer d2.close()
+	if !d2.recovery.CheckpointUsed {
+		t.Fatalf("recovery ignored the replica checkpoint: %+v", d2.recovery)
+	}
+	if got := engine2.Snapshot().Journaled; got != journaled {
+		t.Fatalf("recovered journaled = %d, want %d — acknowledged records lost", got, journaled)
+	}
+	// The recovered state is bit-identical to the standby's view of the
+	// same journaled prefix — the copy the repair was seeded from.
+	gotSnap, gotHealth := normalizedState(t, engine2)
+	wantSnap, wantHealth := normalizedState(t, b.zs.defaultZone().Engine())
+	if !bytes.Equal(gotSnap, wantSnap) {
+		t.Errorf("recovered state differs from the replica seed:\nreplica:   %s\nrecovered: %s", wantSnap, gotSnap)
+	}
+	if !bytes.Equal(gotHealth, wantHealth) {
+		t.Errorf("recovered health differs from the replica seed")
+	}
+}
+
+// TestScrubSkipsDegradedZones pins the targets contract: a zone in
+// degraded read-only mode is not scrubbed (its disk cannot accept the
+// repair), and reappears once storage recovers.
+func TestScrubSkipsDegradedZones(t *testing.T) {
+	zs := testZoneSet(t, t.TempDir(), 0, 0)
+	d := zoneDurable(zs.defaultZone())
+	if got := len(zs.scrubTargets()); got != 1 {
+		t.Fatalf("scrub targets = %d, want 1", got)
+	}
+	d.noteAppend(syscall.ENOSPC)
+	if got := len(zs.scrubTargets()); got != 0 {
+		t.Fatalf("degraded zone still a scrub target (%d)", got)
+	}
+	d.noteAppend(nil)
+	if got := len(zs.scrubTargets()); got != 1 {
+		t.Fatalf("recovered zone not re-targeted (%d)", got)
+	}
+}
+
+// TestReadyzNamesDegradedZones pins the operator surface: /readyz
+// goes 503 with the degraded header and the zone names in the body
+// while any zone's storage is read-only.
+func TestReadyzNamesDegradedZones(t *testing.T) {
+	zs := testZoneSet(t, t.TempDir(), 0, 0)
+	// Satisfy the refresh gate so only storage health drives /readyz.
+	zs.defaultZone().Engine().Refresh()
+	mux := newMux(serveConfig{Engine: zs.defaultZone().Engine(), Zones: zs,
+		Durable: zoneDurable(zs.defaultZone())})
+	if _, code := httpStatus(mux, http.MethodGet, "http://x/readyz", ""); code != http.StatusOK {
+		t.Fatalf("healthy /readyz = %d", code)
+	}
+	zoneDurable(zs.defaultZone()).noteAppend(syscall.EIO)
+	rec, code := httpStatus(mux, http.MethodGet, "http://x/readyz", "")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /readyz = %d, want 503", code)
+	}
+	if rec.Header().Get("X-Radloc-Storage") != "degraded" {
+		t.Fatal("degraded /readyz missing X-Radloc-Storage header")
+	}
+	if !strings.Contains(rec.Body.String(), "default") {
+		t.Fatalf("degraded /readyz does not name the zone: %s", rec.Body.String())
+	}
+	zoneDurable(zs.defaultZone()).noteAppend(nil)
+	if _, code := httpStatus(mux, http.MethodGet, "http://x/readyz", ""); code != http.StatusOK {
+		t.Fatalf("recovered /readyz = %d", code)
+	}
+}

@@ -9,8 +9,10 @@ import (
 	"sort"
 	"time"
 
+	"radloc/internal/cluster"
 	"radloc/internal/fusion"
 	"radloc/internal/obs"
+	"radloc/internal/vfs"
 	"radloc/internal/wal"
 	"radloc/internal/zone"
 )
@@ -30,11 +32,19 @@ import (
 type zoneSet struct {
 	manager *zone.Manager
 	walRoot string // "" = durability off
+	fs      vfs.FS
 	fsync   wal.FsyncPolicy
 	every   int
+	segRecs int // WAL segment size in records; 0 = the WAL's default
 	reg     *obs.Registry
 	logw    io.Writer
 	build   func(j fusion.Journal, met *obs.Registry) (*fusion.Engine, error)
+
+	// clusterNode, when non-nil, is the cluster membership this node
+	// participates in — installed late by main (the node needs the
+	// zoneSet's resolver first). The scrubber's repair-from-replica
+	// path goes through it.
+	clusterNode *cluster.Node
 }
 
 // zoneSetOptions configures newZoneSet.
@@ -42,10 +52,17 @@ type zoneSetOptions struct {
 	// WalRoot is the durability root directory; empty disables
 	// durability for every zone.
 	WalRoot string
-	// Fsync and CkptEvery mirror -fsync and -checkpoint-every; they
-	// apply uniformly to every zone's WAL.
-	Fsync     wal.FsyncPolicy
-	CkptEvery int
+	// FS is the filesystem every zone's WAL, checkpoints and stores go
+	// through; nil means the real one. Tests inject vfs.Faulty here to
+	// exercise disk faults; production wraps vfs.OS in vfs.Observe so
+	// real faults land on radloc_storage_faults_total.
+	FS vfs.FS
+	// Fsync, CkptEvery and SegmentRecords mirror -fsync,
+	// -checkpoint-every and -wal-segment; they apply uniformly to every
+	// zone's WAL. SegmentRecords 0 takes the WAL's default.
+	Fsync          wal.FsyncPolicy
+	CkptEvery      int
+	SegmentRecords int
 	// MaxZones, Mailbox and IdleAfter mirror -max-zones, -zone-mailbox
 	// and -zone-idle; see zone.Options.
 	MaxZones  int
@@ -77,8 +94,8 @@ func newZoneSet(o zoneSetOptions) (*zoneSet, error) {
 		o.Log = io.Discard
 	}
 	zs := &zoneSet{
-		walRoot: o.WalRoot, fsync: o.Fsync, every: o.CkptEvery,
-		reg: o.Metrics, logw: o.Log, build: o.Build,
+		walRoot: o.WalRoot, fs: vfs.Or(o.FS), fsync: o.Fsync, every: o.CkptEvery,
+		segRecs: o.SegmentRecords, reg: o.Metrics, logw: o.Log, build: o.Build,
 	}
 	m, err := zone.NewManager(zone.Options{
 		Factory:   zs.factory,
@@ -119,10 +136,10 @@ func (zs *zoneSet) factory(name string) (zone.Resources, error) {
 		return zone.Resources{Engine: engine}, nil
 	}
 	dir := zs.zoneWalDir(name)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := zs.fs.MkdirAll(dir, 0o755); err != nil {
 		return zone.Resources{}, err
 	}
-	engine, d, err := openDurable(dir, zs.fsync, zs.every,
+	engine, d, err := openDurable(dir, zs.fs, zs.fsync, zs.every, zs.segRecs,
 		func(j fusion.Journal) (*fusion.Engine, error) { return zs.build(j, met) },
 		met, zs.logw)
 	if err != nil {
@@ -148,7 +165,7 @@ func (zs *zoneSet) recoverZones() error {
 	if zs.walRoot == "" {
 		return nil
 	}
-	entries, err := os.ReadDir(filepath.Join(zs.walRoot, "zones"))
+	entries, err := zs.fs.ReadDir(filepath.Join(zs.walRoot, "zones"))
 	if os.IsNotExist(err) {
 		return nil
 	}

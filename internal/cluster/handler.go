@@ -65,7 +65,8 @@ func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, struct {
 		Self  string       `json:"self"`
 		Zones []ZoneStatus `json:"zones"`
-	}{Self: n.opts.Self, Zones: n.Status()})
+		Peers []PeerView   `json:"peers,omitempty"`
+	}{Self: n.opts.Self, Zones: n.Status(), Peers: n.peerViews()})
 }
 
 // handleWAL streams the zone's WAL suffix [from, from+max) as NDJSON

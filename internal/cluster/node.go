@@ -128,10 +128,11 @@ type Node struct {
 	opts Options
 	met  *nodeMetrics
 
-	mu     sync.Mutex
-	routes Routes
-	zones  map[string]*zoneState
-	closed bool
+	mu      sync.Mutex
+	routes  Routes
+	zones   map[string]*zoneState
+	peersFn func() []PeerView // failure detector's view; see SetPeersFunc
+	closed  bool
 
 	wg sync.WaitGroup
 }

@@ -83,7 +83,8 @@ type Options struct {
 type peerState struct {
 	url       string
 	misses    int       // consecutive failed probes
-	lastAlive time.Time // last time any probe got an HTTP response
+	lastAlive time.Time // last time any probe got a healthy HTTP response
+	lastProbe time.Time // last time any probe was attempted
 	dead      bool      // declared dead (suspect + hold-down elapsed)
 }
 
@@ -207,6 +208,7 @@ func (p *Promoter) Tick(ctx context.Context) {
 		alive := p.probe(ctx, ps.url)
 		p.met.probed(!alive)
 		p.mu.Lock()
+		ps.lastProbe = now
 		if alive {
 			if ps.dead {
 				p.logf("failover: peer %s is back", ps.url)
@@ -237,9 +239,13 @@ func (p *Promoter) Tick(ctx context.Context) {
 }
 
 // probe checks one peer: any HTTP response — including 503 from a
-// degraded-but-running daemon — counts as alive (a lagging node is
+// lagging-but-running daemon — counts as alive (a lagging node is
 // not a dead node), and its routes table is merged when readable.
-// Only a transport-level failure is a miss.
+// Two things are a miss: a transport-level failure, and a 503
+// carrying the X-Radloc-Storage: degraded header — a primary whose
+// disk stopped accepting writes is answering 507 to every agent, so
+// for promotion purposes it is as good as gone; only the hold-down
+// window separates a transient ENOSPC blip from a real takeover.
 func (p *Promoter) probe(ctx context.Context, peer string) bool {
 	ctx, cancel := p.opts.Clock.WithTimeout(ctx, p.opts.ProbeTimeout)
 	defer cancel()
@@ -249,6 +255,10 @@ func (p *Promoter) probe(ctx context.Context, peer string) bool {
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("X-Radloc-Storage") == "degraded" {
+		p.met.degradedMiss()
+		return false
+	}
 
 	if rresp, err := p.get(ctx, peer+"/cluster/routes"); err == nil {
 		var routes cluster.Routes
@@ -318,6 +328,13 @@ type PeerStatus struct {
 	Dead bool `json:"dead,omitempty"`
 	// DownFor is how long the peer has been unreachable, in seconds.
 	DownFor float64 `json:"downForSeconds,omitempty"`
+	// LastProbe is when the peer was last probed (zero before the
+	// first tick).
+	LastProbe time.Time `json:"lastProbe,omitempty"`
+	// HoldDownRemaining is how much flap-damping time, in seconds, is
+	// left before a currently-missing peer can be declared dead. Zero
+	// once dead or up.
+	HoldDownRemaining float64 `json:"holdDownRemainingSeconds,omitempty"`
 }
 
 // Peers reports the detector's current view, for status surfaces.
@@ -327,11 +344,36 @@ func (p *Promoter) Peers() []PeerStatus {
 	defer p.mu.Unlock()
 	out := make([]PeerStatus, 0, len(p.peers))
 	for _, ps := range p.peers {
-		st := PeerStatus{URL: ps.url, Up: ps.misses == 0, Misses: ps.misses, Dead: ps.dead}
+		st := PeerStatus{URL: ps.url, Up: ps.misses == 0, Misses: ps.misses, Dead: ps.dead, LastProbe: ps.lastProbe}
 		if ps.misses > 0 {
 			st.DownFor = now.Sub(ps.lastAlive).Seconds()
+			if !ps.dead {
+				if rem := p.opts.HoldDown - now.Sub(ps.lastAlive); rem > 0 {
+					st.HoldDownRemaining = rem.Seconds()
+				}
+			}
 		}
 		out = append(out, st)
+	}
+	return out
+}
+
+// PeerViews adapts Peers to the cluster layer's relay type, for
+// wiring via cluster.Node.SetPeersFunc so /cluster/status carries the
+// detector's world-view. Safe for concurrent use.
+func (p *Promoter) PeerViews() []cluster.PeerView {
+	peers := p.Peers()
+	out := make([]cluster.PeerView, len(peers))
+	for i, ps := range peers {
+		out[i] = cluster.PeerView{
+			URL:                      ps.URL,
+			Up:                       ps.Up,
+			Misses:                   ps.Misses,
+			Dead:                     ps.Dead,
+			LastProbe:                ps.LastProbe,
+			DownForSeconds:           ps.DownFor,
+			HoldDownRemainingSeconds: ps.HoldDownRemaining,
+		}
 	}
 	return out
 }

@@ -8,6 +8,7 @@ type promoterMetrics struct {
 	peerUpGauge *obs.GaugeFamily
 	probes      *obs.Counter
 	probeFails  *obs.Counter
+	degraded    *obs.Counter
 	deaths      *obs.Counter
 	promotions  *obs.Counter
 	refusals    *obs.Counter
@@ -26,6 +27,8 @@ func newPromoterMetrics(r *obs.Registry) *promoterMetrics {
 			"Failure-detector probes sent to peers."),
 		probeFails: r.Counter("radloc_failover_probe_failures_total",
 			"Probes that got no HTTP response at all (transport failure or timeout)."),
+		degraded: r.Counter("radloc_failover_degraded_misses_total",
+			"Probes answered 503 with X-Radloc-Storage: degraded — a peer alive on the wire but refusing writes, counted as a miss."),
 		deaths: r.Counter("radloc_failover_peer_deaths_total",
 			"Peers declared dead: suspicion threshold and hold-down window both exceeded."),
 		promotions: r.Counter("radloc_failover_promotions_total",
@@ -56,6 +59,14 @@ func (m *promoterMetrics) peerUp(peer string, up bool) {
 		v = 1.0
 	}
 	m.peerUpGauge.With(peer).Set(v)
+}
+
+// degradedMiss accounts one degraded-storage probe miss.
+func (m *promoterMetrics) degradedMiss() {
+	if m == nil {
+		return
+	}
+	m.degraded.Inc()
 }
 
 // died accounts one death declaration.

@@ -181,6 +181,23 @@ func (e *Engine) Ingest(sensorID, cpm int) (uint64, error) {
 	return e.applyLocked(m)
 }
 
+// JournalError reports that the write-ahead journal refused an append
+// — the reading was NOT applied and the caller still holds it. It is
+// the storage layer showing through the ingest API: callers that can
+// push back (the HTTP boundary, the zone mailbox) should answer "try
+// again later, keep your copy" rather than "rejected", because unlike
+// a malformed reading the data is fine — the disk is not.
+type JournalError struct {
+	// Err is the underlying storage error (ENOSPC, EIO, ...).
+	Err error
+}
+
+// Error implements the error interface.
+func (e *JournalError) Error() string { return "fusion: journal append: " + e.Err.Error() }
+
+// Unwrap exposes the underlying storage error to errors.Is/As.
+func (e *JournalError) Unwrap() error { return e.Err }
+
 // journalLocked appends one accepted reading to the write-ahead
 // journal, if one is configured. Callers hold e.mu. An error means the
 // reading MUST NOT be applied: durability before visibility.
@@ -189,7 +206,7 @@ func (e *Engine) journalLocked(m Meas) error {
 		return nil
 	}
 	if err := e.journal.Append(m); err != nil {
-		return fmt.Errorf("fusion: journal append: %w", err)
+		return &JournalError{Err: err}
 	}
 	e.journaled++
 	e.met.journaled.Set(float64(e.journaled))

@@ -85,6 +85,10 @@ type IngressStats struct {
 	// Shed429 counts requests refused at the door because the
 	// admission queue was full (HTTP 429 + Retry-After).
 	Shed429 uint64 `json:"shed429"`
+	// Shed507 counts requests refused because the zone's journal could
+	// not be written — storage degraded (HTTP 507 + Retry-After). The
+	// agent keeps its spooled copy and retries.
+	Shed507 uint64 `json:"shed507"`
 	// RateLimited counts readings refused by a per-sensor token bucket
 	// (the request is answered 429 + Retry-After at the first refusal).
 	RateLimited uint64 `json:"rateLimited"`
@@ -327,6 +331,13 @@ func (e *Engine) Submit(ctx context.Context, ms []Meas) (BatchResult, error) {
 		case errors.Is(err, ErrDuplicate):
 			res.Duplicate++
 		default:
+			var je *JournalError
+			if errors.As(err, &je) {
+				// Storage refused the append: nothing about the reading
+				// is wrong, so don't count it rejected — abort the batch
+				// and surface the fault so the transport keeps its copy.
+				return res, err
+			}
 			res.Rejected++
 		}
 	}

@@ -170,7 +170,7 @@ type bucket struct {
 // accounting; Stats() derives the wire struct from them.
 type ingestMetrics struct {
 	requests, accepted, duplicates, rejected *obs.Counter
-	shed429, rateLimited, oversized          *obs.Counter
+	shed429, shed507, rateLimited, oversized *obs.Counter
 	badContentType, malformed                *obs.Counter
 	inflight                                 *obs.Gauge
 	requestSeconds                           *obs.Histogram
@@ -191,6 +191,8 @@ func newIngestMetrics(r *obs.Registry) *ingestMetrics {
 			"Readings refused for cause (unknown sensor, impossible CPM, quarantine)."),
 		shed429: r.Counter("radloc_ingest_shed_429_total",
 			"Requests shed at the door because the admission queue was full (HTTP 429)."),
+		shed507: r.Counter("radloc_ingest_shed_507_total",
+			"Requests refused because the zone journal could not be written (HTTP 507)."),
 		rateLimited: r.Counter("radloc_ingest_rate_limited_total",
 			"Readings refused by a per-sensor token bucket (HTTP 429 + Retry-After)."),
 		oversized: r.Counter("radloc_ingest_oversized_total",
@@ -255,6 +257,7 @@ func (h *Handler) Stats() fusion.IngressStats {
 		Duplicates:     m.duplicates.Value(),
 		Rejected:       m.rejected.Value(),
 		Shed429:        m.shed429.Value(),
+		Shed507:        m.shed507.Value(),
 		RateLimited:    m.rateLimited.Value(),
 		Oversized:      m.oversized.Value(),
 		BadContentType: m.badContentType.Value(),
@@ -360,6 +363,7 @@ func requestZone(r *http.Request) string {
 
 // sinkStatus maps a Resolver/Sink error to its HTTP status.
 func sinkStatus(err error) int {
+	var je *fusion.JournalError
 	switch {
 	case errors.Is(err, ErrNoSuchZone):
 		return http.StatusNotFound
@@ -369,8 +373,34 @@ func sinkStatus(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, zone.ErrZoneLimit), errors.Is(err, zone.ErrManagerClosed), errors.Is(err, zone.ErrZoneClosed):
 		return http.StatusServiceUnavailable
+	case errors.As(err, &je):
+		// The zone's write-ahead journal refused the append: the disk,
+		// not the data, is the problem. 507 tells the agent its batch
+		// was not lost to rejection — keep the spooled copy, retry.
+		return http.StatusInsufficientStorage
 	}
 	return http.StatusInternalServerError
+}
+
+// failSink writes the response for a sink error. The shedding
+// statuses — 429 (overload), 503 (shutting down / zone limit) and 507
+// (storage degraded) — all carry Retry-After, so a well-behaved agent
+// holds its spooled copy and retries instead of counting the batch
+// lost; everything else is a plain error response.
+func (h *Handler) failSink(w http.ResponseWriter, err error) {
+	code := sinkStatus(err)
+	switch code {
+	case http.StatusTooManyRequests:
+		h.shed(w, err.Error())
+	case http.StatusServiceUnavailable, http.StatusInsufficientStorage:
+		if code == http.StatusInsufficientStorage {
+			h.met.shed507.Inc()
+		}
+		w.Header().Set("Retry-After", h.retryAfterSeconds())
+		http.Error(w, err.Error(), code)
+	default:
+		http.Error(w, err.Error(), code)
+	}
 }
 
 // ServeHTTP implements the POST /measurements contract, identically
@@ -382,7 +412,9 @@ func sinkStatus(err error) int {
 //	MaxBody · 400 parse failure, bad zone name, or a reading whose
 //	zone field contradicts the route · 404 unknown zone (fixed-zone
 //	deployments) · 503 zone limit reached or shutting down ·
-//	200 {"accepted","duplicate","rejected"}
+//	507+Retry-After zone journal unwritable (storage degraded; the
+//	agent keeps its spooled copy) · 200 {"accepted","duplicate",
+//	"rejected"}
 //
 // On 429 nothing before the refusing reading is rolled back; the
 // client retries the whole batch and the engine's sequence gate
@@ -454,12 +486,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	sink, err := h.resolve(zoneName)
 	if err != nil {
-		code := sinkStatus(err)
-		if code == http.StatusTooManyRequests {
-			h.shed(w, err.Error())
-			return
-		}
-		http.Error(w, err.Error(), code)
+		h.failSink(w, err)
 		return
 	}
 
@@ -478,12 +505,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		res, err = sink.Submit(r.Context(), ms)
 		if err != nil {
 			h.record(res)
-			code := sinkStatus(err)
-			if code == http.StatusTooManyRequests {
-				h.shed(w, err.Error())
-				return
-			}
-			http.Error(w, err.Error(), code)
+			h.failSink(w, err)
 			return
 		}
 	}
@@ -526,12 +548,7 @@ func (h *Handler) submitRateLimited(w http.ResponseWriter, ctx context.Context, 
 		one, err := sink.Submit(ctx, []fusion.Meas{m.Meas()})
 		if err != nil {
 			h.record(res)
-			code := sinkStatus(err)
-			if code == http.StatusTooManyRequests {
-				h.shed(w, err.Error())
-			} else {
-				http.Error(w, err.Error(), code)
-			}
+			h.failSink(w, err)
 			return res, true
 		}
 		if one.Duplicate > 0 {

@@ -405,9 +405,13 @@ func (c *Client) attempt(ctx context.Context, batch []Reading) attemptResult {
 		} else {
 			res.permanent = true
 		}
-	case resp.StatusCode == http.StatusServiceUnavailable:
-		// 503 is retryable; honor Retry-After when present but treat
-		// it as a failure for the breaker (the server is not serving).
+	case resp.StatusCode == http.StatusServiceUnavailable ||
+		resp.StatusCode == http.StatusInsufficientStorage:
+		// 503 and 507 are retryable; honor Retry-After when present but
+		// treat them as failures for the breaker (the server is not
+		// taking writes). 507 is the server's storage-degraded signal —
+		// the batch was refused for the disk's sake, not the data's, so
+		// the spooled copy must be held for redelivery.
 		res.retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), c.opts.Clock.Now())
 		if res.retryAfter > 0 {
 			res.throttled = true

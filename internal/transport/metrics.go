@@ -88,7 +88,10 @@ func RegisterSpoolMetrics(r *obs.Registry, s *Spool) {
 	r.GaugeFunc("radloc_agent_spool_acked",
 		"Spool acknowledgement cursor: readings below it are known delivered.",
 		func() float64 { return float64(s.Acked()) })
+	r.GaugeFunc("radloc_agent_spool_bytes",
+		"On-disk payload bytes held by the spool's WAL segments.",
+		func() float64 { return float64(s.SizeBytes()) })
 	r.CounterFunc("radloc_agent_spool_shed_total",
-		"Readings discarded because the spool's pending bound was hit.",
+		"Readings discarded by a spool bound: newest refused at the pending bound, oldest segments dropped at the byte bound.",
 		func() uint64 { return s.Shed() })
 }

@@ -32,6 +32,14 @@ type SpoolOptions struct {
 	// data is closest to delivery, so the newest is dropped) and
 	// counted.
 	MaxPending int
+	// MaxBytes bounds the spool's on-disk size (0 = unbounded). When
+	// an append pushes past it, whole OLDEST sealed segments are
+	// dropped until the spool fits again — the opposite end from the
+	// MaxPending bound, because a byte bound exists to protect the
+	// disk: the newest readings are the ones still worth delivering,
+	// and the oldest are closest to being obsolete anyway. Undelivered
+	// readings lost this way are counted as shed.
+	MaxBytes int64
 	// Fsync is the WAL durability policy (default FsyncBatch: a crash
 	// can lose the last unsynced tail, which the source re-reads or
 	// the operator replays; FsyncAlways survives power loss per
@@ -113,7 +121,9 @@ func OpenSpool(dir string, opts SpoolOptions) (*Spool, error) {
 }
 
 // Append queues one reading. It returns false (and counts a shed)
-// when the pending bound is hit.
+// when the pending bound is hit; the byte bound sheds oldest segments
+// after the append instead (see SpoolOptions.MaxBytes), so Append
+// still reports true — the offered reading itself was kept.
 func (s *Spool) Append(r Reading) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -122,7 +132,52 @@ func (s *Spool) Append(r Reading) (bool, error) {
 		return false, nil
 	}
 	_, err := s.log.Append(wal.Record{SensorID: r.SensorID, CPM: r.CPM, Step: r.Step, Seq: r.Seq})
-	return err == nil, err
+	if err != nil {
+		return false, err
+	}
+	if s.opts.MaxBytes > 0 {
+		if err := s.shedToBytesLocked(); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+// shedToBytesLocked drops oldest sealed segments until the spool fits
+// MaxBytes (or only the active tail remains). Undelivered records in
+// a dropped segment count as shed; already-acknowledged ones were due
+// for pruning anyway. The in-memory cursor advances past the dropped
+// range so Pending stays honest — the persisted cursor file is left
+// alone (it only ever lags, which is safe: the data is gone either
+// way and redelivery of nothing costs nothing). Callers hold s.mu.
+func (s *Spool) shedToBytesLocked() error {
+	for s.log.SizeBytes() > s.opts.MaxBytes {
+		start, end, ok, err := s.log.DropOldest()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil // only the tail left; the bound is best-effort
+		}
+		lo := start
+		if s.acked > lo {
+			lo = s.acked
+		}
+		if end > lo {
+			s.shed += end - lo
+		}
+		if s.acked < end {
+			s.acked = end
+		}
+	}
+	return nil
+}
+
+// SizeBytes reports the spool's current on-disk payload size.
+func (s *Spool) SizeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log.SizeBytes()
 }
 
 // Pending returns the number of undelivered readings.

@@ -194,3 +194,45 @@ func TestSpoolCorruptCursorDegradesToRedelivery(t *testing.T) {
 		t.Fatalf("corrupt cursor read as %d", sp2.Acked())
 	}
 }
+
+func TestSpoolByteBoundShedsOldest(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments so the byte bound has sealed segments to drop.
+	sp, err := OpenSpool(dir, SpoolOptions{SegmentRecords: 8, MaxBytes: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	for i := 0; i < 64; i++ {
+		if ok, err := sp.Append(reading(i)); err != nil || !ok {
+			t.Fatalf("append %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if got := sp.SizeBytes(); got > 600+200 {
+		// One tail segment may exceed the bound; wholesale growth must not.
+		t.Fatalf("spool holds %d bytes, want ~<= 600 plus one segment", got)
+	}
+	if sp.Shed() == 0 {
+		t.Fatal("byte bound never shed")
+	}
+	// The survivors are the NEWEST readings, contiguous to the end.
+	batch, upto, err := sp.Next(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) == 0 || upto != 64 {
+		t.Fatalf("Next = %d readings, cursor %d", len(batch), upto)
+	}
+	if want := reading(64 - len(batch)); batch[0] != want {
+		t.Fatalf("oldest survivor = %+v, want %+v", batch[0], want)
+	}
+	if last := batch[len(batch)-1]; last != reading(63) {
+		t.Fatalf("newest survivor = %+v, want %+v", last, reading(63))
+	}
+	if int(sp.Shed())+len(batch) != 64 {
+		t.Fatalf("shed %d + pending %d != 64", sp.Shed(), len(batch))
+	}
+	if sp.Pending() != len(batch) {
+		t.Fatalf("Pending = %d, want %d", sp.Pending(), len(batch))
+	}
+}

@@ -1,0 +1,161 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"syscall"
+
+	"radloc/internal/obs"
+)
+
+// Observed wraps an FS and counts every failed operation on
+// radloc_storage_faults_total{op,err}, where op names the filesystem
+// call (write, sync, read, open, rename, remove, mkdir, truncate)
+// and err classifies the failure (enospc, eio, other). It counts
+// real faults and injected ones alike — the metric reports what the
+// storage layer experienced, not who caused it.
+type Observed struct {
+	inner  FS
+	faults *obs.CounterFamily
+}
+
+// Observe wraps inner (nil = the real filesystem), recording fault
+// counters on reg. A nil registry returns the inner FS unwrapped.
+func Observe(inner FS, reg *obs.Registry) FS {
+	inner = Or(inner)
+	if reg == nil {
+		return inner
+	}
+	return &Observed{
+		inner: inner,
+		faults: reg.CounterFamily("radloc_storage_faults_total",
+			"Filesystem operations that failed, by operation and error class.",
+			"op", "err"),
+	}
+}
+
+// errClass buckets an error for the metric label.
+func errClass(err error) string {
+	switch {
+	case errors.Is(err, syscall.ENOSPC):
+		return "enospc"
+	case errors.Is(err, syscall.EIO):
+		return "eio"
+	default:
+		return "other"
+	}
+}
+
+func (o *Observed) count(op string, err error) {
+	if err != nil {
+		o.faults.With(op, errClass(err)).Inc()
+	}
+}
+
+// OpenFile opens path, counting failures under op="open".
+func (o *Observed) OpenFile(path string, flag int, perm fs.FileMode) (File, error) {
+	f, err := o.inner.OpenFile(path, flag, perm)
+	o.count("open", err)
+	if err != nil {
+		return nil, err
+	}
+	return &observedFile{File: f, o: o}, nil
+}
+
+// Open opens path read-only, counting failures under op="open".
+func (o *Observed) Open(path string) (File, error) {
+	f, err := o.inner.Open(path)
+	o.count("open", err)
+	if err != nil {
+		return nil, err
+	}
+	return &observedFile{File: f, o: o}, nil
+}
+
+// ReadFile reads the whole file, counting failures under op="read".
+func (o *Observed) ReadFile(path string) ([]byte, error) {
+	b, err := o.inner.ReadFile(path)
+	o.count("read", err)
+	return b, err
+}
+
+// ReadDir lists the directory, counting failures under op="read".
+func (o *Observed) ReadDir(path string) ([]fs.DirEntry, error) {
+	ents, err := o.inner.ReadDir(path)
+	o.count("read", err)
+	return ents, err
+}
+
+// MkdirAll creates the directory tree, counting failures under op="mkdir".
+func (o *Observed) MkdirAll(path string, perm fs.FileMode) error {
+	err := o.inner.MkdirAll(path, perm)
+	o.count("mkdir", err)
+	return err
+}
+
+// Rename moves oldPath to newPath, counting failures under op="rename".
+func (o *Observed) Rename(oldPath, newPath string) error {
+	err := o.inner.Rename(oldPath, newPath)
+	o.count("rename", err)
+	return err
+}
+
+// Remove deletes path, counting failures under op="remove"
+// (not-exist is not a fault).
+func (o *Observed) Remove(path string) error {
+	err := o.inner.Remove(path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		o.count("remove", err)
+	}
+	return err
+}
+
+// Truncate resizes path, counting failures under op="truncate".
+func (o *Observed) Truncate(path string, size int64) error {
+	err := o.inner.Truncate(path, size)
+	o.count("truncate", err)
+	return err
+}
+
+// Stat describes path (stat failures are not counted: probing for
+// absent files is normal control flow).
+func (o *Observed) Stat(path string) (fs.FileInfo, error) { return o.inner.Stat(path) }
+
+// Lstat describes path without following symlinks (uncounted, as Stat).
+func (o *Observed) Lstat(path string) (fs.FileInfo, error) { return o.inner.Lstat(path) }
+
+// CreateTemp creates a temporary file, counting failures under op="open".
+func (o *Observed) CreateTemp(dir, pattern string) (File, error) {
+	f, err := o.inner.CreateTemp(dir, pattern)
+	o.count("open", err)
+	if err != nil {
+		return nil, err
+	}
+	return &observedFile{File: f, o: o}, nil
+}
+
+type observedFile struct {
+	File
+	o *Observed
+}
+
+func (of *observedFile) Read(p []byte) (int, error) {
+	n, err := of.File.Read(p)
+	if err != nil && !errors.Is(err, io.EOF) {
+		of.o.count("read", err)
+	}
+	return n, err
+}
+
+func (of *observedFile) Write(p []byte) (int, error) {
+	n, err := of.File.Write(p)
+	of.o.count("write", err)
+	return n, err
+}
+
+func (of *observedFile) Sync() error {
+	err := of.File.Sync()
+	of.o.count("sync", err)
+	return err
+}

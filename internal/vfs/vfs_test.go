@@ -1,0 +1,187 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"radloc/internal/obs"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fsys := Or(nil)
+	path := filepath.Join(dir, "x.txt")
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := fsys.ReadFile(path)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	ents, err := fsys.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := fsys.Truncate(path, 2); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := fsys.Stat(path)
+	if err != nil || fi.Size() != 2 {
+		t.Fatalf("Stat after truncate: %v, %v", fi, err)
+	}
+}
+
+func TestFaultyWriteWindow(t *testing.T) {
+	dir := t.TempDir()
+	fa := NewFaulty(nil, FaultConfig{Seed: 1})
+	path := filepath.Join(dir, "w.txt")
+	f, err := fa.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("ok\n")); err != nil {
+		t.Fatalf("pre-window write: %v", err)
+	}
+	fa.FailWrites(nil, false)
+	if _, err := f.Write([]byte("fail\n")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("window write err = %v, want ENOSPC", err)
+	}
+	fa.Heal()
+	if _, err := f.Write([]byte("ok2\n")); err != nil {
+		t.Fatalf("post-heal write: %v", err)
+	}
+	b, _ := os.ReadFile(path)
+	if string(b) != "ok\nok2\n" {
+		t.Fatalf("file = %q", b)
+	}
+	if st := fa.Stats(); st.Writes != 1 || st.Torn != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFaultyTornWriteLeavesPrefix(t *testing.T) {
+	dir := t.TempDir()
+	fa := NewFaulty(nil, FaultConfig{Seed: 7})
+	path := filepath.Join(dir, "torn.txt")
+	f, err := fa.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fa.FailWrites(syscall.ENOSPC, true)
+	payload := []byte("0123456789abcdef\n")
+	n, err := f.Write(payload)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	if n <= 0 || n >= len(payload) {
+		t.Fatalf("torn write landed %d of %d bytes; want strict prefix", n, len(payload))
+	}
+	b, _ := os.ReadFile(path)
+	if len(b) != n || !strings.HasPrefix(string(payload), string(b)) {
+		t.Fatalf("on-disk %q is not the reported %d-byte prefix", b, n)
+	}
+	if st := fa.Stats(); st.Torn != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFaultySyncAndReadWindows(t *testing.T) {
+	dir := t.TempDir()
+	fa := NewFaulty(nil, FaultConfig{Seed: 3})
+	path := filepath.Join(dir, "s.txt")
+	if err := os.WriteFile(path, []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fa.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fa.FailSyncs(nil)
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync err = %v, want EIO", err)
+	}
+	fa.FailReads(nil)
+	if _, err := fa.ReadFile(path); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("read err = %v, want EIO", err)
+	}
+	fa.Heal()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("post-heal sync: %v", err)
+	}
+	if _, err := fa.ReadFile(path); err != nil {
+		t.Fatalf("post-heal read: %v", err)
+	}
+}
+
+func TestFaultyDeterministicSequence(t *testing.T) {
+	run := func() FaultStats {
+		dir := t.TempDir()
+		fa := NewFaulty(nil, FaultConfig{Seed: 42, WriteErrProb: 0.3, TornWriteProb: 0.5})
+		f, err := fa.OpenFile(filepath.Join(dir, "d.txt"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		for i := 0; i < 200; i++ {
+			_, _ = f.Write([]byte("a line of payload\n"))
+		}
+		return fa.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if a.Writes == 0 || a.Torn == 0 {
+		t.Fatalf("probabilistic faults never fired: %+v", a)
+	}
+}
+
+func TestObservedCountsFaults(t *testing.T) {
+	reg := obs.NewRegistry()
+	fa := NewFaulty(nil, FaultConfig{Seed: 1})
+	fsys := Observe(fa, reg)
+	dir := t.TempDir()
+	f, err := fsys.OpenFile(filepath.Join(dir, "m.txt"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fa.FailWrites(nil, false)
+	_, _ = f.Write([]byte("x"))
+	_, _ = f.Write([]byte("y"))
+	fa.Heal()
+	fa.FailSyncs(nil)
+	_ = f.Sync()
+	fa.Heal()
+
+	var buf strings.Builder
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`radloc_storage_faults_total{op="write",err="enospc"} 2`,
+		`radloc_storage_faults_total{op="sync",err="eio"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+
+	"radloc/internal/vfs"
 )
 
 // QuarantineSuffix moves every record with offset ≥ floor out of the
@@ -42,8 +44,8 @@ func (l *Log) QuarantineSuffix(floor uint64, dstDir string) (uint64, error) {
 	if err := l.f.Close(); err != nil {
 		return 0, err
 	}
-	l.f, l.w = nil, nil
-	if err := os.MkdirAll(dstDir, 0o755); err != nil {
+	l.f = nil
+	if err := l.fs.MkdirAll(dstDir, 0o755); err != nil {
 		return 0, err
 	}
 
@@ -56,11 +58,11 @@ func (l *Log) QuarantineSuffix(floor uint64, dstDir string) (uint64, error) {
 			kept = append(kept, seg)
 		case seg.start >= floor:
 			// Entirely above the floor: move the whole file.
-			dst, err := uniquePath(dstDir, filepath.Base(seg.path))
+			dst, err := uniquePath(l.fs, dstDir, filepath.Base(seg.path))
 			if err != nil {
 				return moved, err
 			}
-			if err := os.Rename(seg.path, dst); err != nil {
+			if err := l.fs.Rename(seg.path, dst); err != nil {
 				return moved, err
 			}
 			moved += seg.count
@@ -69,19 +71,19 @@ func (l *Log) QuarantineSuffix(floor uint64, dstDir string) (uint64, error) {
 			// prefix in place (tmp + rename, so a crash mid-split
 			// leaves either the old file or the new one, never a torn
 			// mix).
-			n, err := splitSegment(seg, floor, dstDir)
+			n, prefixBytes, err := splitSegment(l.fs, seg, floor, dstDir)
 			if err != nil {
 				return moved, err
 			}
 			moved += n
-			kept = append(kept, segment{start: seg.start, count: floor - seg.start, path: seg.path})
+			kept = append(kept, segment{start: seg.start, count: floor - seg.start, bytes: prefixBytes, path: seg.path})
 		}
 	}
 	if l.opts.Fsync != FsyncNever {
-		if err := syncDir(dstDir); err != nil {
+		if err := syncDirFS(l.fs, dstDir); err != nil {
 			return moved, err
 		}
-		if err := syncDir(l.dir); err != nil {
+		if err := syncDirFS(l.fs, l.dir); err != nil {
 			return moved, err
 		}
 	}
@@ -99,38 +101,40 @@ func (l *Log) QuarantineSuffix(floor uint64, dstDir string) (uint64, error) {
 
 // splitSegment copies the records of seg with offset ≥ floor into a
 // new segment file in dstDir and truncates seg's file to the prefix
-// below floor. Returns the number of records copied out.
-func splitSegment(seg segment, floor uint64, dstDir string) (uint64, error) {
-	src, err := os.Open(seg.path)
+// below floor. Returns the number of records copied out and the byte
+// length of the kept prefix.
+func splitSegment(fsys vfs.FS, seg segment, floor uint64, dstDir string) (uint64, int64, error) {
+	src, err := fsys.Open(seg.path)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer src.Close()
 
-	dstName, err := uniquePath(dstDir, fmt.Sprintf("%s%016x%s", segPrefix, floor, segSuffix))
+	dstName, err := uniquePath(fsys, dstDir, fmt.Sprintf("%s%016x%s", segPrefix, floor, segSuffix))
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	dst, err := os.OpenFile(dstName, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	dst, err := fsys.OpenFile(dstName, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	tmpName := seg.path + ".tmp"
-	tmp, err := os.OpenFile(tmpName, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	tmp, err := fsys.OpenFile(tmpName, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
-		dst.Close()
-		return 0, err
+		_ = dst.Close()
+		return 0, 0, err
 	}
 
 	r := bufio.NewReaderSize(src, 64<<10)
 	dw := bufio.NewWriterSize(dst, 64<<10)
 	tw := bufio.NewWriterSize(tmp, 64<<10)
 	var movedRecs uint64
-	fail := func(err error) (uint64, error) {
-		dst.Close()
-		tmp.Close()
-		os.Remove(tmpName)
-		return 0, err
+	var prefixBytes int64
+	fail := func(err error) (uint64, int64, error) {
+		_ = dst.Close()
+		_ = tmp.Close()
+		_ = fsys.Remove(tmpName)
+		return 0, 0, err
 	}
 	for off := seg.start; off < seg.start+seg.count; off++ {
 		line, rerr := r.ReadBytes('\n')
@@ -144,6 +148,8 @@ func splitSegment(seg segment, floor uint64, dstDir string) (uint64, error) {
 		if off >= floor {
 			w = dw
 			movedRecs++
+		} else {
+			prefixBytes += int64(len(line))
 		}
 		if _, err := w.Write(line); err != nil {
 			return fail(err)
@@ -167,21 +173,124 @@ func splitSegment(seg segment, floor uint64, dstDir string) (uint64, error) {
 	if err := tmp.Close(); err != nil {
 		return fail(err)
 	}
-	if err := os.Rename(tmpName, seg.path); err != nil {
+	if err := fsys.Rename(tmpName, seg.path); err != nil {
 		return fail(err)
 	}
-	return movedRecs, nil
+	return movedRecs, prefixBytes, nil
 }
 
-// MoveCheckpoints moves every checkpoint in dir whose applied offset
-// is above floor into dstDir and returns how many files moved. This is
-// the checkpoint half of divergence repair: after QuarantineSuffix
-// truncates the log to floor, any checkpoint covering more than floor
-// records describes state that includes the quarantined suffix, and
-// recovery must never re-seed from it. Like the quarantined segments,
-// the files are preserved (renamed, collision-safe), not deleted.
+// SegmentInfo describes one live segment for external inspection —
+// the integrity scrubber's work list.
+type SegmentInfo struct {
+	// Start is the offset of the segment's first record.
+	Start uint64 `json:"start"`
+	// Count is the number of records in the segment.
+	Count uint64 `json:"count"`
+	// Bytes is the valid byte length of the file.
+	Bytes int64 `json:"bytes"`
+	// Sealed is false only for the active tail, which is still being
+	// appended to and is not a scrub target.
+	Sealed bool `json:"sealed"`
+}
+
+// SegmentInfos lists the live segments in offset order; the last
+// entry is the active tail (Sealed=false).
+func (l *Log) SegmentInfos() []SegmentInfo {
+	out := make([]SegmentInfo, 0, len(l.segments))
+	for i, seg := range l.segments {
+		out = append(out, SegmentInfo{
+			Start:  seg.start,
+			Count:  seg.count,
+			Bytes:  seg.bytes,
+			Sealed: i != len(l.segments)-1,
+		})
+	}
+	return out
+}
+
+// VerifySegment re-reads the segment whose first record sits at start
+// and re-verifies every record's CRC envelope. A nil return means the
+// segment still holds exactly its accounted records; an error names
+// the first offset that no longer decodes — cold corruption (a
+// bit-flip after the original durable write) that recovery-time
+// validation can never see because the file was valid when opened.
+func (l *Log) VerifySegment(start uint64) error {
+	for _, seg := range l.segments {
+		if seg.start != start {
+			continue
+		}
+		count, goodBytes, badRecs, err := validateSegment(l.fs, seg.path)
+		if err != nil {
+			return err
+		}
+		if count < seg.count || badRecs > 0 {
+			return fmt.Errorf("wal: segment %s corrupt at offset %d (%d of %d records verify, %d bad)",
+				seg.path, seg.start+count, count, seg.count, badRecs)
+		}
+		_ = goodBytes
+		return nil
+	}
+	return fmt.Errorf("wal: no segment starting at offset %d", start)
+}
+
+// QuarantineSegment renames the sealed segment starting at start into
+// dstDir (collision-safe) and drops it from the log's bookkeeping.
+// Replay of the covered range becomes impossible — Oldest moves past
+// it — so the caller must immediately re-anchor recovery (write a
+// fresh checkpoint at or past the segment's end, or re-seed from a
+// replica). The active tail is refused. Returns the number of records
+// set aside.
+func (l *Log) QuarantineSegment(start uint64, dstDir string) (uint64, error) {
+	for i, seg := range l.segments {
+		if seg.start != start {
+			continue
+		}
+		if i == len(l.segments)-1 {
+			return 0, fmt.Errorf("wal: refusing to quarantine the active tail at offset %d", start)
+		}
+		if err := l.fs.MkdirAll(dstDir, 0o755); err != nil {
+			return 0, err
+		}
+		dst, err := uniquePath(l.fs, dstDir, filepath.Base(seg.path))
+		if err != nil {
+			return 0, err
+		}
+		if err := l.fs.Rename(seg.path, dst); err != nil {
+			return 0, err
+		}
+		if l.opts.Fsync != FsyncNever {
+			if err := syncDirFS(l.fs, dstDir); err != nil {
+				return seg.count, err
+			}
+			if err := syncDirFS(l.fs, l.dir); err != nil {
+				return seg.count, err
+			}
+		}
+		l.segments = append(l.segments[:i], l.segments[i+1:]...)
+		l.met.layout(len(l.segments), l.next)
+		return seg.count, nil
+	}
+	return 0, fmt.Errorf("wal: no segment starting at offset %d", start)
+}
+
+// MoveCheckpoints moves every checkpoint in dir on the real
+// filesystem whose applied offset is above floor into dstDir. See
+// MoveCheckpointsFS.
 func MoveCheckpoints(dir string, floor uint64, dstDir string) (int, error) {
-	entries, err := os.ReadDir(dir)
+	return MoveCheckpointsFS(vfs.OS{}, dir, floor, dstDir)
+}
+
+// MoveCheckpointsFS moves every checkpoint in dir whose applied offset
+// is above floor into dstDir through fsys and returns how many files
+// moved. This is the checkpoint half of divergence repair: after
+// QuarantineSuffix truncates the log to floor, any checkpoint covering
+// more than floor records describes state that includes the
+// quarantined suffix, and recovery must never re-seed from it. Like
+// the quarantined segments, the files are preserved (renamed,
+// collision-safe), not deleted.
+func MoveCheckpointsFS(fsys vfs.FS, dir string, floor uint64, dstDir string) (int, error) {
+	fsys = vfs.Or(fsys)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return 0, nil
@@ -200,24 +309,24 @@ func MoveCheckpoints(dir string, floor uint64, dstDir string) (int, error) {
 			continue
 		}
 		if moved == 0 {
-			if err := os.MkdirAll(dstDir, 0o755); err != nil {
+			if err := fsys.MkdirAll(dstDir, 0o755); err != nil {
 				return 0, err
 			}
 		}
-		dst, err := uniquePath(dstDir, name)
+		dst, err := uniquePath(fsys, dstDir, name)
 		if err != nil {
 			return moved, err
 		}
-		if err := os.Rename(filepath.Join(dir, name), dst); err != nil {
+		if err := fsys.Rename(filepath.Join(dir, name), dst); err != nil {
 			return moved, err
 		}
 		moved++
 	}
 	if moved > 0 {
-		if err := syncDir(dstDir); err != nil {
+		if err := syncDirFS(fsys, dstDir); err != nil {
 			return moved, err
 		}
-		if err := syncDir(dir); err != nil {
+		if err := syncDirFS(fsys, dir); err != nil {
 			return moved, err
 		}
 	}
@@ -226,14 +335,14 @@ func MoveCheckpoints(dir string, floor uint64, dstDir string) (int, error) {
 
 // uniquePath returns a path in dir based on name that does not exist
 // yet, appending ".N" before giving up after 1000 tries.
-func uniquePath(dir, name string) (string, error) {
+func uniquePath(fsys vfs.FS, dir, name string) (string, error) {
 	p := filepath.Join(dir, name)
-	if _, err := os.Lstat(p); os.IsNotExist(err) {
+	if _, err := fsys.Lstat(p); os.IsNotExist(err) {
 		return p, nil
 	}
 	for i := 1; i < 1000; i++ {
 		q := fmt.Sprintf("%s.%d", p, i)
-		if _, err := os.Lstat(q); os.IsNotExist(err) {
+		if _, err := fsys.Lstat(q); os.IsNotExist(err) {
 			return q, nil
 		}
 	}

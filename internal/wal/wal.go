@@ -19,6 +19,13 @@
 // first record. Torn or corrupt tails are truncated on open, never
 // fatal: crash-mid-write loses at most the records the fsync policy
 // already allowed to be lost.
+//
+// All filesystem access goes through an injectable vfs.FS (Options.FS,
+// default the real filesystem), and a failed append is transactional:
+// the log truncates any partial bytes back out and reports the error,
+// so the record is either fully durable or provably absent — the
+// property radlocd's degraded read-only mode is built on. Probe
+// retries a wedged log in place once the disk heals.
 package wal
 
 import (
@@ -35,6 +42,7 @@ import (
 	"strings"
 
 	"radloc/internal/obs"
+	"radloc/internal/vfs"
 )
 
 // Record is one journaled measurement. The field set matches the
@@ -101,6 +109,9 @@ type Options struct {
 	// instrumentation: appends pay one branch and never read the
 	// clock.
 	Metrics *obs.Registry
+	// FS is the filesystem the log lives on. nil means the real
+	// filesystem; tests and chaos runs inject vfs.Faulty here.
+	FS vfs.FS
 }
 
 // RecoveryStats reports what opening an existing WAL directory found
@@ -127,19 +138,21 @@ type RecoveryStats struct {
 // lock (which is what makes WAL order = application order).
 type Log struct {
 	dir      string
+	fs       vfs.FS
 	opts     Options
-	segments []segment // sorted by start; last one is the active tail
-	next     uint64    // offset the next appended record will get
-	retain   uint64    // Prune floor: records ≥ retain survive (replication)
-	f        *os.File  // active tail segment, opened for append
-	w        *bufio.Writer
+	segments []segment   // sorted by start; last one is the active tail
+	next     uint64      // offset the next appended record will get
+	retain   uint64      // Prune floor: records ≥ retain survive (replication)
+	f        vfs.File    // active tail segment, opened for append
 	dirty    bool        // unsynced appends outstanding
+	wedged   bool        // a failed append left bytes we could not truncate away
 	met      *walMetrics // nil when uninstrumented
 }
 
 type segment struct {
 	start uint64 // offset of the first record
 	count uint64 // valid records in the file
+	bytes int64  // valid bytes in the file (the replayable prefix)
 	path  string
 }
 
@@ -165,10 +178,11 @@ func Open(dir string, opts Options) (*Log, RecoveryStats, error) {
 	if opts.SegmentRecords <= 0 {
 		opts.SegmentRecords = 4096
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := vfs.Or(opts.FS)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, RecoveryStats{}, err
 	}
-	l := &Log{dir: dir, opts: opts, retain: ^uint64(0), met: newWALMetrics(opts.Metrics)}
+	l := &Log{dir: dir, fs: fsys, opts: opts, retain: ^uint64(0), met: newWALMetrics(opts.Metrics)}
 	stats, err := l.recover()
 	if err != nil {
 		return nil, stats, err
@@ -185,7 +199,7 @@ func Open(dir string, opts Options) (*Log, RecoveryStats, error) {
 // truncates at the first invalid record, dropping everything after it.
 func (l *Log) recover() (RecoveryStats, error) {
 	var stats RecoveryStats
-	entries, err := os.ReadDir(l.dir)
+	entries, err := l.fs.ReadDir(l.dir)
 	if err != nil {
 		return stats, err
 	}
@@ -201,7 +215,7 @@ func (l *Log) recover() (RecoveryStats, error) {
 			// Unparsable or non-canonical name: quarantine rather than
 			// guess at an offset.
 			stats.DroppedSegments++
-			_ = os.Rename(filepath.Join(l.dir, name), filepath.Join(l.dir, name+".bad"))
+			_ = l.fs.Rename(filepath.Join(l.dir, name), filepath.Join(l.dir, name+".bad"))
 			continue
 		}
 		segs = append(segs, segment{start: start, path: filepath.Join(l.dir, name)})
@@ -216,21 +230,21 @@ func (l *Log) recover() (RecoveryStats, error) {
 			// Beyond a corrupt tail, or overlapping the previous
 			// segment's records: this data can't be trusted.
 			stats.DroppedSegments++
-			_ = os.Remove(seg.path)
+			_ = l.fs.Remove(seg.path)
 			seg.count = 0
 			continue
 		}
-		count, goodBytes, badRecs, err := validateSegment(seg.path)
+		count, goodBytes, badRecs, err := validateSegment(l.fs, seg.path)
 		if err != nil {
 			return stats, err
 		}
 		if badRecs > 0 {
-			fi, statErr := os.Stat(seg.path)
+			fi, statErr := l.fs.Stat(seg.path)
 			if statErr == nil {
 				stats.TruncatedBytes += fi.Size() - goodBytes
 			}
 			stats.TruncatedRecords += badRecs
-			if err := os.Truncate(seg.path, goodBytes); err != nil {
+			if err := l.fs.Truncate(seg.path, goodBytes); err != nil {
 				return stats, err
 			}
 			truncated = true
@@ -239,7 +253,7 @@ func (l *Log) recover() (RecoveryStats, error) {
 			// Fully-torn tail segment: remove the empty husk unless it
 			// is the sole genesis segment.
 			if seg.start != 0 || len(segs) > 1 {
-				_ = os.Remove(seg.path)
+				_ = l.fs.Remove(seg.path)
 				seg.count = 0
 				if badRecs > 0 {
 					stats.DroppedSegments++
@@ -248,6 +262,7 @@ func (l *Log) recover() (RecoveryStats, error) {
 			}
 		}
 		seg.count = count
+		seg.bytes = goodBytes
 		prevEnd = seg.start + seg.count
 		stats.Segments++
 		stats.Records += count
@@ -267,8 +282,8 @@ func (l *Log) recover() (RecoveryStats, error) {
 // validateSegment counts the valid prefix of one segment file:
 // records, the byte length of that prefix, and how many invalid
 // records follow it.
-func validateSegment(path string) (records uint64, goodBytes int64, badRecs uint64, err error) {
-	f, err := os.Open(path)
+func validateSegment(fsys vfs.FS, path string) (records uint64, goodBytes int64, badRecs uint64, err error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -331,12 +346,11 @@ func (l *Log) openTail() error {
 		l.segments = append(l.segments, segment{start: l.next, path: segmentPath(l.dir, l.next)})
 	}
 	tail := &l.segments[len(l.segments)-1]
-	f, err := os.OpenFile(tail.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := l.fs.OpenFile(tail.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
 	l.f = f
-	l.w = bufio.NewWriterSize(f, 64<<10)
 	return nil
 }
 
@@ -355,6 +369,22 @@ func (l *Log) Oldest() uint64 {
 	return l.segments[0].start
 }
 
+// SizeBytes is the total valid bytes across all live segments — the
+// log's on-disk footprint, excluding any torn suffix a failed append
+// left pending repair. The agent spool's -max-spool-bytes bound reads
+// this.
+func (l *Log) SizeBytes() int64 {
+	var n int64
+	for _, seg := range l.segments {
+		n += seg.bytes
+	}
+	return n
+}
+
+// Segments is the number of live segment files, the active tail
+// included.
+func (l *Log) Segments() int { return len(l.segments) }
+
 // SetRetain installs a pruning floor: segments holding any record with
 // offset ≥ off survive Prune regardless of the checkpoint watermark.
 // The replication layer parks the floor at the shipped-and-acked
@@ -363,10 +393,18 @@ func (l *Log) Oldest() uint64 {
 func (l *Log) SetRetain(off uint64) { l.retain = off }
 
 // Append journals one record, making it durable per the fsync policy,
-// and returns its offset.
+// and returns its offset. Append is transactional: on error the log
+// holds exactly the records it held before — any partial bytes are
+// truncated back out (or, if even that fails, the log wedges and
+// every Append fails until Probe repairs it).
 func (l *Log) Append(rec Record) (uint64, error) {
 	if l.f == nil {
 		return 0, errors.New("wal: log closed")
+	}
+	if l.wedged {
+		if err := l.repairTail(); err != nil {
+			return 0, fmt.Errorf("wal: wedged by earlier torn append: %w", err)
+		}
 	}
 	t0 := l.met.now()
 	tail := &l.segments[len(l.segments)-1]
@@ -386,20 +424,85 @@ func (l *Log) Append(rec Record) (uint64, error) {
 		return 0, err
 	}
 	line = append(line, '\n')
-	if _, err := l.w.Write(line); err != nil {
+	if n, err := l.f.Write(line); err != nil {
+		if n > 0 {
+			// Torn write: cut the partial line back out so the file
+			// ends at the last whole record.
+			if rerr := l.repairTail(); rerr != nil {
+				return 0, fmt.Errorf("wal: torn append (%w); tail repair failed: %v", err, rerr)
+			}
+		}
 		return 0, err
 	}
 	l.dirty = true
 	if l.opts.Fsync == FsyncAlways {
 		if err := l.syncTail(); err != nil {
+			// The line is written but not durable; remove it so the
+			// error genuinely vetoes the record.
+			if rerr := l.repairTail(); rerr != nil {
+				return 0, fmt.Errorf("wal: append sync failed (%w); tail repair failed: %v", err, rerr)
+			}
 			return 0, err
 		}
 	}
 	off := l.next
 	l.next++
 	tail.count++
+	tail.bytes += int64(len(line))
 	l.met.appended(t0, l.next)
 	return off, nil
+}
+
+// repairTail truncates the tail file back to its last accounted byte,
+// clearing any partial line a failed append left behind. Failure
+// wedges the log; Probe (or the next Append) retries.
+func (l *Log) repairTail() error {
+	tail := &l.segments[len(l.segments)-1]
+	if err := l.fs.Truncate(tail.path, tail.bytes); err != nil {
+		l.wedged = true
+		return err
+	}
+	l.wedged = false
+	return nil
+}
+
+// Probe checks whether the log's directory accepts durable writes
+// again: it repairs a wedged tail, then creates, syncs and removes a
+// scratch file, and finally flushes any unsynced appends. A nil
+// return means the disk took a full write+fsync round trip — the
+// degraded-mode prober calls this on a jittered schedule and lifts
+// read-only mode when it succeeds.
+func (l *Log) Probe() error {
+	if l.f == nil {
+		return errors.New("wal: log closed")
+	}
+	if l.wedged {
+		if err := l.repairTail(); err != nil {
+			return err
+		}
+	}
+	path := filepath.Join(l.dir, ".probe")
+	f, err := l.fs.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write([]byte("probe\n"))
+	var serr error
+	if werr == nil {
+		serr = f.Sync()
+	}
+	cerr := f.Close()
+	_ = l.fs.Remove(path)
+	if werr != nil {
+		return werr
+	}
+	if serr != nil {
+		return serr
+	}
+	if cerr != nil {
+		return cerr
+	}
+	return l.Sync()
 }
 
 // Sync flushes and (policy permitting) fsyncs outstanding appends. The
@@ -414,9 +517,6 @@ func (l *Log) Sync() error {
 
 func (l *Log) syncTail() error {
 	t0 := l.met.now()
-	if err := l.w.Flush(); err != nil {
-		return err
-	}
 	if l.opts.Fsync != FsyncNever {
 		if err := l.f.Sync(); err != nil {
 			return err
@@ -428,29 +528,32 @@ func (l *Log) syncTail() error {
 }
 
 // rotate seals the active segment and starts a new one at the current
-// offset.
+// offset. Ordered so that any failure leaves the log consistent: the
+// new segment is created and the directory synced before the old tail
+// is released.
 func (l *Log) rotate() error {
 	if err := l.syncTail(); err != nil {
 		return err
 	}
-	if err := l.f.Close(); err != nil {
-		return err
-	}
 	seg := segment{start: l.next, path: segmentPath(l.dir, l.next)}
-	f, err := os.OpenFile(seg.path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := l.fs.OpenFile(seg.path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
-	l.segments = append(l.segments, seg)
-	l.f = f
-	l.w = bufio.NewWriterSize(f, 64<<10)
 	if l.opts.Fsync != FsyncNever {
-		if err := syncDir(l.dir); err != nil {
+		if err := syncDirFS(l.fs, l.dir); err != nil {
+			_ = f.Close()
+			_ = l.fs.Remove(seg.path)
 			return err
 		}
 	}
+	closeErr := l.f.Close()
+	l.segments = append(l.segments, seg)
+	l.f = f
 	l.met.rotated(len(l.segments))
-	return nil
+	// The sealed segment was already synced; a failing close is still
+	// a disk talking back and must reach the caller, not /dev/null.
+	return closeErr
 }
 
 // AlignTo fast-forwards the append offset to at least off by sealing
@@ -465,24 +568,21 @@ func (l *Log) AlignTo(off uint64) error {
 	if err := l.syncTail(); err != nil {
 		return err
 	}
-	if err := l.f.Close(); err != nil {
-		return err
-	}
-	// Drop a still-empty tail husk so the directory stays canonical.
-	if tail := l.segments[len(l.segments)-1]; tail.count == 0 {
-		_ = os.Remove(tail.path)
-		l.segments = l.segments[:len(l.segments)-1]
-	}
-	l.next = off
 	seg := segment{start: off, path: segmentPath(l.dir, off)}
-	f, err := os.OpenFile(seg.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := l.fs.OpenFile(seg.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
+	closeErr := l.f.Close()
+	// Drop a still-empty tail husk so the directory stays canonical.
+	if tail := l.segments[len(l.segments)-1]; tail.count == 0 {
+		_ = l.fs.Remove(tail.path)
+		l.segments = l.segments[:len(l.segments)-1]
+	}
+	l.next = off
 	l.segments = append(l.segments, seg)
 	l.f = f
-	l.w = bufio.NewWriterSize(f, 64<<10)
-	return nil
+	return closeErr
 }
 
 // Replay streams every durable record with offset ≥ from, in order,
@@ -499,7 +599,7 @@ func (l *Log) Replay(from uint64, fn func(off uint64, rec Record) error) error {
 		if seg.start+seg.count <= from || seg.count == 0 {
 			continue
 		}
-		f, err := os.Open(seg.path)
+		f, err := l.fs.Open(seg.path)
 		if err != nil {
 			return err
 		}
@@ -509,12 +609,12 @@ func (l *Log) Replay(from uint64, fn func(off uint64, rec Record) error) error {
 			line, rerr := r.ReadBytes('\n')
 			rec, ok := decodeLine(line)
 			if !ok {
-				f.Close()
+				_ = f.Close()
 				return fmt.Errorf("wal: segment %s corrupt at offset %d after recovery", seg.path, off)
 			}
 			if off >= from {
 				if err := fn(off, rec); err != nil {
-					f.Close()
+					_ = f.Close()
 					return err
 				}
 				replayed++
@@ -524,7 +624,9 @@ func (l *Log) Replay(from uint64, fn func(off uint64, rec Record) error) error {
 				break
 			}
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -545,7 +647,7 @@ func (l *Log) Prune(keepFrom uint64) error {
 	for i, seg := range l.segments {
 		last := i == len(l.segments)-1
 		if !last && seg.start+seg.count <= effective {
-			if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) {
+			if err := l.fs.Remove(seg.path); err != nil && !os.IsNotExist(err) {
 				return err
 			}
 			continue
@@ -561,6 +663,27 @@ func (l *Log) Prune(keepFrom uint64) error {
 	return nil
 }
 
+// DropOldest removes the oldest sealed segment outright — records and
+// all — and returns the offset range [start, end) it covered. This is
+// the agent spool's byte-bound shedding primitive: when the spool
+// exceeds -max-spool-bytes, the OLDEST data goes first (the newest
+// readings are the ones still worth delivering). ok=false means only
+// the active tail remains, which is never dropped. The retain floor
+// is intentionally not consulted: shedding exists to free disk even
+// when nothing downstream has acked.
+func (l *Log) DropOldest() (start, end uint64, ok bool, err error) {
+	if len(l.segments) < 2 {
+		return 0, 0, false, nil
+	}
+	seg := l.segments[0]
+	if err := l.fs.Remove(seg.path); err != nil && !os.IsNotExist(err) {
+		return 0, 0, false, err
+	}
+	l.segments = append(l.segments[:0], l.segments[1:]...)
+	l.met.layout(len(l.segments), l.next)
+	return seg.start, seg.start + seg.count, true, nil
+}
+
 // Close flushes, syncs and closes the log.
 func (l *Log) Close() error {
 	if l.f == nil {
@@ -574,16 +697,16 @@ func (l *Log) Close() error {
 	return err
 }
 
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+// syncDirFS fsyncs a directory through fsys so renames and creates in
+// it are durable. Some filesystems refuse fsync on directories; that
+// is their durability call to make, not a WAL failure, so sync errors
+// on the read-only directory handle are tolerated.
+func syncDirFS(fsys vfs.FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return err
 	}
 	defer d.Close()
-	// Some filesystems refuse fsync on directories; that's their
-	// durability call to make, not a WAL failure.
-	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
-		return nil
-	}
+	_ = d.Sync()
 	return nil
 }
