@@ -32,6 +32,15 @@ import (
 // single-writer zones, and emits a JSON throughput report:
 //
 //	radloc bench -zones 1,4,16 -particles 2000 -steps 6 -out BENCH_zones.json
+//
+// With -core it runs the filter-core throughput benchmark per the
+// benchmarking policy (canonical task, N≥5 runs, machine-readable
+// report) and emits BENCH_core.json; -against embeds a previous
+// report's numbers as the before side, -check gates on regression
+// against a committed report:
+//
+//	radloc bench -core -particles 2000 -steps 6 -runs 7 -out BENCH_core.json
+//	radloc bench -core -check BENCH_core.json
 func benchCmd(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
@@ -43,9 +52,31 @@ func benchCmd(args []string, stdout io.Writer) error {
 		out       = fs.String("out", "", "output CSV (default stdout); profiles are written next to it")
 		profile   = fs.Bool("profile", false, "write CPU (<base>.cpu.pprof) and heap (<base>.heap.pprof) profiles")
 		zones     = fs.String("zones", "", "comma-separated zone counts (e.g. 1,4,16): run the sharded-ingest throughput benchmark instead of the filter stage bench")
+		coreBench = fs.Bool("core", false, "run the filter-core throughput benchmark (N timed runs of the canonical engine task) and emit a BENCH_core.json report")
+		runs      = fs.Int("runs", 7, "with -core: timed repetitions of the canonical task (policy wants ≥5)")
+		against   = fs.String("against", "", "with -core: previous report whose numbers become this report's baseline (before/after in one file)")
+		check     = fs.String("check", "", "with -core: committed report to gate against — fail on a >20% median readings/sec regression, write no report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *coreBench {
+		// -core defaults match the zones benchmark's canonical cell so
+		// the reports stay comparable; -particles/-steps keep their
+		// stage-bench defaults unless set.
+		p, st := *particles, *steps
+		if !flagWasSet(fs, "particles") {
+			p = 2000
+		}
+		if !flagWasSet(fs, "steps") {
+			st = 6
+		}
+		w, closeFn, err := (&commonFlags{out: *out}).open(stdout)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = closeFn() }()
+		return benchCore(p, *sensors, st, *runs, *workers, *seed, *against, *check, w)
 	}
 	if *zones != "" {
 		counts, err := parseZoneCounts(*zones)

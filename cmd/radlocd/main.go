@@ -77,6 +77,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		listen      = fs.String("listen", "", "HTTP listen address; empty = stdin/stdout pipe mode")
 		reportEvery = fs.Int("report-every", 0, "pipe mode: snapshot after this many measurements (default: one sensor round)")
 		seed        = fs.Uint64("seed", 1, "localizer random seed")
+		weightW     = fs.Int("weight-workers", 0, "goroutines weighting one measurement's particle subset inside each zone's filter (0 = GOMAXPROCS; output is bit-identical for every value)")
+		msWorkers   = fs.Int("ms-workers", 0, "goroutines climbing mean-shift starts per estimate refresh (0 = GOMAXPROCS)")
 		withTracks  = fs.Bool("tracks", true, "maintain confirmed tracks over estimates")
 		noHealth    = fs.Bool("no-health", false, "disable the per-sensor health monitor (trust every reading)")
 		walDir      = fs.String("wal-dir", "", "durability directory for the write-ahead log and checkpoints; empty = durability off")
@@ -146,6 +148,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		}
 		fcfg.Localizer.Seed = *seed
 		fcfg.Localizer.Metrics = met
+		fcfg.Localizer.WeightWorkers = *weightW
+		fcfg.Localizer.Workers = *msWorkers
 		if *withTracks {
 			fcfg.Tracking = &track.Config{}
 		}

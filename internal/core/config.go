@@ -103,6 +103,17 @@ type Config struct {
 	// parallelism.
 	Workers int
 
+	// WeightWorkers bounds the goroutines the weighting stage fans the
+	// particle subset out to within one Ingest call (default
+	// runtime.GOMAXPROCS(0); 1 keeps weighting on the calling
+	// goroutine). The subset is split into fixed-size chunks whose
+	// boundaries and reduction order do not depend on this value, so a
+	// run's output — including ExportState — is bit-identical for every
+	// WeightWorkers setting; only wall-clock changes. Small subsets are
+	// always weighted inline: the pool only engages when a chunk's work
+	// amortizes the goroutine handoff.
+	WeightWorkers int
+
 	// Seed drives all of the localizer's internal randomness (particle
 	// init, resampling, jitter, injection). Runs with equal seeds and
 	// equal measurement sequences are identical.
@@ -157,6 +168,9 @@ func (c Config) withDefaults() Config {
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.WeightWorkers == 0 {
+		c.WeightWorkers = runtime.GOMAXPROCS(0)
+	}
 	return c
 }
 
@@ -192,6 +206,9 @@ func (c Config) validate() error {
 	}
 	if c.Workers < 1 {
 		return fmt.Errorf("core: Workers = %d", c.Workers)
+	}
+	if c.WeightWorkers < 1 {
+		return fmt.Errorf("core: WeightWorkers = %d", c.WeightWorkers)
 	}
 	return nil
 }

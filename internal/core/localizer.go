@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"radloc/internal/geometry"
 	"radloc/internal/meanshift"
@@ -34,14 +36,25 @@ func (e Estimate) String() string {
 	return fmt.Sprintf("est %.4g µCi at %v (mass %.3f)", e.Strength, e.Pos, e.Mass)
 }
 
+// weightChunkSize is the fixed granularity the weighting stage splits
+// the selected subset into. Chunk boundaries — and with them the
+// floating-point reduction order of the per-chunk partial sums — are a
+// function of the subset size only, never of Config.WeightWorkers, so
+// every worker count produces bit-identical filter state (see
+// DESIGN.md §11).
+const weightChunkSize = 512
+
 // Localizer is the hybrid particle-filter + mean-shift estimator. It is
-// not safe for concurrent use; the mean-shift stage parallelizes
-// internally.
+// not safe for concurrent use; the weighting and mean-shift stages
+// parallelize internally.
 type Localizer struct {
 	cfg Config
 
 	// Particle state, struct-of-arrays for cache-friendly weighting.
-	xs, ys, ss, ws []float64
+	// lws caches log(ws): weights only change wholesale at resampling,
+	// so the weighting stage reads a precomputed log instead of paying
+	// math.Log per particle per reading.
+	xs, ys, ss, ws, lws []float64
 
 	grid      *spatial.Grid
 	gridDirty bool
@@ -60,12 +73,24 @@ type Localizer struct {
 	// the MaxSensorGap observability filter.
 	sensorPos map[int]geometry.Vec
 
-	// Scratch buffers reused across iterations.
-	idsBuf  []int
-	logBuf  []float64
-	cdfBuf  []float64
-	pickBuf []int32
-	posBuf  []geometry.Vec
+	// Scratch buffers reused across iterations: the steady-state
+	// ingest path allocates nothing.
+	idsBuf    []int
+	logBuf    []float64
+	cdfBuf    []float64
+	pickBuf   []int32
+	posBuf    []geometry.Vec
+	sxBuf     []float64 // resample survivors, x
+	syBuf     []float64 // resample survivors, y
+	ssBuf     []float64 // resample survivors, strength
+	chunkMax  []float64 // per-chunk max log-posterior partials
+	chunkMass []float64 // per-chunk prior-mass partials
+
+	// Estimation scratch (refresh path, not per-reading).
+	searcher  *meanshift.Searcher
+	ptsBuf    []float64
+	wtsBuf    []float64
+	startsBuf []float64
 }
 
 // NewLocalizer creates a localizer with uniformly random particles
@@ -85,6 +110,9 @@ func NewLocalizer(cfg Config) (*Localizer, error) {
 	l.ys = make([]float64, n)
 	l.ss = make([]float64, n)
 	l.ws = make([]float64, n)
+	l.lws = make([]float64, n)
+	w0 := 1 / float64(n)
+	lw0 := math.Log(w0)
 	for i := 0; i < n; i++ {
 		if cfg.Init != nil {
 			pos, s := cfg.Init(l.stream)
@@ -96,11 +124,32 @@ func NewLocalizer(cfg Config) (*Localizer, error) {
 			l.ys[i] = l.stream.Uniform(cfg.Bounds.Min.Y, cfg.Bounds.Max.Y)
 			l.ss[i] = l.stream.Uniform(cfg.StrengthMin, cfg.StrengthMax)
 		}
-		l.ws[i] = 1 / float64(n)
+		l.ws[i] = w0
+		l.lws[i] = lw0
 	}
 	l.grid = spatial.NewGrid(cfg.Bounds, cfg.FusionRange/2)
 	l.gridDirty = true
 	l.posBuf = make([]geometry.Vec, n)
+	l.logBuf = make([]float64, 0, n)
+	l.cdfBuf = make([]float64, 0, n)
+	l.pickBuf = make([]int32, 0, n)
+	l.sxBuf = make([]float64, n)
+	l.syBuf = make([]float64, n)
+	l.ssBuf = make([]float64, n)
+	nChunks := (n + weightChunkSize - 1) / weightChunkSize
+	l.chunkMax = make([]float64, nChunks)
+	l.chunkMass = make([]float64, nChunks)
+	searcher, err := meanshift.NewSearcher(meanshift.Config{
+		Bandwidth: []float64{cfg.BandwidthXY, cfg.BandwidthXY, cfg.BandwidthStr},
+		Workers:   cfg.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	l.searcher = searcher
+	l.ptsBuf = make([]float64, 0, 3*n)
+	l.wtsBuf = make([]float64, 0, n)
+	l.startsBuf = make([]float64, 0, 3*cfg.MeanShiftStarts)
 	if cfg.MaxSensorGap > 0 {
 		l.sensorPos = make(map[int]geometry.Vec)
 	}
@@ -142,6 +191,11 @@ func (l *Localizer) AppendParticles(dst []Particle) []Particle {
 // range, reweight them by the Poisson likelihood of the observed CPM,
 // resample them (with jitter on duplicates), and re-inject a small
 // fraction of random particles.
+//
+// The steady-state path is allocation-free: every stage works in
+// scratch buffers sized to the particle population at construction,
+// and the spatial index is updated incrementally instead of rebuilt
+// (see DESIGN.md §11 for the full performance model).
 func (l *Localizer) Ingest(sen sensor.Sensor, cpm int) {
 	l.iter++
 	if l.sensorPos != nil {
@@ -161,8 +215,16 @@ func (l *Localizer) Ingest(sen sensor.Sensor, cpm int) {
 	}
 
 	// Prediction (V-B): P'' = F_movement(P'); identity for static
-	// sources.
-	l.applyMovement(ids)
+	// sources. When weighting runs inline (one chunk's worth of work or
+	// WeightWorkers = 1) the prediction is fused into the weighting
+	// loop — one pass over the subset instead of two — and its cost is
+	// charged to the weight stage. A parallel weighting pass forces the
+	// split: the movement model draws from the localizer's single RNG
+	// stream, so it must run sequentially before the fan-out.
+	fused := l.cfg.Movement != nil && !l.parallelWeighting(len(ids))
+	if l.cfg.Movement != nil && !fused {
+		l.applyMovement(ids)
+	}
 	if l.met != nil {
 		t0 = l.met.lap(l.met.predictH, t0)
 	}
@@ -170,60 +232,7 @@ func (l *Localizer) Ingest(sen sensor.Sensor, cpm int) {
 	// Weighting (V-C): posterior ∝ prior × Poisson(cpm | λ(particle)).
 	// Log-space with max-shift keeps the arithmetic finite even when
 	// the counts are large.
-	l.logBuf = l.logBuf[:0]
-	maxLog := math.Inf(-1)
-	var priorMass float64
-	for _, id := range ids {
-		hyp := radiation.Source{Pos: geometry.V(l.xs[id], l.ys[id]), Strength: l.ss[id]}
-		lambda := radiation.ExpectedCPMSingle(sen.Pos, sen.Efficiency, sen.Background, hyp)
-		ll := stat.PoissonLogPMF(cpm, lambda)
-		if l.ws[id] > 0 {
-			ll += math.Log(l.ws[id])
-		} else {
-			ll = math.Inf(-1)
-		}
-		l.logBuf = append(l.logBuf, ll)
-		if ll > maxLog {
-			maxLog = ll
-		}
-		priorMass += l.ws[id]
-	}
-	if priorMass <= 0 {
-		// The whole neighbourhood is massless; revive it uniformly so
-		// resampling below is well defined.
-		priorMass = float64(len(ids)) / float64(len(l.ws))
-		for i := range l.logBuf {
-			l.logBuf[i] = 0
-		}
-		maxLog = 0
-	}
-
-	// Posterior selection probabilities within the subset.
-	l.cdfBuf = l.cdfBuf[:0]
-	var cum float64
-	if math.IsInf(maxLog, -1) {
-		// Nothing in the subset can explain the reading at all; fall
-		// back to uniform selection so diversity survives.
-		for range ids {
-			cum++
-			l.cdfBuf = append(l.cdfBuf, cum)
-		}
-	} else {
-		for _, ll := range l.logBuf {
-			w := math.Exp(ll - maxLog)
-			cum += w
-			l.cdfBuf = append(l.cdfBuf, cum)
-		}
-		if cum <= 0 {
-			l.cdfBuf = l.cdfBuf[:0]
-			cum = 0
-			for range ids {
-				cum++
-				l.cdfBuf = append(l.cdfBuf, cum)
-			}
-		}
-	}
-
+	cum, priorMass := l.weigh(sen, cpm, ids, fused)
 	if l.met != nil {
 		t0 = l.met.lap(l.met.weightH, t0)
 	}
@@ -231,7 +240,206 @@ func (l *Localizer) Ingest(sen sensor.Sensor, cpm int) {
 	if l.met != nil {
 		l.met.lap(l.met.resampleH, t0)
 	}
-	l.gridDirty = true
+}
+
+// parallelWeighting reports whether the weighting stage will fan out
+// to worker goroutines for a subset of k particles: only when the
+// configuration allows more than one worker and the subset spans more
+// than one chunk (a single chunk cannot amortize the handoff).
+func (l *Localizer) parallelWeighting(k int) bool {
+	return l.cfg.WeightWorkers > 1 && k > weightChunkSize
+}
+
+// weigh computes the log-posterior of every selected particle, reduces
+// the result to a cumulative selection distribution in cdfBuf, and
+// returns the distribution's total mass together with the subset's
+// prior mass share.
+//
+// The subset is processed in fixed-size chunks. Each chunk fills its
+// disjoint logBuf range and produces (max, mass) partials; partials
+// combine in chunk order. The chunking is identical whether chunks run
+// on the calling goroutine or on WeightWorkers goroutines, which is
+// what makes the result — and all downstream filter state —
+// bit-identical across worker counts.
+func (l *Localizer) weigh(sen sensor.Sensor, cpm int, ids []int, fused bool) (cum, priorMass float64) {
+	k := len(ids)
+	l.logBuf = l.logBuf[:k]
+	l.cdfBuf = l.cdfBuf[:k]
+	nChunks := (k + weightChunkSize - 1) / weightChunkSize
+	chunkMax := l.chunkMax[:nChunks]
+	chunkMass := l.chunkMass[:nChunks]
+
+	// Per-reading constants, hoisted out of the particle loop: the
+	// calibration factor of Eq. (4) and — the big one — the Poisson
+	// log-factorial term, which depends only on the observed count and
+	// which the seed implementation recomputed per particle via
+	// math.Lgamma.
+	effC := radiation.CPMPerMicroCurie * sen.Efficiency
+	bg := sen.Background
+	kf := float64(cpm)
+	lgk := stat.LogFactorial(cpm)
+
+	// The fused (movement-in-loop) variant draws from the shared RNG
+	// stream, so it only ever runs inline; parallelWeighting gates it.
+	// The inline path calls the chunk method directly — a closure here
+	// would escape through the pool path and put two heap allocations
+	// on every reading.
+	if l.parallelWeighting(k) {
+		l.runChunks(nChunks, func(c int) {
+			l.weightChunk(c, ids, sen, cpm, kf, lgk, effC, bg, fused)
+		})
+	} else {
+		for c := 0; c < nChunks; c++ {
+			l.weightChunk(c, ids, sen, cpm, kf, lgk, effC, bg, fused)
+		}
+	}
+
+	maxLog := math.Inf(-1)
+	priorMass = 0
+	for c := range chunkMax {
+		if chunkMax[c] > maxLog {
+			maxLog = chunkMax[c]
+		}
+		priorMass += chunkMass[c]
+	}
+	if priorMass <= 0 {
+		// The whole neighbourhood is massless; revive it uniformly so
+		// resampling below is well defined.
+		priorMass = float64(k) / float64(len(l.ws))
+		for i := range l.logBuf {
+			l.logBuf[i] = 0
+		}
+		maxLog = 0
+	}
+
+	// Posterior selection probabilities within the subset: exponentiate
+	// (chunked, element-wise, so worker counts cannot change the
+	// values), then a sequential prefix sum builds the cdf.
+	if math.IsInf(maxLog, -1) {
+		// Nothing in the subset can explain the reading at all; fall
+		// back to uniform selection so diversity survives.
+		return uniformCDF(l.cdfBuf), priorMass
+	}
+	if l.parallelWeighting(k) {
+		l.runChunks(nChunks, func(c int) {
+			l.expChunk(c, k, maxLog)
+		})
+	} else {
+		for c := 0; c < nChunks; c++ {
+			l.expChunk(c, k, maxLog)
+		}
+	}
+	cum = 0
+	for i := range l.cdfBuf {
+		cum += l.cdfBuf[i]
+		l.cdfBuf[i] = cum
+	}
+	if cum <= 0 {
+		return uniformCDF(l.cdfBuf), priorMass
+	}
+	return cum, priorMass
+}
+
+// weightChunk scores chunk c of the selected subset: it fills the
+// chunk's logBuf range with per-particle log-posteriors and records the
+// chunk's (max log, prior mass) partials. With fused set (inline
+// execution only) the movement model runs on each particle first, so
+// prediction and weighting make one pass over the subset.
+func (l *Localizer) weightChunk(c int, ids []int, sen sensor.Sensor, cpm int, kf, lgk, effC, bg float64, fused bool) {
+	lo := c * weightChunkSize
+	hi := lo + weightChunkSize
+	if hi > len(ids) {
+		hi = len(ids)
+	}
+	cMax := math.Inf(-1)
+	var cMass float64
+	for i := lo; i < hi; i++ {
+		id := ids[i]
+		if fused {
+			pos, s := l.cfg.Movement.Move(geometry.V(l.xs[id], l.ys[id]), l.ss[id], l.stream)
+			l.xs[id] = l.clampX(pos.X)
+			l.ys[id] = l.clampY(pos.Y)
+			l.ss[id] = l.clampS(s)
+		}
+		dx := sen.Pos.X - l.xs[id]
+		dy := sen.Pos.Y - l.ys[id]
+		lambda := effC*(l.ss[id]/(1+dx*dx+dy*dy)) + bg
+		var ll float64
+		switch {
+		case cpm >= 0 && lambda > 0:
+			ll = kf*math.Log(lambda) - lambda - lgk + l.lws[id]
+		case cpm == 0 && lambda == 0:
+			ll = l.lws[id]
+		default:
+			ll = math.Inf(-1)
+		}
+		l.logBuf[i] = ll
+		if ll > cMax {
+			cMax = ll
+		}
+		cMass += l.ws[id]
+	}
+	l.chunkMax[c] = cMax
+	l.chunkMass[c] = cMass
+}
+
+// expChunk exponentiates chunk c of logBuf into cdfBuf (element-wise,
+// so chunk scheduling cannot change the values).
+func (l *Localizer) expChunk(c, k int, maxLog float64) {
+	lo := c * weightChunkSize
+	hi := lo + weightChunkSize
+	if hi > k {
+		hi = k
+	}
+	for i := lo; i < hi; i++ {
+		l.cdfBuf[i] = math.Exp(l.logBuf[i] - maxLog)
+	}
+}
+
+// uniformCDF overwrites cdf with the uniform cumulative distribution
+// 1, 2, ..., len(cdf) and returns its total.
+func uniformCDF(cdf []float64) float64 {
+	var cum float64
+	for i := range cdf {
+		cum++
+		cdf[i] = cum
+	}
+	return cum
+}
+
+// runChunks executes fn(c) for every chunk index. Chunks run on the
+// calling goroutine unless the worker pool is engaged (WeightWorkers >
+// 1 and more than one chunk), in which case min(WeightWorkers, chunks)
+// goroutines drain the chunk indices. fn must write only to its
+// chunk's disjoint state; the chunk decomposition itself never depends
+// on the worker count.
+func (l *Localizer) runChunks(nChunks int, fn func(c int)) {
+	workers := l.cfg.WeightWorkers
+	if workers > nChunks {
+		workers = nChunks
+	}
+	if workers <= 1 {
+		for c := 0; c < nChunks; c++ {
+			fn(c)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nChunks {
+					return
+				}
+				fn(c)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // selectParticles implements Eq. (5): P' = {p : ‖S_i − p‖ ≤ d_i}. With
@@ -253,7 +461,12 @@ func (l *Localizer) selectParticles(sen sensor.Sensor) []int {
 		l.gridDirty = false
 	}
 	d := l.cfg.fusionRangeOf(sen.ID)
-	l.idsBuf = l.grid.WithinRadius(sen.Pos, d, l.idsBuf[:0])
+	// The sorted form keeps selection — and the floating-point order of
+	// everything downstream — a pure function of the particle state:
+	// incremental Move updates leave the grid's bucket order dependent
+	// on update history, which an ExportState/ImportState round trip
+	// (canonical Rebuild) could not reproduce.
+	l.idsBuf = l.grid.WithinRadiusSorted(sen.Pos, d, l.idsBuf[:0])
 	return l.idsBuf
 }
 
@@ -262,7 +475,10 @@ func (l *Localizer) selectParticles(sen sensor.Sensor) []int {
 // jitters duplicates (V-E), injects fresh random particles, and
 // restores the subset's prior mass share uniformly across survivors —
 // the "uniform weights" reset of Section V-E, which keeps the selective
-// update from starving untouched regions.
+// update from starving untouched regions. Survivors materialize into
+// reused scratch arrays and the spatial index is moved incrementally:
+// the stage allocates nothing and the index never pays a full rebuild
+// for a partial update.
 func (l *Localizer) resample(ids []int, cum, priorMass float64) {
 	n := len(ids)
 	l.pickBuf = l.pickBuf[:0]
@@ -277,20 +493,21 @@ func (l *Localizer) resample(ids []int, cum, priorMass float64) {
 		l.pickBuf = append(l.pickBuf, int32(j))
 	}
 
-	// Materialize survivors. pickBuf is sorted, so a duplicate is any
-	// pick equal to its predecessor; the first copy keeps the exact
-	// parameters, later copies are jittered.
-	type survivor struct{ x, y, s float64 }
-	survivors := make([]survivor, n)
+	// Materialize survivors into scratch. pickBuf is sorted, so a
+	// duplicate is any pick equal to its predecessor; the first copy
+	// keeps the exact parameters, later copies are jittered. The
+	// two-phase copy (gather, then write back) keeps later picks from
+	// reading slots an earlier write already clobbered.
+	sx, sy, ss := l.sxBuf[:n], l.syBuf[:n], l.ssBuf[:n]
 	for k := 0; k < n; k++ {
 		src := ids[l.pickBuf[k]]
-		sv := survivor{x: l.xs[src], y: l.ys[src], s: l.ss[src]}
+		x, y, s := l.xs[src], l.ys[src], l.ss[src]
 		if k > 0 && l.pickBuf[k] == l.pickBuf[k-1] {
-			sv.x = l.clampX(sv.x + l.stream.Normal(0, l.cfg.ResampleNoise))
-			sv.y = l.clampY(sv.y + l.stream.Normal(0, l.cfg.ResampleNoise))
-			sv.s = l.clampS(sv.s + l.stream.Normal(0, l.cfg.StrengthNoise))
+			x = l.clampX(x + l.stream.Normal(0, l.cfg.ResampleNoise))
+			y = l.clampY(y + l.stream.Normal(0, l.cfg.ResampleNoise))
+			s = l.clampS(s + l.stream.Normal(0, l.cfg.StrengthNoise))
 		}
-		survivors[k] = sv
+		sx[k], sy[k], ss[k] = x, y, s
 	}
 
 	// Random injection (V-E): provision for sources appearing in areas
@@ -301,20 +518,36 @@ func (l *Localizer) resample(ids []int, cum, priorMass float64) {
 	}
 	for k := 0; k < inject; k++ {
 		at := l.stream.IntN(n)
-		survivors[at] = survivor{
-			x: l.stream.Uniform(l.cfg.Bounds.Min.X, l.cfg.Bounds.Max.X),
-			y: l.stream.Uniform(l.cfg.Bounds.Min.Y, l.cfg.Bounds.Max.Y),
-			s: l.stream.Uniform(l.cfg.StrengthMin, l.cfg.StrengthMax),
-		}
+		sx[at] = l.stream.Uniform(l.cfg.Bounds.Min.X, l.cfg.Bounds.Max.X)
+		sy[at] = l.stream.Uniform(l.cfg.Bounds.Min.Y, l.cfg.Bounds.Max.Y)
+		ss[at] = l.stream.Uniform(l.cfg.StrengthMin, l.cfg.StrengthMax)
 	}
 
 	w := priorMass / float64(n)
-	for k, sv := range survivors {
+	lw := math.Inf(-1)
+	if w > 0 {
+		lw = math.Log(w)
+	}
+	// Keep the spatial index fresh incrementally while the subset is a
+	// small fraction of the population (the paper's steady state, where
+	// per-item Move beats re-hashing everything); for bulk updates a
+	// single lazy Rebuild at the next selection is cheaper than n/4+
+	// bucket edits.
+	liveGrid := !l.gridDirty && !l.cfg.DisableFusionRange
+	if liveGrid && n > len(l.xs)/4 {
+		liveGrid = false
+		l.gridDirty = true
+	}
+	for k := 0; k < n; k++ {
 		id := ids[k]
-		l.xs[id] = sv.x
-		l.ys[id] = sv.y
-		l.ss[id] = sv.s
+		l.xs[id] = sx[k]
+		l.ys[id] = sy[k]
+		l.ss[id] = ss[k]
 		l.ws[id] = w
+		l.lws[id] = lw
+		if liveGrid {
+			l.grid.Move(id, geometry.V(sx[k], sy[k]))
+		}
 	}
 }
 
@@ -337,12 +570,14 @@ func (l *Localizer) clampS(s float64) float64 {
 // Estimates recovers the current source estimates (Section V-D): run
 // mean-shift from weighted-sampled starts over the particle density in
 // (x, y, strength) space, merge converged modes, and report the modes
-// that hold enough mass and plausible strength.
+// that hold enough mass and plausible strength. The search runs on the
+// localizer's reusable meanshift.Searcher, so a steady-state estimate
+// refresh touches only long-lived scratch.
 func (l *Localizer) Estimates() []Estimate {
 	t0 := l.met.now()
 	n := len(l.xs)
-	points := make([]float64, 0, 3*n)
-	weights := make([]float64, 0, n)
+	points := l.ptsBuf[:0]
+	weights := l.wtsBuf[:0]
 	var total, total2 float64
 	for i := 0; i < n; i++ {
 		if l.ws[i] <= 0 {
@@ -353,6 +588,7 @@ func (l *Localizer) Estimates() []Estimate {
 		total += l.ws[i]
 		total2 += l.ws[i] * l.ws[i]
 	}
+	l.ptsBuf, l.wtsBuf = points, weights
 	ess := 0.0
 	if total2 > 0 {
 		ess = total * total / total2
@@ -363,11 +599,7 @@ func (l *Localizer) Estimates() []Estimate {
 	}
 
 	starts := l.sampleStarts(points, weights, total)
-	cfg := meanshift.Config{
-		Bandwidth: []float64{l.cfg.BandwidthXY, l.cfg.BandwidthXY, l.cfg.BandwidthStr},
-		Workers:   l.cfg.Workers,
-	}
-	modes, err := meanshift.FindModes(cfg, points, weights, starts)
+	modes, err := l.searcher.FindModes(points, weights, starts)
 	if err != nil {
 		// Only reachable through an internal inconsistency; surface
 		// loudly in tests rather than corrupt results.
@@ -376,7 +608,7 @@ func (l *Localizer) Estimates() []Estimate {
 	if len(modes) == 0 {
 		return nil
 	}
-	mass, err := meanshift.AssignMass(cfg, modes, points, weights, 3)
+	mass, err := l.searcher.AssignMass(modes, points, weights, 3)
 	if err != nil {
 		panic(fmt.Sprintf("core: mass assignment failed: %v", err))
 	}
@@ -422,14 +654,15 @@ func (l *Localizer) observable(p geometry.Vec) bool {
 
 // sampleStarts draws MeanShiftStarts start points from the particle
 // population by systematic weighted sampling, so starts concentrate
-// where the mass is while still covering diffuse regions early on.
+// where the mass is while still covering diffuse regions early on. The
+// starts land in a reused scratch buffer.
 func (l *Localizer) sampleStarts(points, weights []float64, total float64) []float64 {
 	m := l.cfg.MeanShiftStarts
 	n := len(weights)
 	if n == 0 {
 		return nil
 	}
-	starts := make([]float64, 0, 3*m)
+	starts := l.startsBuf[:0]
 	step := total / float64(m)
 	u := l.stream.Float64() * step
 	var cum float64
@@ -442,6 +675,7 @@ func (l *Localizer) sampleStarts(points, weights []float64, total float64) []flo
 		}
 		starts = append(starts, points[3*j], points[3*j+1], points[3*j+2])
 	}
+	l.startsBuf = starts
 	return starts
 }
 

@@ -83,6 +83,13 @@ func (l *Localizer) ImportState(st State) error {
 	copy(l.ys, st.Ys)
 	copy(l.ss, st.Ss)
 	copy(l.ws, st.Ws)
+	for i, w := range l.ws {
+		if w > 0 {
+			l.lws[i] = math.Log(w)
+		} else {
+			l.lws[i] = math.Inf(-1)
+		}
+	}
 	l.iter = st.Iter
 	l.lastSubset = st.LastSubset
 	l.subsetTotal = st.SubsetTotal

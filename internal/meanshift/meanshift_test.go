@@ -245,3 +245,114 @@ func TestWorkerCountsAgree(t *testing.T) {
 		}
 	}
 }
+
+// TestExpNegHalfErrorBound sweeps the interpolated kernel against
+// math.Exp over the table's whole domain. The linear-interpolation
+// error bound for step h is h²/8·max|f''| = h²/32 ≈ 4.8e-7 relative —
+// three orders of magnitude below the kernel's own 4σ truncation
+// (e^-8 ≈ 3.4e-4), so the table can never reorder modes the exact
+// kernel would separate.
+func TestExpNegHalfErrorBound(t *testing.T) {
+	s := rng.New(11, 3)
+	worst := 0.0
+	for i := 0; i < 200000; i++ {
+		d2 := s.Uniform(0, expTableMax)
+		got := expNegHalf(d2, false)
+		want := math.Exp(-0.5 * d2)
+		rel := math.Abs(got-want) / want
+		if rel > worst {
+			worst = rel
+		}
+	}
+	if worst > 1e-6 {
+		t.Errorf("interpolated kernel relative error %v, want < 1e-6", worst)
+	}
+	// Beyond the table and under ExactKernel the fallback is exact.
+	for _, d2 := range []float64{expTableMax, expTableMax + 1, 100} {
+		if got, want := expNegHalf(d2, false), math.Exp(-0.5*d2); got != want {
+			t.Errorf("expNegHalf(%v) = %v beyond table, want exact %v", d2, got, want)
+		}
+	}
+	if got, want := expNegHalf(3.7, true), math.Exp(-0.5*3.7); got != want {
+		t.Errorf("exact-mode expNegHalf(3.7) = %v, want %v", got, want)
+	}
+}
+
+// TestSearcherReuseMatchesFresh drives one Searcher through several
+// different datasets and checks each call returns exactly what a
+// single-use Searcher computes — the scratch reuse (grids, gather
+// buffers, dedup arrays) must never leak state across calls.
+func TestSearcherReuseMatchesFresh(t *testing.T) {
+	s := rng.New(12, 9)
+	reused, err := NewSearcher(defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		var pts, ws []float64
+		pts, ws = cluster3(s, pts, ws, 100+40*round, 20+10*float64(round), 50, 80, 2, 1)
+		pts, ws = cluster3(s, pts, ws, 150, 80, 30, 160, 3, 0.5)
+		var starts []float64
+		for i := 0; i < 16; i++ {
+			starts = append(starts, s.Uniform(0, 100), s.Uniform(0, 100), s.Uniform(0, 250))
+		}
+		got, err := reused.FindModes(pts, ws, starts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := FindModes(defaultCfg(), pts, ws, starts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round %d: reused searcher found %d modes, fresh %d", round, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Density != want[i].Density || got[i].Starts != want[i].Starts {
+				t.Fatalf("round %d mode %d: (density %v, starts %d) vs fresh (%v, %d)",
+					round, i, got[i].Density, got[i].Starts, want[i].Density, want[i].Starts)
+			}
+			for k := range got[i].Point {
+				if got[i].Point[k] != want[i].Point[k] {
+					t.Fatalf("round %d mode %d dim %d: %v vs %v",
+						round, i, k, got[i].Point[k], want[i].Point[k])
+				}
+			}
+		}
+	}
+}
+
+// TestExactKernelAgreesWithTable checks the ExactKernel escape hatch
+// lands on the same modes (within the interpolation error's reach) as
+// the default table-driven kernel.
+func TestExactKernelAgreesWithTable(t *testing.T) {
+	s := rng.New(13, 5)
+	var pts, ws []float64
+	pts, ws = cluster3(s, pts, ws, 250, 35, 45, 70, 2, 1)
+	pts, ws = cluster3(s, pts, ws, 250, 65, 55, 150, 2, 1)
+	var starts []float64
+	for i := 0; i < 20; i++ {
+		starts = append(starts, s.Uniform(0, 100), s.Uniform(0, 100), s.Uniform(0, 220))
+	}
+	table, err := FindModes(defaultCfg(), pts, ws, starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactCfg := defaultCfg()
+	exactCfg.ExactKernel = true
+	exact, err := FindModes(exactCfg, pts, ws, starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != len(exact) {
+		t.Fatalf("table kernel found %d modes, exact %d", len(table), len(exact))
+	}
+	for i := range table {
+		for k := range table[i].Point {
+			if math.Abs(table[i].Point[k]-exact[i].Point[k]) > 1e-3 {
+				t.Fatalf("mode %d dim %d: table %v vs exact %v",
+					i, k, table[i].Point[k], exact[i].Point[k])
+			}
+		}
+	}
+}

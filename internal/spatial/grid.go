@@ -11,6 +11,7 @@ package spatial
 
 import (
 	"math"
+	"math/bits"
 
 	"radloc/internal/geometry"
 )
@@ -23,20 +24,36 @@ type Grid struct {
 	nx, ny   int
 	cells    [][]int32
 	pos      []geometry.Vec // item id → position
+	cellOf   []int32        // item id → cell index, for O(1) Move
+	hitBuf   []uint64       // WithinRadiusSorted hit bitset
 }
 
 // NewGrid creates an index over bounds with approximately the given
 // cell size. cellSize is clamped so the grid has at least one and at
 // most 1<<20 cells.
 func NewGrid(bounds geometry.Rect, cellSize float64) *Grid {
+	cellSize, nx, ny := gridDims(bounds, cellSize)
+	return &Grid{
+		bounds:   bounds,
+		cellSize: cellSize,
+		nx:       nx,
+		ny:       ny,
+		cells:    make([][]int32, nx*ny),
+	}
+}
+
+// gridDims resolves the effective cell size and grid dimensions for
+// the given bounds: the cell size is defaulted from the extent when
+// non-positive and grown until the cell count stays bounded. The
+// sizing arithmetic stays in float64 so absurd inputs cannot overflow
+// int.
+func gridDims(bounds geometry.Rect, cellSize float64) (float64, int, int) {
 	if cellSize <= 0 {
 		cellSize = math.Max(bounds.Width(), bounds.Height()) / 16
 	}
 	if cellSize <= 0 {
 		cellSize = 1
 	}
-	// Grow the cell size until the cell count is bounded; the sizing
-	// arithmetic stays in float64 so absurd inputs cannot overflow int.
 	const maxCells = 1 << 20
 	dims := func(cs float64) (int, int) {
 		fx := math.Ceil(bounds.Width()/cs) + 1
@@ -50,13 +67,7 @@ func NewGrid(bounds geometry.Rect, cellSize float64) *Grid {
 		cellSize *= 2
 		nx, ny = dims(cellSize)
 	}
-	return &Grid{
-		bounds:   bounds,
-		cellSize: cellSize,
-		nx:       nx,
-		ny:       ny,
-		cells:    make([][]int32, nx*ny),
-	}
+	return cellSize, nx, ny
 }
 
 // Rebuild replaces the index contents with the given positions; item i
@@ -67,10 +78,69 @@ func (g *Grid) Rebuild(positions []geometry.Vec) {
 		g.cells[i] = g.cells[i][:0]
 	}
 	g.pos = append(g.pos[:0], positions...)
+	if cap(g.cellOf) < len(positions) {
+		g.cellOf = make([]int32, len(positions))
+	}
+	g.cellOf = g.cellOf[:len(positions)]
 	for i, p := range positions {
 		c := g.cellIndex(p)
 		g.cells[c] = append(g.cells[c], int32(i))
+		g.cellOf[i] = int32(c)
 	}
+}
+
+// Move updates item id's position in place — the allocation-free
+// alternative to a full Rebuild when only a few items changed, e.g.
+// the particles a fusion disc selected. If the item stays in its cell
+// the move is two stores; otherwise it is removed from the old cell's
+// bucket (swap-remove, O(bucket)) and appended to the new one. id must
+// be a valid index from the last Rebuild.
+//
+// A moved item's position within its bucket — and therefore the order
+// WithinRadius reports IDs in — depends on the move history, not just
+// the final positions. Callers that need an order independent of how
+// the index got here must sort the query result.
+func (g *Grid) Move(id int, p geometry.Vec) {
+	g.pos[id] = p
+	oldC := g.cellOf[id]
+	newC := int32(g.cellIndex(p))
+	if oldC == newC {
+		return
+	}
+	bucket := g.cells[oldC]
+	for i, v := range bucket {
+		if v == int32(id) {
+			bucket[i] = bucket[len(bucket)-1]
+			g.cells[oldC] = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	g.cells[newC] = append(g.cells[newC], int32(id))
+	g.cellOf[id] = newC
+}
+
+// Reset re-dimensions the grid for new bounds and cell size, reusing
+// the existing bucket storage where possible, and empties it. It is
+// the allocation-free (steady-state) alternative to NewGrid for
+// callers that index fresh point sets of similar extent every round;
+// follow it with Rebuild.
+func (g *Grid) Reset(bounds geometry.Rect, cellSize float64) {
+	g.bounds = bounds
+	g.cellSize, g.nx, g.ny = gridDims(bounds, cellSize)
+	want := g.nx * g.ny
+	if cap(g.cells) < want {
+		// Preserve the old buckets' capacity: move them into the grown
+		// slice so steady-state Rebuild stays allocation-free.
+		grown := make([][]int32, want)
+		copy(grown, g.cells[:cap(g.cells)])
+		g.cells = grown
+	}
+	g.cells = g.cells[:cap(g.cells)][:want]
+	for i := range g.cells {
+		g.cells[i] = g.cells[i][:0]
+	}
+	g.pos = g.pos[:0]
+	g.cellOf = g.cellOf[:0]
 }
 
 // Len returns the number of indexed items.
@@ -96,6 +166,46 @@ func (g *Grid) WithinRadius(center geometry.Vec, r float64, dst []int) []int {
 					dst = append(dst, int(id))
 				}
 			}
+		}
+	}
+	return dst
+}
+
+// WithinRadiusSorted is WithinRadius with the appended IDs in
+// ascending order, independent of bucket order — and therefore of the
+// Move history (see Move). It marks hits in an internal bitset and
+// emits set bits in index order, costing O(hits + items/64) on top of
+// the cell walk; callers whose results feed deterministic state (e.g.
+// the particle filter's fusion-range selection) use this form.
+func (g *Grid) WithinRadiusSorted(center geometry.Vec, r float64, dst []int) []int {
+	if r < 0 {
+		return dst
+	}
+	words := (len(g.pos) + 63) / 64
+	if cap(g.hitBuf) < words {
+		g.hitBuf = make([]uint64, words)
+	}
+	hits := g.hitBuf[:words]
+	for i := range hits {
+		hits[i] = 0
+	}
+	r2 := r * r
+	x0, y0 := g.cellCoords(geometry.V(center.X-r, center.Y-r))
+	x1, y1 := g.cellCoords(geometry.V(center.X+r, center.Y+r))
+	for cy := y0; cy <= y1; cy++ {
+		for cx := x0; cx <= x1; cx++ {
+			for _, id := range g.cells[cy*g.nx+cx] {
+				if g.pos[id].Dist2(center) <= r2 {
+					hits[id>>6] |= 1 << (uint(id) & 63)
+				}
+			}
+		}
+	}
+	for w, word := range hits {
+		base := w << 6
+		for word != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(word))
+			word &= word - 1
 		}
 	}
 	return dst

@@ -167,3 +167,120 @@ func TestWithinRadiusProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestWithinRadiusSortedMatchesUnsorted pins the sorted variant's
+// contract: same membership as WithinRadius, always in ascending ID
+// order, for every geometry the unsorted query handles.
+func TestWithinRadiusSortedMatchesUnsorted(t *testing.T) {
+	s := rng.New(9, 4)
+	pts := make([]geometry.Vec, 700)
+	for i := range pts {
+		pts[i] = geometry.V(s.Uniform(-5, 105), s.Uniform(-5, 105))
+	}
+	g := NewGrid(bounds100(), 7)
+	g.Rebuild(pts)
+
+	for trial := 0; trial < 60; trial++ {
+		c := geometry.V(s.Uniform(-10, 110), s.Uniform(-10, 110))
+		r := s.Uniform(0, 50)
+		plain := g.WithinRadius(c, r, nil)
+		sorted := g.WithinRadiusSorted(c, r, nil)
+		if !sort.IntsAreSorted(sorted) {
+			t.Fatalf("trial %d: WithinRadiusSorted returned unsorted IDs", trial)
+		}
+		sort.Ints(plain)
+		if len(plain) != len(sorted) {
+			t.Fatalf("trial %d: sorted returned %d IDs, unsorted %d", trial, len(sorted), len(plain))
+		}
+		for i := range plain {
+			if plain[i] != sorted[i] {
+				t.Fatalf("trial %d: membership differs at %d: %d vs %d", trial, i, sorted[i], plain[i])
+			}
+		}
+	}
+}
+
+// TestWithinRadiusSortedIndependentOfMoveHistory is the determinism
+// property the filter's selection stage rests on: WithinRadius's
+// bucket order depends on the sequence of Move calls (swap-remove
+// reorders buckets), but the sorted variant must be a pure function
+// of the current positions — identical results whether the grid got
+// there by incremental moves or by one bulk Rebuild.
+func TestWithinRadiusSortedIndependentOfMoveHistory(t *testing.T) {
+	s := rng.New(3, 8)
+	n := 400
+	start := make([]geometry.Vec, n)
+	for i := range start {
+		start[i] = geometry.V(s.Uniform(0, 100), s.Uniform(0, 100))
+	}
+	final := make([]geometry.Vec, n)
+	copy(final, start)
+
+	moved := NewGrid(bounds100(), 9)
+	moved.Rebuild(start)
+	// Shuffle bucket order with a long, overlapping move history.
+	for step := 0; step < 3000; step++ {
+		id := s.IntN(n)
+		final[id] = geometry.V(s.Uniform(0, 100), s.Uniform(0, 100))
+		moved.Move(id, final[id])
+	}
+
+	rebuilt := NewGrid(bounds100(), 9)
+	rebuilt.Rebuild(final)
+
+	for trial := 0; trial < 40; trial++ {
+		c := geometry.V(s.Uniform(0, 100), s.Uniform(0, 100))
+		r := s.Uniform(1, 45)
+		a := moved.WithinRadiusSorted(c, r, nil)
+		b := rebuilt.WithinRadiusSorted(c, r, nil)
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: moved grid found %d, rebuilt %d", trial, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: ID %d vs %d at position %d", trial, a[i], b[i], i)
+			}
+		}
+	}
+}
+
+// TestResetReusesGrid checks Reset re-dimensions a grid for new
+// bounds/cell size and behaves exactly like a freshly built one.
+func TestResetReusesGrid(t *testing.T) {
+	s := rng.New(5, 6)
+	g := NewGrid(bounds100(), 10)
+	first := make([]geometry.Vec, 300)
+	for i := range first {
+		first[i] = geometry.V(s.Uniform(0, 100), s.Uniform(0, 100))
+	}
+	g.Rebuild(first)
+
+	// Re-aim the same grid at a different region and scale.
+	small := geometry.NewRect(geometry.V(-20, -20), geometry.V(20, 20))
+	second := make([]geometry.Vec, 150)
+	for i := range second {
+		second[i] = geometry.V(s.Uniform(-20, 20), s.Uniform(-20, 20))
+	}
+	g.Reset(small, 3)
+	g.Rebuild(second)
+
+	fresh := NewGrid(small, 3)
+	fresh.Rebuild(second)
+	for trial := 0; trial < 30; trial++ {
+		c := geometry.V(s.Uniform(-25, 25), s.Uniform(-25, 25))
+		r := s.Uniform(0, 15)
+		a := g.WithinRadiusSorted(c, r, nil)
+		b := fresh.WithinRadiusSorted(c, r, nil)
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: reset grid found %d, fresh %d", trial, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: reset grid ID %d, fresh %d", trial, a[i], b[i])
+			}
+		}
+	}
+	if g.Len() != 150 || g.CellSize() != 3 {
+		t.Fatalf("after Reset: Len %d CellSize %v, want 150 3", g.Len(), g.CellSize())
+	}
+}

@@ -146,3 +146,27 @@ func TestInformationCriteria(t *testing.T) {
 		t.Errorf("BIC = %v", got)
 	}
 }
+
+// TestLogFactorialMatchesLgamma demands bit-identity between the
+// table and the Lgamma fallback across the table boundary — the
+// property that lets PoissonLogPMF switch between them freely without
+// perturbing the particle filter's deterministic trace.
+func TestLogFactorialMatchesLgamma(t *testing.T) {
+	ks := []int{0, 1, 2, 5, 17, 100, 1000, 4094, 4095, 4096, 4097, 10000}
+	for _, k := range ks {
+		want, _ := math.Lgamma(float64(k) + 1)
+		if got := LogFactorial(k); got != want {
+			t.Errorf("LogFactorial(%d) = %v, want exactly Lgamma(%d) = %v", k, got, k+1, want)
+		}
+	}
+	if got := LogFactorial(-1); !math.IsInf(got, 1) {
+		t.Errorf("LogFactorial(-1) = %v, want +Inf", got)
+	}
+	// Spot-check known values: log(0!) = 0, log(5!) = log(120).
+	if got := LogFactorial(0); got != 0 {
+		t.Errorf("LogFactorial(0) = %v, want 0", got)
+	}
+	if got, want := LogFactorial(5), math.Log(120); math.Abs(got-want) > 1e-12 {
+		t.Errorf("LogFactorial(5) = %v, want log(120) = %v", got, want)
+	}
+}

@@ -7,12 +7,12 @@ import (
 
 // Summary holds the descriptive statistics of a sample.
 type Summary struct {
-	N      int
-	Mean   float64
+	N      int     // sample size
+	Mean   float64 // arithmetic mean
 	Std    float64 // sample standard deviation (n−1 denominator)
-	Min    float64
-	Max    float64
-	Median float64
+	Min    float64 // smallest observation
+	Max    float64 // largest observation
+	Median float64 // 50th percentile (midpoint of the two central values for even N)
 }
 
 // Summarize computes descriptive statistics of xs. An empty sample

@@ -166,6 +166,45 @@ func TestSegmentInfosAndVerify(t *testing.T) {
 	}
 }
 
+// TestVerifySegmentDetectsEveryByteFlip flips every byte of a sealed
+// segment, one at a time, and demands VerifySegment catch each one.
+// The exhaustive sweep exists because of a real near-miss: a 0x20
+// flip turning the envelope key "rec" into "Rec" decodes cleanly
+// under encoding/json's case-insensitive field matching, and the CRC
+// — computed over the untouched payload bytes — still matches. Only
+// decodeLine's canonical re-marshal comparison sees it.
+func TestVerifySegmentDetectsEveryByteFlip(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncNever, SegmentRecords: 4})
+	defer l.Close()
+	appendN(t, l, 0, 6) // sealed [0..3], tail [4..5]
+
+	path := segmentPath(dir, 0)
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mask := range []byte{0x20, 0x01, 0x80} {
+		for i := range clean {
+			raw := append([]byte(nil), clean...)
+			raw[i] ^= mask
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.VerifySegment(0); err == nil {
+				t.Fatalf("VerifySegment missed byte %d flipped by %#02x (%q -> %q)",
+					i, mask, clean[i], raw[i])
+			}
+		}
+	}
+	if err := os.WriteFile(path, clean, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.VerifySegment(0); err != nil {
+		t.Fatalf("restored segment failed verification: %v", err)
+	}
+}
+
 // TestQuarantineSegment covers the scrubber's removal path: a sealed
 // segment moves out whole, the tail is refused, and the hole is
 // visible in the log's bookkeeping.

@@ -318,7 +318,13 @@ func validateSegment(fsys vfs.FS, path string) (records uint64, goodBytes int64,
 	}
 }
 
-// decodeLine parses and checksums one NDJSON line.
+// decodeLine parses and checksums one NDJSON line. Beyond the CRC it
+// demands the envelope be byte-identical to what Append writes:
+// encoding/json matches field names case-insensitively, so without
+// the re-marshal comparison a single bit flip turning "rec" into
+// "Rec" would decode cleanly with the CRC (computed over the
+// untouched payload bytes) still matching — corruption the scrubber
+// could never see.
 func decodeLine(line []byte) (Record, bool) {
 	line = bytes.TrimRight(line, "\n")
 	if len(line) == 0 {
@@ -330,6 +336,9 @@ func decodeLine(line []byte) (Record, bool) {
 		return Record{}, false
 	}
 	if len(env.Rec) == 0 || crc32.Checksum(env.Rec, crcTable) != env.CRC {
+		return Record{}, false
+	}
+	if canonical, err := json.Marshal(env); err != nil || !bytes.Equal(canonical, line) {
 		return Record{}, false
 	}
 	var rec Record
