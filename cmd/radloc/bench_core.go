@@ -70,6 +70,13 @@ type coreBenchReport struct {
 	// hosts cannot show worker-pool speedups, so read the numbers with
 	// this in hand.
 	CPUs int `json:"cpus"`
+	// GoMaxProcs is runtime.GOMAXPROCS(0) on the measuring host: the
+	// scheduler parallelism the run actually had, which is what bounds
+	// the worker pools when 0-valued worker flags default to it. The
+	// -check gate compares baselines only between hosts where both this
+	// and CPUs match; reports predating the field carry 0, which -check
+	// treats as unknown (CPUs alone decides).
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
 	// Baseline is the previous report's measurement (the "before"),
 	// copied verbatim by -against; null when no baseline was given.
 	Baseline *coreBenchNumbers `json:"baseline,omitempty"`
@@ -95,6 +102,22 @@ func benchCore(particles, sensors, steps, runs, workers int, seed uint64, agains
 	}
 	sc := scenarioForSensors(sensors)
 	sc.Params.NumParticles = particles
+
+	// A baseline measured on a different core count is not comparable:
+	// decide that before burning benchmark time, and skip the gate with
+	// a warning instead of failing CI on hardware drift.
+	var checkAgainst *coreBenchReport
+	if checkPath != "" {
+		committed, err := loadCoreBenchReport(checkPath)
+		if err != nil {
+			return err
+		}
+		if why := coreBenchHostMismatch(committed, runtime.NumCPU(), runtime.GOMAXPROCS(0)); why != "" {
+			fmt.Fprintf(w, "bench -core check skipped: %s — rerun `radloc bench -core -out %s` on matching hardware to re-anchor the baseline\n", why, checkPath)
+			return nil
+		}
+		checkAgainst = committed
+	}
 
 	// One precomputed batch stream shared by every run: the benchmark
 	// times ingest + estimate refresh, not measurement synthesis.
@@ -172,11 +195,8 @@ func benchCore(particles, sensors, steps, runs, workers int, seed uint64, agains
 		num.StageSecondsMedian[s] = median(vs)
 	}
 
-	if checkPath != "" {
-		committed, err := loadCoreBenchReport(checkPath)
-		if err != nil {
-			return err
-		}
+	if checkAgainst != nil {
+		committed := checkAgainst
 		floor := committed.Current.ReadingsPerSecMedian * (1 - coreBenchCheckSlack)
 		if num.ReadingsPerSecMedian < floor {
 			return fmt.Errorf("bench: core regression: measured %.0f readings/sec < %.0f (committed %.0f − %d%% slack) — rerun `radloc bench -core -against %s -out %s` if the slowdown is intended",
@@ -194,9 +214,10 @@ func benchCore(particles, sensors, steps, runs, workers int, seed uint64, agains
 		Sensors:   len(sc.Sensors),
 		Steps:     steps,
 		Seed:      seed,
-		Workers:   workers,
-		CPUs:      runtime.NumCPU(),
-		Current:   num,
+		Workers:    workers,
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Current:    num,
 	}
 	if againstPath != "" {
 		prev, err := loadCoreBenchReport(againstPath)
@@ -216,6 +237,21 @@ func benchCore(particles, sensors, steps, runs, workers int, seed uint64, agains
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)
+}
+
+// coreBenchHostMismatch reports why the current host's throughput
+// cannot be compared against the committed report — a different CPU
+// count, or a different GOMAXPROCS when the report records one — or
+// "" when the hosts are comparable. Pure so the skip policy is
+// testable without running a benchmark.
+func coreBenchHostMismatch(committed *coreBenchReport, cpus, maxProcs int) string {
+	if committed.CPUs != cpus {
+		return fmt.Sprintf("baseline measured on %d CPUs, this host has %d", committed.CPUs, cpus)
+	}
+	if committed.GoMaxProcs != 0 && committed.GoMaxProcs != maxProcs {
+		return fmt.Sprintf("baseline measured with GOMAXPROCS=%d, this run has %d", committed.GoMaxProcs, maxProcs)
+	}
+	return ""
 }
 
 // flagWasSet reports whether the named flag was passed explicitly.

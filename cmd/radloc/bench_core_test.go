@@ -1,0 +1,120 @@
+package main
+
+// bench -core gate tests: the host-mismatch skip policy (pure
+// decision) and the -check wiring around it — a baseline committed on
+// different hardware must warn and skip, never fail CI; a matching
+// host keeps the hard 20%-regression compare.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestCoreBenchHostMismatch(t *testing.T) {
+	cases := []struct {
+		name           string
+		cpus, maxProcs int // committed report's
+		hostCPUs       int
+		hostMaxProcs   int
+		want           string // "" = comparable; else substring of the reason
+	}{
+		{"identical host", 4, 4, 4, 4, ""},
+		{"cpu count differs", 4, 4, 8, 8, "CPUs"},
+		{"gomaxprocs capped", 4, 4, 4, 2, "GOMAXPROCS"},
+		{"legacy report without gomaxprocs", 4, 0, 4, 2, ""},
+		{"legacy report cpu mismatch still trips", 1, 0, 4, 4, "CPUs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			committed := &coreBenchReport{CPUs: tc.cpus, GoMaxProcs: tc.maxProcs}
+			got := coreBenchHostMismatch(committed, tc.hostCPUs, tc.hostMaxProcs)
+			if tc.want == "" && got != "" {
+				t.Fatalf("comparable host judged mismatched: %q", got)
+			}
+			if tc.want != "" && !strings.Contains(got, tc.want) {
+				t.Fatalf("reason %q does not mention %s", got, tc.want)
+			}
+		})
+	}
+}
+
+// writeCoreBenchReport commits a minimal valid report for -check.
+func writeCoreBenchReport(t *testing.T, r coreBenchReport) string {
+	t.Helper()
+	r.Schema = coreBenchSchema
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_core.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBenchCoreCheckSkipsOnCoreMismatch: a baseline recorded on a
+// host with a different core count makes -check a warning, not a
+// gate — and the skip happens before any benchmark runs (instant).
+func TestBenchCoreCheckSkipsOnCoreMismatch(t *testing.T) {
+	path := writeCoreBenchReport(t, coreBenchReport{
+		CPUs:       runtime.NumCPU() + 1,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Current:    coreBenchNumbers{ReadingsPerSecMedian: 1e12},
+	})
+	var out bytes.Buffer
+	if err := benchCore(200, 4, 1, 1, 1, 1, "", path, &out); err != nil {
+		t.Fatalf("core-count mismatch failed the gate: %v", err)
+	}
+	if !strings.Contains(out.String(), "skipped") || !strings.Contains(out.String(), "CPUs") {
+		t.Fatalf("skip warning missing: %q", out.String())
+	}
+}
+
+// TestBenchCoreCheckMatchingHost: on matching hardware the hard
+// compare still runs — an absurdly low committed median passes, an
+// absurdly high one fails as a regression.
+func TestBenchCoreCheckMatchingHost(t *testing.T) {
+	host := coreBenchReport{CPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0)}
+
+	pass := host
+	pass.Current = coreBenchNumbers{ReadingsPerSecMedian: 1}
+	var out bytes.Buffer
+	if err := benchCore(200, 4, 1, 1, 1, 1, "", writeCoreBenchReport(t, pass), &out); err != nil {
+		t.Fatalf("trivial floor failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "check ok") {
+		t.Fatalf("no pass verdict: %q", out.String())
+	}
+
+	fail := host
+	fail.Current = coreBenchNumbers{ReadingsPerSecMedian: 1e12}
+	out.Reset()
+	err := benchCore(200, 4, 1, 1, 1, 1, "", writeCoreBenchReport(t, fail), &out)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("regression not detected: %v", err)
+	}
+}
+
+// TestBenchCoreReportRecordsParallelism: a fresh report carries the
+// host's CPU count and GOMAXPROCS, so a future -check can judge
+// comparability.
+func TestBenchCoreReportRecordsParallelism(t *testing.T) {
+	var out bytes.Buffer
+	if err := benchCore(200, 4, 1, 1, 1, 1, "", "", &out); err != nil {
+		t.Fatal(err)
+	}
+	var r coreBenchReport
+	if err := json.Unmarshal(out.Bytes(), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.CPUs != runtime.NumCPU() || r.GoMaxProcs != runtime.GOMAXPROCS(0) {
+		t.Fatalf("report parallelism = %d CPUs / GOMAXPROCS %d, host has %d / %d",
+			r.CPUs, r.GoMaxProcs, runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	}
+}

@@ -1,0 +1,142 @@
+package main
+
+// Flags-file tests: -config accepts either a scenario file (legacy)
+// or a JSON object of flag values plus a "scenario" key. The
+// round-trip criterion is behavioral: a daemon launched from a flags
+// file must produce byte-identical pipe output to one launched with
+// the equivalent command line, and an explicit command-line flag must
+// beat the file's value for the same flag.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFlagsFile marshals a flags map next to a scenario deployment
+// and returns the flags-file path.
+func writeFlagsFile(t *testing.T, dir string, flags map[string]any) string {
+	t.Helper()
+	data, err := json.Marshal(flags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "radlocd.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// pipeOutput runs the daemon in pipe mode over a fixed stream and
+// returns everything it wrote to stdout.
+func pipeOutput(t *testing.T, args []string, input string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(context.Background(), args, strings.NewReader(input), &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+func TestFlagsFileRoundTrip(t *testing.T) {
+	deploy, sc := writeDeployment(t)
+	input := measurementsNDJSON(t, sc, 3)
+
+	// The file supplies -seed and -report-every; "scenario" is a path
+	// relative to the flags file itself.
+	flagsPath := writeFlagsFile(t, filepath.Dir(deploy), map[string]any{
+		"scenario":     filepath.Base(deploy),
+		"seed":         5,
+		"report-every": len(sc.Sensors) * 2,
+	})
+
+	want := pipeOutput(t, []string{
+		"-config", deploy, "-seed", "5", "-report-every", "72",
+	}, input)
+	got := pipeOutput(t, []string{"-config", flagsPath}, input)
+	if got != want {
+		t.Errorf("flags file diverged from the equivalent command line:\nfile: %s\nargs: %s", got, want)
+	}
+	// Sanity: report-every actually took — 3 rounds at a 2-round
+	// cadence is 1 interim snapshot + the final flush.
+	if lines := strings.Count(strings.TrimSpace(got), "\n") + 1; lines != 2 {
+		t.Errorf("snapshot lines = %d, want 2 (report-every from the file ignored?)", lines)
+	}
+
+	// An explicit command-line flag beats the file's value.
+	want = pipeOutput(t, []string{
+		"-config", deploy, "-seed", "2", "-report-every", "72",
+	}, input)
+	got = pipeOutput(t, []string{"-config", flagsPath, "-seed", "2"}, input)
+	if got != want {
+		t.Errorf("explicit -seed lost to the flags file:\nfile: %s\nargs: %s", got, want)
+	}
+}
+
+// TestFlagsFileErrors pins the failure modes apart from the happy
+// path: unknown keys, a missing scenario, nesting -config, and
+// unparseable values must all fail with a pointed error instead of
+// being half-applied.
+func TestFlagsFileErrors(t *testing.T) {
+	deploy, _ := writeDeployment(t)
+	dir := filepath.Dir(deploy)
+	cases := []struct {
+		name  string
+		flags map[string]any
+		want  string
+	}{
+		{"unknown flag", map[string]any{"scenario": deploy, "sead": 5}, `unknown flag "sead"`},
+		{"missing scenario", map[string]any{"seed": 5}, `missing "scenario"`},
+		{"nested config", map[string]any{"scenario": deploy, "config": "x.json"}, "cannot set -config"},
+		{"bad value type", map[string]any{"scenario": deploy, "seed": []int{1}}, "string, number or bool"},
+		{"bad scenario type", map[string]any{"scenario": 7}, `"scenario" must be a path string`},
+		{"unparseable value", map[string]any{"scenario": deploy, "seed": "not-a-number"}, `key "seed"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeFlagsFile(t, dir, tc.flags)
+			var out bytes.Buffer
+			err := run(context.Background(), []string{"-config", path}, strings.NewReader(""), &out)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestFlagsFileAbsoluteScenario: an absolute "scenario" path is used
+// as-is, not re-anchored to the flags file's directory.
+func TestFlagsFileAbsoluteScenario(t *testing.T) {
+	deploy, sc := writeDeployment(t)
+	flagsPath := writeFlagsFile(t, t.TempDir(), map[string]any{"scenario": deploy})
+	input := measurementsNDJSON(t, sc, 1)
+	out := pipeOutput(t, []string{"-config", flagsPath}, input)
+	if !strings.Contains(out, `"ingested"`) {
+		t.Fatalf("no snapshot produced: %q", out)
+	}
+}
+
+// TestScenarioFileStillLegacy: a plain scenario file keeps its
+// original -config meaning — sniffed by its "sensors"/"version" keys,
+// never treated as a flags file.
+func TestScenarioFileStillLegacy(t *testing.T) {
+	deploy, _ := writeDeployment(t)
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	data, err := resolveConfigFile(fs, deploy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(deploy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, raw) {
+		t.Fatal("scenario file was rewritten by -config resolution")
+	}
+}

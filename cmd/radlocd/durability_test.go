@@ -7,8 +7,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"net/http/httptest"
-	"os"
 	"os/exec"
 	"path/filepath"
 	"reflect"
@@ -20,8 +18,6 @@ import (
 	"radloc/internal/fusion"
 	"radloc/internal/rng"
 	"radloc/internal/scenario"
-	"radloc/internal/sim"
-	"radloc/internal/track"
 	"radloc/internal/wal"
 )
 
@@ -156,123 +152,6 @@ func TestKillAndRecover(t *testing.T) {
 	}
 	if !reflect.DeepEqual(filterState(got), filterState(want)) {
 		t.Fatalf("crash+recover+redeliver diverged from uninterrupted run:\ngot  %+v\nwant %+v", got, want)
-	}
-}
-
-// TestCorruptTailRecovery: a torn final record plus a bit-flipped
-// record must truncate cleanly at boot — reported, never fatal — and
-// the daemon must serve normally afterward.
-func TestCorruptTailRecovery(t *testing.T) {
-	sc := scenario.A(50, false)
-	const rounds, window = 6, 2
-	build := func(j fusion.Journal) (*fusion.Engine, error) {
-		fcfg := fusion.Config{
-			Localizer:     sim.LocalizerConfig(sc),
-			Sensors:       sc.Sensors,
-			Tracking:      &track.Config{},
-			Journal:       j,
-			ReorderWindow: window,
-		}
-		fcfg.Localizer.Seed = 7
-		return fusion.NewEngine(fcfg)
-	}
-	dir := t.TempDir()
-	engine, d, err := openDurable(dir, nil, wal.FsyncNever, 50, 0, build, nil, io.Discard)
-	if err != nil {
-		t.Fatal(err)
-	}
-	stream := rng.NewNamed(3, "corrupt-tail/measure")
-	for step := 0; step < rounds; step++ {
-		for _, sen := range sc.Sensors {
-			m := sen.Measure(stream, sc.Sources, nil, step)
-			if _, err := engine.IngestSeq(fusion.Meas{SensorID: sen.ID, CPM: m.CPM, Step: step, Seq: uint64(step + 1)}); err != nil {
-				t.Fatal(err)
-			}
-			d.maybeCheckpoint(io.Discard)
-		}
-	}
-	// Rounds past the watermark are journaled; the held tail is not
-	// durable by design (redelivery would restore it).
-	journaled := (rounds - window) * len(sc.Sensors)
-	// Crash: no d.close(), no final checkpoint. Flush OS buffers only.
-	d.j.mu.Lock()
-	if err := d.j.log.Sync(); err != nil {
-		t.Fatal(err)
-	}
-	d.j.mu.Unlock()
-
-	// Sabotage the newest segment: flip a byte mid-record, then tear
-	// the final record. Also delete all checkpoints so recovery must
-	// replay the surviving WAL from zero.
-	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.ndjson"))
-	if err != nil || len(segs) == 0 {
-		t.Fatalf("no segments: %v", err)
-	}
-	last := segs[len(segs)-1]
-	blob, err := os.ReadFile(last)
-	if err != nil {
-		t.Fatal(err)
-	}
-	recs := bytes.SplitAfter(blob, []byte("\n")) // trailing "" element after the final newline
-	flip := recs[len(recs)-3]                    // second-to-last record: bit-flip its middle
-	flip[len(flip)/2] ^= 0x08
-	torn := recs[len(recs)-2] // last record: tear it mid-line
-	recs[len(recs)-2] = torn[:len(torn)-7]
-	if err := os.WriteFile(last, bytes.Join(recs, nil), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	cks, _ := filepath.Glob(filepath.Join(dir, "checkpoint-*.json"))
-	if len(cks) == 0 {
-		t.Fatal("checkpoint cadence never fired")
-	}
-	for _, ck := range cks {
-		os.Remove(ck)
-	}
-
-	engine2, d2, err := openDurable(dir, nil, wal.FsyncNever, 50, 0, build, nil, io.Discard)
-	if err != nil {
-		t.Fatalf("recovery must repair, not fail: %v", err)
-	}
-	st := statez(engine2, d2, nil)
-	recov := st.Durability.Recovery
-	if recov.TruncatedRecords == 0 {
-		t.Errorf("corruption not reported: %+v", recov)
-	}
-	if recov.CheckpointUsed || recov.Replayed == 0 {
-		t.Errorf("expected cold replay of the surviving WAL: %+v", recov)
-	}
-	if got := engine2.Snapshot().Ingested; got != uint64(journaled-2) {
-		t.Errorf("recovered ingested = %d, want %d (bit-flipped + torn records lost)", got, journaled-2)
-	}
-
-	// And the daemon serves: snapshot, statez, fresh ingest.
-	srv := httptest.NewServer(newMux(serveConfig{Engine: engine2, Durable: d2}))
-	defer srv.Close()
-	resp, err := http.Get(srv.URL + "/statez")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var sz statezJSON
-	if err := json.NewDecoder(resp.Body).Decode(&sz); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if !sz.Durability.Enabled || sz.Durability.Recovery.TruncatedRecords == 0 {
-		t.Errorf("/statez recovery report: %+v", sz.Durability)
-	}
-	body := fmt.Sprintf(`{"sensorId":%d,"cpm":40,"step":4,"seq":5}`, sc.Sensors[0].ID)
-	resp, err = http.Post(srv.URL+"/measurements", "application/json", strings.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var ack map[string]int
-	_ = json.NewDecoder(resp.Body).Decode(&ack)
-	resp.Body.Close()
-	if ack["accepted"] != 1 {
-		t.Errorf("post-recovery ingest refused: %v", ack)
-	}
-	if err := d2.close(); err != nil {
-		t.Fatal(err)
 	}
 }
 

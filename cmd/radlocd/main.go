@@ -18,6 +18,14 @@
 // GET /snapshot, GET /sensors (per-sensor health), GET /healthz
 // (liveness) and GET /readyz (readiness).
 //
+// -config also accepts a flags file: a JSON object whose keys are
+// flag names ({"listen":":8080","wal-dir":"/data","scenario":
+// "deployment.json"}), with "scenario" naming the deployment file
+// (resolved relative to the flags file). The two shapes are told
+// apart by their keys — a scenario file carries "sensors"/"version" —
+// and flags given explicitly on the command line always win over file
+// values.
+//
 // Both modes are sharded into named zones, each a fusion engine of its
 // own behind a single-writer event loop: POST /zones/{zone}/
 // measurements (or a "zone" field on a pipe-mode record) routes a
@@ -32,32 +40,29 @@
 // SIGINT/SIGTERM shut either mode down gracefully: the pipe flushes a
 // final snapshot line, the HTTP server drains in-flight requests and
 // logs a final snapshot.
+//
+// The daemon itself lives in internal/node: main parses flags into a
+// node.Config and calls node.Run. Embedders (and the chaos tests)
+// build node.Nodes directly.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"strings"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	"radloc/internal/cluster"
 	"radloc/internal/config"
-	"radloc/internal/failover"
-	"radloc/internal/fusion"
-	"radloc/internal/httpingest"
-	"radloc/internal/obs"
-	"radloc/internal/rng"
-	"radloc/internal/scrub"
-	"radloc/internal/sim"
-	"radloc/internal/track"
-	"radloc/internal/vfs"
+	"radloc/internal/node"
 	"radloc/internal/wal"
 )
 
@@ -73,7 +78,7 @@ func main() {
 func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("radlocd", flag.ContinueOnError)
 	var (
-		cfgPath     = fs.String("config", "", "JSON scenario file with the sensor deployment (required)")
+		cfgPath     = fs.String("config", "", "JSON scenario file with the sensor deployment, or a JSON flags file with a \"scenario\" key (required)")
 		listen      = fs.String("listen", "", "HTTP listen address; empty = stdin/stdout pipe mode")
 		reportEvery = fs.Int("report-every", 0, "pipe mode: snapshot after this many measurements (default: one sensor round)")
 		seed        = fs.Uint64("seed", 1, "localizer random seed")
@@ -111,6 +116,9 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		suspectN    = fs.Int("suspect-misses", 3, "failover: consecutive probe misses before a peer is suspected")
 		holdDown    = fs.Duration("holddown", 10*time.Second, "failover: how long a suspected peer must stay unreachable before it is declared dead (flap damping)")
 		maxPromLag  = fs.Uint64("max-promote-lag", 0, "failover: refuse unattended promotion when replication lag exceeds this many records (0 = must be fully caught up)")
+		readFanout  = fs.Bool("read-fanout", false, "forward /snapshot and /statez reads to a caught-up standby while this primary is under write load (requires cluster mode)")
+		fanoutLag   = fs.Uint64("read-fanout-lag", 0, "read fan-out: highest standby replication lag, in records, still eligible to serve reads (0 = fully caught up)")
+		fanoutLoad  = fs.Int("read-fanout-load", 1, "read fan-out: forward only while at least this many writes are in flight (0 = whenever a standby is eligible)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -118,42 +126,13 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 	if *cfgPath == "" {
 		return fmt.Errorf("missing -config (a JSON scenario file; generate one with `radloc config emit A`)")
 	}
-	data, err := os.ReadFile(*cfgPath)
+	scenarioData, err := resolveConfigFile(fs, *cfgPath)
 	if err != nil {
 		return err
 	}
-	sc, err := config.LoadScenario(data)
+	sc, err := config.LoadScenario(scenarioData)
 	if err != nil {
 		return err
-	}
-
-	// One registry for the whole process: filter stages, fusion engine,
-	// WAL, checkpointer and HTTP ingest all register on it, and HTTP
-	// mode serves it on GET /metrics. Registration is get-or-create, so
-	// the recovery path rebuilding the engine reuses the same
-	// collectors.
-	reg := obs.NewRegistry()
-	obs.RegisterProcessMetrics(reg, time.Now())
-
-	// build constructs one zone's engine. Every zone shares the
-	// deployment, the seed and the feature flags; met is that zone's
-	// labeled view of the process registry.
-	build := func(j fusion.Journal, met *obs.Registry) (*fusion.Engine, error) {
-		fcfg := fusion.Config{
-			Localizer: sim.LocalizerConfig(sc),
-			Sensors:   sc.Sensors,
-			Health:    fusion.HealthConfig{Disabled: *noHealth},
-			Journal:   j,
-			Metrics:   met,
-		}
-		fcfg.Localizer.Seed = *seed
-		fcfg.Localizer.Metrics = met
-		fcfg.Localizer.WeightWorkers = *weightW
-		fcfg.Localizer.Workers = *msWorkers
-		if *withTracks {
-			fcfg.Tracking = &track.Config{}
-		}
-		return fusion.NewEngine(fcfg)
 	}
 
 	pol := wal.FsyncNever
@@ -162,173 +141,158 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 			return err
 		}
 	}
-	// All durability I/O goes through the observed filesystem, so real
-	// disk faults (ENOSPC, EIO) land on radloc_storage_faults_total
-	// exactly like injected ones do in the chaos tests.
-	zs, err := newZoneSet(zoneSetOptions{
-		WalRoot: *walDir, FS: vfs.Observe(vfs.OS{}, reg), Fsync: pol, CkptEvery: *ckptEvery,
-		SegmentRecords: *walSegment,
-		MaxZones:       *maxZones, Mailbox: *zoneMail, IdleAfter: *zoneIdle,
-		Metrics: reg, Log: os.Stderr, Build: build,
-	})
+	var seedRoutes *cluster.Routes
+	if *clusterRts != "" {
+		rt, rerr := cluster.LoadRoutes(*clusterRts)
+		if rerr != nil {
+			return rerr
+		}
+		seedRoutes = &rt
+	}
+
+	return node.Run(ctx, node.Config{
+		Scenario:      sc,
+		Seed:          *seed,
+		WeightWorkers: *weightW,
+		MSWorkers:     *msWorkers,
+		NoTracks:      !*withTracks,
+		NoHealth:      *noHealth,
+
+		Listen:      *listen,
+		ReportEvery: *reportEvery,
+		PipeQueue:   *queueCap,
+
+		WALDir:          *walDir,
+		Fsync:           pol,
+		CheckpointEvery: *ckptEvery,
+		WALSegment:      *walSegment,
+		StorageProbe:    *probeStor,
+		ScrubInterval:   *scrubEvery,
+
+		MaxZones:    *maxZones,
+		ZoneMailbox: *zoneMail,
+		ZoneIdle:    *zoneIdle,
+
+		HTTPQueue:    *httpQueue,
+		MaxBody:      *maxBody,
+		RetryAfter:   *retryAfter,
+		Rate:         *rate,
+		Burst:        *burst,
+		ReadTimeout:  *readTO,
+		WriteTimeout: *writeTO,
+		IdleTimeout:  *idleTO,
+		Pprof:        *pprofOn,
+
+		ClusterSelf:  *clusterSelf,
+		ClusterToken: *clusterTok,
+		SeedRoutes:   seedRoutes,
+		ReplInterval: *replEvery,
+		ReplBatch:    *replBatch,
+
+		Failover:      *failoverOn,
+		Peers:         splitPeers(*peersCSV),
+		ProbeInterval: *probeEvery,
+		SuspectMisses: *suspectN,
+		HoldDown:      *holdDown,
+		MaxPromoteLag: *maxPromLag,
+
+		ReadFanout:        *readFanout,
+		FanoutMaxLag:      *fanoutLag,
+		FanoutMinInflight: *fanoutLoad,
+
+		Log: os.Stderr,
+	}, stdin, stdout)
+}
+
+// resolveConfigFile reads -config and returns the scenario JSON it
+// leads to. Two shapes are accepted, told apart by their keys: a
+// scenario file (the legacy meaning — carries "sensors" and
+// "version") is returned as-is; anything else is a flags file, a JSON
+// object whose keys are flag names plus "scenario" naming the
+// deployment file, resolved relative to the flags file itself. File
+// values apply only to flags not set explicitly on the command line —
+// the command line always wins.
+func resolveConfigFile(fs *flag.FlagSet, path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if *walDir != "" && *probeStor > 0 {
-		// Degraded zones re-test their WAL on a jittered cadence so the
-		// node exits read-only mode on its own once space frees, even
-		// with every agent backed off.
-		go zs.storageProbeLoop(ctx, *probeStor, *seed)
+	var keys map[string]json.RawMessage
+	if err := json.Unmarshal(data, &keys); err != nil {
+		// Not a JSON object at all: let the scenario loader produce its
+		// own (better) error.
+		return data, nil
 	}
-	// Recovery at boot: the default zone plus every named zone with
-	// state on disk, each from its own WAL directory — newest valid
-	// checkpoint plus WAL suffix replay through the live ingest path.
-	// Logged to stderr — stdout is the data channel in pipe mode.
-	// /readyz stays 503 until this completes (and, in cluster mode,
-	// until every standby zone has caught up at least once).
-	var recovered atomic.Bool
-	if err := zs.recoverZones(); err != nil {
-		return err
+	if _, isScenario := keys["sensors"]; isScenario {
+		return data, nil
 	}
-	recovered.Store(true)
-	def := zs.defaultZone()
-	engine, d := def.Engine(), zoneDurable(def)
-
-	var node *cluster.Node
-	if *clusterSelf != "" {
-		if *listen == "" {
-			return fmt.Errorf("-cluster-self requires -listen (replication is served over HTTP)")
-		}
-		var eps cluster.EpochStore = &cluster.MemEpochStore{}
-		var rstore cluster.RouteStore
-		if *walDir != "" {
-			eps = &fileEpochStore{zs: zs}
-			rstore = &fileRouteStore{dir: *walDir, fs: zs.fs, logw: os.Stderr}
-		}
-		node, err = cluster.NewNode(cluster.Options{
-			Self:         *clusterSelf,
-			Token:        *clusterTok,
-			Resolver:     zs.clusterBackend,
-			Epochs:       eps,
-			RouteStore:   rstore,
-			PullInterval: *replEvery,
-			PullBatch:    *replBatch,
-			Drop:         zs.manager.Drop,
-			Metrics:      reg,
-			Log:          log.New(os.Stderr, "", log.LstdFlags),
-		})
-		if err != nil {
-			return err
-		}
-		defer node.Close()
-		if *clusterRts != "" {
-			rt, rerr := cluster.LoadRoutes(*clusterRts)
-			if rerr != nil {
-				return rerr
-			}
-			if err := node.SetRoutes(rt); err != nil {
-				return err
-			}
-		}
-		// The persisted learned table is applied after the static seed:
-		// its entries carry epochs, so anything this node learned before
-		// its last shutdown overrides a stale seed (highest epoch wins),
-		// while a fresh seed for a brand-new zone still lands.
-		if rstore != nil {
-			learned, lerr := rstore.Load()
-			if lerr != nil {
-				return lerr
-			}
-			if len(learned.Zones) > 0 {
-				node.LearnRoutes(learned)
-			}
-		}
-		// The scrubber's repair-from-replica path goes through the node.
-		zs.clusterNode = node
-	}
-	if *failoverOn {
-		if node == nil {
-			return fmt.Errorf("-failover requires -cluster-self (the failure detector acts on the cluster layer)")
-		}
-		peers := splitPeers(*peersCSV)
-		if len(peers) == 0 {
-			return fmt.Errorf("-failover requires -cluster-peers (who to probe)")
-		}
-		prom, perr := failover.New(failover.Options{
-			Node:          node,
-			Self:          *clusterSelf,
-			Peers:         peers,
-			Token:         *clusterTok,
-			Interval:      *probeEvery,
-			Suspect:       *suspectN,
-			HoldDown:      *holdDown,
-			MaxPromoteLag: *maxPromLag,
-			Metrics:       reg,
-			Log:           log.New(os.Stderr, "", log.LstdFlags),
-		})
-		if perr != nil {
-			return perr
-		}
-		prom.Start()
-		defer prom.Close()
-		// Publish the detector's world-view on /cluster/status, so an
-		// operator reads suspicion state instead of inferring it from
-		// logs.
-		node.SetPeersFunc(prom.PeerViews)
-	}
-	if *walDir != "" && *scrubEvery > 0 {
-		scr, serr := scrub.New(scrub.Options{
-			Targets:  zs.scrubTargets,
-			Interval: *scrubEvery,
-			RNG:      rng.NewNamed(uint64(*seed), "scrub"),
-			Metrics:  reg,
-			Log:      log.New(os.Stderr, "", log.LstdFlags),
-		})
-		if serr != nil {
-			return serr
-		}
-		scr.Start()
-		defer scr.Close()
-	}
-	if *zoneIdle > 0 {
-		interval := *zoneIdle / 4
-		if interval < time.Second {
-			interval = time.Second
-		}
-		go zs.manager.Janitor(ctx, interval)
+	if _, isScenario := keys["version"]; isScenario {
+		return data, nil
 	}
 
-	if *listen != "" {
-		ing := newZonedIngest(zs.manager, httpingest.Options{
-			QueueDepth: *httpQueue,
-			MaxBody:    *maxBody,
-			RetryAfter: *retryAfter,
-			RatePerSec: *rate,
-			Burst:      *burst,
-			Metrics:    reg,
-		})
-		err = serveHTTP(ctx, *listen, serveConfig{
-			Engine: engine, Durable: d, Ingest: ing, Zones: zs,
-			Timeouts: httpTimeouts{Read: *readTO, Write: *writeTO, Idle: *idleTO},
-			Metrics:  reg, Pprof: *pprofOn, Cluster: node,
-			Ready: func() bool {
-				return recovered.Load() && (node == nil || node.Ready())
-			},
-		}, stdout)
-	} else {
-		every := *reportEvery
-		if every <= 0 {
-			every = len(sc.Sensors)
+	// Flags file. Explicitly-set command-line flags win; collect them
+	// before touching anything.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	var scenarioPath string
+	// Apply in sorted order so a bad file fails on the same key every
+	// run.
+	names := make([]string, 0, len(keys))
+	for name := range keys {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if name == "scenario" {
+			if err := json.Unmarshal(keys[name], &scenarioPath); err != nil {
+				return nil, fmt.Errorf("flags file %s: \"scenario\" must be a path string: %v", path, err)
+			}
+			continue
 		}
-		err = servePipe(ctx, zs, stdin, stdout, every, *queueCap)
+		if name == "config" {
+			return nil, fmt.Errorf("flags file %s: a flags file cannot set -config (use \"scenario\" for the deployment)", path)
+		}
+		if fs.Lookup(name) == nil {
+			return nil, fmt.Errorf("flags file %s: unknown flag %q (a scenario file would have \"sensors\"; a flags file's keys must be radlocd flag names)", path, name)
+		}
+		if explicit[name] {
+			continue
+		}
+		var val any
+		if err := json.Unmarshal(keys[name], &val); err != nil {
+			return nil, fmt.Errorf("flags file %s: key %q: %v", path, name, err)
+		}
+		// flag.Set parses strings: JSON strings pass through (covering
+		// durations like "500ms"), numbers and bools format naturally.
+		var s string
+		switch v := val.(type) {
+		case string:
+			s = v
+		case bool:
+			s = fmt.Sprintf("%v", v)
+		case float64:
+			// Integers round-trip exactly; %v would add an exponent for
+			// large WAL offsets.
+			if v == float64(int64(v)) {
+				s = fmt.Sprintf("%d", int64(v))
+			} else {
+				s = fmt.Sprintf("%v", v)
+			}
+		default:
+			return nil, fmt.Errorf("flags file %s: key %q: value must be a string, number or bool", path, name)
+		}
+		if err := fs.Set(name, s); err != nil {
+			return nil, fmt.Errorf("flags file %s: key %q: %v", path, name, err)
+		}
 	}
-	// Final checkpoints + WAL sync/close for every zone, even on a
-	// serve error: what each engine applied is what the next boot
-	// recovers.
-	if cerr := zs.close(); err == nil {
-		err = cerr
+	if scenarioPath == "" {
+		return nil, fmt.Errorf("flags file %s: missing \"scenario\" (the deployment JSON the daemon loads)", path)
 	}
-	return err
+	if !filepath.IsAbs(scenarioPath) {
+		scenarioPath = filepath.Join(filepath.Dir(path), scenarioPath)
+	}
+	return os.ReadFile(scenarioPath)
 }
 
 // splitPeers parses the -cluster-peers list: comma-separated base

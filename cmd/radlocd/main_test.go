@@ -6,8 +6,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"net/http"
-	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -16,11 +14,8 @@ import (
 	"time"
 
 	"radloc/internal/config"
-	"radloc/internal/fusion"
 	"radloc/internal/rng"
 	"radloc/internal/scenario"
-	"radloc/internal/sim"
-	"radloc/internal/track"
 )
 
 // writeDeployment saves Scenario A (50 µCi) as a config file and
@@ -219,239 +214,5 @@ func TestPipeModeSkipsUnknownSensors(t *testing.T) {
 	}
 	if last.Rejected != 1 {
 		t.Errorf("rejected = %d, want 1", last.Rejected)
-	}
-}
-
-func newTestServer(t *testing.T) (*httptest.Server, scenario.Scenario) {
-	t.Helper()
-	sc := scenario.A(50, false)
-	fcfg := fusion.Config{Localizer: sim.LocalizerConfig(sc), Sensors: sc.Sensors}
-	fcfg.Localizer.Seed = 3
-	fcfg.Tracking = &track.Config{}
-	engine, err := fusion.NewEngine(fcfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	srv := httptest.NewServer(newMux(serveConfig{Engine: engine}))
-	t.Cleanup(srv.Close)
-	return srv, sc
-}
-
-func TestHTTPHealthz(t *testing.T) {
-	srv, _ := newTestServer(t)
-	resp, err := http.Get(srv.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Errorf("healthz status %d", resp.StatusCode)
-	}
-}
-
-func TestHTTPMeasurementsAndSnapshot(t *testing.T) {
-	srv, sc := newTestServer(t)
-	stream := rng.NewNamed(4, "radlocd-http/measure")
-
-	for step := 0; step < 6; step++ {
-		var batch []measurementJSON
-		for _, sen := range sc.Sensors {
-			m := sen.Measure(stream, sc.Sources, nil, step)
-			batch = append(batch, measurementJSON{SensorID: sen.ID, CPM: m.CPM})
-		}
-		body, _ := json.Marshal(batch)
-		resp, err := http.Post(srv.URL+"/measurements", "application/json", bytes.NewReader(body))
-		if err != nil {
-			t.Fatal(err)
-		}
-		var ack map[string]int
-		if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		if ack["accepted"] != len(batch) {
-			t.Fatalf("accepted = %d, want %d", ack["accepted"], len(batch))
-		}
-	}
-
-	resp, err := http.Get(srv.URL + "/snapshot")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var snap snapshotJSON
-	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-		t.Fatal(err)
-	}
-	if len(snap.Estimates) == 0 {
-		t.Fatal("no estimates over HTTP")
-	}
-	found := 0
-	for _, src := range sc.Sources {
-		for _, e := range snap.Estimates {
-			dx, dy := e.X-src.Pos.X, e.Y-src.Pos.Y
-			if dx*dx+dy*dy < 100 {
-				found++
-				break
-			}
-		}
-	}
-	if found != 2 {
-		t.Errorf("HTTP pipeline found %d/2 sources", found)
-	}
-}
-
-func TestHTTPSingleMeasurementAndErrors(t *testing.T) {
-	srv, _ := newTestServer(t)
-
-	// A single object (not an array) is accepted.
-	resp, err := http.Post(srv.URL+"/measurements", "application/json",
-		strings.NewReader(`{"sensorId":0,"cpm":7}`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var ack map[string]int
-	_ = json.NewDecoder(resp.Body).Decode(&ack)
-	resp.Body.Close()
-	if ack["accepted"] != 1 {
-		t.Errorf("single measurement ack: %v", ack)
-	}
-
-	// Garbage body → 400.
-	resp, err = http.Post(srv.URL+"/measurements", "application/json", strings.NewReader("zzz"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("garbage body status %d", resp.StatusCode)
-	}
-
-	// Wrong methods.
-	resp, err = http.Get(srv.URL + "/measurements")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET /measurements status %d", resp.StatusCode)
-	}
-	resp, err = http.Post(srv.URL+"/snapshot", "application/json", strings.NewReader("{}"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("POST /snapshot status %d", resp.StatusCode)
-	}
-}
-
-func TestHTTPStats(t *testing.T) {
-	srv, _ := newTestServer(t)
-	resp, err := http.Post(srv.URL+"/measurements", "application/json",
-		strings.NewReader(`{"sensorId":0,"cpm":7}`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-
-	resp, err = http.Get(srv.URL + "/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var stats map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
-		t.Fatal(err)
-	}
-	if stats["ingested"].(float64) != 1 {
-		t.Errorf("ingested = %v", stats["ingested"])
-	}
-	if stats["sensors"].(float64) != 36 {
-		t.Errorf("sensors = %v", stats["sensors"])
-	}
-	if stats["uptimeSeconds"].(float64) < 0 {
-		t.Error("negative uptime")
-	}
-	// Wrong method.
-	resp2, err := http.Post(srv.URL+"/stats", "application/json", strings.NewReader("{}"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp2.Body.Close()
-	if resp2.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("POST /stats status %d", resp2.StatusCode)
-	}
-}
-
-func TestHTTPReadyzAndSensors(t *testing.T) {
-	srv, sc := newTestServer(t)
-
-	// Before any estimate refresh the daemon is live but not ready.
-	resp, err := http.Get(srv.URL + "/readyz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("readyz before refresh: status %d, want 503", resp.StatusCode)
-	}
-
-	// Post one full sensor round; the engine refreshes and turns ready.
-	stream := rng.NewNamed(5, "radlocd-http/ready")
-	var batch []measurementJSON
-	for _, sen := range sc.Sensors {
-		m := sen.Measure(stream, sc.Sources, nil, 0)
-		batch = append(batch, measurementJSON{SensorID: sen.ID, CPM: m.CPM})
-	}
-	body, _ := json.Marshal(batch)
-	resp, err = http.Post(srv.URL+"/measurements", "application/json", bytes.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-
-	resp, err = http.Get(srv.URL + "/readyz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Errorf("readyz after refresh: status %d, want 200", resp.StatusCode)
-	}
-
-	// /sensors reports one health record per sensor, sorted by ID.
-	resp, err = http.Get(srv.URL + "/sensors")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var health []sensorHealthJSON
-	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
-		t.Fatal(err)
-	}
-	if len(health) != len(sc.Sensors) {
-		t.Fatalf("sensors = %d records, want %d", len(health), len(sc.Sensors))
-	}
-	for i, h := range health {
-		if h.SensorID != i {
-			t.Fatalf("sensors not sorted by ID: %d at index %d", h.SensorID, i)
-		}
-		if h.Status != "healthy" {
-			t.Errorf("sensor %d status %q after clean round", h.SensorID, h.Status)
-		}
-		if h.Seen != 1 {
-			t.Errorf("sensor %d seen = %d, want 1", h.SensorID, h.Seen)
-		}
-	}
-
-	// POST to /sensors is refused.
-	resp, err = http.Post(srv.URL+"/sensors", "application/json", strings.NewReader("{}"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("POST /sensors: status %d, want 405", resp.StatusCode)
 	}
 }

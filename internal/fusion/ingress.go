@@ -358,7 +358,9 @@ func (e *Engine) FlushPending() (int, error) {
 // order, post-gate) but advances the gate's cursors and watermark so
 // redelivery of already-recovered readings deduplicates, and advances
 // the journal offset accounting — replayed records are already
-// durable.
+// durable. Delivery counters advance exactly as the live path's did
+// for the same record, so a replica (or a recovered node) reports the
+// same delivery picture as the node that journaled it.
 func (e *Engine) Replay(m Meas) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -375,5 +377,6 @@ func (e *Engine) Replay(m Meas) {
 		_, _ = e.applyReleasedLocked(m)
 		return
 	}
+	e.met.unsequenced.Inc()
 	_, _ = e.applyLocked(m)
 }

@@ -62,6 +62,13 @@ type Resolver func(zoneName string) (Sink, error)
 // set (the single-engine deployment) for any other name — HTTP 404.
 var ErrNoSuchZone = errors.New("httpingest: no such zone")
 
+// ErrNotWritable is returned by a Sink whose zone stopped accepting
+// writes on this node between request admission and the apply (for
+// example, a cluster demotion mid-flight). It maps to 503 +
+// Retry-After: the data is fine and the caller should keep its copy
+// and retry — by then against the new primary.
+var ErrNotWritable = errors.New("httpingest: zone not writable on this node")
+
 // managerSink binds one zone name to a manager, deferring zone
 // creation to the first submitted batch.
 type managerSink struct {
@@ -371,7 +378,8 @@ func sinkStatus(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, zone.ErrMailboxFull):
 		return http.StatusTooManyRequests
-	case errors.Is(err, zone.ErrZoneLimit), errors.Is(err, zone.ErrManagerClosed), errors.Is(err, zone.ErrZoneClosed):
+	case errors.Is(err, zone.ErrZoneLimit), errors.Is(err, zone.ErrManagerClosed), errors.Is(err, zone.ErrZoneClosed),
+		errors.Is(err, ErrNotWritable):
 		return http.StatusServiceUnavailable
 	case errors.As(err, &je):
 		// The zone's write-ahead journal refused the append: the disk,

@@ -1,4 +1,4 @@
-package main
+package node
 
 // Regression tests for the HTTP ingest backpressure posture: body
 // bounds (413), Content-Type enforcement (415), admission-queue

@@ -1,4 +1,4 @@
-package main
+package node
 
 // Chaos integration test: a spooled transport client delivers a fixed
 // measurement stream through a deterministic fault injector — seeded

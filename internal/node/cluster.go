@@ -1,4 +1,4 @@
-package main
+package node
 
 import (
 	"encoding/json"
@@ -100,32 +100,12 @@ func (b *zoneBackend) SetRetainFloor(off uint64) {
 	}
 }
 
-// ApplyRecords implements cluster.Backend: each replicated record is
-// journaled (WAL order stays application order, same as the live
-// write path) and then applied through the engine's replay entry —
-// the exact code path boot recovery uses, which is what makes a
-// caught-up standby bit-identical to its primary.
+// ApplyRecords implements cluster.Backend by handing the replicated
+// records to the write pipeline's lower half — the same journal-then-
+// replay path boot recovery uses, which is what makes a caught-up
+// standby bit-identical to its primary.
 func (b *zoneBackend) ApplyRecords(recs []cluster.RecordAt) error {
-	d := zoneDurable(b.z)
-	eng := b.z.Engine()
-	for _, ra := range recs {
-		if cur := b.Offset(); ra.Off != cur {
-			return fmt.Errorf("replication offset gap: got %d, local head %d", ra.Off, cur)
-		}
-		if d != nil {
-			d.j.mu.Lock()
-			_, err := d.j.log.Append(ra.Rec)
-			d.j.mu.Unlock()
-			if err != nil {
-				return err
-			}
-		}
-		eng.Replay(fusion.Meas{SensorID: ra.Rec.SensorID, CPM: ra.Rec.CPM, Step: ra.Rec.Step, Seq: ra.Rec.Seq})
-	}
-	if d != nil {
-		d.maybeCheckpoint(b.zs.logw)
-	}
-	return nil
+	return b.zs.pipe.Apply(b.z, recs)
 }
 
 // ExportState implements cluster.Backend.

@@ -1,4 +1,4 @@
-package main
+package node
 
 // Regression tests for the on-disk cluster stores: a corrupt or
 // truncated epoch file must never stop the daemon from booting — it

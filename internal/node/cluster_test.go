@@ -1,4 +1,4 @@
-package main
+package node
 
 // Cluster failover integration tests: two full daemon stacks (zone
 // manager, per-zone WAL, fusion engines, /cluster endpoints, write
@@ -10,92 +10,30 @@ package main
 
 import (
 	"bytes"
-	"context"
 	"encoding/json"
-	"fmt"
-	"io"
 	"net/http"
-	"net/http/httptest"
-	"strconv"
-	"strings"
-	"sync"
 	"testing"
 	"time"
 
-	"radloc/internal/clock"
 	"radloc/internal/cluster"
 	"radloc/internal/fusion"
-	"radloc/internal/httpingest"
+	"radloc/internal/node/nodetest"
 	"radloc/internal/obs"
-	"radloc/internal/rng"
 	"radloc/internal/scenario"
 	"radloc/internal/sim"
-	"radloc/internal/transport"
 	"radloc/internal/wal"
 )
 
-// clusterFabric maps in-process hosts to their daemon muxes.
-type clusterFabric struct {
-	mu    sync.Mutex
-	hosts map[string]http.Handler
-}
-
-func newClusterFabric() *clusterFabric {
-	return &clusterFabric{hosts: make(map[string]http.Handler)}
-}
-
-func (f *clusterFabric) add(host string, h http.Handler) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.hosts[host] = h
-}
-
-func (f *clusterFabric) handler(host string) http.Handler {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.hosts[host]
-}
-
-// fabricLink is one participant's view of the network: its own cut
-// set, so a replication path can be severed while client traffic to
-// the same host keeps flowing (and vice versa).
-type fabricLink struct {
-	f    *clusterFabric
-	mu   sync.Mutex
-	down map[string]bool
-}
-
-func (f *clusterFabric) link() *fabricLink {
-	return &fabricLink{f: f, down: make(map[string]bool)}
-}
-
-func (l *fabricLink) cut(host string, v bool) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.down[host] = v
-}
-
-func (l *fabricLink) RoundTrip(req *http.Request) (*http.Response, error) {
-	l.mu.Lock()
-	down := l.down[req.URL.Host]
-	l.mu.Unlock()
-	h := l.f.handler(req.URL.Host)
-	if h == nil || down {
-		return nil, fmt.Errorf("fabric: host %q unreachable", req.URL.Host)
-	}
-	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, req)
-	return rec.Result(), nil
-}
-
-// clusterTestNode is one daemon's full stack. node is nil for the
+// clusterTestNode is one daemon's full stack — a real node.Node plus
+// the white-box aliases the assertions reach into. node is nil for the
 // standalone (non-clustered) reference deployment.
 type clusterTestNode struct {
+	n    *Node
 	zs   *zoneSet
 	node *cluster.Node
-	mux  *http.ServeMux
+	mux  http.Handler
 	reg  *obs.Registry
-	link *fabricLink
+	link *nodetest.Link
 }
 
 // clusterTestBuild is the engine constructor every cluster-test node
@@ -117,65 +55,58 @@ func clusterTestBuild() func(fusion.Journal, *obs.Registry) (*fusion.Engine, err
 	}
 }
 
-// newClusterTestNode assembles the stack exactly as run() does:
-// durable zone set, recovery, cluster node on the zone-set backend,
-// fenced mux. Every node builds identical engines (same scenario,
-// same seed), so state comparisons across nodes are meaningful.
-func newClusterTestNode(t *testing.T, fab *clusterFabric, host string, routes *cluster.Routes) *clusterTestNode {
+// newClusterTestNode assembles one daemon through the production path
+// — node.New on a Config — over the in-process fabric. Every node
+// builds identical engines (same scenario, same seed), so state
+// comparisons across nodes are meaningful.
+func newClusterTestNode(t *testing.T, fab *nodetest.Fabric, host string, routes *cluster.Routes, mods ...func(*Config)) *clusterTestNode {
 	t.Helper()
-	return newClusterTestNodeAt(t, fab, host, routes, t.TempDir(), nil)
+	return newClusterTestNodeAt(t, fab, host, routes, t.TempDir(), mods...)
 }
 
-// newClusterTestNodeAt is newClusterTestNode with the WAL root and
-// route store exposed, so a killed node can be resurrected over its
-// own surviving state — the divergence-repair scenario.
-func newClusterTestNodeAt(t *testing.T, fab *clusterFabric, host string, routes *cluster.Routes, walRoot string, rstore cluster.RouteStore) *clusterTestNode {
+// newClusterTestNodeAt is newClusterTestNode with the WAL root
+// exposed, so a killed node can be resurrected over its own surviving
+// state — the divergence-repair scenario.
+func newClusterTestNodeAt(t *testing.T, fab *nodetest.Fabric, host string, routes *cluster.Routes, walRoot string, mods ...func(*Config)) *clusterTestNode {
 	t.Helper()
 	reg := obs.NewRegistry()
-	build := clusterTestBuild()
-	zs, err := newZoneSet(zoneSetOptions{
-		WalRoot: walRoot, Fsync: wal.FsyncNever, CkptEvery: 50, SegmentRecords: 16,
-		MaxZones: 8, Mailbox: 64, Metrics: reg, Log: io.Discard, Build: build,
-	})
+	link := fab.Link()
+	cfg := Config{
+		Scenario: scenario.A(50, false),
+		Seed:     3,
+		// No tracking: the cluster assertions compare estimates and
+		// health, and the reference node must match shape-for-shape.
+		NoTracks: true,
+		// A one-round reorder window keeps the WAL advancing as each
+		// round lands, so replication lag and retention are exercised
+		// with a 6-round stream (the default window of 4 would hold
+		// most of it in the gate, journaling almost nothing).
+		ReorderWindow:   1,
+		WALDir:          walRoot,
+		Fsync:           wal.FsyncNever,
+		CheckpointEvery: 50,
+		WALSegment:      16,
+		MaxZones:        8,
+		ZoneMailbox:     64,
+		HTTPQueue:       256,
+		HTTP:            link,
+		Metrics:         reg,
+	}
+	if routes != nil {
+		cfg.ClusterSelf = "http://" + host
+		cfg.SeedRoutes = routes
+		cfg.ReplInterval = time.Millisecond
+	}
+	for _, mod := range mods {
+		mod(&cfg)
+	}
+	nd, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { _ = zs.close() })
-	if err := zs.recoverZones(); err != nil {
-		t.Fatal(err)
-	}
-
-	n := &clusterTestNode{zs: zs, reg: reg, link: fab.link()}
-	if routes != nil {
-		n.node, err = cluster.NewNode(cluster.Options{
-			Self:         "http://" + host,
-			Resolver:     zs.clusterBackend,
-			Epochs:       &fileEpochStore{zs: zs},
-			RouteStore:   rstore,
-			HTTP:         n.link,
-			PullInterval: time.Millisecond,
-			Drop:         zs.manager.Drop,
-			Metrics:      reg,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		t.Cleanup(n.node.Close)
-		// Same late wiring as run(): the scrubber's repair-from-replica
-		// path reaches the cluster through the zone set.
-		zs.clusterNode = n.node
-		if err := n.node.SetRoutes(*routes); err != nil {
-			t.Fatal(err)
-		}
-	}
-	def := zs.defaultZone()
-	n.mux = newMux(serveConfig{
-		Engine: def.Engine(), Durable: zoneDurable(def), Zones: zs,
-		Ingest:  newZonedIngest(zs.manager, httpingest.Options{QueueDepth: 256, Metrics: reg}),
-		Metrics: reg, Cluster: n.node,
-		Ready: func() bool { return n.node == nil || n.node.Ready() },
-	})
-	fab.add(host, n.mux)
+	t.Cleanup(func() { _ = nd.Shutdown() })
+	n := &clusterTestNode{n: nd, zs: nd.zs, node: nd.clu, mux: nd.Handler(), reg: reg, link: link}
+	fab.Add(host, n.mux)
 	return n
 }
 
@@ -197,48 +128,6 @@ func (n *clusterTestNode) status(zone string) (cluster.ZoneStatus, bool) {
 		}
 	}
 	return cluster.ZoneStatus{}, false
-}
-
-// newClusterClient builds a delivery agent aimed at url over its own
-// fabric link, with redirect following live.
-func newClusterClient(t *testing.T, fab *clusterFabric, url, name, zone string) *transport.Client {
-	t.Helper()
-	c, err := transport.NewClient(transport.Options{
-		URL: url, Zone: zone, HTTP: fab.link(), Clock: clock.Real{},
-		RNG:     rng.NewNamed(7, "cluster-test/"+name),
-		Backoff: transport.Backoff{Base: time.Millisecond, Cap: 10 * time.Millisecond},
-		Breaker: transport.BreakerConfig{FailureThreshold: 3, Cooldown: 10 * time.Millisecond},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return c
-}
-
-// sendRounds delivers readings one sensor-round per request.
-func sendRounds(t *testing.T, c *transport.Client, readings []transport.Reading, perRound int) {
-	t.Helper()
-	for i := 0; i < len(readings); i += perRound {
-		end := i + perRound
-		if end > len(readings) {
-			end = len(readings)
-		}
-		if err := c.Send(context.Background(), readings[i:end]); err != nil {
-			t.Fatal(err)
-		}
-	}
-}
-
-func waitUntil(t *testing.T, what string, cond func() bool) {
-	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
-	t.Fatalf("timed out waiting for %s", what)
 }
 
 // normalizedState releases the engine's reorder-gate tail, refreshes,
@@ -263,18 +152,6 @@ func normalizedState(t *testing.T, eng *fusion.Engine) ([]byte, []byte) {
 	return snap, health
 }
 
-// httpStatus issues one request against a mux and returns the code.
-func httpStatus(mux *http.ServeMux, method, url, body string) (*httptest.ResponseRecorder, int) {
-	var rd io.Reader
-	if body != "" {
-		rd = strings.NewReader(body)
-	}
-	req := httptest.NewRequest(method, url, rd)
-	rec := httptest.NewRecorder()
-	mux.ServeHTTP(rec, req)
-	return rec, rec.Code
-}
-
 // TestClusterFailoverBitIdentical is the headline cluster criterion:
 // half the stream lands on the primary, the primary is killed with no
 // shutdown flush of any kind, the standby is promoted, and the whole
@@ -283,7 +160,7 @@ func httpStatus(mux *http.ServeMux, method, url, body string) (*httptest.Respons
 // uninterrupted — replication plus the dedup gate lose nothing and
 // double-apply nothing across a failover.
 func TestClusterFailoverBitIdentical(t *testing.T) {
-	fab := newClusterFabric()
+	fab := nodetest.NewFabric()
 	routes := cluster.Routes{Zones: map[string]cluster.Route{
 		"default": {Primary: "http://a", Standby: "http://b"},
 	}}
@@ -296,20 +173,20 @@ func TestClusterFailoverBitIdentical(t *testing.T) {
 	half := (len(readings) / (2 * sensors)) * sensors // whole-round boundary
 
 	// Reference: the same stream, one node, no interruptions.
-	sendRounds(t, newClusterClient(t, fab, "http://c", "clean", ""), readings, sensors)
+	nodetest.SendRounds(t, nodetest.NewClient(t, fab, "http://c", "clean", ""), readings, sensors)
 	wantSnap, wantHealth := normalizedState(t, clean.zs.defaultZone().Engine())
 
 	// Primary takes the first half; the standby replicates it.
-	sendRounds(t, newClusterClient(t, fab, "http://a", "pre-kill", ""), readings[:half], sensors)
+	nodetest.SendRounds(t, nodetest.NewClient(t, fab, "http://a", "pre-kill", ""), readings[:half], sensors)
 	aBack := a.backend(t, "default")
-	waitUntil(t, "standby catch-up before the kill", func() bool {
+	nodetest.WaitUntil(t, "standby catch-up before the kill", func() bool {
 		st, ok := b.status("default")
 		return ok && st.CaughtUp && b.backend(t, "default").Offset() == aBack.Offset()
 	})
 
 	// Kill the primary: sever it and abandon its zone set — no final
 	// checkpoint, no gate flush, no WAL sync. Observationally SIGKILL.
-	b.link.cut("a", true)
+	b.link.Cut("a", true)
 
 	epoch, err := b.node.Promote("default")
 	if err != nil {
@@ -318,13 +195,13 @@ func TestClusterFailoverBitIdentical(t *testing.T) {
 	if epoch != 2 {
 		t.Fatalf("promote epoch = %d, want 2", epoch)
 	}
-	if _, code := httpStatus(b.mux, http.MethodGet, "http://b/readyz", ""); code != http.StatusOK {
+	if _, code := nodetest.HTTPStatus(b.mux, http.MethodGet, "http://b/readyz", ""); code != http.StatusOK {
 		t.Fatalf("promoted node /readyz = %d, want 200", code)
 	}
 
 	// At-least-once redelivery of the whole stream to the new primary:
 	// the sequence gate absorbs everything replication already applied.
-	sendRounds(t, newClusterClient(t, fab, "http://b", "post-kill", ""), readings, sensors)
+	nodetest.SendRounds(t, nodetest.NewClient(t, fab, "http://b", "post-kill", ""), readings, sensors)
 
 	gotSnap, gotHealth := normalizedState(t, b.zs.defaultZone().Engine())
 	if !bytes.Equal(wantSnap, gotSnap) {
@@ -336,12 +213,12 @@ func TestClusterFailoverBitIdentical(t *testing.T) {
 
 	// The dead primary stays fenced: a pull carrying the new epoch gets
 	// 409 and forces it to step down, even if it limps back.
-	b.link.cut("a", false)
-	rec, code := httpStatus(a.mux, http.MethodGet, "http://a/cluster/wal/default?from=0&epoch=2", "")
+	b.link.Cut("a", false)
+	rec, code := nodetest.HTTPStatus(a.mux, http.MethodGet, "http://a/cluster/wal/default?from=0&epoch=2", "")
 	if code != http.StatusConflict {
 		t.Fatalf("stale primary served a newer-epoch pull: HTTP %d: %s", code, rec.Body.String())
 	}
-	if _, code := httpStatus(a.mux, http.MethodPost, "http://a/measurements", `{"sensorId":0,"cpm":12}`); code != http.StatusServiceUnavailable {
+	if _, code := nodetest.HTTPStatus(a.mux, http.MethodPost, "http://a/measurements", `{"sensorId":0,"cpm":12}`); code != http.StatusServiceUnavailable {
 		t.Fatalf("fenced old primary accepted a write: HTTP %d", code)
 	}
 }
@@ -352,7 +229,7 @@ func TestClusterFailoverBitIdentical(t *testing.T) {
 // and the applied records replicate back to the very standby that
 // bounced them.
 func TestClusterStandbyRedirectsWrites(t *testing.T) {
-	fab := newClusterFabric()
+	fab := nodetest.NewFabric()
 	routes := cluster.Routes{Zones: map[string]cluster.Route{
 		"default": {Primary: "http://a", Standby: "http://b"},
 	}}
@@ -360,7 +237,7 @@ func TestClusterStandbyRedirectsWrites(t *testing.T) {
 	b := newClusterTestNode(t, fab, "b", &routes)
 
 	// Raw request: the standby answers 307 with the primary's URL.
-	rec, code := httpStatus(b.mux, http.MethodPost, "http://b/measurements", `[{"sensorId":0,"cpm":12,"step":0,"seq":1}]`)
+	rec, code := nodetest.HTTPStatus(b.mux, http.MethodPost, "http://b/measurements", `[{"sensorId":0,"cpm":12,"step":0,"seq":1}]`)
 	if code != http.StatusTemporaryRedirect {
 		t.Fatalf("standby write = HTTP %d, want 307", code)
 	}
@@ -371,8 +248,8 @@ func TestClusterStandbyRedirectsWrites(t *testing.T) {
 	// Agent aimed at the standby: delivery succeeds via the redirect.
 	sensors := len(scenario.A(50, false).Sensors)
 	readings := chaosReadings(sensors)
-	c := newClusterClient(t, fab, "http://b", "redirected", "")
-	sendRounds(t, c, readings, sensors)
+	c := nodetest.NewClient(t, fab, "http://b", "redirected", "")
+	nodetest.SendRounds(t, c, readings, sensors)
 	st := c.Stats()
 	if st.Redirects != 1 || st.Delivered != uint64(len(readings)) {
 		t.Fatalf("client stats = %+v, want 1 redirect and full delivery", st)
@@ -382,29 +259,9 @@ func TestClusterStandbyRedirectsWrites(t *testing.T) {
 	if aBack.Offset() == 0 {
 		t.Fatal("primary journaled nothing")
 	}
-	waitUntil(t, "replication back to the standby", func() bool {
+	nodetest.WaitUntil(t, "replication back to the standby", func() bool {
 		return b.backend(t, "default").Offset() == aBack.Offset()
 	})
-}
-
-// scrapeGauge pulls one labeled gauge value off a node's /metrics.
-func scrapeGauge(t *testing.T, mux *http.ServeMux, name string) (float64, bool) {
-	t.Helper()
-	rec, code := httpStatus(mux, http.MethodGet, "http://x/metrics", "")
-	if code != http.StatusOK {
-		t.Fatalf("/metrics = HTTP %d", code)
-	}
-	for _, line := range strings.Split(rec.Body.String(), "\n") {
-		if strings.HasPrefix(line, name+" ") || strings.HasPrefix(line, name+"{") {
-			fields := strings.Fields(line)
-			v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
-			if err != nil {
-				t.Fatalf("unparseable metric line %q", line)
-			}
-			return v, true
-		}
-	}
-	return 0, false
 }
 
 // TestClusterPartitionedStandbyDegrades pins the graceful-degradation
@@ -413,7 +270,7 @@ func scrapeGauge(t *testing.T, mux *http.ServeMux, name string) (float64, bool) 
 // brain), and catches up cleanly after the heal — while the primary
 // keeps accepting writes throughout.
 func TestClusterPartitionedStandbyDegrades(t *testing.T) {
-	fab := newClusterFabric()
+	fab := nodetest.NewFabric()
 	routes := cluster.Routes{Zones: map[string]cluster.Route{
 		"default": {Primary: "http://a", Standby: "http://b"},
 	}}
@@ -422,54 +279,54 @@ func TestClusterPartitionedStandbyDegrades(t *testing.T) {
 
 	sensors := len(scenario.A(50, false).Sensors)
 	readings := chaosReadings(sensors)
-	agent := newClusterClient(t, fab, "http://a", "partition", "")
-	sendRounds(t, agent, readings[:2*sensors], sensors)
+	agent := nodetest.NewClient(t, fab, "http://a", "partition", "")
+	nodetest.SendRounds(t, agent, readings[:2*sensors], sensors)
 	aBack := a.backend(t, "default")
-	waitUntil(t, "initial catch-up", func() bool {
+	nodetest.WaitUntil(t, "initial catch-up", func() bool {
 		return aBack.Offset() > 0 && b.backend(t, "default").Offset() == aBack.Offset()
 	})
-	waitUntil(t, "initial readiness", func() bool {
-		_, code := httpStatus(b.mux, http.MethodGet, "http://b/readyz", "")
+	nodetest.WaitUntil(t, "initial readiness", func() bool {
+		_, code := nodetest.HTTPStatus(b.mux, http.MethodGet, "http://b/readyz", "")
 		return code == http.StatusOK
 	})
 
 	// Partition the standby's replication path only.
 	offBefore := aBack.Offset()
-	b.link.cut("a", true)
-	waitUntil(t, "standby to notice the partition", func() bool {
+	b.link.Cut("a", true)
+	nodetest.WaitUntil(t, "standby to notice the partition", func() bool {
 		st, ok := b.status("default")
 		return ok && !st.CaughtUp && st.LastError != ""
 	})
 
 	// Writes keep flowing to the primary through the partition.
-	sendRounds(t, agent, readings[2*sensors:4*sensors], sensors)
+	nodetest.SendRounds(t, agent, readings[2*sensors:4*sensors], sensors)
 	if got := aBack.Offset(); got <= offBefore {
 		t.Fatalf("primary stopped journaling under partition (offset %d, was %d)", got, offBefore)
 	}
 	// The standby degrades honestly: unready, lag gauge climbing,
 	// reads still served, writes still refused.
-	if _, code := httpStatus(b.mux, http.MethodGet, "http://b/readyz", ""); code != http.StatusServiceUnavailable {
+	if _, code := nodetest.HTTPStatus(b.mux, http.MethodGet, "http://b/readyz", ""); code != http.StatusServiceUnavailable {
 		t.Fatalf("partitioned standby /readyz = %d, want 503", code)
 	}
-	waitUntil(t, "lag gauge to rise", func() bool {
-		v, ok := scrapeGauge(t, b.mux, "radloc_repl_lag_seconds")
+	nodetest.WaitUntil(t, "lag gauge to rise", func() bool {
+		v, ok := nodetest.ScrapeGauge(t, b.mux, "radloc_repl_lag_seconds")
 		return ok && v > 0
 	})
-	if _, code := httpStatus(b.mux, http.MethodGet, "http://b/snapshot", ""); code != http.StatusOK {
+	if _, code := nodetest.HTTPStatus(b.mux, http.MethodGet, "http://b/snapshot", ""); code != http.StatusOK {
 		t.Fatalf("partitioned standby stopped serving reads")
 	}
-	if _, code := httpStatus(b.mux, http.MethodPost, "http://b/measurements", `[{"sensorId":1,"cpm":14}]`); code != http.StatusTemporaryRedirect {
+	if _, code := nodetest.HTTPStatus(b.mux, http.MethodPost, "http://b/measurements", `[{"sensorId":1,"cpm":14}]`); code != http.StatusTemporaryRedirect {
 		t.Fatalf("partitioned standby write = %d, want 307 (split brain guard)", code)
 	}
 
 	// Heal: the standby drains the backlog and is ready again.
-	b.link.cut("a", false)
-	waitUntil(t, "catch-up after heal", func() bool {
+	b.link.Cut("a", false)
+	nodetest.WaitUntil(t, "catch-up after heal", func() bool {
 		st, ok := b.status("default")
 		return ok && st.CaughtUp && b.backend(t, "default").Offset() == aBack.Offset()
 	})
-	waitUntil(t, "readiness after heal", func() bool {
-		_, code := httpStatus(b.mux, http.MethodGet, "http://b/readyz", "")
+	nodetest.WaitUntil(t, "readiness after heal", func() bool {
+		_, code := nodetest.HTTPStatus(b.mux, http.MethodGet, "http://b/readyz", "")
 		return code == http.StatusOK
 	})
 }
@@ -478,15 +335,15 @@ func TestClusterPartitionedStandbyDegrades(t *testing.T) {
 // drives — replicate, catch up, drain, promote, release — for a named
 // zone, with the source node alive throughout.
 func TestClusterLiveMigration(t *testing.T) {
-	fab := newClusterFabric()
+	fab := nodetest.NewFabric()
 	empty := cluster.Routes{}
 	a := newClusterTestNode(t, fab, "a", &empty)
 	b := newClusterTestNode(t, fab, "b", &empty)
 
 	sensors := len(scenario.A(50, false).Sensors)
 	readings := chaosReadings(sensors)
-	agent := newClusterClient(t, fab, "http://a", "migrate", "west")
-	sendRounds(t, agent, readings[:3*sensors], sensors)
+	agent := nodetest.NewClient(t, fab, "http://a", "migrate", "west")
+	nodetest.SendRounds(t, agent, readings[:3*sensors], sensors)
 	aBack := a.backend(t, "west")
 	if aBack.Offset() == 0 {
 		t.Fatal("source journaled nothing")
@@ -496,7 +353,7 @@ func TestClusterLiveMigration(t *testing.T) {
 	if err := b.node.Replicate("west", "http://a"); err != nil {
 		t.Fatal(err)
 	}
-	waitUntil(t, "migration target catch-up", func() bool {
+	nodetest.WaitUntil(t, "migration target catch-up", func() bool {
 		st, ok := b.status("west")
 		return ok && st.CaughtUp && b.backend(t, "west").Offset() == aBack.Offset()
 	})
@@ -506,12 +363,12 @@ func TestClusterLiveMigration(t *testing.T) {
 	if err := a.node.SetDraining("west", true); err != nil {
 		t.Fatal(err)
 	}
-	rec, code := httpStatus(a.mux, http.MethodPost, "http://a/zones/west/measurements", `[{"sensorId":2,"cpm":13}]`)
+	rec, code := nodetest.HTTPStatus(a.mux, http.MethodPost, "http://a/zones/west/measurements", `[{"sensorId":2,"cpm":13}]`)
 	if code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
 		t.Fatalf("draining write = HTTP %d (Retry-After %q), want 503 with hint", code, rec.Header().Get("Retry-After"))
 	}
 	head := aBack.Offset()
-	waitUntil(t, "final records to reach the target", func() bool {
+	nodetest.WaitUntil(t, "final records to reach the target", func() bool {
 		return b.backend(t, "west").Offset() >= head
 	})
 
@@ -528,12 +385,12 @@ func TestClusterLiveMigration(t *testing.T) {
 
 	// The source now redirects the zone's writes to the new owner, and
 	// the agent follows without losing a reading.
-	rec, code = httpStatus(a.mux, http.MethodPost, "http://a/zones/west/measurements", `[{"sensorId":2,"cpm":13,"step":3,"seq":4}]`)
+	rec, code = nodetest.HTTPStatus(a.mux, http.MethodPost, "http://a/zones/west/measurements", `[{"sensorId":2,"cpm":13,"step":3,"seq":4}]`)
 	if code != http.StatusTemporaryRedirect || rec.Header().Get("Location") != "http://b/zones/west/measurements" {
 		t.Fatalf("post-release write = HTTP %d Location %q", code, rec.Header().Get("Location"))
 	}
 	before := b.backend(t, "west").Offset()
-	sendRounds(t, agent, readings[3*sensors:], sensors)
+	nodetest.SendRounds(t, agent, readings[3*sensors:], sensors)
 	if st := agent.Stats(); st.Redirects == 0 {
 		t.Fatalf("agent never followed the migration redirect: %+v", st)
 	}

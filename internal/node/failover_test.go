@@ -1,4 +1,4 @@
-package main
+package node
 
 // Unattended-HA integration tests: the failover.Promoter driving real
 // daemon stacks over the in-process fabric. The scenarios mirror the
@@ -22,6 +22,7 @@ import (
 	"radloc/internal/clock"
 	"radloc/internal/cluster"
 	"radloc/internal/failover"
+	"radloc/internal/node/nodetest"
 	"radloc/internal/scenario"
 )
 
@@ -59,7 +60,7 @@ func newTestPromoter(t *testing.T, n *clusterTestNode, self string, peers []stri
 // bit-identical to an uninterrupted standalone run, and its routing
 // table asserts the new ownership at the bumped epoch.
 func TestFailoverUnattendedPromotion(t *testing.T) {
-	fab := newClusterFabric()
+	fab := nodetest.NewFabric()
 	routes := cluster.Routes{Zones: map[string]cluster.Route{
 		"default": {Primary: "http://a", Standby: "http://b"},
 	}}
@@ -71,12 +72,12 @@ func TestFailoverUnattendedPromotion(t *testing.T) {
 	readings := chaosReadings(sensors)
 	half := (len(readings) / (2 * sensors)) * sensors
 
-	sendRounds(t, newClusterClient(t, fab, "http://c", "clean", ""), readings, sensors)
+	nodetest.SendRounds(t, nodetest.NewClient(t, fab, "http://c", "clean", ""), readings, sensors)
 	wantSnap, wantHealth := normalizedState(t, clean.zs.defaultZone().Engine())
 
-	sendRounds(t, newClusterClient(t, fab, "http://a", "pre-kill", ""), readings[:half], sensors)
+	nodetest.SendRounds(t, nodetest.NewClient(t, fab, "http://a", "pre-kill", ""), readings[:half], sensors)
 	aBack := a.backend(t, "default")
-	waitUntil(t, "standby catch-up before the kill", func() bool {
+	nodetest.WaitUntil(t, "standby catch-up before the kill", func() bool {
 		st, ok := b.status("default")
 		return ok && st.CaughtUp && b.backend(t, "default").Offset() == aBack.Offset()
 	})
@@ -88,7 +89,7 @@ func TestFailoverUnattendedPromotion(t *testing.T) {
 	}
 
 	// Kill the primary: probes and replication both go dark.
-	b.link.cut("a", true)
+	b.link.Cut("a", true)
 	fc.Advance(3 * time.Second)
 	prom.Tick(context.Background()) // miss 1: suspicion building, no action
 	if st, _ := b.status("default"); st.Role != cluster.RoleStandby {
@@ -101,19 +102,19 @@ func TestFailoverUnattendedPromotion(t *testing.T) {
 	if !ok || st.Role != cluster.RolePrimary || st.Epoch != 2 {
 		t.Fatalf("zone after unattended failover = %+v, want primary at epoch 2", st)
 	}
-	if _, code := httpStatus(b.mux, http.MethodGet, "http://b/readyz", ""); code != http.StatusOK {
+	if _, code := nodetest.HTTPStatus(b.mux, http.MethodGet, "http://b/readyz", ""); code != http.StatusOK {
 		t.Fatalf("promoted node /readyz = %d, want 200", code)
 	}
 	if rt := b.node.Routes().Zones["default"]; rt.Primary != "http://b" || rt.Epoch != 2 {
 		t.Fatalf("routes after promotion = %+v, want self-assertion at epoch 2", rt)
 	}
-	if v, ok := scrapeGauge(t, b.mux, "radloc_failover_promotions_total"); !ok || v != 1 {
+	if v, ok := nodetest.ScrapeGauge(t, b.mux, "radloc_failover_promotions_total"); !ok || v != 1 {
 		t.Fatalf("promotions metric = %v (%v), want 1", v, ok)
 	}
 
 	// At-least-once redelivery: the promoted node must converge on the
 	// clean run bit for bit.
-	sendRounds(t, newClusterClient(t, fab, "http://b", "post-kill", ""), readings, sensors)
+	nodetest.SendRounds(t, nodetest.NewClient(t, fab, "http://b", "post-kill", ""), readings, sensors)
 	gotSnap, gotHealth := normalizedState(t, b.zs.defaultZone().Engine())
 	if !bytes.Equal(wantSnap, gotSnap) {
 		t.Errorf("promoted standby diverged from clean run:\nclean:    %s\npromoted: %s", wantSnap, gotSnap)
@@ -129,7 +130,7 @@ func TestFailoverUnattendedPromotion(t *testing.T) {
 // refreshes the last-alive stamp, so the peer is never declared dead
 // and the epoch never moves — no thrash, no split brain.
 func TestFailoverFlappingLinkNeverPromotes(t *testing.T) {
-	fab := newClusterFabric()
+	fab := nodetest.NewFabric()
 	routes := cluster.Routes{Zones: map[string]cluster.Route{
 		"default": {Primary: "http://a", Standby: "http://b"},
 	}}
@@ -137,14 +138,14 @@ func TestFailoverFlappingLinkNeverPromotes(t *testing.T) {
 	b := newClusterTestNode(t, fab, "b", &routes)
 
 	prom, fc := newTestPromoter(t, b, "http://b", []string{"http://a"}, func(o *failover.Options) {
-		o.Suspect = 1                  // suspicion is instant...
+		o.Suspect = 1                 // suspicion is instant...
 		o.HoldDown = 10 * time.Second // ...the hold-down does the work
 	})
 	for cycle := 0; cycle < 6; cycle++ {
-		b.link.cut("a", true)
+		b.link.Cut("a", true)
 		fc.Advance(3 * time.Second)
 		prom.Tick(context.Background()) // miss: suspected immediately
-		b.link.cut("a", false)
+		b.link.Cut("a", false)
 		fc.Advance(3 * time.Second)
 		prom.Tick(context.Background()) // alive: hold-down resets
 	}
@@ -156,7 +157,7 @@ func TestFailoverFlappingLinkNeverPromotes(t *testing.T) {
 		t.Fatalf("flapping link disturbed the primary: %+v", st)
 	}
 	for _, m := range []string{"radloc_failover_peer_deaths_total", "radloc_failover_promotions_total"} {
-		if v, ok := scrapeGauge(t, b.mux, m); ok && v != 0 {
+		if v, ok := nodetest.ScrapeGauge(t, b.mux, m); ok && v != 0 {
 			t.Fatalf("%s = %v under flapping, want 0", m, v)
 		}
 	}
@@ -167,7 +168,7 @@ func TestFailoverFlappingLinkNeverPromotes(t *testing.T) {
 // lag exceeds the configured bound, and the promoter refuses — raising
 // the refusal counter and leaving promotion to the operator.
 func TestFailoverLagBoundRefusal(t *testing.T) {
-	fab := newClusterFabric()
+	fab := nodetest.NewFabric()
 	routes := cluster.Routes{Zones: map[string]cluster.Route{
 		"default": {Primary: "http://f", Standby: "http://b"},
 	}}
@@ -192,10 +193,10 @@ func TestFailoverLagBoundRefusal(t *testing.T) {
 		w.Write(hello)
 		w.Write(end)
 	})
-	fab.add("f", mux)
+	fab.Add("f", mux)
 	b := newClusterTestNode(t, fab, "b", &routes)
 
-	waitUntil(t, "standby to observe the unreachable lag", func() bool {
+	nodetest.WaitUntil(t, "standby to observe the unreachable lag", func() bool {
 		st, ok := b.status("default")
 		return ok && st.LagRecords == 7 && !st.CaughtUp
 	})
@@ -206,7 +207,7 @@ func TestFailoverLagBoundRefusal(t *testing.T) {
 		o.MaxPromoteLag = 3 // 7 records behind is above the bound
 	})
 	prom.Tick(context.Background()) // healthy round
-	b.link.cut("f", true)
+	b.link.Cut("f", true)
 	fc.Advance(2 * time.Second)
 	prom.Tick(context.Background()) // dead — and promotion must be refused
 
@@ -214,7 +215,7 @@ func TestFailoverLagBoundRefusal(t *testing.T) {
 	if st.Role != cluster.RoleStandby || st.Epoch != 1 {
 		t.Fatalf("lagging standby promoted itself: %+v", st)
 	}
-	if v, ok := scrapeGauge(t, b.mux, "radloc_failover_refusals_total"); !ok || v < 1 {
+	if v, ok := nodetest.ScrapeGauge(t, b.mux, "radloc_failover_refusals_total"); !ok || v < 1 {
 		t.Fatalf("refusals metric = %v (%v), want >= 1", v, ok)
 	}
 	// The refusal is re-evaluated, not terminal: later ticks keep
@@ -224,7 +225,7 @@ func TestFailoverLagBoundRefusal(t *testing.T) {
 	if st, _ := b.status("default"); st.Role != cluster.RoleStandby {
 		t.Fatalf("refusal did not hold on a later tick: %+v", st)
 	}
-	if v, _ := scrapeGauge(t, b.mux, "radloc_failover_refusals_total"); v < 2 {
+	if v, _ := nodetest.ScrapeGauge(t, b.mux, "radloc_failover_refusals_total"); v < 2 {
 		t.Fatalf("refusals metric = %v after second tick, want >= 2", v)
 	}
 }
@@ -280,47 +281,47 @@ func divergedRecords(t *testing.T, dir string) (lines uint64, note struct {
 // operator can still read it, and rejoin as a caught-up standby
 // bit-identical to the new primary.
 func TestClusterResurrectionDivergenceRepair(t *testing.T) {
-	fab := newClusterFabric()
+	fab := nodetest.NewFabric()
 	routes := cluster.Routes{Zones: map[string]cluster.Route{
 		"default": {Primary: "http://a", Standby: "http://b"},
 	}}
 	walA := t.TempDir()
-	a := newClusterTestNodeAt(t, fab, "a", &routes, walA, nil)
+	a := newClusterTestNodeAt(t, fab, "a", &routes, walA)
 	b := newClusterTestNode(t, fab, "b", &routes)
 
 	sensors := len(scenario.A(50, false).Sensors)
 	readings := chaosReadings(sensors)
 	forkAt := 3 * sensors
 
-	agent := newClusterClient(t, fab, "http://a", "pre-fork", "")
-	sendRounds(t, agent, readings[:forkAt], sensors)
+	agent := nodetest.NewClient(t, fab, "http://a", "pre-fork", "")
+	nodetest.SendRounds(t, agent, readings[:forkAt], sensors)
 	aBack := a.backend(t, "default")
-	waitUntil(t, "standby catch-up before the fork", func() bool {
+	nodetest.WaitUntil(t, "standby catch-up before the fork", func() bool {
 		st, ok := b.status("default")
 		return ok && st.CaughtUp && b.backend(t, "default").Offset() == aBack.Offset()
 	})
 
 	// Partition replication, then land more rounds on the primary only:
 	// these records will never ship, and become the divergent suffix.
-	b.link.cut("a", true)
-	sendRounds(t, agent, readings[forkAt:], sensors)
+	b.link.Cut("a", true)
+	nodetest.SendRounds(t, agent, readings[forkAt:], sensors)
 
 	// Kill the primary and promote the standby at the fork point.
 	a.node.Close()
 	if err := a.zs.close(); err != nil {
 		t.Fatal(err)
 	}
-	fab.add("a", nil) // the host stays dark until the resurrection
+	fab.Add("a", nil) // the host stays dark until the resurrection
 	bHead := b.backend(t, "default").Offset()
 	if epoch, err := b.node.Promote("default"); err != nil || epoch != 2 {
 		t.Fatalf("promote = (%d, %v), want epoch 2", epoch, err)
 	}
 	// The new primary grows its own post-fork history.
-	sendRounds(t, newClusterClient(t, fab, "http://b", "post-fork", ""), readings, sensors)
+	nodetest.SendRounds(t, nodetest.NewClient(t, fab, "http://b", "post-fork", ""), readings, sensors)
 
 	// Resurrect the old primary over its surviving WAL directory. It
 	// boots believing the stale routes — primary for the zone, epoch 1.
-	a2 := newClusterTestNodeAt(t, fab, "a", &routes, walA, nil)
+	a2 := newClusterTestNodeAt(t, fab, "a", &routes, walA)
 	aHead := a2.backend(t, "default").Offset()
 	if aHead <= bHead {
 		t.Fatalf("resurrected node recovered offset %d, want > fork point %d", aHead, bHead)
@@ -334,12 +335,12 @@ func TestClusterResurrectionDivergenceRepair(t *testing.T) {
 	// runs the divergence repair against the new primary.
 	prom, _ := newTestPromoter(t, a2, "http://a", []string{"http://b"}, nil)
 	prom.Tick(context.Background())
-	waitUntil(t, "resurrected node to step down", func() bool {
+	nodetest.WaitUntil(t, "resurrected node to step down", func() bool {
 		st, ok := a2.status("default")
 		return ok && st.Role == cluster.RoleStandby
 	})
 	bBack := b.backend(t, "default")
-	waitUntil(t, "resurrected node to rejoin caught up", func() bool {
+	nodetest.WaitUntil(t, "resurrected node to rejoin caught up", func() bool {
 		st, ok := a2.status("default")
 		return ok && st.CaughtUp && a2.backend(t, "default").Offset() == bBack.Offset()
 	})
@@ -357,7 +358,7 @@ func TestClusterResurrectionDivergenceRepair(t *testing.T) {
 
 	// And the rejoined standby is bit-identical to the new primary.
 	wantSnap, wantHealth := normalizedState(t, b.zs.defaultZone().Engine())
-	waitUntil(t, "final tail replication", func() bool {
+	nodetest.WaitUntil(t, "final tail replication", func() bool {
 		return a2.backend(t, "default").Offset() == bBack.Offset()
 	})
 	gotSnap, gotHealth := normalizedState(t, a2.zs.defaultZone().Engine())

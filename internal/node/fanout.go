@@ -1,0 +1,184 @@
+package node
+
+// Read fan-out: a zone primary under write load forwards eligible read
+// queries (/snapshot, /statez and their zoned forms) to a caught-up
+// standby, spending the replica's idle CPU instead of contending with
+// the ingest path. The policy is conservative by construction:
+//
+//   - only the zone's live primary forwards (a standby always serves
+//     its own reads — no ping-pong, enforced twice by a loop-guard
+//     header);
+//   - only when the routing table names a standby that is not us;
+//   - only when that standby's replication lag, as the primary sees it
+//     from the pull-driven ack watermark, is within MaxLag records —
+//     a partitioned or slow standby is excluded, never consulted;
+//   - any forwarding failure falls back to serving locally, so fan-out
+//     can only add capacity, never subtract availability.
+//
+// Every decision lands on radloc_read_fanout_total{result}:
+// forwarded, local (not primary / not under load), no_standby,
+// lagging, error.
+
+import (
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"radloc/internal/obs"
+	"radloc/internal/zone"
+)
+
+// fanoutHeader marks a forwarded read so the receiving standby serves
+// it locally instead of re-evaluating its own fan-out policy — the
+// loop guard for pathological routing tables where both nodes believe
+// they own a zone.
+const fanoutHeader = "X-Radloc-Fanout"
+
+// readFanout holds the fan-out policy state for one node.
+type readFanout struct {
+	self        string // this node's base URL; never forward to it
+	zs          *zoneSet
+	client      *http.Client
+	maxLag      uint64
+	minInflight int64        // forward only while at least this many writes are in flight
+	inflight    atomic.Int64 // writes currently inside the ingest handler
+	results     *obs.CounterFamily
+}
+
+// fanoutResults pre-registers every result label so the family
+// exposes complete zero-valued series from boot.
+var fanoutResults = []string{"forwarded", "local", "no_standby", "lagging", "error"}
+
+func newReadFanout(self string, zs *zoneSet, rt http.RoundTripper, maxLag uint64, minInflight int, reg *obs.Registry) *readFanout {
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	f := &readFanout{
+		self:        self,
+		zs:          zs,
+		client:      &http.Client{Transport: rt, Timeout: 10 * time.Second},
+		maxLag:      maxLag,
+		minInflight: int64(minInflight),
+		results: reg.CounterFamily("radloc_read_fanout_total",
+			"Read queries considered for standby fan-out, by outcome.", "result"),
+	}
+	for _, r := range fanoutResults {
+		f.results.With(r)
+	}
+	return f
+}
+
+// trackWrites wraps the write route so the fan-out policy can see
+// write pressure: reads are only worth forwarding while writes are
+// actually contending for this node. Nil-receiver safe.
+func (f *readFanout) trackWrites(next http.Handler) http.Handler {
+	if f == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f.inflight.Add(1)
+		defer f.inflight.Add(-1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// read wraps one read endpoint with the fan-out policy: forward to the
+// picked standby when the policy admits it, serve locally otherwise.
+// zoneOf maps the request to the zone whose routing decides. Nil-
+// receiver safe: without fan-out the local handler serves directly.
+func (f *readFanout) read(zoneOf func(*http.Request) string, local http.Handler) http.Handler {
+	if f == nil {
+		return local
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet || r.Header.Get(fanoutHeader) != "" {
+			local.ServeHTTP(w, r) // non-reads keep their 405s; forwarded reads stop here
+			return
+		}
+		target, verdict := f.pick(zoneOf(r))
+		if target == "" {
+			f.results.With(verdict).Inc()
+			local.ServeHTTP(w, r)
+			return
+		}
+		if f.forward(w, r, target) {
+			f.results.With("forwarded").Inc()
+			return
+		}
+		f.results.With("error").Inc()
+		local.ServeHTTP(w, r)
+	})
+}
+
+// pick applies the policy for one zone: the standby's base URL when
+// forwarding is admitted, otherwise "" plus the metric verdict.
+func (f *readFanout) pick(zoneName string) (target, verdict string) {
+	if f.inflight.Load() < f.minInflight {
+		return "", "local" // not under write load; local reads are cheap
+	}
+	n := f.zs.clusterNode
+	if n == nil || n.AdmitWrite(zoneName) != nil {
+		// Not this node's zone to offload: a standby (or a draining
+		// primary mid-cutover) always answers its own reads.
+		return "", "local"
+	}
+	rt, ok := n.Routes().Zones[zoneName]
+	if !ok || rt.Standby == "" || rt.Standby == f.self {
+		return "", "no_standby"
+	}
+	for _, st := range n.Status() {
+		if st.Zone != zoneName {
+			continue
+		}
+		// Head is our WAL head, Acked the standby's durable watermark
+		// from its last pull — the primary-side lag view, which goes
+		// stale (and therefore grows) the moment the standby stops
+		// pulling. That staleness is the point: a partitioned standby
+		// excludes itself without any extra probing.
+		if st.Head > st.Acked && st.Head-st.Acked > f.maxLag {
+			return "", "lagging"
+		}
+		return rt.Standby, ""
+	}
+	return "", "no_standby"
+}
+
+// forward proxies one GET to the standby, buffering the response so a
+// mid-flight failure can still fall back to the local handler without
+// having committed a status line. False means "serve locally instead";
+// nothing has been written to w.
+func (f *readFanout) forward(w http.ResponseWriter, r *http.Request, target string) bool {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, target+r.URL.RequestURI(), nil)
+	if err != nil {
+		return false
+	}
+	req.Header.Set(fanoutHeader, f.self)
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return false
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	_, _ = w.Write(body)
+	return true
+}
+
+// requestZone maps a read request to the zone whose routing governs
+// it: the {zone} path value on zoned routes, the default zone on the
+// legacy unnamed ones.
+func requestZone(r *http.Request) string {
+	if name := r.PathValue("zone"); name != "" {
+		return name
+	}
+	return zone.DefaultZone
+}

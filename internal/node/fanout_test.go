@@ -1,0 +1,218 @@
+package node
+
+// Read fan-out tests: a zone primary with fan-out enabled forwards
+// /snapshot reads to its caught-up standby — and the body the standby
+// serves is byte-identical to the primary's own — while a lagging
+// standby is excluded from fan-out entirely.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"radloc/internal/cluster"
+	"radloc/internal/node/nodetest"
+	"radloc/internal/rng"
+	"radloc/internal/scenario"
+)
+
+// fanoutOn enables read fan-out with the strictest lag bound (fully
+// caught up) and no write-load threshold, so every eligible read
+// forwards.
+func fanoutOn(c *Config) {
+	c.ReadFanout = true
+	c.FanoutMaxLag = 0
+	c.FanoutMinInflight = 0
+}
+
+// fanoutGet issues one GET against a mux, optionally marked as an
+// already-forwarded read (the loop-guard header), and returns status
+// and body.
+func fanoutGet(t *testing.T, mux http.Handler, url string, forwarded bool) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	if forwarded {
+		req.Header.Set(fanoutHeader, "http://test")
+	}
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+// fanoutCounter scrapes one result series of radloc_read_fanout_total
+// off a node's /metrics.
+func fanoutCounter(t *testing.T, mux http.Handler, result string) int {
+	t.Helper()
+	rec, code := nodetest.HTTPStatus(mux, http.MethodGet, "http://x/metrics", "")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = HTTP %d", code)
+	}
+	prefix := fmt.Sprintf("radloc_read_fanout_total{result=%q} ", result)
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if strings.HasPrefix(line, prefix) {
+			v, err := strconv.Atoi(strings.TrimPrefix(line, prefix))
+			if err != nil {
+				t.Fatalf("unparseable series %q", line)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s not exposed", prefix)
+	return 0
+}
+
+// postRounds posts `steps` rounds of seq-0 readings straight to a
+// node's mux. Seq-0 traffic keeps the delivery counters zero on both
+// primary and standby — the standby replays the records through the
+// very same apply path — which is what makes their snapshots
+// byte-comparable.
+func postRounds(t *testing.T, mux http.Handler, host string, sc scenario.Scenario, from, to int) {
+	t.Helper()
+	stream := rng.NewNamed(uint64(11+from), "fanout/measure")
+	for step := from; step < to; step++ {
+		var batch []measurementJSON
+		for _, sen := range sc.Sensors {
+			m := sen.Measure(stream, sc.Sources, nil, step)
+			batch = append(batch, measurementJSON{SensorID: sen.ID, CPM: m.CPM, Step: step})
+		}
+		body, _ := json.Marshal(batch)
+		rec, code := nodetest.HTTPStatus(mux, http.MethodPost, host+"/measurements", string(body))
+		if code != http.StatusOK {
+			t.Fatalf("round %d refused: HTTP %d: %s", step, code, rec.Body.String())
+		}
+	}
+}
+
+// TestReadFanoutByteIdenticalAndLagBounded is the fan-out acceptance
+// pair: a caught-up standby serves the primary's /snapshot reads with
+// a byte-identical body, and the moment the standby stops pulling
+// (partition) the primary's own lag view excludes it — reads fall
+// back to local, never to a stale replica.
+func TestReadFanoutByteIdenticalAndLagBounded(t *testing.T) {
+	fab := nodetest.NewFabric()
+	routes := cluster.Routes{Zones: map[string]cluster.Route{
+		"default": {Primary: "http://a", Standby: "http://b"},
+	}}
+	a := newClusterTestNode(t, fab, "a", &routes, fanoutOn)
+	b := newClusterTestNode(t, fab, "b", &routes, fanoutOn)
+
+	sc := scenario.A(50, false)
+	postRounds(t, a.mux, "http://a", sc, 0, 4)
+	aBack := a.backend(t, "default")
+	nodetest.WaitUntil(t, "standby catch-up", func() bool {
+		st, ok := b.status("default")
+		return ok && st.CaughtUp && b.backend(t, "default").Offset() == aBack.Offset()
+	})
+	// The pull that reported durability (the ack) may still be in
+	// flight; the primary forwards only once its own lag view agrees.
+	nodetest.WaitUntil(t, "primary to observe the ack", func() bool {
+		st, ok := a.status("default")
+		return ok && st.Acked == st.Head
+	})
+
+	// Byte-identity: the primary's local body and the standby's local
+	// body must match exactly — same estimates, same refresh count,
+	// same health, same journal offset.
+	codeA, bodyA := fanoutGet(t, a.mux, "http://a/snapshot", true) // loop-guard: forced local
+	codeB, bodyB := fanoutGet(t, b.mux, "http://b/snapshot", false)
+	if codeA != http.StatusOK || codeB != http.StatusOK {
+		t.Fatalf("snapshot status: primary %d standby %d", codeA, codeB)
+	}
+	if bodyA != bodyB {
+		t.Fatalf("caught-up standby snapshot diverged from primary:\nprimary: %s\nstandby: %s", bodyA, bodyB)
+	}
+
+	// An unmarked read on the primary forwards to the standby and
+	// returns that same body.
+	before := fanoutCounter(t, a.mux, "forwarded")
+	code, body := fanoutGet(t, a.mux, "http://a/snapshot", false)
+	if code != http.StatusOK || body != bodyA {
+		t.Fatalf("forwarded read: HTTP %d, body diverged (%v)", code, body != bodyA)
+	}
+	if got := fanoutCounter(t, a.mux, "forwarded"); got != before+1 {
+		t.Fatalf("forwarded counter = %d, want %d", got, before+1)
+	}
+	// The standby served it locally (loop guard): no ping-pong.
+	if v := fanoutCounter(t, b.mux, "forwarded"); v != 0 {
+		t.Fatalf("standby forwarded %d reads; must always serve its own", v)
+	}
+
+	// /statez fans out through the same policy.
+	code, _ = fanoutGet(t, a.mux, "http://a/statez", false)
+	if code != http.StatusOK {
+		t.Fatalf("/statez via fan-out: HTTP %d", code)
+	}
+
+	// Partition the standby's pull path and keep writing: the
+	// primary's head advances past the last acked offset, the lag
+	// bound trips, and reads stop forwarding — served locally, still
+	// 200, with the lagging verdict counted.
+	b.link.Cut("a", true)
+	postRounds(t, a.mux, "http://a", sc, 4, 6)
+	forwardedBefore := fanoutCounter(t, a.mux, "forwarded")
+	laggingBefore := fanoutCounter(t, a.mux, "lagging")
+	code, body = fanoutGet(t, a.mux, "http://a/snapshot", false)
+	if code != http.StatusOK || body == "" {
+		t.Fatalf("read during standby lag: HTTP %d", code)
+	}
+	if got := fanoutCounter(t, a.mux, "lagging"); got != laggingBefore+1 {
+		t.Fatalf("lagging counter = %d, want %d", got, laggingBefore+1)
+	}
+	if got := fanoutCounter(t, a.mux, "forwarded"); got != forwardedBefore {
+		t.Fatalf("lagging standby still served a read (forwarded %d → %d)", forwardedBefore, got)
+	}
+	// The local fallback body is the primary's own fresh state.
+	_, wantLocal := fanoutGet(t, a.mux, "http://a/snapshot", true)
+	if body != wantLocal {
+		t.Fatalf("lag fallback body is not the primary's local snapshot")
+	}
+
+	// A standby never initiates fan-out, marked or not.
+	if _, sb := fanoutGet(t, b.mux, "http://b/snapshot", false); sb == "" {
+		t.Fatal("standby stopped serving local reads")
+	}
+}
+
+// TestReadFanoutForwardFailureFallsBackLocal: a forwarding failure
+// (standby vanishes between route lookup and proxy) must degrade to a
+// locally served 200, counted as an error — fan-out can only ever add
+// capacity.
+func TestReadFanoutForwardFailureFallsBackLocal(t *testing.T) {
+	fab := nodetest.NewFabric()
+	routes := cluster.Routes{Zones: map[string]cluster.Route{
+		"default": {Primary: "http://a", Standby: "http://b"},
+	}}
+	a := newClusterTestNode(t, fab, "a", &routes, fanoutOn)
+	b := newClusterTestNode(t, fab, "b", &routes, fanoutOn)
+
+	sc := scenario.A(50, false)
+	postRounds(t, a.mux, "http://a", sc, 0, 2)
+	aBack := a.backend(t, "default")
+	nodetest.WaitUntil(t, "standby catch-up", func() bool {
+		return b.backend(t, "default").Offset() == aBack.Offset()
+	})
+	nodetest.WaitUntil(t, "primary to observe the ack", func() bool {
+		st, ok := a.status("default")
+		return ok && st.Acked == st.Head
+	})
+
+	// Sever the primary's client path to the standby. The routing
+	// table and lag view still say "forward", so the proxy attempt
+	// itself fails — and must fall back to local.
+	a.link.Cut("b", true)
+	code, body := fanoutGet(t, a.mux, "http://a/snapshot", false)
+	if code != http.StatusOK || body == "" {
+		t.Fatalf("forward-failure fallback: HTTP %d", code)
+	}
+	if got := fanoutCounter(t, a.mux, "error"); got == 0 {
+		t.Fatal("forward failure not counted")
+	}
+	_, wantLocal := fanoutGet(t, a.mux, "http://a/snapshot", true)
+	if body != wantLocal {
+		t.Fatal("fallback body is not the local snapshot")
+	}
+}

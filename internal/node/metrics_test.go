@@ -1,4 +1,4 @@
-package main
+package node
 
 // Observability integration test: a durable daemon takes a chaos-era
 // delivery workload (fault-injected transport, redelivery, an agent

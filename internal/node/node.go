@@ -1,0 +1,514 @@
+// Package node assembles the radiation-fusion daemon as an embeddable
+// component: one Node owns the sharded zone runtime (per-zone fusion
+// engines behind single-writer event loops), the per-zone durability
+// (WAL + checkpoints), cluster replication and write fencing, the
+// unattended-failover promoter, the storage integrity scrubber, and
+// the HTTP API — all constructed from a plain Config, with a
+// Start/Shutdown lifecycle and an http.Handler that mounts in-process.
+// The radlocd binary is a thin shell over Run; tests (and future
+// multi-node harnesses) instantiate Nodes directly and wire them
+// together with in-memory transports.
+//
+// Every write, whatever its entry point — pipe-mode stdin, HTTP
+// measurements, replication — flows through one WritePipeline, so the
+// ordering and error invariants (fence before admission, journal
+// before apply, 507 on degraded storage) hold on all paths by
+// construction. Read queries can fan out: a zone primary under write
+// load forwards /snapshot and /statez to a caught-up standby, lag-
+// bounded via the routing table (see fanout.go).
+package node
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"radloc/internal/cluster"
+	"radloc/internal/failover"
+	"radloc/internal/fusion"
+	"radloc/internal/httpingest"
+	"radloc/internal/obs"
+	"radloc/internal/rng"
+	"radloc/internal/scenario"
+	"radloc/internal/scrub"
+	"radloc/internal/sim"
+	"radloc/internal/track"
+	"radloc/internal/vfs"
+	"radloc/internal/wal"
+)
+
+// Config describes one node. Scenario is required; everything else
+// has a working zero value (durability off, single node, defaults per
+// subsystem). The field groups mirror the radlocd flag groups —
+// cmd/radlocd is a flag-parsing shell over this struct.
+type Config struct {
+	// Scenario is the sensor deployment every zone's engine is built
+	// from. Required.
+	Scenario scenario.Scenario
+	// Seed seeds each engine's localizer (and the scrubber's jitter).
+	Seed uint64
+	// WeightWorkers bounds the goroutines weighting one measurement's
+	// particle subset inside each zone's filter (0 = GOMAXPROCS).
+	WeightWorkers int
+	// MSWorkers bounds the goroutines climbing mean-shift starts per
+	// estimate refresh (0 = GOMAXPROCS).
+	MSWorkers int
+	// NoTracks disables confirmed-track maintenance over estimates.
+	NoTracks bool
+	// NoHealth disables the per-sensor health monitor.
+	NoHealth bool
+	// ReorderWindow overrides the sequence gate's reorder window in
+	// rounds (0 = the engine's default).
+	ReorderWindow int
+
+	// Listen is the HTTP listen address for Run; empty selects
+	// stdin/stdout pipe mode. Ignored by New — embedders mount
+	// Handler themselves.
+	Listen string
+	// ReportEvery is the pipe-mode snapshot cadence in measurements
+	// (0 = one sensor round).
+	ReportEvery int
+	// PipeQueue bounds the pipe-mode ingest queue (0 = 4096); overflow
+	// sheds the oldest reading per sensor.
+	PipeQueue int
+
+	// WALDir is the durability root for write-ahead logs and
+	// checkpoints; empty disables durability.
+	WALDir string
+	// Fsync is the WAL fsync policy (zero value = always, the safest).
+	Fsync wal.FsyncPolicy
+	// CheckpointEvery checkpoints a zone every N journaled records
+	// (0 = only at shutdown).
+	CheckpointEvery int
+	// WALSegment rotates WAL segments after this many records (0 = the
+	// WAL's default).
+	WALSegment int
+	// StorageProbe is how often a degraded zone re-tests its WAL for
+	// recovery, jittered ±20% (0 = only organic writes recover).
+	StorageProbe time.Duration
+	// ScrubInterval paces the background integrity scrubber (0 = off).
+	ScrubInterval time.Duration
+
+	// MaxZones caps concurrently live zones (0 = 64).
+	MaxZones int
+	// ZoneMailbox is each zone's mailbox depth in batches (0 = 64).
+	ZoneMailbox int
+	// ZoneIdle evicts a named zone idle this long (0 = never).
+	ZoneIdle time.Duration
+
+	// HTTPQueue bounds concurrently admitted ingest requests (0 = 64).
+	HTTPQueue int
+	// MaxBody bounds request bodies in bytes (0 = 1 MiB).
+	MaxBody int64
+	// RetryAfter is the hint on 429 responses (0 = 1s).
+	RetryAfter time.Duration
+	// Rate caps each sensor's sustained readings/sec (0 = off).
+	Rate float64
+	// Burst is the per-sensor token-bucket burst (0 = 4×Rate).
+	Burst float64
+	// ReadTimeout, WriteTimeout and IdleTimeout are the HTTP server's
+	// slow-client guards (0 = 15s / 30s / 2m).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one response (0 = 30s).
+	WriteTimeout time.Duration
+	// IdleTimeout cuts idle keep-alive connections (0 = 2m).
+	IdleTimeout time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+
+	// ClusterSelf is this node's base URL as peers reach it; non-empty
+	// enables cluster mode.
+	ClusterSelf string
+	// ClusterToken guards the /cluster endpoints and outgoing pulls.
+	ClusterToken string
+	// SeedRoutes, when non-nil, is the static zone-to-node routing
+	// table installed at boot (the persisted learned table, when
+	// durability is on, is applied on top — highest epoch wins).
+	SeedRoutes *cluster.Routes
+	// ReplInterval is the standby's idle poll period between
+	// replication pulls (0 = the cluster default).
+	ReplInterval time.Duration
+	// ReplBatch caps WAL records per replication pull (0 = default).
+	ReplBatch int
+
+	// Failover enables the probe-driven promoter (requires
+	// ClusterSelf and Peers).
+	Failover bool
+	// Peers are the peer base URLs the failure detector probes.
+	Peers []string
+	// ProbeInterval is the base peer probe period (0 = 2s).
+	ProbeInterval time.Duration
+	// SuspectMisses is the consecutive probe misses before suspicion
+	// (0 = 3).
+	SuspectMisses int
+	// HoldDown is the continuous-unreachability window before a
+	// suspected peer is declared dead (0 = 10s).
+	HoldDown time.Duration
+	// MaxPromoteLag refuses unattended promotion above this
+	// replication lag in records (0 = must be fully caught up).
+	MaxPromoteLag uint64
+
+	// ReadFanout lets a zone primary forward /snapshot and /statez
+	// reads to a caught-up standby (requires cluster mode).
+	ReadFanout bool
+	// FanoutMaxLag is the highest primary-observed standby lag, in
+	// records, at which reads still fan out (0 = fully caught up).
+	FanoutMaxLag uint64
+	// FanoutMinInflight forwards reads only while at least this many
+	// writes are in flight (0 = whenever a caught-up standby exists).
+	FanoutMinInflight int
+
+	// FS is the filesystem seam all durability I/O goes through; nil
+	// means the real filesystem metered onto the storage-fault
+	// metrics. Tests inject vfs.Faulty here.
+	FS vfs.FS
+	// HTTP performs outgoing cluster pulls, failover probes and
+	// fan-out forwards (nil = http.DefaultTransport). Tests inject an
+	// in-process fabric here.
+	HTTP http.RoundTripper
+	// Metrics is the process registry every subsystem registers on;
+	// nil gets a fresh registry with process metrics.
+	Metrics *obs.Registry
+	// Log receives recovery, checkpoint and cluster log lines (nil =
+	// discard; radlocd passes stderr).
+	Log io.Writer
+}
+
+// Node is one assembled daemon: zones, durability, cluster, failover,
+// scrubber, write pipeline and HTTP API, owned together so they start
+// and stop as a unit.
+type Node struct {
+	cfg    Config
+	reg    *obs.Registry
+	zs     *zoneSet
+	clu    *cluster.Node
+	prom   *failover.Promoter
+	scr    *scrub.Scrubber
+	fanout *readFanout
+	ingest *httpingest.Handler
+	mux    http.Handler
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stopBG    context.CancelFunc
+	closeErr  error
+}
+
+// New assembles a node from cfg: it builds the zone runtime, recovers
+// every zone with state on disk (synchronously — when New returns,
+// the engines hold their pre-crash state), joins the cluster and
+// starts standby replication if configured, and builds the HTTP
+// handler. Background maintenance (janitor, storage probe, failover
+// probes, scrubbing) waits for Start.
+func New(cfg Config) (*Node, error) {
+	if len(cfg.Scenario.Sensors) == 0 {
+		return nil, fmt.Errorf("node: Config.Scenario has no sensors")
+	}
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+		obs.RegisterProcessMetrics(reg, time.Now())
+	}
+	n := &Node{cfg: cfg, reg: reg}
+
+	// build constructs one zone's engine. Every zone shares the
+	// deployment, the seed and the feature flags; met is that zone's
+	// labeled view of the process registry.
+	sc := cfg.Scenario
+	build := func(j fusion.Journal, met *obs.Registry) (*fusion.Engine, error) {
+		fcfg := fusion.Config{
+			Localizer:     sim.LocalizerConfig(sc),
+			Sensors:       sc.Sensors,
+			Health:        fusion.HealthConfig{Disabled: cfg.NoHealth},
+			Journal:       j,
+			ReorderWindow: cfg.ReorderWindow,
+			Metrics:       met,
+		}
+		fcfg.Localizer.Seed = cfg.Seed
+		fcfg.Localizer.Metrics = met
+		fcfg.Localizer.WeightWorkers = cfg.WeightWorkers
+		fcfg.Localizer.Workers = cfg.MSWorkers
+		if !cfg.NoTracks {
+			fcfg.Tracking = &track.Config{}
+		}
+		return fusion.NewEngine(fcfg)
+	}
+
+	// All durability I/O goes through the observed filesystem, so real
+	// disk faults (ENOSPC, EIO) land on radloc_storage_faults_total
+	// exactly like injected ones do in the chaos tests.
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = vfs.Observe(vfs.OS{}, reg)
+	}
+	zs, err := newZoneSet(zoneSetOptions{
+		WalRoot: cfg.WALDir, FS: fsys, Fsync: cfg.Fsync,
+		CkptEvery: cfg.CheckpointEvery, SegmentRecords: cfg.WALSegment,
+		MaxZones: cfg.MaxZones, Mailbox: cfg.ZoneMailbox, IdleAfter: cfg.ZoneIdle,
+		Metrics: reg, Log: cfg.Log, Build: build,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.zs = zs
+	// Recovery at boot: the default zone plus every named zone with
+	// state on disk, each from its own WAL directory — newest valid
+	// checkpoint plus WAL suffix replay through the live ingest path.
+	if err := zs.recoverZones(); err != nil {
+		zs.close()
+		return nil, err
+	}
+
+	if cfg.ClusterSelf != "" {
+		var eps cluster.EpochStore = &cluster.MemEpochStore{}
+		var rstore cluster.RouteStore
+		if cfg.WALDir != "" {
+			eps = &fileEpochStore{zs: zs}
+			rstore = &fileRouteStore{dir: cfg.WALDir, fs: zs.fs, logw: cfg.Log}
+		}
+		n.clu, err = cluster.NewNode(cluster.Options{
+			Self:         cfg.ClusterSelf,
+			Token:        cfg.ClusterToken,
+			Resolver:     zs.clusterBackend,
+			Epochs:       eps,
+			RouteStore:   rstore,
+			HTTP:         cfg.HTTP,
+			PullInterval: cfg.ReplInterval,
+			PullBatch:    cfg.ReplBatch,
+			Drop:         zs.manager.Drop,
+			Metrics:      reg,
+			Log:          log.New(cfg.Log, "", log.LstdFlags),
+		})
+		if err != nil {
+			zs.close()
+			return nil, err
+		}
+		if cfg.SeedRoutes != nil {
+			if err := n.clu.SetRoutes(*cfg.SeedRoutes); err != nil {
+				n.clu.Close()
+				zs.close()
+				return nil, err
+			}
+		}
+		// The persisted learned table is applied after the static seed:
+		// its entries carry epochs, so anything this node learned before
+		// its last shutdown overrides a stale seed (highest epoch wins),
+		// while a fresh seed for a brand-new zone still lands.
+		if rstore != nil {
+			learned, lerr := rstore.Load()
+			if lerr != nil {
+				n.clu.Close()
+				zs.close()
+				return nil, lerr
+			}
+			if len(learned.Zones) > 0 {
+				n.clu.LearnRoutes(learned)
+			}
+		}
+		// The scrubber's repair-from-replica path and the write
+		// pipeline's fence go through the cluster node.
+		zs.clusterNode = n.clu
+	}
+	if cfg.Failover {
+		if n.clu == nil {
+			zs.close()
+			return nil, fmt.Errorf("node: Failover requires ClusterSelf (the failure detector acts on the cluster layer)")
+		}
+		if len(cfg.Peers) == 0 {
+			n.clu.Close()
+			zs.close()
+			return nil, fmt.Errorf("node: Failover requires Peers (who to probe)")
+		}
+		n.prom, err = failover.New(failover.Options{
+			Node:          n.clu,
+			Self:          cfg.ClusterSelf,
+			Peers:         cfg.Peers,
+			Token:         cfg.ClusterToken,
+			HTTP:          cfg.HTTP,
+			Interval:      cfg.ProbeInterval,
+			Suspect:       cfg.SuspectMisses,
+			HoldDown:      cfg.HoldDown,
+			MaxPromoteLag: cfg.MaxPromoteLag,
+			Metrics:       reg,
+			Log:           log.New(cfg.Log, "", log.LstdFlags),
+		})
+		if err != nil {
+			n.clu.Close()
+			zs.close()
+			return nil, err
+		}
+		// Publish the detector's world-view on /cluster/status, so an
+		// operator reads suspicion state instead of inferring it from
+		// logs.
+		n.clu.SetPeersFunc(n.prom.PeerViews)
+	}
+	if cfg.WALDir != "" && cfg.ScrubInterval > 0 {
+		n.scr, err = scrub.New(scrub.Options{
+			Targets:  zs.scrubTargets,
+			Interval: cfg.ScrubInterval,
+			RNG:      rng.NewNamed(cfg.Seed, "scrub"),
+			Metrics:  reg,
+			Log:      log.New(cfg.Log, "", log.LstdFlags),
+		})
+		if err != nil {
+			n.Shutdown()
+			return nil, err
+		}
+	}
+	if cfg.ReadFanout && n.clu != nil {
+		n.fanout = newReadFanout(cfg.ClusterSelf, zs, cfg.HTTP,
+			cfg.FanoutMaxLag, cfg.FanoutMinInflight, reg)
+	}
+
+	n.ingest = newZonedIngest(zs.pipe, httpingest.Options{
+		QueueDepth: cfg.HTTPQueue,
+		MaxBody:    cfg.MaxBody,
+		RetryAfter: cfg.RetryAfter,
+		RatePerSec: cfg.Rate,
+		Burst:      cfg.Burst,
+		Metrics:    reg,
+	})
+	def := zs.defaultZone()
+	n.mux = newMux(serveConfig{
+		Engine: def.Engine(), Durable: zoneDurable(def), Ingest: n.ingest,
+		Zones: zs, Metrics: reg, Pprof: cfg.Pprof, Cluster: n.clu, Fanout: n.fanout,
+		Timeouts: httpTimeouts{Read: cfg.ReadTimeout, Write: cfg.WriteTimeout, Idle: cfg.IdleTimeout},
+		Ready: func() bool {
+			return n.clu == nil || n.clu.Ready()
+		},
+	})
+	return n, nil
+}
+
+// Start launches the node's background maintenance: the storage
+// recovery probe, the idle-zone janitor, failover probing and the
+// integrity scrubber. ctx bounds the probe and janitor loops;
+// Shutdown cancels them too. Safe to call once; a Node that is only
+// read from (or driven by tests tick-by-tick) may skip Start
+// entirely.
+func (n *Node) Start(ctx context.Context) {
+	n.startOnce.Do(func() {
+		bgCtx, cancel := context.WithCancel(ctx)
+		n.stopBG = cancel
+		if n.cfg.WALDir != "" && n.cfg.StorageProbe > 0 {
+			// Degraded zones re-test their WAL on a jittered cadence so the
+			// node exits read-only mode on its own once space frees, even
+			// with every agent backed off.
+			go n.zs.storageProbeLoop(bgCtx, n.cfg.StorageProbe, n.cfg.Seed)
+		}
+		if n.cfg.ZoneIdle > 0 {
+			interval := n.cfg.ZoneIdle / 4
+			if interval < time.Second {
+				interval = time.Second
+			}
+			go n.zs.manager.Janitor(bgCtx, interval)
+		}
+		if n.prom != nil {
+			n.prom.Start()
+		}
+		if n.scr != nil {
+			n.scr.Start()
+		}
+	})
+}
+
+// Handler returns the node's HTTP API — the same mux radlocd serves —
+// for mounting in-process: httptest servers, shared muxes, test
+// fabrics.
+func (n *Node) Handler() http.Handler { return n.mux }
+
+// Pipeline returns the node's write pipeline, the single path every
+// mutation takes. Embedders submit batches through it rather than
+// touching engines directly.
+func (n *Node) Pipeline() *WritePipeline { return n.zs.pipe }
+
+// Cluster returns the node's cluster membership, nil outside cluster
+// mode.
+func (n *Node) Cluster() *cluster.Node { return n.clu }
+
+// Promoter returns the node's failover promoter, nil unless Failover
+// was configured.
+func (n *Node) Promoter() *failover.Promoter { return n.prom }
+
+// Shutdown stops the node: scrubber and failover probes first, then
+// cluster replication, then every zone — mailboxes drained, reorder
+// tails flushed, final checkpoints written, WALs closed. What each
+// engine applied is what the next boot recovers. Idempotent; returns
+// the first close error.
+func (n *Node) Shutdown() error {
+	n.stopOnce.Do(func() {
+		if n.scr != nil {
+			n.scr.Close()
+		}
+		if n.prom != nil {
+			n.prom.Close()
+		}
+		if n.clu != nil {
+			n.clu.Close()
+		}
+		if n.stopBG != nil {
+			n.stopBG()
+		}
+		n.closeErr = n.zs.close()
+	})
+	return n.closeErr
+}
+
+// ServePipe consumes NDJSON measurements from r through the write
+// pipeline, emitting snapshot lines to w on the configured cadence —
+// radlocd's pipe mode, callable in-process.
+func (n *Node) ServePipe(ctx context.Context, r io.Reader, w io.Writer) error {
+	every := n.cfg.ReportEvery
+	if every <= 0 {
+		every = len(n.cfg.Scenario.Sensors)
+	}
+	queue := n.cfg.PipeQueue
+	if queue <= 0 {
+		queue = 4096
+	}
+	return servePipe(ctx, n.zs, r, w, every, queue)
+}
+
+// Run assembles a node from cfg and drives it the way the radlocd
+// binary does: HTTP mode when cfg.Listen is set (serving until ctx is
+// cancelled, then draining gracefully), pipe mode over stdin/stdout
+// otherwise — then shuts the node down, flushing final checkpoints.
+func Run(ctx context.Context, cfg Config, stdin io.Reader, stdout io.Writer) error {
+	if cfg.ClusterSelf != "" && cfg.Listen == "" {
+		return fmt.Errorf("-cluster-self requires -listen (replication is served over HTTP)")
+	}
+	if cfg.Failover && cfg.ClusterSelf == "" {
+		return fmt.Errorf("-failover requires -cluster-self (the failure detector acts on the cluster layer)")
+	}
+	if cfg.Failover && len(cfg.Peers) == 0 {
+		return fmt.Errorf("-failover requires -cluster-peers (who to probe)")
+	}
+	n, err := New(cfg)
+	if err != nil {
+		return err
+	}
+	n.Start(ctx)
+	if cfg.Listen != "" {
+		// stdout is the log channel in HTTP mode (the API is the data
+		// channel); pipe mode reverses that, writing snapshots to stdout.
+		err = serveHTTP(ctx, cfg.Listen, n.mux, n.zs.defaultZone().Engine(),
+			httpTimeouts{Read: cfg.ReadTimeout, Write: cfg.WriteTimeout, Idle: cfg.IdleTimeout},
+			cfg.Pprof, stdout)
+	} else {
+		err = n.ServePipe(ctx, stdin, stdout)
+	}
+	// Final checkpoints + WAL sync/close for every zone, even on a
+	// serve error: what each engine applied is what the next boot
+	// recovers.
+	if cerr := n.Shutdown(); err == nil {
+		err = cerr
+	}
+	return err
+}

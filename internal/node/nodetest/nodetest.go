@@ -1,0 +1,182 @@
+// Package nodetest holds the daemon-bootstrap scaffolding shared by
+// the chaos tests: an in-process HTTP fabric with per-participant
+// partition control, a polling wait helper, metric scrapers, and a
+// preconfigured delivery agent. The chaos suites (cluster, failover,
+// storage) each used to carry their own copy of this machinery; it
+// lives once here so a fix to the fabric fixes every suite.
+//
+// The package deliberately does not import internal/node — it is pure
+// transport/testing glue — so in-package node tests can use it
+// without an import cycle, and so it stays honest: nothing in here
+// can reach into daemon internals.
+package nodetest
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"radloc/internal/clock"
+	"radloc/internal/rng"
+	"radloc/internal/transport"
+)
+
+// Fabric maps in-process hosts to their daemon muxes. All traffic —
+// client deliveries, replication pulls, failover probes — flows
+// through handler lookups here, so a test controls the whole network.
+type Fabric struct {
+	mu    sync.Mutex
+	hosts map[string]http.Handler
+}
+
+// NewFabric returns an empty fabric with no hosts registered.
+func NewFabric() *Fabric {
+	return &Fabric{hosts: make(map[string]http.Handler)}
+}
+
+// Add registers (or replaces) a host's handler. Registering nil keeps
+// the name known but unreachable — a crashed daemon whose address
+// still resolves.
+func (f *Fabric) Add(host string, h http.Handler) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hosts[host] = h
+}
+
+// Handler resolves a host to its current handler, nil if dark.
+func (f *Fabric) Handler(host string) http.Handler {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hosts[host]
+}
+
+// Link mints one participant's view of the network: its own cut set,
+// so a replication path can be severed while client traffic to the
+// same host keeps flowing (and vice versa).
+func (f *Fabric) Link() *Link {
+	return &Link{f: f, down: make(map[string]bool)}
+}
+
+// Link is a http.RoundTripper over the fabric with a private cut set.
+// Each daemon (and each test client) gets its own, so partitions are
+// directional: A may be unable to reach B while B still reaches A.
+type Link struct {
+	f    *Fabric
+	mu   sync.Mutex
+	down map[string]bool
+}
+
+// Cut severs (v true) or heals (v false) this participant's path to
+// one host. Other participants' links are unaffected.
+func (l *Link) Cut(host string, v bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.down[host] = v
+}
+
+// RoundTrip serves the request in-process against the target host's
+// registered handler, or fails as unreachable if the host is dark or
+// this link has cut it.
+func (l *Link) RoundTrip(req *http.Request) (*http.Response, error) {
+	l.mu.Lock()
+	down := l.down[req.URL.Host]
+	l.mu.Unlock()
+	h := l.f.Handler(req.URL.Host)
+	if h == nil || down {
+		return nil, fmt.Errorf("fabric: host %q unreachable", req.URL.Host)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Result(), nil
+}
+
+// WaitUntil polls cond every 2ms until it holds, failing the test
+// after 10s. The chaos suites run replication and probe loops at
+// millisecond intervals, so convergence is near-immediate and the
+// long deadline only matters on a genuinely wedged node.
+func WaitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// HTTPStatus issues one request against a mux and returns the
+// recorder and status code.
+func HTTPStatus(mux http.Handler, method, url, body string) (*httptest.ResponseRecorder, int) {
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, url, rd)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	return rec, rec.Code
+}
+
+// ScrapeGauge pulls one metric value off a node's /metrics by line
+// prefix. name may be bare ("radloc_repl_lag_seconds") or carry a
+// label set (`radloc_scrub_repairs_total{source="local"}`); the
+// second return reports whether the series is exposed at all.
+func ScrapeGauge(t *testing.T, mux http.Handler, name string) (float64, bool) {
+	t.Helper()
+	rec, code := HTTPStatus(mux, http.MethodGet, "http://x/metrics", "")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = HTTP %d", code)
+	}
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if strings.HasPrefix(line, name+" ") || strings.HasPrefix(line, name+"{") {
+			fields := strings.Fields(line)
+			v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+			if err != nil {
+				t.Fatalf("unparseable metric line %q", line)
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// NewClient builds a delivery agent aimed at url over its own fabric
+// link, with redirect following live and retry timings scaled down to
+// test speed.
+func NewClient(t *testing.T, fab *Fabric, url, name, zone string) *transport.Client {
+	t.Helper()
+	c, err := transport.NewClient(transport.Options{
+		URL: url, Zone: zone, HTTP: fab.Link(), Clock: clock.Real{},
+		RNG:     rng.NewNamed(7, "cluster-test/"+name),
+		Backoff: transport.Backoff{Base: time.Millisecond, Cap: 10 * time.Millisecond},
+		Breaker: transport.BreakerConfig{FailureThreshold: 3, Cooldown: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// SendRounds delivers readings perRound at a time — one sensor-round
+// per request — failing the test on any delivery error.
+func SendRounds(t *testing.T, c *transport.Client, readings []transport.Reading, perRound int) {
+	t.Helper()
+	for i := 0; i < len(readings); i += perRound {
+		end := i + perRound
+		if end > len(readings) {
+			end = len(readings)
+		}
+		if err := c.Send(context.Background(), readings[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package node
+
+import (
+	"context"
+	"fmt"
+
+	"radloc/internal/cluster"
+	"radloc/internal/fusion"
+	"radloc/internal/httpingest"
+	"radloc/internal/zone"
+)
+
+// WritePipeline is the node's single write path. Every mutation of a
+// zone's engine — a pipe-mode stdin record, an HTTP measurement batch,
+// a replicated WAL record — flows through it, so the invariants fixed
+// here hold on every entry point by construction:
+//
+//	admission → sequencing/dedup → WAL journal → engine apply → ack
+//
+// Stage order for client writes (Submit): the cluster fence first (a
+// standby or draining zone refuses before touching the data), then
+// zone admission (mailbox backpressure, zone limit), then — on the
+// zone's single-writer event loop — the sequence gate's dedup/reorder,
+// the journal-before-apply WAL append (a degraded disk vetoes the
+// apply with fusion.JournalError), the engine apply, and finally the
+// ack carried back on the envelope's reply channel.
+//
+// Replicated records (Apply) enter below the fence and the gate: they
+// were fenced by the cluster layer's epoch check and sequenced by the
+// primary, so the pipeline enforces offset continuity, journals, and
+// applies through the engine's replay entry — the same code path boot
+// recovery uses, which is what keeps a caught-up standby bit-identical
+// to its primary.
+type WritePipeline struct {
+	zs *zoneSet
+}
+
+// Fence is the pipeline's admission gate against the cluster's write
+// routing: nil when this node is the zone's live primary (or there is
+// no cluster), cluster.NotPrimaryError for a standby (with the
+// redirect target when known), cluster.ErrDraining mid-cutover. The
+// HTTP boundary renders these as 307/503 before reading the body; the
+// pipe boundary counts them as refused readings.
+func (p *WritePipeline) Fence(zoneName string) error {
+	if n := p.zs.clusterNode; n != nil {
+		return n.AdmitWrite(zoneName)
+	}
+	return nil
+}
+
+// Submit pushes one client-origin batch through the full pipeline:
+// fence, zone admission, and — on the zone's event loop — dedup,
+// journal-before-apply and ack. A fence refusal is wrapped in
+// httpingest.ErrNotWritable so the HTTP boundary's status mapping
+// (503 + Retry-After: hold the batch, retry elsewhere) applies even
+// when ownership moved between the mux-level fence and the apply.
+func (p *WritePipeline) Submit(ctx context.Context, zoneName string, ms []fusion.Meas) (fusion.BatchResult, error) {
+	if err := p.Fence(zoneName); err != nil {
+		return fusion.BatchResult{}, fmt.Errorf("%w: %v", httpingest.ErrNotWritable, err)
+	}
+	return p.zs.manager.Submit(ctx, zoneName, ms)
+}
+
+// Apply pushes replicated records through the pipeline's lower half:
+// offset-continuity sequencing, WAL journal, engine apply via the
+// replay entry, then the zone's checkpoint cadence. WAL order stays
+// application order, exactly as on the live write path.
+func (p *WritePipeline) Apply(z *zone.Zone, recs []cluster.RecordAt) error {
+	d := zoneDurable(z)
+	eng := z.Engine()
+	offset := func() uint64 {
+		if d != nil {
+			d.j.mu.Lock()
+			defer d.j.mu.Unlock()
+			return d.j.log.Offset()
+		}
+		return eng.Snapshot().Journaled
+	}
+	for _, ra := range recs {
+		if cur := offset(); ra.Off != cur {
+			return fmt.Errorf("replication offset gap: got %d, local head %d", ra.Off, cur)
+		}
+		if d != nil {
+			d.j.mu.Lock()
+			_, err := d.j.log.Append(ra.Rec)
+			d.j.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+		eng.Replay(fusion.Meas{SensorID: ra.Rec.SensorID, CPM: ra.Rec.CPM, Step: ra.Rec.Step, Seq: ra.Rec.Seq})
+	}
+	if d != nil {
+		d.maybeCheckpoint(p.zs.logw)
+	}
+	return nil
+}
+
+// Resolver adapts the pipeline into the HTTP ingest boundary's Sink
+// resolver: every valid zone name resolves to a sink that submits
+// through the full pipeline.
+func (p *WritePipeline) Resolver() httpingest.Resolver {
+	return func(name string) (httpingest.Sink, error) {
+		return pipelineSink{p: p, name: name}, nil
+	}
+}
+
+// pipelineSink binds one zone name to the pipeline for the HTTP
+// ingest handler.
+type pipelineSink struct {
+	p    *WritePipeline
+	name string
+}
+
+// Submit implements httpingest.Sink through the pipeline.
+func (s pipelineSink) Submit(ctx context.Context, ms []fusion.Meas) (fusion.BatchResult, error) {
+	return s.p.Submit(ctx, s.name, ms)
+}

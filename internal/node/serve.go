@@ -1,4 +1,4 @@
-package main
+package node
 
 import (
 	"bufio"
@@ -273,9 +273,9 @@ func servePipe(ctx context.Context, zs *zoneSet, r io.Reader, w io.Writer, repor
 		if !ok {
 			break
 		}
-		if _, err := zs.manager.Submit(ctx, qm.zone, []fusion.Meas{qm.m}); err != nil && ctx.Err() == nil {
-			// Bad zone name or zone limit: the reading has nowhere to
-			// go; count it and keep the stream moving.
+		if _, err := zs.pipe.Submit(ctx, qm.zone, []fusion.Meas{qm.m}); err != nil && ctx.Err() == nil {
+			// Bad zone name, zone limit or a write fence: the reading has
+			// nowhere to go here; count it and keep the stream moving.
 			zoneRefused++
 			continue
 		}
@@ -308,11 +308,12 @@ func newIngest(engine *fusion.Engine, d *durable, opts httpingest.Options) *http
 	return httpingest.New(engine, opts)
 }
 
-// newZonedIngest builds the measurements handler over the zone
-// manager — the sharded deployment. No AfterBatch here: each zone's
-// checkpoint cadence is wired into its own event loop by the factory.
-func newZonedIngest(m *zone.Manager, opts httpingest.Options) *httpingest.Handler {
-	return httpingest.NewZoned(httpingest.ManagerResolver(m), opts)
+// newZonedIngest builds the measurements handler over the write
+// pipeline — the sharded deployment's single write path, fence
+// included. No AfterBatch here: each zone's checkpoint cadence is
+// wired into its own event loop by the factory.
+func newZonedIngest(p *WritePipeline, opts httpingest.Options) *httpingest.Handler {
+	return httpingest.NewZoned(p.Resolver(), opts)
 }
 
 // serveConfig assembles the HTTP mode's moving parts. Durable may be
@@ -337,26 +338,32 @@ type serveConfig struct {
 	// Cluster, when non-nil, mounts the /cluster endpoints and fences
 	// the write routes: a standby zone 307s writes to its primary (or
 	// 503s when the primary is unknown), a draining zone 503s with
-	// Retry-After.
+	// Retry-After. Requires Zones (the fence renders the write
+	// pipeline's admission stage).
 	Cluster *cluster.Node
+	// Fanout, when non-nil, applies the read fan-out policy to
+	// /snapshot and /statez (and their zoned forms) and meters write
+	// pressure on the measurement routes.
+	Fanout *readFanout
 	// Ready, when non-nil, gates /readyz: false keeps it at 503 even
 	// after the first refresh — boot-time zone recovery or replication
 	// catch-up is still in progress.
 	Ready func() bool
 }
 
-// fenceWrites wraps a measurement route with the cluster's write
-// admission: only the zone's live primary applies writes. A standby
-// with a known primary answers 307 — the agent's transport follows it
-// and re-aims — and a draining or ownerless zone answers 503 so the
-// agent's retry/spool machinery holds the data instead of losing it.
-func fenceWrites(node *cluster.Node, next http.Handler) http.Handler {
+// fenceWrites renders the write pipeline's fence stage at the HTTP
+// boundary, ahead of body admission so routing wins over backpressure:
+// only the zone's live primary applies writes. A standby with a known
+// primary answers 307 — the agent's transport follows it and re-aims —
+// and a draining or ownerless zone answers 503 so the agent's
+// retry/spool machinery holds the data instead of losing it.
+func fenceWrites(p *WritePipeline, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("zone")
 		if name == "" {
 			name = zone.DefaultZone
 		}
-		if err := node.AdmitWrite(name); err != nil {
+		if err := p.Fence(name); err != nil {
 			var np *cluster.NotPrimaryError
 			switch {
 			case errors.As(err, &np) && np.Primary != "":
@@ -436,14 +443,14 @@ func newMux(cfg serveConfig) *http.ServeMux {
 	// Durability and delivery posture: WAL offset, checkpoint history,
 	// boot-time recovery report, dedup/reorder counters, admission
 	// (backpressure) counters.
-	mux.HandleFunc("/statez", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/statez", cfg.Fanout.read(requestZone, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "GET only", http.StatusMethodNotAllowed)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(statez(engine, d, ing))
-	})
+	})))
 	// Liveness: the process is up and serving.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "ok: %d sensors registered\n", engine.Sensors())
@@ -504,14 +511,14 @@ func newMux(cfg serveConfig) *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(statsToJSON(engine, started))
 	})
-	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/snapshot", cfg.Fanout.read(requestZone, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "GET only", http.StatusMethodNotAllowed)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(snapshotToJSON(engine.Snapshot()))
-	})
+	})))
 	// Sequenced readings pass the dedup/reorder gate (a buffered
 	// reading counts as accepted: it will be applied when its round
 	// releases); seq-0 readings take the legacy direct path. The
@@ -520,9 +527,10 @@ func newMux(cfg serveConfig) *http.ServeMux {
 	// fenced to the zone's live primary.
 	var writeRoute http.Handler = ing
 	if cfg.Cluster != nil {
-		writeRoute = fenceWrites(cfg.Cluster, ing)
+		writeRoute = fenceWrites(cfg.Zones.pipe, ing)
 		cfg.Cluster.Mount(mux)
 	}
+	writeRoute = cfg.Fanout.trackWrites(writeRoute)
 	mux.Handle("/measurements", writeRoute)
 	if cfg.Zones != nil {
 		man := cfg.Zones.manager
@@ -541,21 +549,21 @@ func newMux(cfg serveConfig) *http.ServeMux {
 		mux.Handle("/zones/{zone}/measurements", writeRoute)
 		// Zone-scoped reads mirror the unnamed routes one-to-one; the
 		// unnamed routes themselves alias the default zone.
-		mux.HandleFunc("/zones/{zone}/snapshot", zoneGET(man, func(z *zone.Zone) any {
+		mux.Handle("/zones/{zone}/snapshot", cfg.Fanout.read(requestZone, zoneGET(man, func(z *zone.Zone) any {
 			return snapshotToJSON(z.Engine().Snapshot())
-		}))
+		})))
 		mux.HandleFunc("/zones/{zone}/sensors", zoneGET(man, func(z *zone.Zone) any {
 			return healthToJSON(z.Engine().Snapshot().Health)
 		}))
 		mux.HandleFunc("/zones/{zone}/stats", zoneGET(man, func(z *zone.Zone) any {
 			return statsToJSON(z.Engine(), started)
 		}))
-		mux.HandleFunc("/zones/{zone}/statez", zoneGET(man, func(z *zone.Zone) any {
+		mux.Handle("/zones/{zone}/statez", cfg.Fanout.read(requestZone, zoneGET(man, func(z *zone.Zone) any {
 			// Ingress (admission) counters are handler-global, shared by
 			// every zone, so the per-zone view reports durability and
 			// delivery only.
 			return statez(z.Engine(), zoneDurable(z), nil)
-		}))
+		})))
 	}
 	return mux
 }
@@ -596,21 +604,20 @@ func newHTTPServer(h http.Handler, t httpTimeouts) *http.Server {
 	}
 }
 
-// serveHTTP serves the API on addr until ctx is cancelled
-// (SIGINT/SIGTERM), then shuts down gracefully — in-flight requests
-// drain — and flushes a final snapshot line to logw.
-func serveHTTP(ctx context.Context, addr string, cfg serveConfig, logw io.Writer) error {
-	engine := cfg.Engine
+// serveHTTP serves the node's prebuilt handler on addr until ctx is
+// cancelled (SIGINT/SIGTERM), then shuts down gracefully — in-flight
+// requests drain — and flushes a final snapshot line to logw.
+func serveHTTP(ctx context.Context, addr string, h http.Handler, engine *fusion.Engine, t httpTimeouts, pprof bool, logw io.Writer) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	extra := ""
-	if cfg.Pprof {
+	if pprof {
 		extra = " /debug/pprof/"
 	}
 	fmt.Fprintf(logw, "radlocd: serving on http://%s (POST /measurements /zones/{z}/measurements, GET /snapshot /sensors /statez /zones /metrics /healthz /readyz%s)\n", ln.Addr(), extra)
-	srv := newHTTPServer(newMux(cfg), cfg.Timeouts)
+	srv := newHTTPServer(h, t)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	select {

@@ -1,4 +1,4 @@
-package main
+package node
 
 // Storage fault-tolerance integration tests: the acceptance criteria
 // of the disk-fault work. An ENOSPC window mid-delivery must cost the
@@ -28,6 +28,7 @@ import (
 	"radloc/internal/cluster"
 	"radloc/internal/fusion"
 	"radloc/internal/httpingest"
+	"radloc/internal/node/nodetest"
 	"radloc/internal/obs"
 	"radloc/internal/rng"
 	"radloc/internal/scenario"
@@ -93,7 +94,7 @@ func runENOSPCDelivery(t *testing.T, window time.Duration) (snap, health []byte,
 	}
 	dur = zoneDurable(zs.defaultZone())
 
-	ing = newZonedIngest(zs.manager, httpingest.Options{
+	ing = newZonedIngest(zs.pipe, httpingest.Options{
 		QueueDepth: 256, Clock: clk, RetryAfter: time.Second,
 	})
 	mux := newMux(serveConfig{
@@ -138,7 +139,7 @@ func runENOSPCDelivery(t *testing.T, window time.Duration) (snap, health []byte,
 
 	// /readyz is clean again after the heal: the exit edge fired on the
 	// first post-window append.
-	if rec, code := httpStatus(mux, http.MethodGet, "http://fusion/readyz", ""); code != http.StatusOK {
+	if rec, code := nodetest.HTTPStatus(mux, http.MethodGet, "http://fusion/readyz", ""); code != http.StatusOK {
 		t.Fatalf("post-heal /readyz = %d: %s", code, rec.Body.String())
 	}
 	// Close every zone cleanly so the WAL directory is a complete
@@ -344,10 +345,10 @@ func TestScrubRepairsLocalCold(t *testing.T) {
 	}
 	// Scrub accounting went where it should.
 	mux := newMux(serveConfig{Engine: zs.defaultZone().Engine(), Metrics: reg, Zones: zs})
-	if v, ok := scrapeGauge(t, mux, `radloc_scrub_corruptions_total{kind="segment"}`); !ok || v != 1 {
+	if v, ok := nodetest.ScrapeGauge(t, mux, `radloc_scrub_corruptions_total{kind="segment"}`); !ok || v != 1 {
 		t.Errorf("radloc_scrub_corruptions_total{kind=segment} = %v (ok=%v), want 1", v, ok)
 	}
-	if v, ok := scrapeGauge(t, mux, `radloc_scrub_repairs_total{source="local"}`); !ok || v != 1 {
+	if v, ok := nodetest.ScrapeGauge(t, mux, `radloc_scrub_repairs_total{source="local"}`); !ok || v != 1 {
 		t.Errorf("radloc_scrub_repairs_total{source=local} = %v (ok=%v), want 1", v, ok)
 	}
 }
@@ -366,18 +367,18 @@ func testZoneBuildJournalOnly(t *testing.T) func(fusion.Journal) (*fusion.Engine
 // whatever ate the local disk — fetched over the same authenticated
 // wire replication uses.
 func TestScrubRepairsFromReplica(t *testing.T) {
-	fab := newClusterFabric()
+	fab := nodetest.NewFabric()
 	routes := cluster.Routes{Zones: map[string]cluster.Route{
 		"default": {Primary: "http://a", Standby: "http://b"},
 	}}
-	a := newClusterTestNodeAt(t, fab, "a", &routes, t.TempDir(), nil)
+	a := newClusterTestNodeAt(t, fab, "a", &routes, t.TempDir())
 	b := newClusterTestNode(t, fab, "b", &routes)
 
 	sensors := len(scenario.A(50, false).Sensors)
 	readings := chaosReadings(sensors)
-	sendRounds(t, newClusterClient(t, fab, "http://a", "scrub-repl", ""), readings, sensors)
+	nodetest.SendRounds(t, nodetest.NewClient(t, fab, "http://a", "scrub-repl", ""), readings, sensors)
 	aBack := a.backend(t, "default")
-	waitUntil(t, "standby catch-up", func() bool {
+	nodetest.WaitUntil(t, "standby catch-up", func() bool {
 		st, ok := b.status("default")
 		return ok && st.CaughtUp && b.backend(t, "default").Offset() == aBack.Offset()
 	})
@@ -399,7 +400,7 @@ func TestScrubRepairsFromReplica(t *testing.T) {
 	if err != nil || len(parked) != 1 {
 		t.Fatalf("quarantined segments = %v (err %v), want exactly 1", parked, err)
 	}
-	if v, ok := scrapeGauge(t, a.mux, `radloc_scrub_repairs_total{source="replica"}`); !ok || v != 1 {
+	if v, ok := nodetest.ScrapeGauge(t, a.mux, `radloc_scrub_repairs_total{source="replica"}`); !ok || v != 1 {
 		t.Fatalf("radloc_scrub_repairs_total{source=replica} = %v (ok=%v), want 1 — repair did not come from the standby", v, ok)
 	}
 	ck, ok, err := wal.LoadCheckpoint(walRoot)
@@ -467,11 +468,11 @@ func TestReadyzNamesDegradedZones(t *testing.T) {
 	zs.defaultZone().Engine().Refresh()
 	mux := newMux(serveConfig{Engine: zs.defaultZone().Engine(), Zones: zs,
 		Durable: zoneDurable(zs.defaultZone())})
-	if _, code := httpStatus(mux, http.MethodGet, "http://x/readyz", ""); code != http.StatusOK {
+	if _, code := nodetest.HTTPStatus(mux, http.MethodGet, "http://x/readyz", ""); code != http.StatusOK {
 		t.Fatalf("healthy /readyz = %d", code)
 	}
 	zoneDurable(zs.defaultZone()).noteAppend(syscall.EIO)
-	rec, code := httpStatus(mux, http.MethodGet, "http://x/readyz", "")
+	rec, code := nodetest.HTTPStatus(mux, http.MethodGet, "http://x/readyz", "")
 	if code != http.StatusServiceUnavailable {
 		t.Fatalf("degraded /readyz = %d, want 503", code)
 	}
@@ -482,7 +483,7 @@ func TestReadyzNamesDegradedZones(t *testing.T) {
 		t.Fatalf("degraded /readyz does not name the zone: %s", rec.Body.String())
 	}
 	zoneDurable(zs.defaultZone()).noteAppend(nil)
-	if _, code := httpStatus(mux, http.MethodGet, "http://x/readyz", ""); code != http.StatusOK {
+	if _, code := nodetest.HTTPStatus(mux, http.MethodGet, "http://x/readyz", ""); code != http.StatusOK {
 		t.Fatalf("recovered /readyz = %d", code)
 	}
 }

@@ -1,4 +1,4 @@
-package main
+package node
 
 import (
 	"errors"
@@ -41,10 +41,14 @@ type zoneSet struct {
 	build   func(j fusion.Journal, met *obs.Registry) (*fusion.Engine, error)
 
 	// clusterNode, when non-nil, is the cluster membership this node
-	// participates in — installed late by main (the node needs the
+	// participates in — installed late by New (the node needs the
 	// zoneSet's resolver first). The scrubber's repair-from-replica
 	// path goes through it.
 	clusterNode *cluster.Node
+
+	// pipe is the zone set's single write path: pipe-mode records, HTTP
+	// batches and replicated records all mutate engines through it.
+	pipe *WritePipeline
 }
 
 // zoneSetOptions configures newZoneSet.
@@ -108,6 +112,7 @@ func newZoneSet(o zoneSetOptions) (*zoneSet, error) {
 		return nil, err
 	}
 	zs.manager = m
+	zs.pipe = &WritePipeline{zs: zs}
 	return zs, nil
 }
 

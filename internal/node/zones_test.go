@@ -1,4 +1,4 @@
-package main
+package node
 
 import (
 	"context"
@@ -64,7 +64,7 @@ func zonedTestServer(t *testing.T, zs *zoneSet) *httptest.Server {
 	t.Helper()
 	srv := httptest.NewServer(newMux(serveConfig{
 		Engine: zs.defaultZone().Engine(),
-		Ingest: newZonedIngest(zs.manager, httpingest.Options{}),
+		Ingest: newZonedIngest(zs.pipe, httpingest.Options{}),
 		Zones:  zs,
 	}))
 	t.Cleanup(srv.Close)
